@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the disambiguation stage (Figures 5 and 6) and
+//! the associativity-check ablation (graph isomorphism vs syntactic
+//! equality) called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_disambig::stats::{all_check_effects, apply_single_family};
+use sage_disambig::winnow::{winnow, WinnowStage};
+use sage_logic::graph::{canonical_form, dedup_isomorphic};
+use sage_logic::parse_lf;
+use sage_logic::Lf;
+
+fn figure2_lfs() -> Vec<Lf> {
+    vec![
+        parse_lf("@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))").unwrap(),
+        parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap(),
+        parse_lf("@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))").unwrap(),
+        parse_lf("@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))").unwrap(),
+    ]
+}
+
+fn bench_winnow(c: &mut Criterion) {
+    let lfs = figure2_lfs();
+    c.bench_function("winnow_figure2", |b| b.iter(|| winnow(&lfs)));
+}
+
+fn bench_single_families(c: &mut Criterion) {
+    let lfs = figure2_lfs();
+    let mut group = c.benchmark_group("single_check_family");
+    for stage in [
+        WinnowStage::Type,
+        WinnowStage::ArgumentOrdering,
+        WinnowStage::PredicateOrdering,
+        WinnowStage::Distributivity,
+        WinnowStage::Associativity,
+    ] {
+        group.bench_function(stage.label(), |b| b.iter(|| apply_single_family(stage, &lfs)));
+    }
+    group.finish();
+}
+
+fn bench_associativity_ablation(c: &mut Criterion) {
+    // Graph isomorphism (canonical forms) vs plain syntactic dedup on a set
+    // of regrouped @Of chains.
+    let a = parse_lf("@Of(@Of(@Of('a', 'b'), 'c'), 'd')").unwrap();
+    let b_form = parse_lf("@Of('a', @Of('b', @Of('c', 'd')))").unwrap();
+    let c_form = parse_lf("@Of(@Of('a', 'b'), @Of('c', 'd'))").unwrap();
+    let forms = vec![a, b_form, c_form];
+    let mut group = c.benchmark_group("associativity_ablation");
+    group.bench_function("graph_isomorphism", |b| b.iter(|| dedup_isomorphic(&forms)));
+    group.bench_function("syntactic_equality", |b| {
+        b.iter(|| {
+            let mut seen: Vec<Lf> = Vec::new();
+            for f in &forms {
+                if !seen.contains(f) {
+                    seen.push(f.clone());
+                }
+            }
+            seen
+        })
+    });
+    group.bench_function("canonicalisation_only", |b| {
+        b.iter(|| forms.iter().map(canonical_form).collect::<Vec<_>>())
+    });
+    group.finish();
+}
+
+fn bench_figure6_statistics(c: &mut Criterion) {
+    let corpus: Vec<Vec<Lf>> = (0..20).map(|_| figure2_lfs()).collect();
+    c.bench_function("figure6_per_check_effects", |b| b.iter(|| all_check_effects(&corpus)));
+}
+
+criterion_group!(
+    benches,
+    bench_winnow,
+    bench_single_families,
+    bench_associativity_ablation,
+    bench_figure6_statistics
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the semantic-parsing stage (Figure 5 "Base"
+//! column: producing the raw logical forms), plus the parser-scaling
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sage_ccg::{parse_sentence, Lexicon, ParserConfig};
+use sage_nlp::{ChunkerConfig, TermDictionary};
+
+fn bench_sentence_parsing(c: &mut Criterion) {
+    let lexicon = Lexicon::bfd();
+    let dict = TermDictionary::networking();
+    let sentences = [
+        ("simple", "The checksum is zero."),
+        ("advice", "For computing the checksum, the checksum field should be zero."),
+        (
+            "checksum",
+            "The checksum is the 16-bit one's complement of the one's complement sum of the ICMP message starting with the ICMP Type.",
+        ),
+        (
+            "bfd",
+            "If bfd.RemoteDemandMode is 1, the local system must cease the periodic transmission of BFD Control packets.",
+        ),
+    ];
+    let mut group = c.benchmark_group("ccg_parse");
+    for (name, sentence) in sentences {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sentence, |b, s| {
+            b.iter(|| {
+                parse_sentence(s, &lexicon, &dict, ChunkerConfig::default(), ParserConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parser_scaling(c: &mut Criterion) {
+    // Ablation: chart-item cap (beam) vs exhaustive parsing on a long
+    // @Of-chain sentence.
+    let lexicon = Lexicon::icmp();
+    let dict = TermDictionary::networking();
+    let sentence = "The checksum of the header of the message of the packet of the datagram is zero.";
+    let mut group = c.benchmark_group("parser_scaling");
+    for cap in [8usize, 16, 48, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
+            let config = ParserConfig {
+                max_items_per_cell: *cap,
+                ..ParserConfig::default()
+            };
+            b.iter(|| parse_sentence(sentence, &lexicon, &dict, ChunkerConfig::default(), config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_parse(c: &mut Criterion) {
+    // End-to-end pipeline over the whole ICMP corpus (the §6.1 workload).
+    let mut group = c.benchmark_group("pipeline_corpus");
+    group.sample_size(10);
+    group.bench_function("icmp_document", |b| {
+        let sage = sage_core::pipeline::Sage::default();
+        let doc = sage_spec::corpus::Protocol::Icmp.document();
+        b.iter(|| sage.analyze_document(&doc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sentence_parsing, bench_parser_scaling, bench_corpus_parse);
+criterion_main!(benches);

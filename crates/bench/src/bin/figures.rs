@@ -1,0 +1,27 @@
+//! Regenerate the paper's figures (as text series).
+//!
+//! Usage: `cargo run -p sage-bench --bin figures [-- <figure>...]`
+//! where `<figure>` is one of `fig5a`, `fig5b`, `fig5c`, `fig6`, or `all`
+//! (default).
+
+use sage_bench as render;
+use sage_spec::corpus::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec!["fig5a", "fig5b", "fig5c", "fig6"].into_iter().map(String::from).collect()
+    } else {
+        args
+    };
+    for name in wanted {
+        let text = match name.as_str() {
+            "fig5a" => render::render_figure5(Protocol::Icmp, "a"),
+            "fig5b" => render::render_figure5(Protocol::Igmp, "b"),
+            "fig5c" => render::render_figure5(Protocol::Bfd, "c"),
+            "fig6" => render::render_figure6(),
+            other => format!("unknown figure '{other}'\n"),
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerate the paper's tables.
+//!
+//! Usage: `cargo run -p sage-bench --bin tables [-- <table>...]`
+//! where `<table>` is one of `table2`..`table11`, `lexicon`, `e2e`,
+//! `summary`, or `all` (default).
+
+use sage_bench as render;
+use sage_spec::corpus::Protocol;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+            "table10", "table11", "lexicon", "e2e", "summary",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect()
+    } else {
+        args
+    };
+    for name in wanted {
+        let text = match name.as_str() {
+            "table2" => render::render_table2(),
+            "table3" => render::render_table3(),
+            "table4" => render::render_table4(),
+            "table5" => render::render_table5(),
+            "table6" => render::render_table6(),
+            "table7" => render::render_table7(),
+            "table8" => render::render_table8(),
+            "table9" => render::render_table9(),
+            "table10" => render::render_table10(),
+            "table11" => render::render_table11(),
+            "lexicon" => render::render_lexicon_counts(),
+            "e2e" => render::render_end_to_end(),
+            "summary" => render::render_disambiguation_summary(),
+            "fig5a" => render::render_figure5(Protocol::Icmp, "a"),
+            other => format!("unknown table '{other}'\n"),
+        };
+        println!("{text}");
+    }
+}

@@ -1,0 +1,207 @@
+//! CCG syntactic categories.
+//!
+//! A category is either *primitive* (`N`, `NP`, `S`, `PP`, `CONJ`, `PUNCT`)
+//! or *complex*: `X/Y` (looks for a `Y` to its right to form an `X`) or
+//! `X\Y` (looks for a `Y` to its left).  Complex categories nest, e.g. the
+//! transitive-verb category `(S\NP)/NP`.
+
+use std::fmt;
+
+/// Direction of the argument a complex category is looking for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slash {
+    /// `X/Y`: the argument appears to the right.
+    Forward,
+    /// `X\Y`: the argument appears to the left.
+    Backward,
+}
+
+/// A CCG category.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Noun.
+    N,
+    /// Noun phrase.
+    NP,
+    /// Sentence.
+    S,
+    /// Prepositional phrase.
+    PP,
+    /// Coordinating conjunction (special-cased by the coordination rule).
+    Conj,
+    /// Punctuation (absorbed by punctuation rules).
+    Punct,
+    /// A complex category `result/arg` or `result\arg`.
+    Complex {
+        /// The category produced once the argument is found.
+        result: Box<Category>,
+        /// Which side the argument is expected on.
+        slash: Slash,
+        /// The category of the expected argument.
+        arg: Box<Category>,
+    },
+}
+
+impl Category {
+    /// Build `result / arg` (argument expected to the right).
+    pub fn forward(result: Category, arg: Category) -> Category {
+        Category::Complex {
+            result: Box::new(result),
+            slash: Slash::Forward,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// Build `result \ arg` (argument expected to the left).
+    pub fn backward(result: Category, arg: Category) -> Category {
+        Category::Complex {
+            result: Box::new(result),
+            slash: Slash::Backward,
+            arg: Box::new(arg),
+        }
+    }
+
+    /// The intransitive-verb category `S\NP`.
+    pub fn verb_intrans() -> Category {
+        Category::backward(Category::S, Category::NP)
+    }
+
+    /// The transitive-verb category `(S\NP)/NP`.
+    pub fn verb_trans() -> Category {
+        Category::forward(Category::verb_intrans(), Category::NP)
+    }
+
+    /// The noun-modifier category `NP/NP`.
+    pub fn np_modifier() -> Category {
+        Category::forward(Category::NP, Category::NP)
+    }
+
+    /// The post-modifier category `NP\NP` (used by "of"-phrases once they
+    /// have consumed their object).
+    pub fn np_postmodifier() -> Category {
+        Category::backward(Category::NP, Category::NP)
+    }
+
+    /// The sentence-modifier category `S/S`.
+    pub fn sentence_modifier() -> Category {
+        Category::forward(Category::S, Category::S)
+    }
+
+    /// True for primitive (non-complex) categories.
+    pub fn is_primitive(&self) -> bool {
+        !matches!(self, Category::Complex { .. })
+    }
+
+    /// If complex, the `(result, slash, arg)` triple.
+    pub fn as_complex(&self) -> Option<(&Category, Slash, &Category)> {
+        match self {
+            Category::Complex { result, slash, arg } => Some((result, *slash, arg)),
+            _ => None,
+        }
+    }
+
+    /// The number of arguments this category still expects.
+    pub fn arity(&self) -> usize {
+        match self {
+            Category::Complex { result, .. } => 1 + result.arity(),
+            _ => 0,
+        }
+    }
+
+    /// The category obtained after all arguments are consumed.
+    pub fn final_result(&self) -> &Category {
+        match self {
+            Category::Complex { result, .. } => result.final_result(),
+            other => other,
+        }
+    }
+
+    /// Categories unify if they are equal, or one is `N` and the other `NP`
+    /// (RFC prose freely uses bare nouns where noun phrases are expected).
+    pub fn unifies_with(&self, other: &Category) -> bool {
+        if self == other {
+            return true;
+        }
+        matches!(
+            (self, other),
+            (Category::N, Category::NP) | (Category::NP, Category::N)
+        )
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Category::N => write!(f, "N"),
+            Category::NP => write!(f, "NP"),
+            Category::S => write!(f, "S"),
+            Category::PP => write!(f, "PP"),
+            Category::Conj => write!(f, "CONJ"),
+            Category::Punct => write!(f, "PUNCT"),
+            Category::Complex { result, slash, arg } => {
+                let slash_ch = match slash {
+                    Slash::Forward => '/',
+                    Slash::Backward => '\\',
+                };
+                let fmt_side = |c: &Category| {
+                    if c.is_primitive() {
+                        format!("{c}")
+                    } else {
+                        format!("({c})")
+                    }
+                };
+                write!(f, "{}{}{}", fmt_side(result), slash_ch, fmt_side(arg))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_ccg_notation() {
+        assert_eq!(Category::verb_intrans().to_string(), "S\\NP");
+        assert_eq!(Category::verb_trans().to_string(), "(S\\NP)/NP");
+        assert_eq!(Category::np_modifier().to_string(), "NP/NP");
+        assert_eq!(Category::sentence_modifier().to_string(), "S/S");
+    }
+
+    #[test]
+    fn arity_counts_expected_arguments() {
+        assert_eq!(Category::NP.arity(), 0);
+        assert_eq!(Category::verb_intrans().arity(), 1);
+        assert_eq!(Category::verb_trans().arity(), 2);
+    }
+
+    #[test]
+    fn final_result_unwraps_nesting() {
+        assert_eq!(*Category::verb_trans().final_result(), Category::S);
+        assert_eq!(*Category::NP.final_result(), Category::NP);
+    }
+
+    #[test]
+    fn unification_allows_n_np_coercion() {
+        assert!(Category::N.unifies_with(&Category::NP));
+        assert!(Category::NP.unifies_with(&Category::N));
+        assert!(Category::NP.unifies_with(&Category::NP));
+        assert!(!Category::S.unifies_with(&Category::NP));
+    }
+
+    #[test]
+    fn as_complex_exposes_parts() {
+        let c = Category::verb_trans();
+        let (result, slash, arg) = c.as_complex().unwrap();
+        assert_eq!(slash, Slash::Forward);
+        assert_eq!(*arg, Category::NP);
+        assert_eq!(*result, Category::verb_intrans());
+        assert!(Category::S.as_complex().is_none());
+    }
+
+    #[test]
+    fn primitive_check() {
+        assert!(Category::S.is_primitive());
+        assert!(!Category::verb_intrans().is_primitive());
+    }
+}

@@ -1,0 +1,633 @@
+//! The CCG lexicon: base English entries plus the domain-specific entries
+//! SAGE adds for each protocol.
+//!
+//! §6.1 of the paper reports 71 lexical entries added for ICMP, 8 more for
+//! IGMP, 5 more for NTP, and 15 more for the BFD state-management text; the
+//! constructors in this module mirror those increments and the tests pin the
+//! counts.
+
+use crate::category::Category;
+use crate::semantics::SemTerm;
+use sage_logic::PredName;
+use std::collections::HashMap;
+
+/// Where a lexical entry came from (base grammar vs per-protocol extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LexiconGroup {
+    /// Closed-class English words every parse needs.
+    BaseEnglish,
+    /// Entries added while processing the ICMP RFC (71 in the paper).
+    Icmp,
+    /// Entries added for IGMP (8 in the paper).
+    Igmp,
+    /// Entries added for NTP (5 in the paper).
+    Ntp,
+    /// Entries added for BFD state management (15 in the paper).
+    Bfd,
+}
+
+/// A single lexical entry: a surface phrase, its CCG category and semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexEntry {
+    /// Lower-case surface phrase this entry matches.
+    pub phrase: String,
+    /// Syntactic category.
+    pub category: Category,
+    /// Semantic term.
+    pub sem: SemTerm,
+    /// Which lexicon group contributed the entry.
+    pub group: LexiconGroup,
+}
+
+impl LexEntry {
+    fn new(phrase: &str, category: Category, sem: SemTerm, group: LexiconGroup) -> LexEntry {
+        LexEntry {
+            phrase: phrase.to_ascii_lowercase(),
+            category,
+            sem,
+            group,
+        }
+    }
+}
+
+/// The lexicon: phrase → candidate entries.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    entries: HashMap<String, Vec<LexEntry>>,
+    count_by_group: HashMap<LexiconGroup, usize>,
+}
+
+// ---- semantic helpers -------------------------------------------------------
+
+fn np_atom(s: &str) -> SemTerm {
+    SemTerm::atom(s)
+}
+
+/// λx.x — identity modifier.
+fn identity() -> SemTerm {
+    SemTerm::lam("x", SemTerm::var("x"))
+}
+
+/// λx.λy.@P(y, x) — a transitive relation taking its object first.
+fn trans(pred: PredName) -> SemTerm {
+    SemTerm::lam(
+        "x",
+        SemTerm::lam(
+            "y",
+            SemTerm::pred(pred, vec![SemTerm::var("y"), SemTerm::var("x")]),
+        ),
+    )
+}
+
+/// λx.@Action(name, x) — a unary action on its subject.
+fn unary_action(name: &str) -> SemTerm {
+    SemTerm::lam(
+        "x",
+        SemTerm::pred(
+            PredName::Action,
+            vec![SemTerm::atom(name), SemTerm::var("x")],
+        ),
+    )
+}
+
+/// λx.λy.@Action(name, y, x) — an action taking object then subject.
+fn binary_action(name: &str) -> SemTerm {
+    SemTerm::lam(
+        "x",
+        SemTerm::lam(
+            "y",
+            SemTerm::pred(
+                PredName::Action,
+                vec![SemTerm::atom(name), SemTerm::var("y"), SemTerm::var("x")],
+            ),
+        ),
+    )
+}
+
+impl Lexicon {
+    /// An empty lexicon.
+    pub fn new() -> Lexicon {
+        Lexicon::default()
+    }
+
+    /// Base English plus the ICMP domain entries (the configuration used for
+    /// the paper's primary evaluation).
+    pub fn icmp() -> Lexicon {
+        let mut lex = Lexicon::new();
+        lex.add_entries(base_english_entries());
+        lex.add_entries(icmp_entries());
+        lex
+    }
+
+    /// ICMP lexicon extended with the IGMP additions (§6.3).
+    pub fn igmp() -> Lexicon {
+        let mut lex = Lexicon::icmp();
+        lex.add_entries(igmp_entries());
+        lex
+    }
+
+    /// IGMP lexicon extended with the NTP additions (§6.3).
+    pub fn ntp() -> Lexicon {
+        let mut lex = Lexicon::igmp();
+        lex.add_entries(ntp_entries());
+        lex
+    }
+
+    /// Full lexicon including the BFD state-management additions (§6.4).
+    pub fn bfd() -> Lexicon {
+        let mut lex = Lexicon::ntp();
+        lex.add_entries(bfd_entries());
+        lex
+    }
+
+    /// Add entries, indexing them by phrase.
+    pub fn add_entries(&mut self, entries: Vec<LexEntry>) {
+        for e in entries {
+            *self.count_by_group.entry(e.group).or_insert(0) += 1;
+            self.entries.entry(e.phrase.clone()).or_default().push(e);
+        }
+    }
+
+    /// Look up all entries for a (lower-cased) phrase.
+    pub fn lookup(&self, phrase: &str) -> &[LexEntry] {
+        self.entries
+            .get(&phrase.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// True if the phrase has at least one entry.
+    pub fn contains(&self, phrase: &str) -> bool {
+        !self.lookup(phrase).is_empty()
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// True if the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of entries contributed by a group.
+    pub fn group_count(&self, group: LexiconGroup) -> usize {
+        self.count_by_group.get(&group).copied().unwrap_or(0)
+    }
+}
+
+// ---- base English -----------------------------------------------------------
+
+/// Closed-class English entries: determiners, copulas, modals, conjunctions,
+/// core prepositions and punctuation.
+pub fn base_english_entries() -> Vec<LexEntry> {
+    use Category as C;
+    use LexiconGroup::BaseEnglish as G;
+    let mut v = Vec::new();
+    // Determiners are transparent NP modifiers.
+    for det in ["the", "a", "an", "this", "that", "any", "each", "its"] {
+        v.push(LexEntry::new(det, C::np_modifier(), identity(), G));
+    }
+    // Copulas: assignment / equality (the paper's entry (2) for "is").
+    for cop in ["is", "are", "was", "were", "will be", "be"] {
+        v.push(LexEntry::new(cop, C::verb_trans(), trans(PredName::Is), G));
+        // Passive auxiliary reading: "are reversed", "is recomputed".
+        v.push(LexEntry::new(
+            cop,
+            C::forward(C::verb_intrans(), C::verb_intrans()),
+            identity(),
+            G,
+        ));
+    }
+    // "plus" joins two noun phrases ("the internet header plus the first 64 bits").
+    v.push(LexEntry::new(
+        "plus",
+        C::forward(C::np_postmodifier(), C::NP),
+        SemTerm::lam(
+            "x",
+            SemTerm::lam(
+                "y",
+                SemTerm::pred(PredName::And, vec![SemTerm::var("y"), SemTerm::var("x")]),
+            ),
+        ),
+        G,
+    ));
+    // Modals pass their verb phrase through unchanged ((S\NP)/(S\NP)).
+    for modal in ["must", "should", "may", "shall", "can", "will", "might"] {
+        v.push(LexEntry::new(
+            modal,
+            C::forward(C::verb_intrans(), C::verb_intrans()),
+            identity(),
+            G,
+        ));
+    }
+    // Coordination.
+    for conj in ["and", "or"] {
+        v.push(LexEntry::new(conj, C::Conj, SemTerm::atom(conj), G));
+    }
+    // Subordinator "if": (S/S)/S with @If semantics.
+    v.push(LexEntry::new(
+        "if",
+        C::forward(C::sentence_modifier(), C::S),
+        SemTerm::lam(
+            "c",
+            SemTerm::lam(
+                "b",
+                SemTerm::pred(PredName::If, vec![SemTerm::var("c"), SemTerm::var("b")]),
+            ),
+        ),
+        G,
+    ));
+    // Core prepositions build @Of-style post-modifiers: (NP\NP)/NP.
+    for prep in ["of", "in", "from", "for the", "within"] {
+        v.push(LexEntry::new(
+            prep,
+            C::forward(C::np_postmodifier(), C::NP),
+            trans(PredName::Of),
+            G,
+        ));
+    }
+    // "to" and "with" most often introduce a target value or complement and
+    // are transparent.
+    for prep in ["to", "with", "as", "by", "simply", "also", "then"] {
+        v.push(LexEntry::new(prep, C::np_modifier(), identity(), G));
+    }
+    // Negation.
+    v.push(LexEntry::new(
+        "not",
+        C::np_modifier(),
+        SemTerm::lam("x", SemTerm::pred(PredName::Not, vec![SemTerm::var("x")])),
+        G,
+    ));
+    // Equality symbol used by the "code = 0" idiom.
+    v.push(LexEntry::new("=", C::verb_trans(), trans(PredName::Is), G));
+    // Punctuation.
+    for p in [",", ".", ";", ":", "(", ")", "\""] {
+        v.push(LexEntry::new(p, C::Punct, SemTerm::atom(p), G));
+    }
+    // Pronouns and light nouns that stand in for entities named elsewhere.
+    v.push(LexEntry::new("it", C::NP, np_atom("it"), G));
+    // "no X" negates the existence of X ("no session is found").
+    v.push(LexEntry::new(
+        "no",
+        C::np_modifier(),
+        SemTerm::lam("x", SemTerm::pred(PredName::Not, vec![SemTerm::var("x")])),
+        G,
+    ));
+    // Participles that modify nouns transparently ("the received state").
+    for part in ["received", "being", "specified"] {
+        v.push(LexEntry::new(part, C::np_modifier(), identity(), G));
+    }
+    // Imperative verbs used by state-management prose ("Set X to Y",
+    // "Update X ...").
+    v.push(LexEntry::new(
+        "set",
+        C::forward(C::forward(C::S, C::NP), C::NP),
+        SemTerm::lam(
+            "t",
+            SemTerm::lam(
+                "v",
+                SemTerm::pred(PredName::Is, vec![SemTerm::var("t"), SemTerm::var("v")]),
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new("set", C::verb_intrans(), unary_action("set"), G));
+    v.push(LexEntry::new(
+        "update",
+        C::forward(C::S, C::NP),
+        SemTerm::lam(
+            "x",
+            SemTerm::pred(
+                PredName::Action,
+                vec![SemTerm::atom("update"), SemTerm::var("x")],
+            ),
+        ),
+        G,
+    ));
+    for (verb, action) in [
+        ("terminated", "terminate"),
+        ("transmitted", "transmit"),
+        ("associated", "associate"),
+    ] {
+        v.push(LexEntry::new(verb, C::verb_intrans(), unary_action(action), G));
+    }
+    // Generic numbers written as words.
+    v.push(LexEntry::new("zero", C::NP, SemTerm::num(0), G));
+    v.push(LexEntry::new("one", C::NP, SemTerm::num(1), G));
+    v.push(LexEntry::new("nonzero", C::NP, np_atom("nonzero"), G));
+    v
+}
+
+// ---- ICMP (71 entries) ------------------------------------------------------
+
+/// The 71 domain-specific entries added for RFC 792 (ICMP).
+pub fn icmp_entries() -> Vec<LexEntry> {
+    use Category as C;
+    use LexiconGroup::Icmp as G;
+    let mut v = Vec::new();
+
+    // 1–24: header fields and packet nouns treated as NP keywords
+    // (the paper's entry (1): checksum → NP: "checksum").
+    for noun in [
+        "checksum",
+        "checksum field",
+        "type",
+        "type field",
+        "code",
+        "code field",
+        "type code",
+        "identifier",
+        "identifier field",
+        "sequence number",
+        "sequence number field",
+        "pointer",
+        "gateway internet address",
+        "internet header",
+        "unused",
+        "originate timestamp",
+        "receive timestamp",
+        "transmit timestamp",
+        "source address",
+        "destination address",
+        "source and destination addresses",
+        "icmp message",
+        "icmp type",
+        "icmp checksum",
+    ] {
+        v.push(LexEntry::new(noun, C::NP, np_atom(&noun.replace(' ', "_")), G));
+    }
+
+    // 25–38: message-type noun phrases.
+    for msg in [
+        "echo message",
+        "echo reply",
+        "echo reply message",
+        "information request message",
+        "information reply message",
+        "timestamp message",
+        "timestamp reply message",
+        "destination unreachable message",
+        "time exceeded message",
+        "parameter problem message",
+        "source quench message",
+        "redirect message",
+        "original datagram",
+        "original datagram's data",
+    ] {
+        v.push(LexEntry::new(msg, C::NP, np_atom(&msg.replace(' ', "_")), G));
+    }
+
+    // 39–46: other domain nouns.
+    for noun in [
+        "gateway",
+        "internet destination network field",
+        "source network",
+        "first 64 bits",
+        "higher level protocol",
+        "port numbers",
+        "octet",
+        "data datagram",
+    ] {
+        v.push(LexEntry::new(noun, C::NP, np_atom(&noun.replace(' ', "_")), G));
+    }
+
+    // 47–58: verbs describing ICMP operations.
+    v.push(LexEntry::new("reversed", C::verb_intrans(), unary_action("reverse"), G));
+    v.push(LexEntry::new("recomputed", C::verb_intrans(), unary_action("recompute"), G));
+    v.push(LexEntry::new("computed", C::verb_intrans(), unary_action("compute"), G));
+    v.push(LexEntry::new("changed to", C::verb_trans(), trans(PredName::Is), G));
+    v.push(LexEntry::new("set to", C::verb_trans(), trans(PredName::Is), G));
+    v.push(LexEntry::new("identifies", C::verb_trans(), binary_action("identify"), G));
+    v.push(LexEntry::new("matching", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
+    v.push(LexEntry::new("aid in", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
+    v.push(LexEntry::new("to aid in", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
+    v.push(LexEntry::new("sent", C::verb_intrans(), unary_action("send"), G));
+    v.push(LexEntry::new("returned", C::verb_intrans(), unary_action("return"), G));
+    v.push(LexEntry::new("discarded", C::verb_intrans(), unary_action("discard"), G));
+
+    // 59–63: the "For computing the checksum, ..." advice construction
+    // (Figure 7): $For, $Compute, plus related gerunds.
+    v.push(LexEntry::new(
+        "for",
+        C::forward(C::sentence_modifier(), C::NP),
+        SemTerm::lam(
+            "x",
+            SemTerm::lam(
+                "s",
+                SemTerm::pred(
+                    PredName::AdvBefore,
+                    vec![SemTerm::var("x"), SemTerm::var("s")],
+                ),
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new("computing", C::np_modifier(), SemTerm::lam("x", SemTerm::pred(PredName::Action, vec![SemTerm::atom("compute"), SemTerm::var("x")])), G));
+    v.push(LexEntry::new("forming", C::np_modifier(), SemTerm::lam("x", SemTerm::pred(PredName::Action, vec![SemTerm::atom("form"), SemTerm::var("x")])), G));
+    v.push(LexEntry::new("to form", C::forward(C::sentence_modifier(), C::NP), SemTerm::lam("x", SemTerm::lam("s", SemTerm::pred(PredName::AdvBefore, vec![SemTerm::pred(PredName::Action, vec![SemTerm::atom("form"), SemTerm::var("x")]), SemTerm::var("s")]))), G));
+    v.push(LexEntry::new("starting with", C::forward(C::np_postmodifier(), C::NP), trans(PredName::StartsWith), G));
+
+    // 64–71: checksum-specific operations and idioms.  The one's-complement
+    // phrases are NP keywords whose @Of relationships the preposition "of"
+    // supplies, yielding the Figure 3 logical forms.
+    v.push(LexEntry::new("one's complement", C::NP, np_atom("Ones"), G));
+    v.push(LexEntry::new("16-bit one's complement", C::NP, np_atom("Ones"), G));
+    v.push(LexEntry::new("16-bit ones's complement", C::NP, np_atom("Ones"), G));
+    v.push(LexEntry::new("one's complement sum", C::NP, np_atom("OnesSum"), G));
+    v.push(LexEntry::new("may be zero", C::verb_intrans(), SemTerm::lam("x", SemTerm::pred(PredName::May, vec![SemTerm::pred(PredName::Is, vec![SemTerm::var("x"), SemTerm::Ground(sage_logic::Lf::num(0))])])), G));
+    v.push(LexEntry::new("echos and replies", C::NP, np_atom("echos_and_replies"), G));
+    v.push(LexEntry::new("timestamp and replies", C::NP, np_atom("timestamp_and_replies"), G));
+    v.push(LexEntry::new("time exceeded", C::NP, np_atom("time_exceeded"), G));
+
+    v
+}
+
+// ---- IGMP (8 entries) -------------------------------------------------------
+
+/// The 8 entries added for IGMP (RFC 1112, Appendix I).
+pub fn igmp_entries() -> Vec<LexEntry> {
+    use Category as C;
+    use LexiconGroup::Igmp as G;
+    vec![
+        LexEntry::new("igmp message", C::NP, np_atom("igmp_message"), G),
+        LexEntry::new("host membership query", C::NP, np_atom("host_membership_query"), G),
+        LexEntry::new("host membership report", C::NP, np_atom("host_membership_report"), G),
+        LexEntry::new("group address", C::NP, np_atom("group_address"), G),
+        LexEntry::new("host group address", C::NP, np_atom("host_group_address"), G),
+        LexEntry::new("igmp checksum", C::NP, np_atom("igmp_checksum"), G),
+        LexEntry::new("all-hosts group", C::NP, np_atom("all_hosts_group"), G),
+        LexEntry::new("zeroed", C::verb_intrans(), unary_action("zero"), G),
+    ]
+}
+
+// ---- NTP (5 entries) --------------------------------------------------------
+
+/// The 5 entries added for NTP (RFC 1059, Appendices A and B).
+pub fn ntp_entries() -> Vec<LexEntry> {
+    use Category as C;
+    use LexiconGroup::Ntp as G;
+    vec![
+        LexEntry::new("ntp message", C::NP, np_atom("ntp_message"), G),
+        LexEntry::new("timeout procedure", C::NP, np_atom("timeout_procedure"), G),
+        LexEntry::new("peer timer", C::NP, np_atom("peer.timer"), G),
+        LexEntry::new("timer threshold variable", C::NP, np_atom("peer.threshold"), G),
+        LexEntry::new(
+            "reaches",
+            C::verb_trans(),
+            SemTerm::lam(
+                "x",
+                SemTerm::lam(
+                    "y",
+                    SemTerm::pred(
+                        PredName::Compare,
+                        vec![SemTerm::atom(">="), SemTerm::var("y"), SemTerm::var("x")],
+                    ),
+                ),
+            ),
+            G,
+        ),
+    ]
+}
+
+// ---- BFD (15 entries) -------------------------------------------------------
+
+/// The 15 entries added for the BFD state-management text (RFC 5880 §6.8.6).
+pub fn bfd_entries() -> Vec<LexEntry> {
+    use Category as C;
+    use LexiconGroup::Bfd as G;
+    let mut v = vec![
+        LexEntry::new("bfd control packet", C::NP, np_atom("bfd_control_packet"), G),
+        LexEntry::new("bfd packet", C::NP, np_atom("bfd_packet"), G),
+        LexEntry::new("your discriminator field", C::NP, np_atom("your_discriminator"), G),
+        LexEntry::new("my discriminator field", C::NP, np_atom("my_discriminator"), G),
+        LexEntry::new("session", C::NP, np_atom("session"), G),
+        LexEntry::new("local system", C::NP, np_atom("local_system"), G),
+        LexEntry::new("remote system", C::NP, np_atom("remote_system"), G),
+        LexEntry::new("demand mode", C::NP, np_atom("demand_mode"), G),
+        LexEntry::new("periodic transmission", C::NP, np_atom("periodic_transmission"), G),
+        LexEntry::new("up", C::NP, np_atom("Up"), G),
+        LexEntry::new("down", C::NP, np_atom("Down"), G),
+    ];
+    v.push(LexEntry::new(
+        "used to select",
+        C::verb_trans(),
+        binary_action("select"),
+        G,
+    ));
+    v.push(LexEntry::new("found", C::verb_intrans(), unary_action("find"), G));
+    v.push(LexEntry::new("cease", C::verb_intrans(), unary_action("cease"), G));
+    v.push(LexEntry::new(
+        "cease the periodic transmission of",
+        C::verb_trans(),
+        binary_action("cease_transmission"),
+        G,
+    ));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icmp_adds_71_entries() {
+        assert_eq!(icmp_entries().len(), 71);
+        let lex = Lexicon::icmp();
+        assert_eq!(lex.group_count(LexiconGroup::Icmp), 71);
+    }
+
+    #[test]
+    fn igmp_ntp_bfd_extension_counts_match_paper() {
+        assert_eq!(igmp_entries().len(), 8);
+        assert_eq!(ntp_entries().len(), 5);
+        assert_eq!(bfd_entries().len(), 15);
+        let lex = Lexicon::bfd();
+        assert_eq!(lex.group_count(LexiconGroup::Igmp), 8);
+        assert_eq!(lex.group_count(LexiconGroup::Ntp), 5);
+        assert_eq!(lex.group_count(LexiconGroup::Bfd), 15);
+        assert_eq!(lex.group_count(LexiconGroup::Icmp), 71);
+    }
+
+    #[test]
+    fn lexicons_are_cumulative() {
+        assert!(Lexicon::icmp().len() < Lexicon::igmp().len());
+        assert!(Lexicon::igmp().len() < Lexicon::ntp().len());
+        assert!(Lexicon::ntp().len() < Lexicon::bfd().len());
+    }
+
+    #[test]
+    fn checksum_entry_matches_paper_example() {
+        let lex = Lexicon::icmp();
+        let entries = lex.lookup("checksum");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].category, Category::NP);
+        assert_eq!(entries[0].sem.to_lf().unwrap(), sage_logic::Lf::atom("checksum"));
+    }
+
+    #[test]
+    fn is_entry_matches_paper_example() {
+        let lex = Lexicon::icmp();
+        let entries = lex.lookup("is");
+        // Two readings: assignment/equality and the passive auxiliary.
+        assert_eq!(entries.len(), 2);
+        let assign = entries
+            .iter()
+            .find(|e| e.category == Category::verb_trans())
+            .expect("transitive reading for 'is'");
+        // λx.λy.@Is(y, x): applying 0 then checksum yields @Is(checksum, 0).
+        let applied = SemTerm::app(
+            SemTerm::app(assign.sem.clone(), SemTerm::num(0)),
+            SemTerm::atom("checksum"),
+        );
+        assert_eq!(
+            applied.to_lf().unwrap(),
+            sage_logic::Lf::is(sage_logic::Lf::atom("checksum"), sage_logic::Lf::num(0))
+        );
+    }
+
+    #[test]
+    fn zero_entry_matches_paper_example() {
+        let lex = Lexicon::icmp();
+        let entries = lex.lookup("zero");
+        assert_eq!(entries[0].sem.to_lf().unwrap(), sage_logic::Lf::num(0));
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let lex = Lexicon::icmp();
+        assert!(lex.contains("Checksum"));
+        assert!(lex.contains("Echo Reply Message"));
+        assert!(!lex.contains("nonexistent phrase"));
+    }
+
+    #[test]
+    fn bfd_lexicon_covers_state_sentences() {
+        let lex = Lexicon::bfd();
+        assert!(lex.contains("your discriminator field"));
+        assert!(lex.contains("periodic transmission"));
+        assert!(lex.contains("local system"));
+    }
+
+    #[test]
+    fn no_duplicate_phrase_category_pairs_within_a_group() {
+        for (name, entries) in [
+            ("icmp", icmp_entries()),
+            ("igmp", igmp_entries()),
+            ("ntp", ntp_entries()),
+            ("bfd", bfd_entries()),
+            ("base", base_english_entries()),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for e in &entries {
+                assert!(
+                    seen.insert((e.phrase.clone(), format!("{}", e.category))),
+                    "duplicate entry in {name}: {} :: {}",
+                    e.phrase,
+                    e.category
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! The CKY chart parser.
+//!
+//! The parser operates over noun-phrase-chunked sentences.  Chart cells hold
+//! `(category, semantics)` items; adjacent items combine through forward and
+//! backward application, forward composition, coordination and punctuation
+//! absorption.  Every complete analysis of the sentence yields one logical
+//! form; sentences with several analyses yield several LFs — the raw
+//! ambiguity that the disambiguation stage (crate `sage-disambig`) winnows.
+
+use crate::category::{Category, Slash};
+use crate::lexicon::Lexicon;
+use crate::semantics::SemTerm;
+use sage_logic::{Lf, PredName};
+use sage_nlp::{chunk, tokenize, ChunkerConfig, Phrase, PhraseKind, TermDictionary};
+
+/// An item in a chart cell: a category with its semantics.
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    cat: Category,
+    sem: SemTerm,
+}
+
+/// Parser configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserConfig {
+    /// Maximum number of items retained per chart cell (guards against
+    /// combinatorial blow-up on long sentences).
+    pub max_items_per_cell: usize,
+    /// Longest multi-word lexicon phrase to try during chart initialisation.
+    pub max_lexical_span: usize,
+    /// If no sentence-level (`S`) analysis exists, fall back to noun-phrase
+    /// analyses.  RFC field descriptions are frequently fragments
+    /// ("The internet header plus the first 64 bits …"), so this is on by
+    /// default; §4.1's zero-LF examples are produced with it off.
+    pub allow_fragments: bool,
+    /// Give unknown nominal phrases an `NP` reading even when absent from
+    /// the lexicon.  Disabling this reproduces the "0 LFs" behaviour of the
+    /// Table 8 ablation where noun-phrase labelling is removed.
+    pub unknown_nominals_as_np: bool,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig {
+            max_items_per_cell: 48,
+            max_lexical_span: 5,
+            allow_fragments: true,
+            unknown_nominals_as_np: true,
+        }
+    }
+}
+
+/// The result of parsing one sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseResult {
+    /// All logical forms produced (deduplicated syntactically).
+    pub logical_forms: Vec<Lf>,
+    /// True if the analyses come from the fragment (NP) fallback rather than
+    /// a full sentence parse.
+    pub from_fragment: bool,
+    /// Total number of chart items built (a proxy for parsing effort).
+    pub chart_items: usize,
+}
+
+impl ParseResult {
+    /// Number of logical forms (the paper's "#LFs per sentence").
+    pub fn lf_count(&self) -> usize {
+        self.logical_forms.len()
+    }
+
+    /// True when the sentence parsed to exactly one LF.
+    pub fn unambiguous(&self) -> bool {
+        self.logical_forms.len() == 1
+    }
+}
+
+/// Parse a raw sentence: tokenize, chunk noun phrases, then chart-parse.
+pub fn parse_sentence(
+    sentence: &str,
+    lexicon: &Lexicon,
+    dict: &TermDictionary,
+    chunker_config: ChunkerConfig,
+    parser_config: ParserConfig,
+) -> ParseResult {
+    let tokens = tokenize(sentence);
+    let phrases = chunk(&tokens, dict, chunker_config);
+    parse_phrases(&phrases, lexicon, parser_config)
+}
+
+/// Parse an already-chunked sentence.
+pub fn parse_phrases(phrases: &[Phrase], lexicon: &Lexicon, config: ParserConfig) -> ParseResult {
+    let n = phrases.len();
+    if n == 0 {
+        return ParseResult {
+            logical_forms: Vec::new(),
+            from_fragment: false,
+            chart_items: 0,
+        };
+    }
+
+    // chart[i][j] covers phrases[i..j] (j exclusive); indexed as chart[i][j - i - 1].
+    let mut chart: Vec<Vec<Vec<Item>>> = vec![vec![Vec::new(); n]; n];
+    let mut total_items = 0usize;
+
+    // ---- lexical initialisation ------------------------------------------
+    for i in 0..n {
+        let max_span = config.max_lexical_span.min(n - i);
+        for len in 1..=max_span {
+            let j = i + len;
+            if phrases[i..j].iter().any(|p| p.kind == PhraseKind::Punct) && len > 1 {
+                continue;
+            }
+            let surface = phrases[i..j]
+                .iter()
+                .map(|p| p.lower.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let mut items: Vec<Item> = lexicon
+                .lookup(&surface)
+                .iter()
+                .map(|e| Item {
+                    cat: e.category.clone(),
+                    sem: e.sem.clone(),
+                })
+                .collect();
+            if len == 1 && items.is_empty() {
+                // Fallback readings for single phrases not in the lexicon.
+                items.extend(fallback_items(&phrases[i], config));
+            }
+            let cell = &mut chart[i][j - i - 1];
+            for it in items {
+                push_item(cell, it, config.max_items_per_cell, &mut total_items);
+            }
+        }
+    }
+
+    // ---- CKY combination ---------------------------------------------------
+    for span in 2..=n {
+        for i in 0..=n - span {
+            let j = i + span;
+            for k in i + 1..j {
+                let left_cell = chart[i][k - i - 1].clone();
+                let right_cell = chart[k][j - k - 1].clone();
+                if left_cell.is_empty() || right_cell.is_empty() {
+                    continue;
+                }
+                let mut new_items = Vec::new();
+                for l in &left_cell {
+                    for r in &right_cell {
+                        combine(l, r, &mut new_items);
+                    }
+                }
+                let cell = &mut chart[i][j - i - 1];
+                for it in new_items {
+                    push_item(cell, it, config.max_items_per_cell, &mut total_items);
+                }
+            }
+        }
+    }
+
+    // ---- read out results ---------------------------------------------------
+    let root = &chart[0][n - 1];
+    let mut lfs = collect_lfs(root, &Category::S);
+    let mut from_fragment = false;
+    if lfs.is_empty() && config.allow_fragments {
+        lfs = collect_lfs(root, &Category::NP);
+        if lfs.is_empty() {
+            lfs = collect_lfs(root, &Category::N);
+        }
+        from_fragment = !lfs.is_empty();
+    }
+    ParseResult {
+        logical_forms: lfs,
+        from_fragment,
+        chart_items: total_items,
+    }
+}
+
+fn collect_lfs(cell: &[Item], target: &Category) -> Vec<Lf> {
+    let mut out: Vec<Lf> = Vec::new();
+    for item in cell {
+        if item.cat.unifies_with(target) {
+            if let Some(lf) = item.sem.to_lf() {
+                if !out.contains(&lf) {
+                    out.push(lf);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Default readings for phrases without lexicon entries.
+fn fallback_items(phrase: &Phrase, config: ParserConfig) -> Vec<Item> {
+    let mut items = Vec::new();
+    match phrase.kind {
+        PhraseKind::Number => {
+            let sem = phrase
+                .lower
+                .parse::<i64>()
+                .map(SemTerm::num)
+                .unwrap_or_else(|_| SemTerm::atom(&phrase.lower));
+            items.push(Item {
+                cat: Category::NP,
+                sem,
+            });
+        }
+        PhraseKind::DomainTerm | PhraseKind::NounPhrase => {
+            if config.unknown_nominals_as_np {
+                items.push(Item {
+                    cat: Category::NP,
+                    sem: SemTerm::atom(phrase.lower.replace(' ', "_")),
+                });
+            }
+        }
+        PhraseKind::Punct => {
+            items.push(Item {
+                cat: Category::Punct,
+                sem: SemTerm::atom(&phrase.lower),
+            });
+        }
+        PhraseKind::Word => {
+            // Unknown single words: no reading.  (The lexicon plus the
+            // nominal fallback covers the vocabulary SAGE understands; an
+            // unknown verb legitimately blocks a full-sentence parse, which
+            // is exactly the "0 LF" signal the pipeline reports.)
+        }
+    }
+    items
+}
+
+fn push_item(cell: &mut Vec<Item>, item: Item, cap: usize, total: &mut usize) {
+    if cell.len() >= cap || cell.contains(&item) {
+        return;
+    }
+    *total += 1;
+    cell.push(item);
+}
+
+/// Try every combination rule on a pair of adjacent items.
+fn combine(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    forward_application(left, right, out);
+    backward_application(left, right, out);
+    forward_composition(left, right, out);
+    coordination(left, right, out);
+    punctuation(left, right, out);
+    noun_compound(left, right, out);
+}
+
+/// `NP NP => NP` for simple noun-noun compounds ("BFD Control packets").
+/// Restricted to ground atomic semantics so that it cannot interfere with
+/// clause-level structure.
+fn noun_compound(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if left.cat != Category::NP || right.cat != Category::NP {
+        return;
+    }
+    if let (Some(Lf::Atom(a)), Some(Lf::Atom(b))) = (left.sem.to_lf(), right.sem.to_lf()) {
+        out.push(Item {
+            cat: Category::NP,
+            sem: SemTerm::atom(format!("{a}_{b}")),
+        });
+    }
+}
+
+/// `X/Y  Y  =>  X`
+fn forward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let Some((result, Slash::Forward, arg)) = left.cat.as_complex() {
+        if arg.unifies_with(&right.cat) {
+            out.push(Item {
+                cat: result.clone(),
+                sem: SemTerm::app(left.sem.clone(), right.sem.clone()).normalize(),
+            });
+        }
+    }
+}
+
+/// `Y  X\Y  =>  X`
+fn backward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let Some((result, Slash::Backward, arg)) = right.cat.as_complex() {
+        if arg.unifies_with(&left.cat) {
+            out.push(Item {
+                cat: result.clone(),
+                sem: SemTerm::app(right.sem.clone(), left.sem.clone()).normalize(),
+            });
+        }
+    }
+}
+
+/// `X/Y  Y/Z  =>  X/Z`  (forward composition, B rule)
+fn forward_composition(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let (Some((x, Slash::Forward, y1)), Some((y2, Slash::Forward, z))) =
+        (left.cat.as_complex(), right.cat.as_complex())
+    {
+        if y1.unifies_with(y2) {
+            let var = "z_comp";
+            let sem = SemTerm::lam(
+                var,
+                SemTerm::app(
+                    left.sem.clone(),
+                    SemTerm::app(right.sem.clone(), SemTerm::var(var)),
+                ),
+            );
+            out.push(Item {
+                cat: Category::forward(x.clone(), z.clone()),
+                sem,
+            });
+        }
+    }
+}
+
+/// `CONJ  X  =>  X\X`  with `λy.@And(y, x_right)`; a later backward
+/// application with the left conjunct completes coordination.
+fn coordination(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if left.cat == Category::Conj && (right.cat == Category::NP || right.cat == Category::S) {
+        let conj_pred = match left.sem.to_lf().and_then(|l| l.as_atom().map(str::to_string)) {
+            Some(ref s) if s == "or" => PredName::Or,
+            _ => PredName::And,
+        };
+        let sem = SemTerm::lam(
+            "conj_left",
+            SemTerm::pred(
+                conj_pred,
+                vec![SemTerm::var("conj_left"), right.sem.clone()],
+            ),
+        );
+        out.push(Item {
+            cat: Category::backward(right.cat.clone(), right.cat.clone()),
+            sem,
+        });
+    }
+}
+
+/// Punctuation absorption: `X PUNCT => X` and `PUNCT X => X`.
+fn punctuation(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if right.cat == Category::Punct && left.cat != Category::Punct {
+        out.push(left.clone());
+    }
+    if left.cat == Category::Punct && right.cat != Category::Punct {
+        out.push(right.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Lexicon;
+
+    fn parse(s: &str) -> ParseResult {
+        parse_sentence(
+            s,
+            &Lexicon::bfd(),
+            &TermDictionary::networking(),
+            ChunkerConfig::default(),
+            ParserConfig::default(),
+        )
+    }
+
+    #[test]
+    fn checksum_is_zero() {
+        let r = parse("The checksum is zero.");
+        assert!(r.logical_forms.contains(&Lf::is(Lf::atom("checksum"), Lf::num(0))));
+        assert!(!r.from_fragment);
+    }
+
+    #[test]
+    fn checksum_field_should_be_zero() {
+        let r = parse("The checksum field should be zero.");
+        assert!(r
+            .logical_forms
+            .contains(&Lf::is(Lf::atom("checksum_field"), Lf::num(0))));
+    }
+
+    #[test]
+    fn figure7_for_computing_the_checksum() {
+        let r = parse("For computing the checksum, the checksum field should be zero.");
+        // Expect the paper's LF2 (Figure 2) among the analyses.
+        let expected = Lf::Pred(
+            PredName::AdvBefore,
+            vec![
+                Lf::action("compute", vec![Lf::atom("checksum")]),
+                Lf::is(Lf::atom("checksum_field"), Lf::num(0)),
+            ],
+        );
+        assert!(
+            r.logical_forms.contains(&expected),
+            "analyses: {:#?}",
+            r.logical_forms
+        );
+    }
+
+    #[test]
+    fn code_equals_zero_condition() {
+        let r = parse("If code = 0, the identifier is zero.");
+        let expected = Lf::if_then(
+            Lf::is(Lf::atom("code"), Lf::num(0)),
+            Lf::is(Lf::atom("identifier"), Lf::num(0)),
+        );
+        assert!(
+            r.logical_forms.contains(&expected),
+            "analyses: {:#?}",
+            r.logical_forms
+        );
+    }
+
+    #[test]
+    fn type_code_changed_to_16() {
+        let r = parse("The type code changed to 16.");
+        assert!(r
+            .logical_forms
+            .contains(&Lf::is(Lf::atom("type_code"), Lf::num(16))));
+    }
+
+    #[test]
+    fn of_chains_generate_multiple_groupings() {
+        // "A of B of C" should have at least two analyses (Figure 3).
+        let r = parse("The checksum of the header of the message is zero.");
+        assert!(
+            r.lf_count() >= 2,
+            "expected ambiguity from the @Of chain, got {:#?}",
+            r.logical_forms
+        );
+    }
+
+    #[test]
+    fn fragment_fallback_for_field_descriptions() {
+        // Sentence B from §4.1 — grammatically incomplete, lacking a subject.
+        let r = parse("The internet header plus the first 64 bits of the original datagram's data");
+        assert!(r.from_fragment);
+        assert!(r.lf_count() >= 1);
+    }
+
+    #[test]
+    fn zero_lfs_without_fragment_fallback() {
+        let cfg = ParserConfig {
+            allow_fragments: false,
+            ..ParserConfig::default()
+        };
+        let r = parse_sentence(
+            "The internet header plus the first 64 bits of the original datagram's data",
+            &Lexicon::icmp(),
+            &TermDictionary::networking(),
+            ChunkerConfig::default(),
+            cfg,
+        );
+        assert_eq!(r.lf_count(), 0);
+    }
+
+    #[test]
+    fn coordination_builds_and() {
+        let r = parse("The source address and the destination address are reversed.");
+        let has_and = r
+            .logical_forms
+            .iter()
+            .any(|lf| lf.contains_pred(&PredName::And));
+        assert!(has_and, "analyses: {:#?}", r.logical_forms);
+    }
+
+    #[test]
+    fn empty_sentence_has_no_lfs() {
+        let r = parse("");
+        assert_eq!(r.lf_count(), 0);
+        assert_eq!(r.chart_items, 0);
+    }
+
+    #[test]
+    fn unknown_verbs_block_sentence_parse() {
+        let r = parse_sentence(
+            "The widget frobnicates the gadget.",
+            &Lexicon::icmp(),
+            &TermDictionary::networking(),
+            ChunkerConfig::default(),
+            ParserConfig {
+                allow_fragments: false,
+                ..ParserConfig::default()
+            },
+        );
+        assert_eq!(r.lf_count(), 0);
+    }
+
+    #[test]
+    fn bfd_state_sentence_parses() {
+        let r = parse("If bfd.RemoteDemandMode is 1, the local system must cease the periodic transmission of BFD Control packets.");
+        assert!(
+            r.logical_forms
+                .iter()
+                .any(|lf| lf.contains_pred(&PredName::If)),
+            "analyses: {:#?}",
+            r.logical_forms
+        );
+    }
+
+    #[test]
+    fn chart_item_cap_is_respected() {
+        let cfg = ParserConfig {
+            max_items_per_cell: 4,
+            ..ParserConfig::default()
+        };
+        let r = parse_sentence(
+            "The checksum of the header of the message of the packet of the datagram is zero.",
+            &Lexicon::icmp(),
+            &TermDictionary::networking(),
+            ChunkerConfig::default(),
+            cfg,
+        );
+        // With a tiny cap the parse still terminates and produces something.
+        assert!(r.chart_items > 0);
+    }
+}

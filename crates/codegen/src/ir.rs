@@ -1,0 +1,308 @@
+//! The imperative code IR emitted by the predicate handlers.
+
+use std::fmt;
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal.
+    Str(String),
+    /// A reference to a header field: `protocol.field` (e.g. `icmp.type`).
+    Field {
+        /// Protocol whose header owns the field ("icmp", "ip", "bfd", …).
+        protocol: String,
+        /// Field name within that header.
+        field: String,
+    },
+    /// A named local or state variable (e.g. `bfd.RemoteDiscr`, `peer.timer`).
+    Var(String),
+    /// A call into the static framework (e.g. `ones_complement_checksum`).
+    Call {
+        /// Framework function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A binary operation (`==`, `!=`, `>=`, `&&`, `||`, `+`).
+    BinOp {
+        /// Operator spelling.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// A `protocol.field` reference.
+    pub fn field(protocol: &str, field: &str) -> Expr {
+        Expr::Field {
+            protocol: protocol.to_string(),
+            field: field.to_string(),
+        }
+    }
+
+    /// A framework call.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call {
+            name: name.to_string(),
+            args,
+        }
+    }
+
+    /// A binary operation.
+    pub fn binop(op: &str, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::BinOp {
+            op: op.to_string(),
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+
+    /// Render as C-like source.
+    pub fn to_c(&self) -> String {
+        match self {
+            Expr::Num(n) => n.to_string(),
+            Expr::Str(s) => format!("\"{s}\""),
+            Expr::Field { protocol, field } => format!("{protocol}_hdr->{field}"),
+            Expr::Var(v) => v.clone(),
+            Expr::Call { name, args } => {
+                let rendered: Vec<String> = args.iter().map(Expr::to_c).collect();
+                format!("{name}({})", rendered.join(", "))
+            }
+            Expr::BinOp { op, lhs, rhs } => format!("({} {} {})", lhs.to_c(), op, rhs.to_c()),
+            Expr::Not(e) => format!("!({})", e.to_c()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_c())
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target = value;`
+    Assign {
+        /// Assignment target (a field reference or variable).
+        target: Expr,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `if (cond) { then } else { els }`
+    If {
+        /// Condition expression.
+        cond: Expr,
+        /// Then-branch statements.
+        then: Vec<Stmt>,
+        /// Else-branch statements (possibly empty).
+        els: Vec<Stmt>,
+    },
+    /// A call into the static framework for its side effects.
+    Call {
+        /// Framework function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// A comment carrying the originating sentence (non-actionable text or
+    /// provenance).
+    Comment(String),
+}
+
+impl Stmt {
+    /// Render as C-like source with the given indentation depth.
+    pub fn to_c(&self, indent: usize) -> String {
+        let pad = "    ".repeat(indent);
+        match self {
+            Stmt::Assign { target, value } => format!("{pad}{} = {};", target.to_c(), value.to_c()),
+            Stmt::Call { name, args } => {
+                let rendered: Vec<String> = args.iter().map(Expr::to_c).collect();
+                format!("{pad}{name}({});", rendered.join(", "))
+            }
+            Stmt::Comment(text) => format!("{pad}/* {text} */"),
+            Stmt::If { cond, then, els } => {
+                let mut out = format!("{pad}if {} {{\n", cond.to_c());
+                for s in then {
+                    out.push_str(&s.to_c(indent + 1));
+                    out.push('\n');
+                }
+                if els.is_empty() {
+                    out.push_str(&format!("{pad}}}"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    for s in els {
+                        out.push_str(&s.to_c(indent + 1));
+                        out.push('\n');
+                    }
+                    out.push_str(&format!("{pad}}}"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Count statements recursively (used in reports).
+    pub fn count(&self) -> usize {
+        match self {
+            Stmt::If { then, els, .. } => {
+                1 + then.iter().map(Stmt::count).sum::<usize>() + els.iter().map(Stmt::count).sum::<usize>()
+            }
+            _ => 1,
+        }
+    }
+}
+
+/// A generated packet-handling function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name, derived from protocol, message and role
+    /// (e.g. `icmp_echo_reply_receiver`).
+    pub name: String,
+    /// The role the function runs in ("sender", "receiver" or "").
+    pub role: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Function {
+    /// Render as C-like source.
+    pub fn to_c(&self) -> String {
+        let mut out = format!("void {}(struct packet *pkt) {{\n", self.name);
+        for s in &self.body {
+            out.push_str(&s.to_c(1));
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Number of statements in the body.
+    pub fn stmt_count(&self) -> usize {
+        self.body.iter().map(Stmt::count).sum()
+    }
+}
+
+/// A complete generated program: struct definitions plus functions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// C struct definitions extracted from header diagrams.
+    pub structs: Vec<String>,
+    /// Packet-handling functions.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Find a function by name substring.
+    pub fn function(&self, name_fragment: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name.contains(name_fragment))
+    }
+
+    /// Render the whole program as C-like source.
+    pub fn to_c(&self) -> String {
+        let mut out = String::new();
+        for s in &self.structs {
+            out.push_str(s);
+            out.push('\n');
+        }
+        for f in &self.functions {
+            out.push_str(&f.to_c());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_code_line() {
+        // Table 4: @Is('type', '3') with ICMP context → `hdr->type = 3;`
+        let stmt = Stmt::Assign {
+            target: Expr::field("icmp", "type"),
+            value: Expr::Num(3),
+        };
+        assert_eq!(stmt.to_c(0), "icmp_hdr->type = 3;");
+    }
+
+    #[test]
+    fn table11_code_shape() {
+        // Table 11: nested ifs guarding timeout_procedure().
+        let inner = Stmt::If {
+            cond: Expr::binop("||", Expr::Var("symmetric_mode".into()), Expr::Var("client_mode".into())),
+            then: vec![Stmt::Call {
+                name: "timeout_procedure".into(),
+                args: vec![],
+            }],
+            els: vec![],
+        };
+        let outer = Stmt::If {
+            cond: Expr::binop(">=", Expr::Var("peer.timer".into()), Expr::Var("peer.threshold".into())),
+            then: vec![inner],
+            els: vec![],
+        };
+        let c = outer.to_c(0);
+        assert!(c.contains("if (peer.timer >= peer.threshold)"));
+        assert!(c.contains("(symmetric_mode || client_mode)"));
+        assert!(c.contains("timeout_procedure();"));
+        assert_eq!(outer.count(), 3);
+    }
+
+    #[test]
+    fn expr_rendering() {
+        assert_eq!(Expr::Num(0).to_c(), "0");
+        assert_eq!(Expr::field("ip", "ttl").to_c(), "ip_hdr->ttl");
+        assert_eq!(
+            Expr::call("ones_complement_checksum", vec![Expr::Var("msg".into())]).to_c(),
+            "ones_complement_checksum(msg)"
+        );
+        assert_eq!(Expr::Not(Box::new(Expr::Var("x".into()))).to_c(), "!(x)");
+        assert_eq!(Expr::Str("Up".into()).to_c(), "\"Up\"");
+    }
+
+    #[test]
+    fn if_else_rendering() {
+        let s = Stmt::If {
+            cond: Expr::binop("==", Expr::field("icmp", "code"), Expr::Num(0)),
+            then: vec![Stmt::Comment("then".into())],
+            els: vec![Stmt::Comment("else".into())],
+        };
+        let c = s.to_c(0);
+        assert!(c.contains("} else {"));
+        assert!(c.contains("/* then */"));
+        assert!(c.contains("/* else */"));
+    }
+
+    #[test]
+    fn function_and_program_rendering() {
+        let f = Function {
+            name: "icmp_echo_reply_receiver".into(),
+            role: "receiver".into(),
+            body: vec![Stmt::Assign {
+                target: Expr::field("icmp", "type"),
+                value: Expr::Num(0),
+            }],
+        };
+        assert!(f.to_c().starts_with("void icmp_echo_reply_receiver(struct packet *pkt) {"));
+        assert_eq!(f.stmt_count(), 1);
+        let p = Program {
+            structs: vec!["struct icmp_echo { uint8_t type; };\n".into()],
+            functions: vec![f],
+        };
+        assert!(p.function("echo_reply").is_some());
+        assert!(p.function("redirect").is_none());
+        let c = p.to_c();
+        assert!(c.contains("struct icmp_echo"));
+        assert!(c.contains("void icmp_echo_reply_receiver"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Code generation: disambiguated logical forms → imperative code (§5).
+//!
+//! The paper's code generator converts each logical form into a C snippet
+//! using a post-order traversal, concatenates snippets into per-message
+//! sender/receiver packet-handling functions, and relies on a static
+//! framework for lower-layer protocols and OS services.  This crate emits an
+//! imperative *code IR* that serves both purposes required here: it
+//! pretty-prints as C-like source (what the paper ships) and it is executed
+//! directly by `sage-interp` against the `sage-netsim` static framework (so
+//! the end-to-end experiments actually run).
+//!
+//! * [`ir`] — expressions, statements, functions and programs;
+//! * [`handlers`] — the predicate handler functions (25 for ICMP, §6.1)
+//!   that convert one LF node into IR, using the dynamic and static context
+//!   dictionaries;
+//! * [`program`] — advice reordering (`@AdvBefore`), sender/receiver
+//!   function stitching and C-like emission.
+
+pub mod handlers;
+pub mod ir;
+pub mod program;
+
+pub use handlers::{generate_stmts, handler_names, CodegenError, HandlerRegistry};
+pub use ir::{Expr, Function, Program, Stmt};
+pub use program::{assemble_message_functions, emit_c_program, AnnotatedLf};

@@ -1,0 +1,268 @@
+//! Program assembly: snippets → per-message sender/receiver functions →
+//! emitted C-like source (§5.2).
+//!
+//! The code generator concatenates snippet code for all the logical forms in
+//! a message into a packet-handling function, distinguishes sender from
+//! receiver code using the context dictionary's role, derives unique
+//! function names from protocol/message/role, and processes `@AdvBefore`
+//! advice when deciding statement order.
+
+use crate::handlers::{generate_stmts, CodegenError};
+use crate::ir::{Function, Program, Stmt};
+use sage_logic::{Lf, PredName};
+use sage_spec::context::{ContextDict, Role};
+use sage_spec::headers::HeaderStruct;
+
+/// A disambiguated logical form paired with its sentence's context
+/// dictionary — the unit the program assembler consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedLf {
+    /// The (single, post-winnowing) logical form.
+    pub lf: Lf,
+    /// The sentence's dynamic context.
+    pub context: ContextDict,
+    /// The originating sentence text (kept for comments and reports).
+    pub sentence: String,
+}
+
+/// Derive the generated function name from protocol, message and role
+/// ("icmp_echo_or_echo_reply_message_receiver").
+pub fn function_name(protocol: &str, message: &str, role: Role) -> String {
+    let mut base = format!("{}_{}", protocol.to_ascii_lowercase(), slug(message));
+    match role {
+        Role::Sender => base.push_str("_sender"),
+        Role::Receiver => base.push_str("_receiver"),
+        Role::Both => {}
+    }
+    base
+}
+
+fn slug(s: &str) -> String {
+    let mut out: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    while out.contains("__") {
+        out = out.replace("__", "_");
+    }
+    out.trim_matches('_').to_string()
+}
+
+/// The result of assembling a message's functions: the program fragment plus
+/// the sentences that failed code generation (candidates for `@AdvComment`
+/// tagging in the iterative-discovery loop of §5.2).
+#[derive(Debug, Clone, Default)]
+pub struct AssemblyReport {
+    /// Generated functions, one per (message, role) pair encountered.
+    pub functions: Vec<Function>,
+    /// Sentences whose logical forms failed code generation, with the error.
+    pub non_actionable: Vec<(String, CodegenError)>,
+}
+
+/// Assemble per-message packet-handling functions from annotated logical
+/// forms.  Statements keep sentence order except that `@AdvBefore` advice is
+/// hoisted to the start of its function.
+pub fn assemble_message_functions(lfs: &[AnnotatedLf]) -> AssemblyReport {
+    let mut report = AssemblyReport::default();
+    // Group by (message, role), preserving first-seen order.
+    let mut order: Vec<(String, Role)> = Vec::new();
+    for a in lfs {
+        let key = (a.context.message.clone(), a.context.role);
+        if !order.contains(&key) {
+            order.push(key);
+        }
+    }
+    for (message, role) in order {
+        let mut advice: Vec<Stmt> = Vec::new();
+        let mut body: Vec<Stmt> = Vec::new();
+        let mut protocol = String::from("icmp");
+        for a in lfs {
+            if a.context.message != message || a.context.role != role {
+                continue;
+            }
+            protocol = a.context.protocol.to_ascii_lowercase();
+            match generate_stmts(&a.lf, &a.context) {
+                Ok(stmts) => {
+                    if a.lf.pred_name() == Some(&PredName::AdvBefore) {
+                        advice.extend(stmts);
+                    } else {
+                        body.extend(stmts);
+                    }
+                }
+                Err(e) => {
+                    report.non_actionable.push((a.sentence.clone(), e));
+                }
+            }
+        }
+        if advice.is_empty() && body.is_empty() {
+            continue;
+        }
+        let mut all = advice;
+        all.extend(body);
+        report.functions.push(Function {
+            name: function_name(&protocol, &message, role),
+            role: role.label().to_string(),
+            body: all,
+        });
+    }
+    report
+}
+
+/// Emit a complete C-like program from header structs plus assembled
+/// functions.
+pub fn emit_c_program(structs: &[HeaderStruct], functions: &[Function]) -> Program {
+    Program {
+        structs: structs.iter().map(HeaderStruct::to_c_struct).collect(),
+        functions: functions.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_logic::parse_lf;
+
+    fn annotated(lf: &str, message: &str, field: &str, role: Role, sentence: &str) -> AnnotatedLf {
+        AnnotatedLf {
+            lf: parse_lf(lf).unwrap(),
+            context: ContextDict {
+                protocol: "ICMP".into(),
+                message: message.into(),
+                field: field.into(),
+                role,
+            },
+            sentence: sentence.into(),
+        }
+    }
+
+    #[test]
+    fn function_names_encode_protocol_message_and_role() {
+        assert_eq!(
+            function_name("ICMP", "Echo or Echo Reply Message", Role::Receiver),
+            "icmp_echo_or_echo_reply_message_receiver"
+        );
+        assert_eq!(
+            function_name("ICMP", "Destination Unreachable Message", Role::Both),
+            "icmp_destination_unreachable_message"
+        );
+    }
+
+    #[test]
+    fn echo_reply_assembly_produces_receiver_function() {
+        let lfs = vec![
+            annotated(
+                "@And(@Action('reverse', 'source and destination addresses'), @Is('type code', @Num(0)), @Action('recompute', 'checksum'))",
+                "Echo or Echo Reply Message",
+                "",
+                Role::Receiver,
+                "To form an echo reply message, ...",
+            ),
+            annotated(
+                "@If(@Is('code', @Num(0)), @Is('identifier', @Num(0)))",
+                "Echo or Echo Reply Message",
+                "identifier",
+                Role::Receiver,
+                "If code = 0, an identifier ...",
+            ),
+        ];
+        let report = assemble_message_functions(&lfs);
+        assert_eq!(report.functions.len(), 1);
+        assert!(report.non_actionable.is_empty());
+        let f = &report.functions[0];
+        assert_eq!(f.name, "icmp_echo_or_echo_reply_message_receiver");
+        assert!(f.stmt_count() >= 4);
+        let c = f.to_c();
+        assert!(c.contains("reverse_source_and_destination"));
+        assert!(c.contains("icmp_hdr->type = 0;"));
+    }
+
+    #[test]
+    fn advice_statements_are_hoisted_to_the_front() {
+        let lfs = vec![
+            annotated(
+                "@Is('type', @Num(0))",
+                "Echo or Echo Reply Message",
+                "type",
+                Role::Receiver,
+                "type is 0",
+            ),
+            annotated(
+                "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
+                "Echo or Echo Reply Message",
+                "checksum",
+                Role::Receiver,
+                "For computing the checksum, the checksum field should be zero.",
+            ),
+        ];
+        let report = assemble_message_functions(&lfs);
+        let f = &report.functions[0];
+        // The advice snippet (zero the checksum before computing it) must
+        // precede the ordinary body statements even though its sentence came
+        // later in the document.
+        let first = f.body[0].to_c(0);
+        assert!(
+            first.contains("compute_checksum") || first.contains("checksum = 0"),
+            "advice should be first, got {first}"
+        );
+        let last = f.body.last().unwrap().to_c(0);
+        assert!(last.contains("icmp_hdr->type = 0;"));
+    }
+
+    #[test]
+    fn sender_and_receiver_get_separate_functions() {
+        let lfs = vec![
+            annotated("@Is('type', @Num(8))", "Echo or Echo Reply Message", "type", Role::Sender, "s1"),
+            annotated("@Is('type', @Num(0))", "Echo or Echo Reply Message", "type", Role::Receiver, "s2"),
+        ];
+        let report = assemble_message_functions(&lfs);
+        assert_eq!(report.functions.len(), 2);
+        assert!(report.functions.iter().any(|f| f.name.ends_with("_sender")));
+        assert!(report.functions.iter().any(|f| f.name.ends_with("_receiver")));
+    }
+
+    #[test]
+    fn non_actionable_sentences_are_reported_not_fatal() {
+        let lfs = vec![
+            annotated("@Is('type', @Num(3))", "Destination Unreachable Message", "type", Role::Both, "Type 3"),
+            annotated(
+                "@AdvComment('If a higher level protocol uses port numbers ...')",
+                "Destination Unreachable Message",
+                "",
+                Role::Both,
+                "If a higher level protocol uses port numbers, they are assumed to be in the first 64 data bits.",
+            ),
+        ];
+        let report = assemble_message_functions(&lfs);
+        assert_eq!(report.functions.len(), 1);
+        assert_eq!(report.non_actionable.len(), 1);
+        assert!(report.non_actionable[0].0.contains("higher level protocol"));
+    }
+
+    #[test]
+    fn emitted_program_contains_structs_and_functions() {
+        let hs = sage_spec::headers::parse_header_diagram(
+            "icmp_echo",
+            sage_spec::headers::ICMP_ECHO_DIAGRAM,
+        )
+        .unwrap();
+        let lfs = vec![annotated(
+            "@Is('type', @Num(0))",
+            "Echo or Echo Reply Message",
+            "type",
+            Role::Receiver,
+            "type",
+        )];
+        let report = assemble_message_functions(&lfs);
+        let program = emit_c_program(&[hs], &report.functions);
+        let c = program.to_c();
+        assert!(c.contains("struct icmp_echo"));
+        assert!(c.contains("void icmp_echo_or_echo_reply_message_receiver"));
+    }
+
+    #[test]
+    fn empty_input_produces_empty_report() {
+        let report = assemble_message_functions(&[]);
+        assert!(report.functions.is_empty());
+        assert!(report.non_actionable.is_empty());
+    }
+}

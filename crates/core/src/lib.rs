@@ -1,0 +1,24 @@
+//! SAGE: the end-to-end semi-automated protocol-processing pipeline.
+//!
+//! This crate ties the substrates together into the three-stage pipeline of
+//! Figure 1 — semantic parsing, disambiguation, code generation — plus the
+//! surrounding workflow: ambiguity reporting (0-LF / multi-LF sentences),
+//! human rewrites, unit-test-driven discovery of under-specified behaviour,
+//! and the evaluation harness that regenerates the paper's tables and
+//! figures.
+//!
+//! ```
+//! use sage_core::pipeline::{Sage, SageConfig};
+//! use sage_spec::corpus::Protocol;
+//!
+//! let sage = Sage::new(SageConfig::default());
+//! let report = sage.analyze_document(&Protocol::Icmp.document());
+//! assert!(report.analyses.len() > 50);
+//! ```
+
+pub mod evaluation;
+pub mod icmp;
+pub mod pipeline;
+
+pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
+pub use pipeline::{Sage, SageConfig, SentenceAnalysis, SentenceStatus, PipelineReport};

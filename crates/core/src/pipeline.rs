@@ -1,0 +1,452 @@
+//! The SAGE pipeline: parse → disambiguate → report / generate.
+
+use sage_ccg::overgenerate::{overgenerate, OvergenConfig};
+use sage_ccg::{parse_sentence, Lexicon, ParserConfig};
+use sage_disambig::{winnow, WinnowTrace};
+use sage_logic::{Lf, PredName};
+use sage_nlp::{ChunkerConfig, TermDictionary};
+use sage_spec::context::{context_for, ContextDict};
+use sage_spec::document::{Document, Sentence};
+
+/// Which lexicon to parse with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LexiconChoice {
+    /// Base English + ICMP entries.
+    Icmp,
+    /// + IGMP entries.
+    Igmp,
+    /// + NTP entries.
+    Ntp,
+    /// + BFD entries (the full lexicon).
+    #[default]
+    Bfd,
+}
+
+impl LexiconChoice {
+    fn build(self) -> Lexicon {
+        match self {
+            LexiconChoice::Icmp => Lexicon::icmp(),
+            LexiconChoice::Igmp => Lexicon::igmp(),
+            LexiconChoice::Ntp => Lexicon::ntp(),
+            LexiconChoice::Bfd => Lexicon::bfd(),
+        }
+    }
+}
+
+/// Pipeline configuration; the defaults correspond to the paper's primary
+/// configuration, and the ablations of Table 8 flip the chunker switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SageConfig {
+    /// Noun-phrase chunking configuration (dictionary / NP labelling).
+    pub chunker: ChunkerConfig,
+    /// Chart-parser configuration.
+    pub parser: ParserConfig,
+    /// Which CCG over-generation behaviours to emulate.
+    pub overgen: OvergenConfig,
+    /// Which lexicon to use.
+    pub lexicon: LexiconChoice,
+}
+
+/// How a sentence fared in the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SentenceStatus {
+    /// Exactly one logical form survived winnowing.
+    Resolved,
+    /// The parser produced no logical forms (even with the subject supplied).
+    ZeroLf,
+    /// More than one logical form survived — a true ambiguity requiring a
+    /// human rewrite.
+    Ambiguous,
+    /// The sentence was skipped (empty after preprocessing).
+    Skipped,
+}
+
+/// The per-sentence record produced by the pipeline.
+#[derive(Debug, Clone)]
+pub struct SentenceAnalysis {
+    /// The sentence and its structural origin.
+    pub sentence: Sentence,
+    /// The dynamic context dictionary.
+    pub context: ContextDict,
+    /// Number of logical forms straight out of the parser (before
+    /// over-generation emulation).
+    pub parser_lf_count: usize,
+    /// Number of logical forms entering winnowing (the Figure 5 "Base").
+    pub base_lf_count: usize,
+    /// The logical forms entering winnowing (kept for the Figure 5/6
+    /// analyses, which re-apply checks in isolation).
+    pub base_lfs: Vec<Lf>,
+    /// The winnowing trace (per-stage counts and survivors).
+    pub trace: WinnowTrace,
+    /// True if the parse only succeeded after the field-description subject
+    /// was supplied from document structure (§4.1).
+    pub subject_supplied: bool,
+    /// Final status.
+    pub status: SentenceStatus,
+}
+
+impl SentenceAnalysis {
+    /// The single surviving logical form, if resolved.
+    pub fn resolved_lf(&self) -> Option<&Lf> {
+        if self.status == SentenceStatus::Resolved {
+            self.trace.survivors.first()
+        } else {
+            None
+        }
+    }
+}
+
+/// The result of running the pipeline over a document.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// One record per processed sentence.
+    pub analyses: Vec<SentenceAnalysis>,
+}
+
+impl PipelineReport {
+    /// Sentences with the given status.
+    pub fn with_status(&self, status: SentenceStatus) -> Vec<&SentenceAnalysis> {
+        self.analyses.iter().filter(|a| a.status == status).collect()
+    }
+
+    /// Count of sentences with the given status.
+    pub fn count(&self, status: SentenceStatus) -> usize {
+        self.with_status(status).len()
+    }
+
+    /// The ambiguous-sentence analyses whose base LF sets feed Figures 5/6.
+    pub fn ambiguous_base_sets(&self) -> Vec<Vec<Lf>> {
+        self.analyses
+            .iter()
+            .filter(|a| a.base_lf_count > 1)
+            .map(|a| a.base_lfs.clone())
+            .collect()
+    }
+}
+
+/// The SAGE pipeline object.
+pub struct Sage {
+    config: SageConfig,
+    lexicon: Lexicon,
+    dictionary: TermDictionary,
+}
+
+impl Sage {
+    /// Build a pipeline with the given configuration.
+    pub fn new(config: SageConfig) -> Sage {
+        let dictionary = if config.chunker.use_dictionary {
+            TermDictionary::networking()
+        } else {
+            TermDictionary::empty()
+        };
+        Sage {
+            lexicon: config.lexicon.build(),
+            dictionary,
+            config,
+        }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &SageConfig {
+        &self.config
+    }
+
+    /// Parse one sentence (with optional subject re-supply) and winnow it.
+    pub fn analyze_sentence(&self, sentence: &Sentence, context: ContextDict) -> SentenceAnalysis {
+        let text = sentence.text.trim();
+        if text.is_empty() {
+            return SentenceAnalysis {
+                sentence: sentence.clone(),
+                context,
+                parser_lf_count: 0,
+                base_lf_count: 0,
+                base_lfs: Vec::new(),
+                trace: winnow(&[]),
+                subject_supplied: false,
+                status: SentenceStatus::Skipped,
+            };
+        }
+
+        // The field-value idiom: a field description consisting solely of a
+        // value ("Type" followed by "3", or "0 = net unreachable") is turned
+        // into an assignment to the described field (§3, domain-specific
+        // semantics).
+        if let Some(lf) = field_value_idiom(text, &context) {
+            let trace = winnow(std::slice::from_ref(&lf));
+            return SentenceAnalysis {
+                sentence: sentence.clone(),
+                context,
+                parser_lf_count: 1,
+                base_lf_count: 1,
+                base_lfs: vec![lf],
+                trace,
+                subject_supplied: false,
+                status: SentenceStatus::Resolved,
+            };
+        }
+
+        let mut result = parse_sentence(
+            text,
+            &self.lexicon,
+            &self.dictionary,
+            self.config.chunker,
+            self.config.parser,
+        );
+        let mut subject_supplied = false;
+
+        // §4.1: re-parse subject-less field descriptions with the field name
+        // supplied as the subject.
+        if result.logical_forms.is_empty() {
+            if let Some(field) = &sentence.field {
+                let with_subject = format!("The {} is {}", field.to_ascii_lowercase(), text);
+                let retry = parse_sentence(
+                    &with_subject,
+                    &self.lexicon,
+                    &self.dictionary,
+                    self.config.chunker,
+                    self.config.parser,
+                );
+                if !retry.logical_forms.is_empty() {
+                    result = retry;
+                    subject_supplied = true;
+                }
+            }
+        }
+
+        let parser_lf_count = result.logical_forms.len();
+        let base = overgenerate(&result.logical_forms, self.config.overgen);
+        let trace = winnow(&base);
+        let status = if base.is_empty() {
+            SentenceStatus::ZeroLf
+        } else if trace.survivors.len() == 1 {
+            SentenceStatus::Resolved
+        } else {
+            SentenceStatus::Ambiguous
+        };
+        SentenceAnalysis {
+            sentence: sentence.clone(),
+            context,
+            parser_lf_count,
+            base_lf_count: base.len(),
+            base_lfs: base,
+            trace,
+            subject_supplied,
+            status,
+        }
+    }
+
+    /// Run the pipeline over every sentence of a document.
+    pub fn analyze_document(&self, doc: &Document) -> PipelineReport {
+        let mut report = PipelineReport::default();
+        for sentence in doc.sentences() {
+            let context = context_for(doc, &sentence);
+            report.analyses.push(self.analyze_sentence(&sentence, context));
+        }
+        report
+    }
+
+    /// Analyze a bare list of sentences (used for the BFD state-management
+    /// corpus, which the paper evaluates as a sentence list).
+    pub fn analyze_sentences(&self, protocol: &str, sentences: &[&str]) -> PipelineReport {
+        let mut report = PipelineReport::default();
+        for s in sentences {
+            let sentence = Sentence {
+                text: (*s).to_string(),
+                section: format!("{protocol} state management"),
+                field: None,
+            };
+            let context = ContextDict {
+                protocol: protocol.to_string(),
+                message: sentence.section.clone(),
+                field: String::new(),
+                role: sage_spec::context::Role::Receiver,
+            };
+            report.analyses.push(self.analyze_sentence(&sentence, context));
+        }
+        report
+    }
+}
+
+impl Default for Sage {
+    fn default() -> Self {
+        Sage::new(SageConfig::default())
+    }
+}
+
+/// Recognise the field-value idioms: a bare value ("3"), or a value list
+/// entry ("0 = net unreachable", "8 for echo message").
+fn field_value_idiom(text: &str, context: &ContextDict) -> Option<Lf> {
+    if context.field.is_empty() {
+        return None;
+    }
+    let cleaned = text.trim_end_matches(['.', ';']).trim();
+    // Bare numeric value.
+    if let Ok(n) = cleaned.parse::<i64>() {
+        return Some(Lf::is(Lf::atom(context.field.clone()), Lf::num(n)));
+    }
+    // "<value> = <meaning>"  /  "<value> for <meaning>"
+    let (value_part, meaning) = cleaned
+        .split_once('=')
+        .or_else(|| cleaned.split_once(" for "))?;
+    let n: i64 = value_part.trim().parse().ok()?;
+    let meaning = meaning.trim();
+    Some(Lf::Pred(
+        PredName::If,
+        vec![
+            Lf::is(Lf::atom("message"), Lf::atom(meaning)),
+            Lf::is(Lf::atom(context.field.clone()), Lf::num(n)),
+        ],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_spec::corpus::Protocol;
+
+    #[test]
+    fn icmp_document_pipeline_produces_mostly_resolved_sentences() {
+        let sage = Sage::default();
+        let report = sage.analyze_document(&Protocol::Icmp.document());
+        let total = report.analyses.len();
+        assert!(total >= 60, "only {total} sentences analysed");
+        let resolved = report.count(SentenceStatus::Resolved);
+        assert!(
+            resolved >= 25,
+            "expected a substantial number of sentences resolved automatically: {resolved}/{total}"
+        );
+        assert!(
+            resolved > report.count(SentenceStatus::Ambiguous),
+            "resolved sentences should outnumber truly ambiguous ones"
+        );
+        // The known hard sentences remain as zero-LF or ambiguous.
+        assert!(report.count(SentenceStatus::ZeroLf) + report.count(SentenceStatus::Ambiguous) > 0);
+    }
+
+    #[test]
+    fn field_value_idiom_produces_assignments() {
+        let ctx = ContextDict {
+            protocol: "ICMP".into(),
+            message: "Destination Unreachable Message".into(),
+            field: "type".into(),
+            role: Default::default(),
+        };
+        assert_eq!(
+            field_value_idiom("3", &ctx).unwrap(),
+            Lf::is(Lf::atom("type"), Lf::num(3))
+        );
+        let conditional = field_value_idiom("0 = net unreachable;", &ctx).unwrap();
+        assert!(conditional.contains_pred(&PredName::If));
+        assert!(field_value_idiom("3", &ContextDict::default()).is_none());
+    }
+
+    #[test]
+    fn checksum_sentence_is_resolved_to_one_lf() {
+        let sage = Sage::default();
+        let sentence = Sentence {
+            text: "For computing the checksum, the checksum field should be zero.".into(),
+            section: "Echo or Echo Reply Message".into(),
+            field: Some("Checksum".into()),
+        };
+        let ctx = ContextDict {
+            protocol: "ICMP".into(),
+            message: sentence.section.clone(),
+            field: "checksum".into(),
+            role: Default::default(),
+        };
+        let analysis = sage.analyze_sentence(&sentence, ctx);
+        assert_eq!(analysis.status, SentenceStatus::Resolved, "{:#?}", analysis.trace.survivors);
+        assert!(analysis.base_lf_count >= 1);
+    }
+
+    #[test]
+    fn subjectless_field_description_gets_subject_supplied() {
+        let sage = Sage::default();
+        let sentence = Sentence {
+            text: "The internet header plus the first 64 bits of the original datagram's data."
+                .into(),
+            section: "Destination Unreachable Message".into(),
+            field: Some("Internet Header".into()),
+        };
+        let ctx = ContextDict {
+            protocol: "ICMP".into(),
+            message: sentence.section.clone(),
+            field: "internet header".into(),
+            role: Default::default(),
+        };
+        let analysis = sage.analyze_sentence(&sentence, ctx);
+        // Either the fragment parse or the subject-supplied parse succeeds.
+        assert_ne!(analysis.status, SentenceStatus::ZeroLf);
+    }
+
+    #[test]
+    fn gateway_sentence_is_hard() {
+        // Sentence D: remains unparseable (0 LFs) before rewriting — the
+        // paper had to rewrite it too.
+        let sage = Sage::new(SageConfig {
+            parser: ParserConfig {
+                allow_fragments: false,
+                ..ParserConfig::default()
+            },
+            ..SageConfig::default()
+        });
+        let sentence = Sentence {
+            text: sage_spec::corpus::icmp::ZERO_LF_SENTENCES[0].into(),
+            section: "Redirect Message".into(),
+            field: Some("Gateway Internet Address".into()),
+        };
+        let ctx = ContextDict {
+            protocol: "ICMP".into(),
+            message: sentence.section.clone(),
+            field: "gateway internet address".into(),
+            role: Default::default(),
+        };
+        let analysis = sage.analyze_sentence(&sentence, ctx);
+        assert_eq!(analysis.status, SentenceStatus::ZeroLf);
+    }
+
+    #[test]
+    fn empty_sentence_is_skipped() {
+        let sage = Sage::default();
+        let sentence = Sentence {
+            text: "   ".into(),
+            section: "X".into(),
+            field: None,
+        };
+        let analysis = sage.analyze_sentence(&sentence, ContextDict::default());
+        assert_eq!(analysis.status, SentenceStatus::Skipped);
+    }
+
+    #[test]
+    fn bfd_state_management_sentences_mostly_parse() {
+        let sage = Sage::default();
+        let report = sage.analyze_sentences("BFD", sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES);
+        assert_eq!(report.analyses.len(), 22);
+        let parsed = report
+            .analyses
+            .iter()
+            .filter(|a| a.status != SentenceStatus::ZeroLf)
+            .count();
+        assert!(parsed >= 12, "only {parsed}/22 BFD sentences parsed");
+    }
+
+    #[test]
+    fn ablation_configs_change_results() {
+        // Disabling NP labelling makes many sentences unparseable (Table 8).
+        let full = Sage::default();
+        let ablated = Sage::new(SageConfig {
+            chunker: ChunkerConfig {
+                use_dictionary: true,
+                use_np_labeling: false,
+            },
+            ..SageConfig::default()
+        });
+        let doc = Protocol::Icmp.document();
+        let full_zero = full.analyze_document(&doc).count(SentenceStatus::ZeroLf);
+        let ablated_zero = ablated.analyze_document(&doc).count(SentenceStatus::ZeroLf);
+        assert!(
+            ablated_zero > full_zero,
+            "removing NP labelling should increase zero-LF sentences ({ablated_zero} vs {full_zero})"
+        );
+    }
+}

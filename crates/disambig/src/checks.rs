@@ -1,0 +1,567 @@
+//! The individual inconsistency checks.
+//!
+//! §6.1 of the paper reports, for ICMP: 32 type checks, 7 argument-ordering
+//! checks, 4 predicate-ordering checks and 1 distributivity check.  The
+//! constructors below build exactly those counts (the unit tests pin them).
+//! Type checks are allow-list style ("this argument must have one of these
+//! types"); ordering checks are block-list style ("this pattern is
+//! forbidden"), matching the paper's description.
+
+use sage_logic::types::{assignable, infer_lf_type, valid_function_name, AtomType};
+use sage_logic::{Lf, PredName};
+
+/// The five families of checks (Figure 5's x-axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// Argument-type consistency.
+    Type,
+    /// Argument ordering for order-sensitive predicates.
+    ArgumentOrdering,
+    /// Forbidden predicate nestings.
+    PredicateOrdering,
+    /// Non-distributive reading preferred for coordination.
+    Distributivity,
+}
+
+/// A named check: returns `true` when the logical form *passes*.
+pub struct Check {
+    /// Identifier used in reports (e.g. `type:action-function-name`).
+    pub name: &'static str,
+    /// Which family the check belongs to.
+    pub kind: CheckKind,
+    /// Predicate returning `true` if the LF is acceptable.
+    pub test: Box<dyn Fn(&Lf) -> bool + Send + Sync>,
+}
+
+impl std::fmt::Debug for Check {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Check")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+impl Check {
+    fn new(
+        name: &'static str,
+        kind: CheckKind,
+        test: impl Fn(&Lf) -> bool + Send + Sync + 'static,
+    ) -> Check {
+        Check {
+            name,
+            kind,
+            test: Box::new(test),
+        }
+    }
+
+    /// Run the check against a logical form.
+    pub fn passes(&self, lf: &Lf) -> bool {
+        (self.test)(lf)
+    }
+}
+
+/// Helper: true if *no* node matching `pred_name` violates `ok`.
+fn all_nodes_ok(lf: &Lf, pred_name: PredName, ok: impl Fn(&[Lf]) -> bool) -> bool {
+    !lf.contains(&|n| match n {
+        Lf::Pred(p, args) if *p == pred_name => !ok(args),
+        _ => false,
+    })
+}
+
+/// Helper: arity check for a predicate.
+fn arity_check(name: &'static str, pred: PredName) -> Check {
+    Check::new(name, CheckKind::Type, move |lf| {
+        all_nodes_ok(lf, pred.clone(), |args| pred.properties().arity_ok(args.len()))
+    })
+}
+
+/// The 32 type checks used for ICMP.
+pub fn type_checks() -> Vec<Check> {
+    let mut v: Vec<Check> = Vec::new();
+
+    // --- 16 arity checks, one per predicate in the ICMP vocabulary -------
+    v.push(arity_check("type:arity-is", PredName::Is));
+    v.push(arity_check("type:arity-if", PredName::If));
+    v.push(arity_check("type:arity-of", PredName::Of));
+    v.push(arity_check("type:arity-action", PredName::Action));
+    v.push(arity_check("type:arity-advbefore", PredName::AdvBefore));
+    v.push(arity_check("type:arity-advcomment", PredName::AdvComment));
+    v.push(arity_check("type:arity-startswith", PredName::StartsWith));
+    v.push(arity_check("type:arity-compare", PredName::Compare));
+    v.push(arity_check("type:arity-update", PredName::Update));
+    v.push(arity_check("type:arity-not", PredName::Not));
+    v.push(arity_check("type:arity-must", PredName::Must));
+    v.push(arity_check("type:arity-may", PredName::May));
+    v.push(arity_check("type:arity-and", PredName::And));
+    v.push(arity_check("type:arity-or", PredName::Or));
+    v.push(arity_check("type:arity-field", PredName::Field));
+    v.push(arity_check("type:arity-from", PredName::From));
+
+    // --- 16 argument-type checks ------------------------------------------
+    // 17. @Action's function-name argument must be a function name, not a
+    //     constant (rules out LF1 in Figure 2).
+    v.push(Check::new("type:action-function-name", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Action, |args| {
+            args.first().map_or(false, valid_function_name)
+        })
+    }));
+    // 18. @Action arguments after the function name must not be numeric
+    //     constants (LF1 in Figure 2: compute applied to '0') nor predicates
+    //     that carry their own effects (@Is nested inside an action).
+    v.push(Check::new("type:action-args-not-effects", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Action, |args| {
+            args.iter().skip(1).all(|a| {
+                a.as_number().is_none()
+                    && a.pred_name()
+                        .map_or(true, |p| !p.is_effect() || *p == PredName::Action)
+            })
+        })
+    }));
+    // 19. @Is cannot have a constant on the left-hand side.
+    v.push(Check::new("type:is-lhs-not-constant", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Is, |args| {
+            args.first().map_or(false, |a| a.as_number().is_none())
+        })
+    }));
+    // 20. @Is left-hand side must be assignable (field, state variable or a
+    //     field reference built with @Of/@Field).
+    v.push(Check::new("type:is-lhs-assignable", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Is, |args| {
+            args.first().map_or(false, assignable)
+        })
+    }));
+    // 21. @If's condition must not be a bare constant.
+    v.push(Check::new("type:if-condition-not-constant", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::If, |args| {
+            args.first().map_or(false, |c| c.as_number().is_none())
+        })
+    }));
+    // 22. @If's consequence must be a predicate (an effect or modal), not a
+    //     bare leaf.
+    v.push(Check::new("type:if-consequence-is-pred", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::If, |args| {
+            args.get(1).map_or(false, |c| !c.is_leaf())
+        })
+    }));
+    // 23. @Of must not relate two numeric constants.
+    v.push(Check::new("type:of-args-not-both-constants", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Of, |args| {
+            !(args.len() == 2
+                && args[0].as_number().is_some()
+                && args[1].as_number().is_some())
+        })
+    }));
+    // 24. @Of's second argument (the "whole") must not be a numeric constant.
+    v.push(Check::new("type:of-whole-not-constant", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Of, |args| {
+            args.get(1).map_or(false, |a| a.as_number().is_none())
+        })
+    }));
+    // 25. @Compare's operator must be a comparison operator.
+    v.push(Check::new("type:compare-operator", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Compare, |args| {
+            args.first()
+                .and_then(Lf::as_atom)
+                .map_or(false, |op| matches!(op, ">=" | "<=" | ">" | "<" | "==" | "!="))
+        })
+    }));
+    // 26. @Update's target must be a state variable or field.
+    v.push(Check::new("type:update-target", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Update, |args| {
+            args.first().map_or(false, |a| {
+                matches!(
+                    infer_lf_type(a),
+                    Some(AtomType::StateVar) | Some(AtomType::Field) | Some(AtomType::Other) | None
+                )
+            })
+        })
+    }));
+    // 27. @AdvBefore's first argument (the advice) must be actionable.
+    v.push(Check::new("type:advbefore-advice-actionable", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            args.first().map_or(false, |a| {
+                a.pred_name().map_or(false, PredName::is_effect)
+            })
+        })
+    }));
+    // 28. @AdvBefore's second argument (the body) must be actionable.
+    v.push(Check::new("type:advbefore-body-actionable", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            args.get(1).map_or(false, |a| {
+                a.pred_name().map_or(false, |p| p.is_effect() || *p == PredName::If || *p == PredName::And)
+            })
+        })
+    }));
+    // 29. @StartsWith arguments must both be nominal (no bare numbers).
+    v.push(Check::new("type:startswith-args-nominal", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::StartsWith, |args| {
+            args.iter().all(|a| a.as_number().is_none())
+        })
+    }));
+    // 30. @Num wraps only numerics.
+    v.push(Check::new("type:num-arg-numeric", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Num, |args| {
+            args.first().map_or(false, |a| a.as_number().is_some())
+        })
+    }));
+    // 31. @Field arguments must be atoms.
+    v.push(Check::new("type:field-args-atoms", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Field, |args| args.iter().all(Lf::is_leaf))
+    }));
+    // 32. @Not's argument must not be a numeric constant.
+    v.push(Check::new("type:not-arg-not-constant", CheckKind::Type, |lf| {
+        all_nodes_ok(lf, PredName::Not, |args| {
+            args.first().map_or(false, |a| a.as_number().is_none())
+        })
+    }));
+
+    v
+}
+
+/// The 7 argument-ordering checks used for ICMP.
+pub fn argument_ordering_checks() -> Vec<Check> {
+    let mut v = Vec::new();
+    // 1. An @If condition must not contain modal or advice predicates; those
+    //    belong in the consequence (rules out @If(B, A) for sentence E).
+    v.push(Check::new("arg-order:if-condition-first", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::If, |args| {
+            args.first().map_or(false, |c| {
+                !c.contains_pred(&PredName::May)
+                    && !c.contains_pred(&PredName::Must)
+                    && !c.contains_pred(&PredName::AdvBefore)
+            })
+        })
+    }));
+    // 2. When an @Is relates a field and a constant, the field must be on
+    //    the left.
+    v.push(Check::new("arg-order:is-field-lhs", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Is, |args| {
+            if args.len() != 2 {
+                return true;
+            }
+            let lhs_const = args[0].as_number().is_some();
+            let rhs_fieldish = matches!(
+                infer_lf_type(&args[1]),
+                Some(AtomType::Field) | Some(AtomType::StateVar)
+            );
+            !(lhs_const && rhs_fieldish)
+        })
+    }));
+    // 3. The function name of an @Action must be its first argument.
+    v.push(Check::new("arg-order:action-function-first", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Action, |args| {
+            if args.len() < 2 {
+                return true;
+            }
+            // If a later argument looks like a function while the first does
+            // not, the arguments were swapped.
+            let first_fn = args[0]
+                .as_atom()
+                .map_or(false, |a| sage_logic::types::infer_atom_type(a) == AtomType::Function);
+            let later_fn = args.iter().skip(1).any(|a| {
+                a.as_atom()
+                    .map_or(false, |s| sage_logic::types::infer_atom_type(s) == AtomType::Function)
+            });
+            first_fn || !later_fn
+        })
+    }));
+    // 4. @Compare's left operand must be the monitored quantity (state
+    //    variable or field), not the threshold constant.
+    v.push(Check::new("arg-order:compare-operands", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Compare, |args| {
+            if args.len() != 3 {
+                return true;
+            }
+            !(args[1].as_number().is_some() && args[2].as_number().is_none())
+        })
+    }));
+    // 5. @AdvBefore's advice (the "before" code) must be the first argument.
+    v.push(Check::new("arg-order:advbefore-advice-first", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            if args.len() != 2 {
+                return true;
+            }
+            // The body, not the advice, may be a conditional or conjunction.
+            args.first().map_or(false, |a| {
+                !a.contains_pred(&PredName::If)
+            })
+        })
+    }));
+    // 6. @StartsWith: the computed expression comes first, the anchor field
+    //    second.
+    v.push(Check::new("arg-order:startswith-anchor-second", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::StartsWith, |args| {
+            if args.len() != 2 {
+                return true;
+            }
+            // If exactly one side is a leaf field, it must be the second.
+            let first_leaf = args[0].is_leaf();
+            let second_leaf = args[1].is_leaf();
+            !(first_leaf && !second_leaf)
+        })
+    }));
+    // 7. @Update's new value is the second argument (a state variable must
+    //    not appear only on the right).
+    v.push(Check::new("arg-order:update-value-second", CheckKind::ArgumentOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Update, |args| {
+            if args.len() != 2 {
+                return true;
+            }
+            let lhs_const = args[0].as_number().is_some();
+            !(lhs_const && args[1].as_number().is_none())
+        })
+    }));
+    v
+}
+
+/// The 4 predicate-ordering checks used for ICMP.
+pub fn predicate_ordering_checks() -> Vec<Check> {
+    let mut v = Vec::new();
+    // 1. @Is must not be nested inside @Of: "A of (B is C)" is never the
+    //    intended reading of "A of B is C".
+    v.push(Check::new("pred-order:is-not-under-of", CheckKind::PredicateOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Of, |args| {
+            args.iter().all(|a| !a.contains_pred(&PredName::Is))
+        })
+    }));
+    // 2. @If must not be nested inside @Is.
+    v.push(Check::new("pred-order:if-not-under-is", CheckKind::PredicateOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Is, |args| {
+            args.iter().all(|a| !a.contains_pred(&PredName::If))
+        })
+    }));
+    // 3. Advice predicates must appear only at the root of a logical form.
+    v.push(Check::new("pred-order:advice-at-root", CheckKind::PredicateOrdering, |lf| {
+        let nested_advice = |n: &Lf| {
+            n.args().iter().any(|a| {
+                a.contains(&|m| {
+                    m.pred_name()
+                        .map_or(false, |p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
+                })
+            })
+        };
+        match lf {
+            Lf::Pred(p, _) if *p == PredName::AdvBefore || *p == PredName::AdvAfter => {
+                !nested_advice(lf)
+            }
+            _ => !lf.contains(&|n| {
+                n.pred_name()
+                    .map_or(false, |p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
+            }),
+        }
+    }));
+    // 4. @Action must not contain assignments (@Is) among its arguments.
+    v.push(Check::new("pred-order:is-not-under-action", CheckKind::PredicateOrdering, |lf| {
+        all_nodes_ok(lf, PredName::Action, |args| {
+            args.iter().all(|a| !a.contains_pred(&PredName::Is))
+        })
+    }));
+    v
+}
+
+/// The single distributivity rule: prefer the non-distributive reading.
+///
+/// Unlike the other families this check is *relative*: the distributed form
+/// `@And(@Is(a, c), @Is(b, c))` is only spurious when it coexists with the
+/// grouped form — the winnower therefore applies it across the LF set.  As a
+/// standalone check it flags the distributed pattern.
+pub fn distributivity_checks() -> Vec<Check> {
+    vec![Check::new(
+        "distrib:prefer-non-distributive",
+        CheckKind::Distributivity,
+        |lf| distributed_assignment(lf).is_none(),
+    )]
+}
+
+/// If this LF is (or contains) a distributed assignment
+/// `@And(@Is(a, c), @Is(b, c))`, return the equivalent grouped form.
+pub fn distributed_assignment(lf: &Lf) -> Option<Lf> {
+    fn rewrite(node: &Lf) -> Option<Lf> {
+        if let Lf::Pred(PredName::And, items) = node {
+            if items.len() == 2 {
+                if let (Lf::Pred(PredName::Is, l), Lf::Pred(PredName::Is, r)) =
+                    (&items[0], &items[1])
+                {
+                    if l.len() == 2 && r.len() == 2 && l[1] == r[1] {
+                        return Some(Lf::Pred(
+                            PredName::Is,
+                            vec![
+                                Lf::Pred(PredName::And, vec![l[0].clone(), r[0].clone()]),
+                                l[1].clone(),
+                            ],
+                        ));
+                    }
+                }
+            }
+        }
+        None
+    }
+    // Root or any descendant.
+    if let Some(r) = rewrite(lf) {
+        return Some(r);
+    }
+    if let Lf::Pred(p, args) = lf {
+        for (i, a) in args.iter().enumerate() {
+            if let Some(r) = distributed_assignment(a) {
+                let mut new_args = args.clone();
+                new_args[i] = r;
+                return Some(Lf::Pred(p.clone(), new_args));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_logic::parse_lf;
+
+    #[test]
+    fn check_counts_match_paper() {
+        assert_eq!(type_checks().len(), 32);
+        assert_eq!(argument_ordering_checks().len(), 7);
+        assert_eq!(predicate_ordering_checks().len(), 4);
+        assert_eq!(distributivity_checks().len(), 1);
+    }
+
+    #[test]
+    fn figure2_lf1_fails_action_type_check() {
+        // LF1: @Action('compute', '0') has a constant where the checksum
+        // argument should be — but more importantly its *nested* use inside
+        // the full LF 1 puts '0' as the action target of compute.
+        let lf1 = parse_lf(
+            "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
+        )
+        .unwrap();
+        let lf2 = parse_lf(
+            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
+        )
+        .unwrap();
+        let checks = type_checks();
+        let action_args = checks
+            .iter()
+            .find(|c| c.name == "type:action-args-not-effects")
+            .unwrap();
+        assert!(
+            !action_args.passes(&lf1),
+            "the compute action's constant argument must be rejected"
+        );
+        let any_fail = checks.iter().any(|c| !c.passes(&lf1));
+        assert!(any_fail, "LF1 should fail at least one type check");
+        assert!(checks.iter().all(|c| c.passes(&lf2)), "LF2 must pass all type checks");
+    }
+
+    #[test]
+    fn figure2_lf3_lf4_fail_predicate_ordering() {
+        let lf3 = parse_lf(
+            "@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))",
+        )
+        .unwrap();
+        let lf4 = parse_lf(
+            "@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))",
+        )
+        .unwrap();
+        let type_fail3 = type_checks().iter().any(|c| !c.passes(&lf3));
+        let type_fail4 = type_checks().iter().any(|c| !c.passes(&lf4));
+        assert!(type_fail3, "LF3 should fail type checks (advice arg is a constant)");
+        assert!(type_fail4, "LF4 should fail type checks (advice arg is a constant)");
+    }
+
+    #[test]
+    fn swapped_if_fails_argument_ordering() {
+        // @If(B, A) where B contains @May.
+        let good = parse_lf("@If(@Is('code', @Num(0)), @May(@Is('identifier', @Num(0))))").unwrap();
+        let bad = parse_lf("@If(@May(@Is('identifier', @Num(0))), @Is('code', @Num(0)))").unwrap();
+        let checks = argument_ordering_checks();
+        assert!(checks.iter().all(|c| c.passes(&good)));
+        assert!(checks.iter().any(|c| !c.passes(&bad)));
+    }
+
+    #[test]
+    fn constant_lhs_assignment_fails_type_checks() {
+        let bad = parse_lf("@Is(@Num(0), 'checksum')").unwrap();
+        assert!(type_checks().iter().any(|c| !c.passes(&bad)));
+    }
+
+    #[test]
+    fn is_under_of_fails_predicate_ordering() {
+        // "A of (B is C)" — the incorrect grouping of "A of B is C".
+        let bad = parse_lf("@Of('checksum', @Is('header', @Num(0)))").unwrap();
+        let good = parse_lf("@Is(@Of('checksum', 'header'), @Num(0))").unwrap();
+        let checks = predicate_ordering_checks();
+        assert!(checks.iter().any(|c| !c.passes(&bad)));
+        assert!(checks.iter().all(|c| c.passes(&good)));
+    }
+
+    #[test]
+    fn nested_advice_fails_predicate_ordering() {
+        let bad = parse_lf("@Is('x', @AdvBefore(@Action('compute', 'checksum'), 'y'))").unwrap();
+        let checks = predicate_ordering_checks();
+        assert!(checks.iter().any(|c| !c.passes(&bad)));
+    }
+
+    #[test]
+    fn distributed_reading_is_flagged_and_rewritten() {
+        let distributed = parse_lf(
+            "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
+        )
+        .unwrap();
+        let grouped = parse_lf(
+            "@Is(@And('source_address', 'destination_address'), 'reversed')",
+        )
+        .unwrap();
+        let check = &distributivity_checks()[0];
+        assert!(!check.passes(&distributed));
+        assert!(check.passes(&grouped));
+        assert_eq!(distributed_assignment(&distributed).unwrap(), grouped);
+    }
+
+    #[test]
+    fn arity_violations_fail() {
+        let bad = Lf::Pred(PredName::Is, vec![Lf::atom("checksum")]);
+        assert!(type_checks().iter().any(|c| !c.passes(&bad)));
+        let bad_if = Lf::Pred(PredName::If, vec![Lf::atom("x")]);
+        assert!(type_checks().iter().any(|c| !c.passes(&bad_if)));
+    }
+
+    #[test]
+    fn compare_operator_check() {
+        let good = parse_lf("@Compare('>=', 'peer.timer', 'peer.threshold')").unwrap();
+        let bad = parse_lf("@Compare('peer.timer', '>=', 'peer.threshold')").unwrap();
+        let checks = type_checks();
+        let op_check = checks.iter().find(|c| c.name == "type:compare-operator").unwrap();
+        assert!(op_check.passes(&good));
+        assert!(!op_check.passes(&bad));
+    }
+
+    #[test]
+    fn good_bfd_lf_passes_all_checks() {
+        let lf = parse_lf(
+            "@If(@Is('your_discriminator', 'nonzero'), @Action('select', 'session'))",
+        )
+        .unwrap();
+        for c in type_checks()
+            .iter()
+            .chain(argument_ordering_checks().iter())
+            .chain(predicate_ordering_checks().iter())
+            .chain(distributivity_checks().iter())
+        {
+            assert!(c.passes(&lf), "failed {}", c.name);
+        }
+    }
+
+    #[test]
+    fn check_names_are_unique() {
+        let mut names = std::collections::HashSet::new();
+        for c in type_checks()
+            .iter()
+            .chain(argument_ordering_checks().iter())
+            .chain(predicate_ordering_checks().iter())
+            .chain(distributivity_checks().iter())
+        {
+            assert!(names.insert(c.name), "duplicate check name {}", c.name);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Disambiguation: winnowing ambiguous logical forms (§4.2).
+//!
+//! The semantic parser frequently produces several logical forms for one
+//! sentence.  SAGE applies five families of domain-knowledge checks to
+//! eliminate spurious interpretations:
+//!
+//! 1. **Type** — predicates receive arguments of the wrong semantic type
+//!    (e.g. a numeric constant where `@Action` expects a function name);
+//! 2. **Argument ordering** — order-sensitive predicates with their
+//!    arguments swapped (`@If(B, A)`);
+//! 3. **Predicate ordering** — one predicate nested under another in a way
+//!    the domain forbids (`@Of(A, @Is(B, C))`);
+//! 4. **Distributivity** — the spurious distributed reading of
+//!    comma/`and` coordination;
+//! 5. **Associativity** — logically identical regroupings of associative
+//!    predicates, detected by graph isomorphism.
+//!
+//! [`winnow`] applies the families in the order shown in Figure 5 and
+//! records the number of surviving LFs after each stage; [`stats`] applies
+//! each family in isolation, as in Figure 6.
+
+pub mod checks;
+pub mod stats;
+pub mod winnow;
+
+pub use checks::{
+    argument_ordering_checks, distributivity_checks, predicate_ordering_checks, type_checks,
+    Check, CheckKind,
+};
+pub use stats::{per_check_effect, CheckEffect};
+pub use winnow::{winnow, WinnowStage, WinnowTrace, Winnower};

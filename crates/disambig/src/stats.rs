@@ -1,0 +1,209 @@
+//! Per-check effectiveness statistics (Figure 6).
+//!
+//! Figure 6 of the paper measures, for each check family applied *alone* to
+//! the base logical forms of every ambiguous sentence: (a) the average
+//! number of LFs the family filters out per sentence (with standard error)
+//! and (b) how many sentences the family affects at all.
+
+use crate::checks::{
+    argument_ordering_checks, distributed_assignment, distributivity_checks,
+    predicate_ordering_checks, type_checks,
+};
+use crate::winnow::WinnowStage;
+use sage_logic::graph::dedup_isomorphic;
+use sage_logic::Lf;
+
+/// The effect of one check family applied in isolation across a corpus of
+/// ambiguous sentences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckEffect {
+    /// Which family (never `Base`).
+    pub stage: WinnowStage,
+    /// Mean number of LFs removed per ambiguous sentence.
+    pub mean_filtered: f64,
+    /// Standard error of the mean.
+    pub std_error: f64,
+    /// Number of sentences for which the family removed at least one LF.
+    pub affected_sentences: usize,
+    /// Total number of sentences analysed.
+    pub total_sentences: usize,
+}
+
+/// Apply one family alone to a base LF set and return the surviving forms.
+pub fn apply_single_family(stage: WinnowStage, forms: &[Lf]) -> Vec<Lf> {
+    let keep_all_if_empty = |kept: Vec<Lf>| {
+        if kept.is_empty() {
+            forms.to_vec()
+        } else {
+            kept
+        }
+    };
+    match stage {
+        WinnowStage::Base => forms.to_vec(),
+        WinnowStage::Type => {
+            let checks = type_checks();
+            keep_all_if_empty(
+                forms
+                    .iter()
+                    .filter(|lf| checks.iter().all(|c| c.passes(lf)))
+                    .cloned()
+                    .collect(),
+            )
+        }
+        WinnowStage::ArgumentOrdering => {
+            let checks = argument_ordering_checks();
+            keep_all_if_empty(
+                forms
+                    .iter()
+                    .filter(|lf| checks.iter().all(|c| c.passes(lf)))
+                    .cloned()
+                    .collect(),
+            )
+        }
+        WinnowStage::PredicateOrdering => {
+            let checks = predicate_ordering_checks();
+            keep_all_if_empty(
+                forms
+                    .iter()
+                    .filter(|lf| checks.iter().all(|c| c.passes(lf)))
+                    .cloned()
+                    .collect(),
+            )
+        }
+        WinnowStage::Distributivity => {
+            let checks = distributivity_checks();
+            let mut kept: Vec<Lf> = Vec::new();
+            for lf in forms {
+                let is_distributed = checks.iter().any(|c| !c.passes(lf));
+                if is_distributed {
+                    if let Some(grouped) = distributed_assignment(lf) {
+                        if forms.contains(&grouped) || kept.contains(&grouped) {
+                            continue;
+                        }
+                    }
+                }
+                kept.push(lf.clone());
+            }
+            keep_all_if_empty(kept)
+        }
+        WinnowStage::Associativity => dedup_isomorphic(forms),
+    }
+}
+
+/// Compute the Figure-6 statistics for one check family across many
+/// sentences' base LF sets.
+pub fn per_check_effect(stage: WinnowStage, sentences: &[Vec<Lf>]) -> CheckEffect {
+    let mut removed_counts: Vec<f64> = Vec::new();
+    let mut affected = 0usize;
+    for base in sentences {
+        let unique: Vec<Lf> = {
+            let mut v = Vec::new();
+            for lf in base {
+                if !v.contains(lf) {
+                    v.push(lf.clone());
+                }
+            }
+            v
+        };
+        let survivors = apply_single_family(stage, &unique);
+        let removed = unique.len().saturating_sub(survivors.len());
+        if removed > 0 {
+            affected += 1;
+        }
+        removed_counts.push(removed as f64);
+    }
+    let n = removed_counts.len().max(1) as f64;
+    let mean = removed_counts.iter().sum::<f64>() / n;
+    let var = removed_counts
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / n;
+    let std_error = (var / n).sqrt();
+    CheckEffect {
+        stage,
+        mean_filtered: mean,
+        std_error,
+        affected_sentences: affected,
+        total_sentences: sentences.len(),
+    }
+}
+
+/// Compute the Figure-6 statistics for every non-base family.
+pub fn all_check_effects(sentences: &[Vec<Lf>]) -> Vec<CheckEffect> {
+    [
+        WinnowStage::Type,
+        WinnowStage::ArgumentOrdering,
+        WinnowStage::PredicateOrdering,
+        WinnowStage::Distributivity,
+    ]
+    .into_iter()
+    .map(|s| per_check_effect(s, sentences))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_logic::parse_lf;
+
+    fn ambiguous_sentence() -> Vec<Lf> {
+        vec![
+            parse_lf("@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))").unwrap(),
+            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap(),
+            parse_lf("@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))").unwrap(),
+            parse_lf("@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn type_family_alone_filters_figure2() {
+        let survivors = apply_single_family(WinnowStage::Type, &ambiguous_sentence());
+        assert!(survivors.len() < 4);
+        assert!(!survivors.is_empty());
+    }
+
+    #[test]
+    fn associativity_family_dedups_isomorphic_forms() {
+        let a = parse_lf("@Of(@Of('a', 'b'), 'c')").unwrap();
+        let b = parse_lf("@Of('a', @Of('b', 'c'))").unwrap();
+        let survivors = apply_single_family(WinnowStage::Associativity, &[a, b]);
+        assert_eq!(survivors.len(), 1);
+    }
+
+    #[test]
+    fn per_check_effect_counts_affected_sentences() {
+        let corpus = vec![
+            ambiguous_sentence(),
+            vec![parse_lf("@Is('checksum', @Num(0))").unwrap()],
+        ];
+        let eff = per_check_effect(WinnowStage::Type, &corpus);
+        assert_eq!(eff.total_sentences, 2);
+        assert_eq!(eff.affected_sentences, 1);
+        assert!(eff.mean_filtered > 0.0);
+        assert!(eff.std_error >= 0.0);
+    }
+
+    #[test]
+    fn base_family_is_identity() {
+        let base = ambiguous_sentence();
+        assert_eq!(apply_single_family(WinnowStage::Base, &base), base);
+    }
+
+    #[test]
+    fn all_check_effects_covers_four_families() {
+        let corpus = vec![ambiguous_sentence()];
+        let effects = all_check_effects(&corpus);
+        assert_eq!(effects.len(), 4);
+        assert!(effects.iter().any(|e| e.stage == WinnowStage::Type));
+        assert!(effects.iter().any(|e| e.stage == WinnowStage::Distributivity));
+    }
+
+    #[test]
+    fn empty_corpus_produces_zeroes() {
+        let eff = per_check_effect(WinnowStage::Type, &[]);
+        assert_eq!(eff.total_sentences, 0);
+        assert_eq!(eff.affected_sentences, 0);
+        assert_eq!(eff.mean_filtered, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! The execution environment for generated code.
+
+use sage_netsim::buffer::PacketBuf;
+use sage_netsim::headers::{icmp, ipv4};
+use sage_netsim::net::IcmpEvent;
+use std::collections::HashMap;
+
+/// The environment a generated packet-handling function runs in.
+#[derive(Debug, Clone)]
+pub struct Env {
+    /// The full received IP datagram.
+    pub request_ip: PacketBuf,
+    /// The ICMP (or other protocol) message being constructed as the reply.
+    pub reply: PacketBuf,
+    /// Source address the reply will carry (filled by the framework, may be
+    /// swapped by generated code).
+    pub reply_src: u32,
+    /// Destination address of the reply.
+    pub reply_dst: u32,
+    /// Named state variables (`bfd.RemoteDiscr`, `peer.timer`, modes, …).
+    pub vars: HashMap<String, i64>,
+    /// Set when generated code calls `discard_packet`.
+    pub discarded: bool,
+    /// Set when generated code calls `send_packet` (or implicitly at return).
+    pub sent: bool,
+    /// Set when generated code calls `cease_periodic_transmission`.
+    pub transmission_ceased: bool,
+}
+
+impl Env {
+    /// Environment for a reply to `event`, applying the static framework's
+    /// scaffolding rules (§5.1): echo/timestamp/info replies start from a
+    /// copy of the received ICMP message; error messages start from a fresh
+    /// header followed by the quoted original datagram.
+    pub fn for_event(event: IcmpEvent, request_ip: &PacketBuf) -> Env {
+        let icmp_payload = ipv4::payload(request_ip);
+        let reply = match event {
+            IcmpEvent::EchoRequest | IcmpEvent::TimestampRequest | IcmpEvent::InfoRequest => {
+                PacketBuf::from_bytes(icmp_payload.to_vec())
+            }
+            _ => {
+                let mut m = PacketBuf::zeroed(icmp::HEADER_LEN);
+                m.extend_from_slice(&icmp::quoted_payload(request_ip.as_bytes()));
+                m
+            }
+        };
+        let src = request_ip.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
+        let dst = request_ip.get_field(ipv4::FIELDS, "destination_address").unwrap_or(0) as u32;
+        let mut vars = HashMap::new();
+        if let IcmpEvent::Redirect(gateway) = event {
+            vars.insert("next_gateway".to_string(), i64::from(gateway));
+        }
+        if let IcmpEvent::ParameterProblem(pointer) = event {
+            vars.insert("error_octet".to_string(), i64::from(pointer));
+        }
+        Env {
+            request_ip: request_ip.clone(),
+            // The reply initially flows back the way the request came; the
+            // generated "reverse the source and destination addresses" code
+            // operates on these.
+            reply_src: src,
+            reply_dst: dst,
+            reply,
+            vars,
+            discarded: false,
+            sent: false,
+            transmission_ceased: false,
+        }
+    }
+
+    /// Environment for processing a received non-ICMP message (e.g. a BFD
+    /// control packet), where the "reply" buffer is the received message
+    /// itself and generated code mostly manipulates state variables.
+    pub fn for_received_message(message: &PacketBuf) -> Env {
+        Env {
+            request_ip: PacketBuf::new(),
+            reply: message.clone(),
+            reply_src: 0,
+            reply_dst: 0,
+            vars: HashMap::new(),
+            discarded: false,
+            sent: false,
+            transmission_ceased: false,
+        }
+    }
+
+    /// Read a state variable (0 if unset).
+    pub fn var(&self, name: &str) -> i64 {
+        self.vars.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a state variable.
+    pub fn set_var(&mut self, name: &str, value: i64) {
+        self.vars.insert(name.to_string(), value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sage_netsim::headers::ipv4::addr;
+
+    fn echo_request_ip() -> PacketBuf {
+        let echo = icmp::build_echo(false, 0x42, 3, b"payload!");
+        ipv4::build_packet(addr(10, 0, 1, 100), addr(10, 0, 1, 1), ipv4::PROTO_ICMP, 64, echo.as_bytes())
+    }
+
+    #[test]
+    fn echo_environment_starts_from_received_message() {
+        let req = echo_request_ip();
+        let env = Env::for_event(IcmpEvent::EchoRequest, &req);
+        assert_eq!(env.reply.as_bytes(), ipv4::payload(&req));
+        assert_eq!(env.reply_src, addr(10, 0, 1, 100));
+        assert_eq!(env.reply_dst, addr(10, 0, 1, 1));
+        assert!(!env.discarded);
+    }
+
+    #[test]
+    fn error_environment_quotes_header_plus_64_bits() {
+        let req = echo_request_ip();
+        let env = Env::for_event(IcmpEvent::DestinationUnreachable, &req);
+        assert_eq!(env.reply.len(), icmp::HEADER_LEN + ipv4::HEADER_LEN + 8);
+        // Quoted bytes start with the original IP header.
+        assert_eq!(env.reply.as_bytes()[icmp::HEADER_LEN], 0x45);
+    }
+
+    #[test]
+    fn redirect_environment_exposes_the_gateway() {
+        let req = echo_request_ip();
+        let env = Env::for_event(IcmpEvent::Redirect(addr(10, 0, 1, 1)), &req);
+        assert_eq!(env.var("next_gateway"), i64::from(addr(10, 0, 1, 1)));
+    }
+
+    #[test]
+    fn state_variables_default_to_zero() {
+        let req = echo_request_ip();
+        let mut env = Env::for_event(IcmpEvent::EchoRequest, &req);
+        assert_eq!(env.var("bfd.RemoteDiscr"), 0);
+        env.set_var("bfd.RemoteDiscr", 7);
+        assert_eq!(env.var("bfd.RemoteDiscr"), 7);
+    }
+
+    #[test]
+    fn received_message_environment() {
+        let msg = PacketBuf::from_bytes(vec![1, 2, 3, 4]);
+        let env = Env::for_received_message(&msg);
+        assert_eq!(env.reply.as_bytes(), &[1, 2, 3, 4]);
+        assert!(env.request_ip.is_empty());
+    }
+}

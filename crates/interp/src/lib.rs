@@ -1,0 +1,25 @@
+//! Execution of SAGE-generated code against the static framework.
+//!
+//! The paper compiles the generated C and links it against a static
+//! framework wrapping Linux networking; in this reproduction the generated
+//! code IR (`sage-codegen`) is interpreted directly against `sage-netsim`.
+//! The split of responsibilities mirrors §5.1: the *generated* code sets
+//! header fields, reverses addresses, computes checksums and decides
+//! control flow, while the *static framework* provides message scaffolding
+//! (allocating the reply buffer, quoting the offending datagram in error
+//! messages), lower-layer header access and one's-complement arithmetic.
+//!
+//! * [`env`] — the execution environment: the received packet, the reply
+//!   under construction, state variables and framework services;
+//! * [`exec`] — the statement/expression interpreter;
+//! * [`responder`] — adapters that plug generated programs into the virtual
+//!   network as [`sage_netsim::net::IcmpResponder`]s and into the BFD
+//!   session machinery.
+
+pub mod env;
+pub mod exec;
+pub mod responder;
+
+pub use env::Env;
+pub use exec::{eval_expr, exec_function, exec_stmt, ExecError};
+pub use responder::{BfdGeneratedReceiver, GeneratedResponder};

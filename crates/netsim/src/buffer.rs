@@ -1,0 +1,300 @@
+//! Packet buffers with named, table-driven field access.
+//!
+//! Generated code manipulates header fields by name (`hdr->type = 3;`).  In
+//! this substrate, each protocol module publishes a table of [`FieldSpec`]s
+//! (name, bit offset, bit width) — partly cross-checked against the header
+//! structs that `sage-spec` extracts from the RFC ASCII art — and
+//! [`PacketBuf`] reads and writes those fields in network byte order.
+
+use std::fmt;
+
+/// A named bit-field within a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldSpec {
+    /// Field name as used by generated code (lower-case, underscores).
+    pub name: &'static str,
+    /// Offset of the field's first bit from the start of the header.
+    pub offset_bits: usize,
+    /// Width of the field in bits (1..=64).
+    pub width_bits: usize,
+}
+
+impl FieldSpec {
+    /// Construct a field spec.
+    pub const fn new(name: &'static str, offset_bits: usize, width_bits: usize) -> FieldSpec {
+        FieldSpec {
+            name,
+            offset_bits,
+            width_bits,
+        }
+    }
+
+    /// The byte range `[start, end)` this field touches.
+    pub fn byte_range(&self) -> (usize, usize) {
+        let start = self.offset_bits / 8;
+        let end = (self.offset_bits + self.width_bits + 7) / 8;
+        (start, end)
+    }
+}
+
+/// Errors from field access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldError {
+    /// The named field is not in the table.
+    UnknownField(String),
+    /// The buffer is too short to contain the field.
+    OutOfBounds { field: String, needed: usize, len: usize },
+    /// The value does not fit in the field's width.
+    ValueTooLarge { field: String, width_bits: usize, value: u64 },
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::UnknownField(name) => write!(f, "unknown field '{name}'"),
+            FieldError::OutOfBounds { field, needed, len } => {
+                write!(f, "field '{field}' needs {needed} bytes but buffer has {len}")
+            }
+            FieldError::ValueTooLarge { field, width_bits, value } => {
+                write!(f, "value {value} does not fit in {width_bits}-bit field '{field}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// A growable packet buffer with bit-field accessors.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PacketBuf {
+    bytes: Vec<u8>,
+}
+
+impl PacketBuf {
+    /// An empty buffer.
+    pub fn new() -> PacketBuf {
+        PacketBuf { bytes: Vec::new() }
+    }
+
+    /// A zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> PacketBuf {
+        PacketBuf { bytes: vec![0; len] }
+    }
+
+    /// Wrap existing bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> PacketBuf {
+        PacketBuf { bytes }
+    }
+
+    /// The underlying bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable access to the underlying bytes.
+    pub fn as_bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Append raw bytes (e.g. a payload).
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.bytes.extend_from_slice(data);
+    }
+
+    fn find<'a>(table: &'a [FieldSpec], name: &str) -> Result<&'a FieldSpec, FieldError> {
+        table
+            .iter()
+            .find(|f| f.name == name)
+            .ok_or_else(|| FieldError::UnknownField(name.to_string()))
+    }
+
+    /// Read a named field (big-endian / network byte order).
+    pub fn get_field(&self, table: &[FieldSpec], name: &str) -> Result<u64, FieldError> {
+        let spec = Self::find(table, name)?;
+        self.get_bits(spec)
+    }
+
+    /// Write a named field (big-endian / network byte order).
+    pub fn set_field(&mut self, table: &[FieldSpec], name: &str, value: u64) -> Result<(), FieldError> {
+        let spec = Self::find(table, name)?;
+        self.set_bits(spec, value)
+    }
+
+    /// Read a field given its spec directly.
+    pub fn get_bits(&self, spec: &FieldSpec) -> Result<u64, FieldError> {
+        let (_, end) = spec.byte_range();
+        if end > self.bytes.len() {
+            return Err(FieldError::OutOfBounds {
+                field: spec.name.to_string(),
+                needed: end,
+                len: self.bytes.len(),
+            });
+        }
+        let mut value: u64 = 0;
+        for i in 0..spec.width_bits {
+            let bit_index = spec.offset_bits + i;
+            let byte = self.bytes[bit_index / 8];
+            let bit = (byte >> (7 - (bit_index % 8))) & 1;
+            value = (value << 1) | u64::from(bit);
+        }
+        Ok(value)
+    }
+
+    /// Write a field given its spec directly.
+    pub fn set_bits(&mut self, spec: &FieldSpec, value: u64) -> Result<(), FieldError> {
+        if spec.width_bits < 64 && value >= (1u64 << spec.width_bits) {
+            return Err(FieldError::ValueTooLarge {
+                field: spec.name.to_string(),
+                width_bits: spec.width_bits,
+                value,
+            });
+        }
+        let (_, end) = spec.byte_range();
+        if end > self.bytes.len() {
+            return Err(FieldError::OutOfBounds {
+                field: spec.name.to_string(),
+                needed: end,
+                len: self.bytes.len(),
+            });
+        }
+        for i in 0..spec.width_bits {
+            let bit_index = spec.offset_bits + i;
+            let bit_value = (value >> (spec.width_bits - 1 - i)) & 1;
+            let byte = &mut self.bytes[bit_index / 8];
+            let mask = 1u8 << (7 - (bit_index % 8));
+            if bit_value == 1 {
+                *byte |= mask;
+            } else {
+                *byte &= !mask;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE: &[FieldSpec] = &[
+        FieldSpec::new("type", 0, 8),
+        FieldSpec::new("code", 8, 8),
+        FieldSpec::new("checksum", 16, 16),
+        FieldSpec::new("version", 32, 4),
+        FieldSpec::new("ihl", 36, 4),
+        FieldSpec::new("word", 40, 32),
+    ];
+
+    #[test]
+    fn byte_aligned_fields_round_trip() {
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_field(TABLE, "type", 8).unwrap();
+        buf.set_field(TABLE, "code", 0).unwrap();
+        buf.set_field(TABLE, "checksum", 0xBEEF).unwrap();
+        assert_eq!(buf.get_field(TABLE, "type").unwrap(), 8);
+        assert_eq!(buf.get_field(TABLE, "checksum").unwrap(), 0xBEEF);
+        assert_eq!(buf.as_bytes()[2], 0xBE);
+        assert_eq!(buf.as_bytes()[3], 0xEF);
+    }
+
+    #[test]
+    fn sub_byte_fields_pack_correctly() {
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_field(TABLE, "version", 4).unwrap();
+        buf.set_field(TABLE, "ihl", 5).unwrap();
+        assert_eq!(buf.as_bytes()[4], 0x45);
+        assert_eq!(buf.get_field(TABLE, "version").unwrap(), 4);
+        assert_eq!(buf.get_field(TABLE, "ihl").unwrap(), 5);
+    }
+
+    #[test]
+    fn thirty_two_bit_fields() {
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_field(TABLE, "word", 0xDEADBEEF).unwrap();
+        assert_eq!(buf.get_field(TABLE, "word").unwrap(), 0xDEADBEEF);
+        assert_eq!(&buf.as_bytes()[5..9], &[0xDE, 0xAD, 0xBE, 0xEF]);
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let buf = PacketBuf::zeroed(8);
+        assert!(matches!(
+            buf.get_field(TABLE, "banana"),
+            Err(FieldError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let buf = PacketBuf::zeroed(2);
+        assert!(matches!(
+            buf.get_field(TABLE, "checksum"),
+            Err(FieldError::OutOfBounds { .. })
+        ));
+        let mut small = PacketBuf::zeroed(2);
+        assert!(small.set_field(TABLE, "checksum", 1).is_err());
+    }
+
+    #[test]
+    fn oversized_values_are_rejected() {
+        let mut buf = PacketBuf::zeroed(16);
+        assert!(matches!(
+            buf.set_field(TABLE, "version", 16),
+            Err(FieldError::ValueTooLarge { .. })
+        ));
+        assert!(buf.set_field(TABLE, "version", 15).is_ok());
+    }
+
+    #[test]
+    fn setting_a_field_does_not_disturb_neighbours() {
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_field(TABLE, "version", 0xF).unwrap();
+        buf.set_field(TABLE, "ihl", 0x0).unwrap();
+        assert_eq!(buf.get_field(TABLE, "version").unwrap(), 0xF);
+        buf.set_field(TABLE, "ihl", 0xA).unwrap();
+        assert_eq!(buf.get_field(TABLE, "version").unwrap(), 0xF);
+        assert_eq!(buf.get_field(TABLE, "ihl").unwrap(), 0xA);
+    }
+
+    #[test]
+    fn field_spec_byte_range() {
+        assert_eq!(FieldSpec::new("x", 0, 8).byte_range(), (0, 1));
+        assert_eq!(FieldSpec::new("x", 16, 16).byte_range(), (2, 4));
+        assert_eq!(FieldSpec::new("x", 36, 4).byte_range(), (4, 5));
+        assert_eq!(FieldSpec::new("x", 40, 32).byte_range(), (5, 9));
+    }
+
+    #[test]
+    fn extend_and_len() {
+        let mut buf = PacketBuf::new();
+        assert!(buf.is_empty());
+        buf.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.as_bytes(), &[1, 2, 3]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_round_trip_arbitrary_values(
+            offset in 0usize..64,
+            width in 1usize..33,
+            value in 0u64..u64::MAX,
+        ) {
+            let spec = FieldSpec { name: "f", offset_bits: offset, width_bits: width };
+            let masked = if width == 64 { value } else { value & ((1u64 << width) - 1) };
+            let mut buf = PacketBuf::zeroed(16);
+            buf.set_bits(&spec, masked).unwrap();
+            proptest::prop_assert_eq!(buf.get_bits(&spec).unwrap(), masked);
+        }
+    }
+}

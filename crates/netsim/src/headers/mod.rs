@@ -1,0 +1,96 @@
+//! Wire codecs and field tables for the protocols SAGE generates code for.
+//!
+//! Each protocol module exposes:
+//!
+//! * a `FIELDS` table of [`crate::buffer::FieldSpec`]s describing the header
+//!   layout (these mirror the header structs `sage-spec` extracts from the
+//!   RFC ASCII-art diagrams);
+//! * constants for message/type codes;
+//! * `build_*` helpers producing well-formed packets;
+//! * checksum helpers where the protocol defines one.
+
+pub mod bfd;
+pub mod icmp;
+pub mod igmp;
+pub mod ipv4;
+pub mod ntp;
+pub mod udp;
+
+/// Look up a protocol's field table by name ("ip", "icmp", "udp", "igmp",
+/// "ntp", "bfd").  Generated code resolves `hdr->field` references through
+/// this function.
+pub fn field_table(protocol: &str) -> Option<&'static [crate::buffer::FieldSpec]> {
+    match protocol.to_ascii_lowercase().as_str() {
+        "ip" | "ipv4" => Some(ipv4::FIELDS),
+        "icmp" => Some(icmp::FIELDS),
+        "udp" => Some(udp::FIELDS),
+        "igmp" => Some(igmp::FIELDS),
+        "ntp" => Some(ntp::FIELDS),
+        "bfd" => Some(bfd::FIELDS),
+        _ => None,
+    }
+}
+
+/// Header length in bytes for a protocol's fixed header.
+pub fn header_len(protocol: &str) -> Option<usize> {
+    match protocol.to_ascii_lowercase().as_str() {
+        "ip" | "ipv4" => Some(ipv4::HEADER_LEN),
+        "icmp" => Some(icmp::HEADER_LEN),
+        "udp" => Some(udp::HEADER_LEN),
+        "igmp" => Some(igmp::HEADER_LEN),
+        "ntp" => Some(ntp::HEADER_LEN),
+        "bfd" => Some(bfd::HEADER_LEN),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_table_lookup() {
+        assert!(field_table("icmp").is_some());
+        assert!(field_table("IP").is_some());
+        assert!(field_table("bfd").is_some());
+        assert!(field_table("quic").is_none());
+    }
+
+    #[test]
+    fn header_lengths_are_sane() {
+        assert_eq!(header_len("ip"), Some(20));
+        assert_eq!(header_len("icmp"), Some(8));
+        assert_eq!(header_len("udp"), Some(8));
+        assert_eq!(header_len("igmp"), Some(8));
+        assert_eq!(header_len("bfd"), Some(24));
+        assert_eq!(header_len("ntp"), Some(48));
+        assert_eq!(header_len("mystery"), None);
+    }
+
+    #[test]
+    fn every_field_fits_within_its_header() {
+        for proto in ["ip", "icmp", "udp", "igmp", "ntp", "bfd"] {
+            let table = field_table(proto).unwrap();
+            let len = header_len(proto).unwrap();
+            for f in table {
+                let (_, end) = f.byte_range();
+                assert!(
+                    end <= len,
+                    "{proto}.{} extends to byte {end} beyond header length {len}",
+                    f.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn field_names_are_unique_per_table() {
+        for proto in ["ip", "icmp", "udp", "igmp", "ntp", "bfd"] {
+            let table = field_table(proto).unwrap();
+            let mut names = std::collections::HashSet::new();
+            for f in table {
+                assert!(names.insert(f.name), "duplicate field {} in {proto}", f.name);
+            }
+        }
+    }
+}

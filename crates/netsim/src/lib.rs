@@ -1,0 +1,39 @@
+//! The *static framework* and network substrate for SAGE-generated code.
+//!
+//! §5.1 of the paper: "sage requires a pre-defined static framework that
+//! provides such functionality along with an API to access and manipulate
+//! headers of other protocols, and to interface with the OS."  The paper's
+//! framework wraps Linux sockets, Mininet, `ping`, `traceroute` and
+//! `tcpdump`; this crate provides equivalent functionality in-process:
+//!
+//! * [`checksum`] — one's-complement arithmetic (RFC 1071), including the
+//!   incremental-update form;
+//! * [`buffer`] — byte buffers with named bit-field access driven by field
+//!   tables, the mechanism generated code uses to touch headers;
+//! * [`headers`] — wire codecs and field tables for IPv4, UDP, ICMP, IGMP,
+//!   NTP and BFD;
+//! * [`net`] — a virtual network of hosts, routers and links (the Mininet
+//!   substitute), with routing, TTL handling and per-interface queues;
+//! * [`pcap`] — a classic-format pcap writer for packet-capture
+//!   verification;
+//! * [`tcpdump`] — a decoder/validator that mimics `tcpdump`'s sanity
+//!   checks (truncation, bad checksums, unknown types);
+//! * [`tools`] — `ping` and `traceroute` clients driven against the virtual
+//!   network;
+//! * [`faulty`] — the student-implementation fault model used to regenerate
+//!   Tables 2 and 3.
+
+pub mod buffer;
+pub mod checksum;
+pub mod faulty;
+pub mod headers;
+pub mod net;
+pub mod pcap;
+pub mod tcpdump;
+pub mod tools;
+
+pub use buffer::{FieldSpec, PacketBuf};
+pub use checksum::{incremental_update, ones_complement_checksum, ones_complement_sum};
+pub use headers::{bfd, icmp, igmp, ipv4, ntp, udp};
+pub use net::{Host, Interface, Network, RouterConfig};
+pub use tcpdump::{decode_packet, Decoded, Warning};

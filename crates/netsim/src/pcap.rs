@@ -1,0 +1,140 @@
+//! A classic-format pcap writer (the paper stores generated packets in pcap
+//! files and verifies them with tcpdump; §6.2).
+
+use std::io::{self, Write};
+
+/// Link type for raw IPv4/IPv6 packets (LINKTYPE_RAW).
+pub const LINKTYPE_RAW: u32 = 101;
+
+/// pcap magic number (microsecond timestamps, native byte order).
+pub const PCAP_MAGIC: u32 = 0xA1B2_C3D4;
+
+/// An in-memory pcap capture: a global header plus timestamped records.
+#[derive(Debug, Clone, Default)]
+pub struct PcapWriter {
+    packets: Vec<(u32, Vec<u8>)>,
+}
+
+impl PcapWriter {
+    /// Create an empty capture.
+    pub fn new() -> PcapWriter {
+        PcapWriter::default()
+    }
+
+    /// Append a packet with a synthetic timestamp (seconds).
+    pub fn add_packet(&mut self, timestamp_secs: u32, packet: &[u8]) {
+        self.packets.push((timestamp_secs, packet.to_vec()));
+    }
+
+    /// Number of captured packets.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True if no packets have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Serialise the capture to pcap bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        // Global header.
+        out.extend_from_slice(&PCAP_MAGIC.to_le_bytes());
+        out.extend_from_slice(&2u16.to_le_bytes()); // version major
+        out.extend_from_slice(&4u16.to_le_bytes()); // version minor
+        out.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        out.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        out.extend_from_slice(&65535u32.to_le_bytes()); // snaplen
+        out.extend_from_slice(&LINKTYPE_RAW.to_le_bytes());
+        // Records.
+        for (ts, pkt) in &self.packets {
+            out.extend_from_slice(&ts.to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes()); // microseconds
+            out.extend_from_slice(&(pkt.len() as u32).to_le_bytes()); // incl_len
+            out.extend_from_slice(&(pkt.len() as u32).to_le_bytes()); // orig_len
+            out.extend_from_slice(pkt);
+        }
+        out
+    }
+
+    /// Write the capture to any [`Write`] sink (e.g. a file).
+    pub fn write_to(&self, sink: &mut impl Write) -> io::Result<()> {
+        sink.write_all(&self.to_bytes())
+    }
+}
+
+/// Parse a pcap byte stream back into packets (used by tests and by the
+/// tcpdump substitute when reading captures).
+pub fn read_pcap(bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    if bytes.len() < 24 {
+        return None;
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+    if magic != PCAP_MAGIC {
+        return None;
+    }
+    let mut packets = Vec::new();
+    let mut pos = 24;
+    while pos + 16 <= bytes.len() {
+        let incl_len = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().ok()?) as usize;
+        let start = pos + 16;
+        let end = start + incl_len;
+        if end > bytes.len() {
+            return None;
+        }
+        packets.push(bytes[start..end].to_vec());
+        pos = end;
+    }
+    Some(packets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_header_is_24_bytes() {
+        let w = PcapWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.to_bytes().len(), 24);
+    }
+
+    #[test]
+    fn packets_round_trip() {
+        let mut w = PcapWriter::new();
+        w.add_packet(1, &[0x45, 0x00, 0x00, 0x14]);
+        w.add_packet(2, &[0xAB; 64]);
+        assert_eq!(w.len(), 2);
+        let bytes = w.to_bytes();
+        let packets = read_pcap(&bytes).unwrap();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(packets[0], vec![0x45, 0x00, 0x00, 0x14]);
+        assert_eq!(packets[1], vec![0xAB; 64]);
+    }
+
+    #[test]
+    fn linktype_is_raw_ip() {
+        let w = PcapWriter::new();
+        let bytes = w.to_bytes();
+        let linktype = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        assert_eq!(linktype, LINKTYPE_RAW);
+    }
+
+    #[test]
+    fn truncated_or_wrong_magic_is_rejected() {
+        assert!(read_pcap(&[1, 2, 3]).is_none());
+        let mut bytes = PcapWriter::new().to_bytes();
+        bytes[0] = 0;
+        assert!(read_pcap(&bytes).is_none());
+    }
+
+    #[test]
+    fn write_to_sink() {
+        let mut w = PcapWriter::new();
+        w.add_packet(0, &[1, 2, 3]);
+        let mut sink = Vec::new();
+        w.write_to(&mut sink).unwrap();
+        assert_eq!(sink, w.to_bytes());
+    }
+}

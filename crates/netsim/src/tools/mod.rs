@@ -1,0 +1,11 @@
+//! Simulated Linux network tools.
+//!
+//! §6.2 tests SAGE-generated ICMP code against `ping` and `traceroute`;
+//! these modules reproduce the relevant client-side behaviour of those
+//! tools against the virtual network in [`crate::net`].
+
+pub mod ping;
+pub mod traceroute;
+
+pub use ping::{ping_once, PingOutcome};
+pub use traceroute::{traceroute, Hop, TracerouteReport};

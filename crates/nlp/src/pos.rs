@@ -1,0 +1,222 @@
+//! A heuristic part-of-speech tagger.
+//!
+//! SAGE does not need full POS accuracy; it needs to recognise the
+//! closed-class words that determine CCG categories (determiners,
+//! prepositions, modal verbs, copulas, conjunctions) and to make a
+//! reasonable noun/verb guess for everything else so the chunker can build
+//! noun phrases.  RFC prose is stylised enough (RFC 7322 style guide) that a
+//! word-list + suffix heuristic performs well.
+
+use crate::token::{Token, TokenKind};
+
+/// Part-of-speech tags, restricted to what CCG category assignment needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    /// Determiners: the, a, an, this, that, any, no, each, every.
+    Determiner,
+    /// Prepositions: of, in, to, from, with, for, by, at, on.
+    Preposition,
+    /// Modal verbs: must, should, may, shall, can, will, might.
+    Modal,
+    /// Copulas and auxiliaries: is, are, was, were, be, been.
+    Copula,
+    /// Ordinary verbs (including past participles used passively).
+    Verb,
+    /// Coordinating conjunctions: and, or.
+    Conjunction,
+    /// Subordinating words: if, when, unless, while.
+    Subordinator,
+    /// Adjectives (including numbers used attributively).
+    Adjective,
+    /// Adverbs: simply, immediately, only.
+    Adverb,
+    /// Nouns and anything not otherwise classified.
+    Noun,
+    /// Numerals.
+    Number,
+    /// Pronouns: it, its, they, them, this (pronominal).
+    Pronoun,
+    /// Negation: not, no (as negator).
+    Negation,
+    /// Punctuation.
+    Punct,
+    /// Symbols such as `=`.
+    Symbol,
+}
+
+const DETERMINERS: &[&str] = &["the", "a", "an", "this", "these", "that", "those", "any", "each", "every", "some", "both", "no", "whichever"];
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "to", "from", "with", "for", "by", "at", "on", "into", "within", "without",
+    "via", "upon", "over", "under", "between", "through", "during", "before", "after", "as",
+    "per", "plus",
+];
+const MODALS: &[&str] = &["must", "should", "may", "shall", "can", "will", "might", "would", "could"];
+const COPULAS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "has", "have", "had"];
+const CONJUNCTIONS: &[&str] = &["and", "or", "nor"];
+const SUBORDINATORS: &[&str] = &["if", "when", "whenever", "unless", "while", "until", "where", "whether", "because", "since"];
+const PRONOUNS: &[&str] = &["it", "its", "they", "them", "their", "which", "who", "whom", "whose"];
+const NEGATIONS: &[&str] = &["not", "n't", "never"];
+const ADVERBS: &[&str] = &[
+    "simply", "immediately", "only", "also", "then", "thus", "otherwise", "however", "usually",
+    "normally", "always", "again", "already", "currently", "subsequently",
+];
+/// Common RFC verbs (base, third person and participle forms).
+const VERBS: &[&str] = &[
+    "set", "sets", "compute", "computes", "computed", "computing", "recompute", "recomputed",
+    "send", "sends", "sent", "sending", "receive", "receives", "received", "discard",
+    "discarded", "discards", "reverse", "reversed", "change", "changed", "changes", "form",
+    "forms", "formed", "use", "used", "uses", "identify", "identifies", "identified", "aid",
+    "match", "matches", "matching", "reach", "reaches", "reached", "call", "called", "calls",
+    "select", "selected", "selects", "cease", "ceases", "ceased", "update", "updated",
+    "updates", "initialize", "initialized", "transmit", "transmitted", "transmits", "replace",
+    "replaced", "return", "returned", "returns", "specify", "specified", "specifies",
+    "describe", "described", "describes", "contain", "contains", "contained", "assume",
+    "assumed", "assumes", "starting", "start", "started", "starts", "exceed", "exceeded",
+    "exceeds", "detect", "detected", "detects", "found", "find", "finds", "associated",
+    "associate", "belong", "belongs", "respond", "responds", "responded", "echoed", "copied",
+    "copy", "copies", "append", "appended", "insert", "inserted", "generate", "generated",
+    "generates",
+];
+
+/// Tag a single token, given (optionally) the previous tag for light
+/// context-sensitivity.
+pub fn tag_one(token: &Token, prev: Option<PosTag>) -> PosTag {
+    match token.kind {
+        TokenKind::Punct => return PosTag::Punct,
+        TokenKind::Symbol => return PosTag::Symbol,
+        TokenKind::Number => return PosTag::Number,
+        TokenKind::DottedIdent => return PosTag::Noun,
+        TokenKind::Word => {}
+    }
+    let w = token.lower.as_str();
+    if DETERMINERS.contains(&w) {
+        return PosTag::Determiner;
+    }
+    if NEGATIONS.contains(&w) {
+        return PosTag::Negation;
+    }
+    if PREPOSITIONS.contains(&w) {
+        return PosTag::Preposition;
+    }
+    if MODALS.contains(&w) {
+        return PosTag::Modal;
+    }
+    if COPULAS.contains(&w) {
+        return PosTag::Copula;
+    }
+    if CONJUNCTIONS.contains(&w) {
+        return PosTag::Conjunction;
+    }
+    if SUBORDINATORS.contains(&w) {
+        return PosTag::Subordinator;
+    }
+    if PRONOUNS.contains(&w) {
+        return PosTag::Pronoun;
+    }
+    if ADVERBS.contains(&w) {
+        return PosTag::Adverb;
+    }
+    if VERBS.contains(&w) {
+        return PosTag::Verb;
+    }
+    // Suffix heuristics for open-class words.
+    if w.ends_with("ly") {
+        return PosTag::Adverb;
+    }
+    if (w.ends_with("ed") || w.ends_with("ing") || w.ends_with("ify") || w.ends_with("ize"))
+        && w.len() > 4
+        && prev != Some(PosTag::Determiner)
+    {
+        return PosTag::Verb;
+    }
+    if w.ends_with("able") || w.ends_with("ous") || w.ends_with("ible") || w.ends_with("ive") {
+        return PosTag::Adjective;
+    }
+    PosTag::Noun
+}
+
+/// Tag a full token sequence.
+pub fn tag(tokens: &[Token]) -> Vec<PosTag> {
+    let mut tags = Vec::with_capacity(tokens.len());
+    for (i, t) in tokens.iter().enumerate() {
+        let prev = if i > 0 { Some(tags[i - 1]) } else { None };
+        tags.push(tag_one(t, prev));
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::tokenize;
+
+    fn tag_str(s: &str) -> Vec<PosTag> {
+        tag(&tokenize(s))
+    }
+
+    #[test]
+    fn closed_class_words() {
+        let tags = tag_str("the checksum must be zero");
+        assert_eq!(tags[0], PosTag::Determiner);
+        assert_eq!(tags[1], PosTag::Noun);
+        assert_eq!(tags[2], PosTag::Modal);
+        assert_eq!(tags[3], PosTag::Copula);
+        assert_eq!(tags[4], PosTag::Noun); // "zero" is a noun here; lexicon handles it
+    }
+
+    #[test]
+    fn is_tagged_as_copula() {
+        let tags = tag_str("The checksum is zero");
+        assert_eq!(tags[2], PosTag::Copula);
+    }
+
+    #[test]
+    fn if_and_conjunctions() {
+        let tags = tag_str("if code = 0 , an identifier and a sequence number");
+        assert_eq!(tags[0], PosTag::Subordinator);
+        assert!(tags.contains(&PosTag::Conjunction));
+        assert!(tags.contains(&PosTag::Symbol));
+    }
+
+    #[test]
+    fn verbs_by_list_and_suffix() {
+        let tags = tag_str("the checksum recomputed and the addresses reversed");
+        let verbs = tags.iter().filter(|t| **t == PosTag::Verb).count();
+        assert_eq!(verbs, 2);
+        // Suffix heuristic for a verb not in the list.
+        let tags2 = tag_str("the value obtained from the header");
+        assert!(tags2.contains(&PosTag::Verb));
+    }
+
+    #[test]
+    fn determiner_protects_following_ed_noun() {
+        // "the unused" should not be treated as a verb.
+        let tags = tag_str("the unused field");
+        assert_ne!(tags[1], PosTag::Verb);
+    }
+
+    #[test]
+    fn numbers_and_punctuation() {
+        let tags = tag_str("changed to 16, and recomputed.");
+        assert!(tags.contains(&PosTag::Number));
+        assert!(tags.contains(&PosTag::Punct));
+    }
+
+    #[test]
+    fn dotted_identifiers_are_nouns() {
+        let tags = tag_str("bfd.SessionState is Up");
+        assert_eq!(tags[0], PosTag::Noun);
+    }
+
+    #[test]
+    fn adverbs() {
+        let tags = tag_str("the source and destination addresses are simply reversed");
+        assert!(tags.contains(&PosTag::Adverb));
+    }
+
+    #[test]
+    fn prepositions() {
+        let tags = tag_str("the octet where an error was detected of the header");
+        assert!(tags.contains(&PosTag::Preposition));
+    }
+}

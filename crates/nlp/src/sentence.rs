@@ -1,0 +1,131 @@
+//! Sentence splitting for RFC paragraphs.
+//!
+//! RFC paragraphs are hard-wrapped at ~72 columns, so sentences span lines;
+//! field-description entries are often sentence fragments terminated only by
+//! the end of the entry.  The splitter joins wrapped lines, splits on
+//! sentence-final punctuation, and is careful about abbreviations and dotted
+//! identifiers (`bfd.SessionState`, `e.g.`, `10.0.1.1`).
+
+/// Abbreviations after which a period does not end a sentence.
+const ABBREVIATIONS: &[&str] = &["e.g", "i.e", "etc", "cf", "vs", "fig", "sec", "no", "rfc"];
+
+fn is_abbreviation(word: &str) -> bool {
+    let w = word.trim_end_matches('.').to_ascii_lowercase();
+    ABBREVIATIONS.contains(&w.as_str())
+}
+
+/// Split a paragraph of (possibly hard-wrapped) RFC prose into sentences.
+///
+/// The final fragment is returned even if it lacks terminal punctuation,
+/// because field descriptions frequently omit it.
+pub fn split_sentences(paragraph: &str) -> Vec<String> {
+    // Join hard-wrapped lines into a single logical line.
+    let joined = paragraph
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect::<Vec<_>>()
+        .join(" ");
+
+    let mut sentences = Vec::new();
+    let mut current = String::new();
+    let chars: Vec<char> = joined.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        current.push(c);
+        let end_of_text = i + 1 >= chars.len();
+        if c == '.' || c == '?' || c == '!' || c == ';' {
+            // A period inside a dotted identifier or number is not a boundary.
+            let next_is_space = end_of_text || chars[i + 1].is_whitespace();
+            let prev_word: String = current
+                .trim_end_matches(c)
+                .split_whitespace()
+                .last()
+                .unwrap_or("")
+                .to_string();
+            let prev_is_digit = prev_word.chars().last().map_or(false, |p| p.is_ascii_digit());
+            let next_nonspace_lower = chars[i + 1..]
+                .iter()
+                .find(|ch| !ch.is_whitespace())
+                .map_or(false, |ch| ch.is_lowercase());
+            let boundary = next_is_space
+                && !is_abbreviation(&prev_word)
+                && !(c == '.' && prev_is_digit && next_nonspace_lower);
+            if boundary {
+                let s = current.trim().to_string();
+                if !s.is_empty() {
+                    sentences.push(s);
+                }
+                current.clear();
+            }
+        }
+        i += 1;
+    }
+    let tail = current.trim().to_string();
+    if !tail.is_empty() {
+        sentences.push(tail);
+    }
+    sentences
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_two_sentences() {
+        let s = split_sentences("The checksum is zero. The code is one.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], "The checksum is zero.");
+        assert_eq!(s[1], "The code is one.");
+    }
+
+    #[test]
+    fn joins_hard_wrapped_lines() {
+        let para = "The checksum is the 16-bit one's complement of the one's\n   complement sum of the ICMP message starting with the ICMP Type.";
+        let s = split_sentences(para);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].contains("complement sum of the ICMP message"));
+        assert!(!s[0].contains('\n'));
+    }
+
+    #[test]
+    fn keeps_fragment_without_terminal_period() {
+        let s = split_sentences("The internet header plus the first 64 bits of the original datagram's data");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Core tools, e.g. ping and traceroute, use ICMP. They are common.");
+        assert_eq!(s.len(), 2);
+        assert!(s[0].contains("e.g. ping"));
+    }
+
+    #[test]
+    fn semicolons_split_clauses() {
+        let s = split_sentences("8 for echo message; 0 for echo reply message.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn bfd_two_sentence_rule() {
+        let para = "If the Your Discriminator field is nonzero, it MUST be used to select the session with which this BFD packet is associated. If no session is found, the packet MUST be discarded.";
+        let s = split_sentences(para);
+        assert_eq!(s.len(), 2);
+        assert!(s[1].starts_with("If no session is found"));
+    }
+
+    #[test]
+    fn empty_and_blank_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n  \n").is_empty());
+    }
+
+    #[test]
+    fn numbered_ip_addresses_do_not_split() {
+        let s = split_sentences("The router recognizes 10.0.1.1/24 and 192.168.2.1/24 as local subnets.");
+        assert_eq!(s.len(), 1);
+    }
+}

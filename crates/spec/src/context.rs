@@ -1,0 +1,195 @@
+//! Dynamic context dictionaries (Table 4).
+//!
+//! "sage auto-generates a context dictionary for each logical form (or
+//! sentence) to aid code generation" (§5.2): the protocol, the message the
+//! enclosing section describes, the field whose description the sentence
+//! appears in, and the sender/receiver role implied by the text.
+
+use crate::document::{Document, Sentence};
+
+/// Whether a sentence describes sender-side or receiver-side behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Role {
+    /// No explicit role: applies to both sides.
+    #[default]
+    Both,
+    /// Sender-side behaviour.
+    Sender,
+    /// Receiver-side behaviour.
+    Receiver,
+}
+
+impl Role {
+    /// Label used in the printed context dictionary (Table 4 uses "").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Role::Both => "",
+            Role::Sender => "sender",
+            Role::Receiver => "receiver",
+        }
+    }
+}
+
+/// The dynamic context dictionary for one sentence.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContextDict {
+    /// Protocol name ("ICMP").
+    pub protocol: String,
+    /// Message the section describes ("Destination Unreachable Message").
+    pub message: String,
+    /// Field the sentence describes, if it is part of a field list ("type").
+    pub field: String,
+    /// Sender/receiver role.
+    pub role: Role,
+}
+
+impl ContextDict {
+    /// Render in the JSON-ish form Table 4 shows.
+    pub fn render(&self) -> String {
+        format!(
+            "{{\"protocol\": \"{}\", \"message\": \"{}\", \"field\": \"{}\", \"role\": \"{}\"}}",
+            self.protocol,
+            self.message,
+            self.field,
+            self.role.label()
+        )
+    }
+}
+
+/// Infer the role from sentence text: mentions of replying/returning imply
+/// the receiver; mentions of forming/sending a request imply the sender.
+pub fn infer_role(sentence: &str) -> Role {
+    let lower = sentence.to_ascii_lowercase();
+    let receiver_cues = [
+        "reply",
+        "replies",
+        "is returned",
+        "must be returned",
+        "received in the echo message",
+        "respond",
+        "reversed",
+        "recomputed",
+    ];
+    let sender_cues = ["the sender", "is sent to", "sends"];
+    let receiver = receiver_cues.iter().any(|c| lower.contains(c));
+    let sender = sender_cues.iter().any(|c| lower.contains(c));
+    match (sender, receiver) {
+        (true, false) => Role::Sender,
+        (false, true) => Role::Receiver,
+        _ => Role::Both,
+    }
+}
+
+/// Build the context dictionary for a sentence extracted from a document.
+pub fn context_for(doc: &Document, sentence: &Sentence) -> ContextDict {
+    ContextDict {
+        protocol: doc.protocol.clone(),
+        message: sentence.section.clone(),
+        field: sentence
+            .field
+            .clone()
+            .unwrap_or_default()
+            .to_ascii_lowercase(),
+        role: infer_role(&sentence.text),
+    }
+}
+
+/// The *static* context dictionary (§5.2): terms whose meaning is defined by
+/// lower-layer protocols or the OS rather than by the RFC being processed.
+/// Maps a term to the `protocol.field` or framework function it denotes.
+pub fn static_context() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("source address", "ip.source_address"),
+        ("destination address", "ip.destination_address"),
+        ("source and destination addresses", "ip.source_address,ip.destination_address"),
+        ("internet header", "ip.header"),
+        ("time to live", "ip.ttl"),
+        ("time-to-live", "ip.ttl"),
+        ("type of service", "ip.type_of_service"),
+        ("ip checksum", "ip.header_checksum"),
+        ("one's complement sum", "framework.ones_complement_sum"),
+        ("ones complement sum", "framework.ones_complement_sum"),
+        ("16-bit one's complement", "framework.ones_complement"),
+        ("interface address", "os.interface_address"),
+        ("outbound buffer", "os.outbound_buffer"),
+        ("current time", "os.timestamp"),
+        ("port numbers", "udp.ports"),
+    ]
+}
+
+/// Look a term up in the static context dictionary.
+pub fn static_lookup(term: &str) -> Option<&'static str> {
+    let norm = term.trim().to_ascii_lowercase().replace('_', " ");
+    static_context()
+        .into_iter()
+        .find(|(k, _)| *k == norm)
+        .map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::{Block, FieldEntry, Section};
+
+    fn doc_with_type_field() -> Document {
+        Document {
+            protocol: "ICMP".into(),
+            rfc_number: 792,
+            sections: vec![Section {
+                title: "Destination Unreachable Message".into(),
+                blocks: vec![Block::FieldList(vec![FieldEntry {
+                    name: "Type".into(),
+                    description: "3".into(),
+                }])],
+            }],
+        }
+    }
+
+    #[test]
+    fn table4_context_dictionary() {
+        let doc = doc_with_type_field();
+        let sentence = &doc.sentences()[0];
+        let ctx = context_for(&doc, sentence);
+        assert_eq!(ctx.protocol, "ICMP");
+        assert_eq!(ctx.message, "Destination Unreachable Message");
+        assert_eq!(ctx.field, "type");
+        assert_eq!(ctx.role, Role::Both);
+        assert_eq!(
+            ctx.render(),
+            "{\"protocol\": \"ICMP\", \"message\": \"Destination Unreachable Message\", \"field\": \"type\", \"role\": \"\"}"
+        );
+    }
+
+    #[test]
+    fn role_inference() {
+        assert_eq!(
+            infer_role("To form an echo reply message, the source and destination addresses are simply reversed."),
+            Role::Receiver
+        );
+        assert_eq!(
+            infer_role("The data received in the echo message must be returned in the echo reply message."),
+            Role::Receiver
+        );
+        assert_eq!(infer_role("The checksum is the 16-bit one's complement of the sum."), Role::Both);
+        assert_eq!(infer_role("The sender sets the identifier."), Role::Sender);
+    }
+
+    #[test]
+    fn static_context_resolves_ip_terms() {
+        assert_eq!(static_lookup("source address"), Some("ip.source_address"));
+        assert_eq!(static_lookup("Source_Address"), Some("ip.source_address"));
+        assert_eq!(
+            static_lookup("one's complement sum"),
+            Some("framework.ones_complement_sum")
+        );
+        assert_eq!(static_lookup("flux capacitor"), None);
+    }
+
+    #[test]
+    fn static_context_has_no_duplicate_keys() {
+        let mut keys = std::collections::HashSet::new();
+        for (k, _) in static_context() {
+            assert!(keys.insert(k), "duplicate static-context key {k}");
+        }
+    }
+}

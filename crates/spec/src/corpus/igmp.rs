@@ -1,0 +1,101 @@
+//! RFC 1112 (IGMP, Appendix I) corpus — the packet-header description the
+//! paper parses for the §6.3 generality study.
+
+/// Excerpt of RFC 1112 Appendix I.
+pub const RAW_TEXT: &str = "\
+Appendix I. Internet Group Management Protocol
+
+   The Internet Group Management Protocol (IGMP) is used by IP hosts to
+   report their host group memberships to any immediately-neighboring
+   multicast routers.  IGMP messages are encapsulated in IP datagrams,
+   with an IP protocol number of 2.
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |Version| Type  |    Unused     |           Checksum            |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                         Group Address                          |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   Fields:
+
+   Version
+
+      This memo specifies version 1 of IGMP.
+
+   Type
+
+      1 = Host Membership Query;
+
+      2 = Host Membership Report.
+
+   Unused
+
+      Unused field, zeroed when sent, ignored when received.
+
+   Checksum
+
+      The checksum is the 16-bit one's complement of the one's complement
+      sum of the 8-octet IGMP message.  For computing the checksum, the
+      checksum field is zeroed.
+
+   Group Address
+
+      In a Host Membership Query message, the group address field is
+      zeroed when sent, ignored when received.  In a Host Membership
+      Report message, the group address field holds the IP host group
+      address of the group being reported.
+
+   Description
+
+      Multicast routers send Host Membership Query messages to discover
+      which host groups have members on their attached local networks.
+      Hosts respond to a Query by generating Host Membership Reports,
+      reporting each host group to which they belong on the network
+      interface from which the Query was received.
+";
+
+/// Sentences used for the IGMP part of the Figure 5b ambiguity analysis.
+pub const EVALUATED_SENTENCES: &[&str] = &[
+    "The checksum is the 16-bit one's complement of the one's complement sum of the 8-octet IGMP message.",
+    "For computing the checksum, the checksum field is zeroed.",
+    "In a Host Membership Query message, the group address field is zeroed when sent, ignored when received.",
+    "In a Host Membership Report message, the group address field holds the IP host group address of the group being reported.",
+    "Unused field, zeroed when sent, ignored when received.",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_parses_with_diagram_and_fields() {
+        let doc = crate::preprocess::parse_rfc("IGMP", 1112, RAW_TEXT);
+        assert!(doc.section("Internet Group Management").is_some());
+        let section = &doc.sections[0];
+        assert!(section.header_diagram().is_some());
+        let names: Vec<_> = section.field_entries().iter().map(|e| e.name.clone()).collect();
+        assert!(names.contains(&"Checksum".to_string()));
+        assert!(names.contains(&"Group Address".to_string()));
+    }
+
+    #[test]
+    fn diagram_extracts_group_address_width() {
+        let doc = crate::preprocess::parse_rfc("IGMP", 1112, RAW_TEXT);
+        let art = doc.sections[0].header_diagram().unwrap();
+        let hs = crate::headers::parse_header_diagram("igmp", art).unwrap();
+        let ga = hs.field("Group Address").unwrap();
+        assert_eq!(ga.width_bits, 32);
+        assert!(hs.field("Version").unwrap().width_bits <= 4);
+    }
+
+    #[test]
+    fn evaluated_sentences_are_in_the_corpus() {
+        let flat = RAW_TEXT.split_whitespace().collect::<Vec<_>>().join(" ");
+        for s in EVALUATED_SENTENCES {
+            let key: String = s.split_whitespace().take(6).collect::<Vec<_>>().join(" ");
+            assert!(flat.contains(&key), "missing: {key}");
+        }
+    }
+}

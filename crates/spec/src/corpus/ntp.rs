@@ -1,0 +1,141 @@
+//! RFC 1059 (NTP, Appendices A and B) corpus: UDP encapsulation, the packet
+//! header description, and the peer-variable timeout sentence of Table 11.
+
+/// Excerpt of RFC 1059 Appendices A and B (abridged to the parts the paper
+/// parses: the UDP encapsulation note, the header field descriptions and the
+/// timeout-procedure text).
+pub const RAW_TEXT: &str = "\
+Appendix A. UDP Header Format
+
+   An NTP packet consists of the UDP header followed by the NTP data
+   portion.  NTP messages are encapsulated in UDP datagrams.  The UDP
+   destination port field is assigned the value 123 for NTP.
+
+   Fields:
+
+   Source Port
+
+      UDP source port number.  In the case of a client request this field
+      is assigned by the client host, while for a server reply it is
+      copied from the destination port field of the request.
+
+   Destination Port
+
+      UDP destination port number.  In the case of a client request this
+      field is assigned the value 123, while for a server reply it is
+      copied from the source port field of the request.
+
+   Length
+
+      Length of the request or reply in octets, including the UDP header.
+
+   Checksum
+
+      Standard UDP checksum.
+
+Appendix B. NTP Data Format
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |LI | VN  |Mode |    Stratum    |     Poll      |   Precision   |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                          Root Delay                           |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                       Root Dispersion                         |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |                     Reference Identifier                      |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   Fields:
+
+   Leap Indicator
+
+      Two-bit code warning of impending leap second to be inserted at the
+      end of the last day of the current month.
+
+   Version Number
+
+      Three-bit code indicating the version number, currently one.
+
+   Mode
+
+      Three-bit code indicating the association mode.
+
+   Stratum
+
+      Integer identifying the stratum level of the local clock.
+
+   Poll
+
+      Signed integer indicating the maximum interval between successive
+      messages.
+
+   Precision
+
+      Signed integer indicating the precision of the local clock.
+
+Timeout Procedure
+
+   The timeout procedure is called in client mode and symmetric mode
+   when the peer timer reaches the value of the timer threshold
+   variable.  The peer timer is set to zero and the timeout procedure
+   constructs a new NTP message.  The message is sent to the peer
+   address using the UDP port assigned for NTP.
+";
+
+/// The Table 11 sentence and the code the paper shows for it.
+pub const TIMEOUT_SENTENCE: &str = "The timeout procedure is called in client mode and symmetric mode when the peer timer reaches the value of the timer threshold variable.";
+
+/// The Table 11 reference code (verbatim from the paper).
+pub const TIMEOUT_PAPER_CODE: &str = "\
+if (peer.timer >= peer.threshold) {
+    if (symmetric_mode || client_mode) {
+        timeout_procedure();
+    }
+}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_has_both_appendices_and_timeout_section() {
+        let doc = crate::preprocess::parse_rfc("NTP", 1059, RAW_TEXT);
+        assert!(doc.section("UDP Header Format").is_some());
+        assert!(doc.section("NTP Data Format").is_some());
+        assert!(doc.section("Timeout Procedure").is_some());
+    }
+
+    #[test]
+    fn timeout_sentence_is_extracted_from_the_document() {
+        let doc = crate::preprocess::parse_rfc("NTP", 1059, RAW_TEXT);
+        let found = doc
+            .sentences()
+            .into_iter()
+            .any(|s| s.text.contains("timeout procedure is called in client mode"));
+        assert!(found);
+    }
+
+    #[test]
+    fn ntp_header_diagram_extracts_subbyte_fields() {
+        let doc = crate::preprocess::parse_rfc("NTP", 1059, RAW_TEXT);
+        let art = doc.section("NTP Data Format").unwrap().header_diagram().unwrap();
+        let hs = crate::headers::parse_header_diagram("ntp", art).unwrap();
+        assert!(hs.field("Stratum").is_some());
+        assert!(hs.field("li").unwrap().width_bits <= 2);
+        assert_eq!(hs.field("Root Delay").unwrap().width_bits, 32);
+    }
+
+    #[test]
+    fn udp_port_123_is_described() {
+        assert!(RAW_TEXT.contains("assigned the value 123"));
+    }
+
+    #[test]
+    fn paper_code_shape() {
+        assert!(TIMEOUT_PAPER_CODE.contains("peer.timer >= peer.threshold"));
+        assert!(TIMEOUT_PAPER_CODE.contains("timeout_procedure()"));
+        assert!(TIMEOUT_SENTENCE.contains("client mode and symmetric mode"));
+    }
+}

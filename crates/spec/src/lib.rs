@@ -1,0 +1,26 @@
+//! RFC document handling: structure extraction and the embedded corpus.
+//!
+//! §3 of the paper ("Extracting structural and non-textual elements"): RFCs
+//! use indentation to represent content hierarchy, descriptive lists for
+//! field names and values, and ASCII art for packet header diagrams.  SAGE's
+//! pre-processors extract these so they can (a) supply missing sentence
+//! subjects during re-parsing, (b) populate the dynamic context dictionary
+//! used by code generation, and (c) emit header struct definitions directly.
+//!
+//! * [`document`] — the structured document model;
+//! * [`preprocess`] — raw RFC text → [`document::Document`];
+//! * [`headers`] — ASCII-art header diagrams → field layouts / C structs;
+//! * [`context`] — per-sentence dynamic context dictionaries (Table 4);
+//! * [`corpus`] — embedded excerpts of RFC 792 (ICMP), RFC 1112 (IGMP),
+//!   RFC 1059 (NTP) and RFC 5880 (BFD) used by the evaluation.
+
+pub mod context;
+pub mod corpus;
+pub mod document;
+pub mod headers;
+pub mod preprocess;
+
+pub use context::{ContextDict, Role};
+pub use document::{Block, Document, FieldEntry, Section, Sentence};
+pub use headers::{HeaderField, HeaderStruct};
+pub use preprocess::parse_rfc;

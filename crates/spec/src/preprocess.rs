@@ -1,0 +1,279 @@
+//! The RFC text pre-processor: raw (plain-text) RFC excerpts → a structured
+//! [`Document`].
+//!
+//! The pre-processor recognises, by indentation and layout conventions
+//! (RFC 7322 style):
+//!
+//! * section titles — unindented lines that are not part of a paragraph;
+//! * ASCII-art header diagrams — runs of lines containing `+-+-` rulers and
+//!   `|`-separated field rows;
+//! * field-description lists — a short capitalised line (the field name)
+//!   followed by more-deeply indented prose;
+//! * ordinary paragraphs, with their indentation recorded.
+
+use crate::document::{Block, Document, FieldEntry, Section};
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+fn looks_like_ruler(line: &str) -> bool {
+    let l = line.trim();
+    l.len() > 4 && l.chars().all(|c| c == '+' || c == '-') && l.contains('+')
+}
+
+fn looks_like_diagram_line(line: &str) -> bool {
+    let l = line.trim();
+    looks_like_ruler(l)
+        || (l.starts_with('|') && l.contains('|'))
+        || (!l.is_empty() && l.chars().all(|c| c.is_ascii_digit() || c == ' '))
+}
+
+fn looks_like_field_name(line: &str) -> bool {
+    let l = line.trim();
+    if l.is_empty() || l.len() > 40 || l.ends_with('.') || l.ends_with(',') {
+        return false;
+    }
+    let words: Vec<&str> = l.split_whitespace().collect();
+    if words.is_empty() || words.len() > 4 {
+        return false;
+    }
+    // Every word starts with an uppercase letter or digit ("Code", "Sequence
+    // Number", "Gateway Internet Address", "Originate Timestamp").
+    words
+        .iter()
+        .all(|w| w.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c.is_ascii_digit()))
+}
+
+fn looks_like_section_title(line: &str) -> bool {
+    let l = line.trim();
+    indent_of(line) == 0
+        && !l.is_empty()
+        && l.len() < 60
+        && !l.ends_with('.')
+        && l.split_whitespace().count() <= 8
+}
+
+/// Parse an RFC excerpt into a structured document.
+pub fn parse_rfc(protocol: &str, rfc_number: u32, text: &str) -> Document {
+    let mut doc = Document::new(protocol, rfc_number);
+    let mut current = Section::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+
+    let flush_paragraph = |section: &mut Section, para: &mut Vec<String>, indent: usize| {
+        if !para.is_empty() {
+            let joined = para.join(" ");
+            section.blocks.push(Block::Paragraph {
+                text: joined.split_whitespace().collect::<Vec<_>>().join(" "),
+                indent,
+            });
+            para.clear();
+        }
+    };
+
+    let mut para: Vec<String> = Vec::new();
+    let mut para_indent = 0usize;
+
+    while i < lines.len() {
+        let line = lines[i];
+        let trimmed = line.trim();
+
+        if trimmed.is_empty() {
+            flush_paragraph(&mut current, &mut para, para_indent);
+            i += 1;
+            continue;
+        }
+
+        // Header diagram: gather the run of diagram-looking lines.
+        if looks_like_ruler(trimmed) || (trimmed.starts_with('|') && trimmed.ends_with('|')) {
+            flush_paragraph(&mut current, &mut para, para_indent);
+            let mut art = Vec::new();
+            // Include up to two preceding bit-count lines if present.
+            while i < lines.len() && looks_like_diagram_line(lines[i]) {
+                art.push(lines[i].to_string());
+                i += 1;
+            }
+            current.blocks.push(Block::HeaderDiagram(art.join("\n")));
+            continue;
+        }
+
+        // Section title.
+        if looks_like_section_title(line) && para.is_empty() {
+            if !current.title.is_empty() || !current.blocks.is_empty() {
+                doc.sections.push(std::mem::take(&mut current));
+            }
+            current.title = trimmed.to_string();
+            i += 1;
+            continue;
+        }
+
+        // Field-description list: a field-name line followed by deeper text.
+        if looks_like_field_name(line) && indent_of(line) > 0 {
+            let base_indent = indent_of(line);
+            flush_paragraph(&mut current, &mut para, para_indent);
+            let mut entries = Vec::new();
+            while i < lines.len() {
+                let name_line = lines[i];
+                if name_line.trim().is_empty() {
+                    i += 1;
+                    continue;
+                }
+                if !(looks_like_field_name(name_line) && indent_of(name_line) == base_indent) {
+                    break;
+                }
+                let name = name_line.trim().to_string();
+                i += 1;
+                let mut desc = Vec::new();
+                while i < lines.len() {
+                    let d = lines[i];
+                    if d.trim().is_empty() {
+                        // A blank line ends the description only if the next
+                        // non-blank line is not deeper-indented prose.
+                        let next = lines[i + 1..].iter().find(|l| !l.trim().is_empty());
+                        match next {
+                            Some(n) if indent_of(n) > base_indent => {
+                                i += 1;
+                                continue;
+                            }
+                            _ => break,
+                        }
+                    }
+                    if indent_of(d) > base_indent {
+                        desc.push(d.trim().to_string());
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                entries.push(FieldEntry {
+                    name,
+                    description: desc.join(" "),
+                });
+            }
+            if !entries.is_empty() {
+                current.blocks.push(Block::FieldList(entries));
+            }
+            continue;
+        }
+
+        // Ordinary paragraph line.
+        if para.is_empty() {
+            para_indent = indent_of(line);
+        }
+        para.push(trimmed.to_string());
+        i += 1;
+    }
+    flush_paragraph(&mut current, &mut para, para_indent);
+    if !current.title.is_empty() || !current.blocks.is_empty() {
+        doc.sections.push(current);
+    }
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Echo or Echo Reply Message
+
+    0                   1                   2                   3
+    0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1 2 3 4 5 6 7 8 9 0 1
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |     Type      |     Code      |          Checksum             |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+   |           Identifier          |        Sequence Number        |
+   +-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+-+
+
+   The data received in the echo message must be returned in the echo
+   reply message.
+
+   Fields:
+
+   Code
+
+      0 for echo message;
+
+      8 for echo reply message.
+
+   Checksum
+
+      The checksum is the 16-bit one's complement of the one's
+      complement sum of the ICMP message starting with the ICMP Type.
+
+   Identifier
+
+      If code = 0, an identifier to aid in matching echos and replies,
+      may be zero.
+";
+
+    #[test]
+    fn sections_and_titles_are_recognised() {
+        let doc = parse_rfc("ICMP", 792, SAMPLE);
+        assert_eq!(doc.sections.len(), 1);
+        assert_eq!(doc.sections[0].title, "Echo or Echo Reply Message");
+    }
+
+    #[test]
+    fn diagram_is_extracted_as_one_block() {
+        let doc = parse_rfc("ICMP", 792, SAMPLE);
+        let art = doc.sections[0].header_diagram().expect("diagram");
+        assert!(art.contains("Sequence Number"));
+        assert!(art.contains("+-+-+"));
+        // It parses into the same struct the headers module expects.
+        let hs = crate::headers::parse_header_diagram("icmp_echo", art).unwrap();
+        assert_eq!(hs.field("checksum").unwrap().width_bits, 16);
+    }
+
+    #[test]
+    fn paragraphs_are_unwrapped() {
+        let doc = parse_rfc("ICMP", 792, SAMPLE);
+        let sentences = doc.sentences();
+        assert!(sentences
+            .iter()
+            .any(|s| s.text.contains("echo reply message") && s.field.is_none()));
+    }
+
+    #[test]
+    fn field_descriptions_are_attached_to_their_field() {
+        let doc = parse_rfc("ICMP", 792, SAMPLE);
+        let entries = doc.sections[0].field_entries();
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains(&"Code"));
+        assert!(names.contains(&"Checksum"));
+        assert!(names.contains(&"Identifier"));
+        let checksum = entries.iter().find(|e| e.name == "Checksum").unwrap();
+        assert!(checksum.description.contains("one's complement sum"));
+        let ident = entries.iter().find(|e| e.name == "Identifier").unwrap();
+        assert!(ident.description.contains("If code = 0"));
+    }
+
+    #[test]
+    fn sentences_from_field_lists_carry_field_names() {
+        let doc = parse_rfc("ICMP", 792, SAMPLE);
+        let with_field: Vec<_> = doc
+            .sentences()
+            .into_iter()
+            .filter(|s| s.field.is_some())
+            .collect();
+        assert!(with_field.len() >= 4);
+        assert!(with_field
+            .iter()
+            .any(|s| s.field.as_deref() == Some("Checksum") && s.text.contains("16-bit")));
+    }
+
+    #[test]
+    fn multiple_sections() {
+        let text = "Destination Unreachable Message\n\n   Some text about it.\n\nTime Exceeded Message\n\n   Other text here.\n";
+        let doc = parse_rfc("ICMP", 792, text);
+        assert_eq!(doc.sections.len(), 2);
+        assert_eq!(doc.sections[1].title, "Time Exceeded Message");
+    }
+
+    #[test]
+    fn empty_input() {
+        let doc = parse_rfc("ICMP", 792, "");
+        assert!(doc.sections.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: run the SAGE pipeline on a single RFC sentence and inspect
+//! every stage — noun-phrase chunking, CCG parsing, disambiguation and code
+//! generation.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sage_repro::codegen::handlers::generate_stmts;
+use sage_repro::core::pipeline::{Sage, SageConfig};
+use sage_repro::nlp::chunker::chunk_sentence;
+use sage_repro::nlp::{ChunkerConfig, TermDictionary};
+use sage_repro::spec::context::ContextDict;
+use sage_repro::spec::document::Sentence;
+
+fn main() {
+    let text = "For computing the checksum, the checksum field should be zero.";
+    println!("sentence: {text}\n");
+
+    // 1. Noun-phrase chunking (the SpaCy + term-dictionary stage).
+    let dict = TermDictionary::networking();
+    let phrases = chunk_sentence(text, &dict, ChunkerConfig::default());
+    println!("noun-phrase chunks:");
+    for p in &phrases {
+        println!("  [{:?}] {}", p.kind, p.text);
+    }
+
+    // 2-3. CCG parsing + disambiguation via the pipeline.
+    let sage = Sage::new(SageConfig::default());
+    let sentence = Sentence {
+        text: text.to_string(),
+        section: "Echo or Echo Reply Message".to_string(),
+        field: Some("Checksum".to_string()),
+    };
+    let context = ContextDict {
+        protocol: "ICMP".into(),
+        message: sentence.section.clone(),
+        field: "checksum".into(),
+        role: Default::default(),
+    };
+    let analysis = sage.analyze_sentence(&sentence, context.clone());
+    println!("\nlogical forms entering winnowing: {}", analysis.base_lf_count);
+    println!("counts after each check stage    : {:?}", analysis.trace.counts);
+    println!("status                           : {:?}", analysis.status);
+    for lf in &analysis.trace.survivors {
+        println!("surviving LF                     : {lf}");
+    }
+
+    // 4. Code generation for the surviving logical form.
+    if let Some(lf) = analysis.resolved_lf() {
+        let stmts = generate_stmts(lf, &context).expect("code generation");
+        println!("\ngenerated code:");
+        for s in stmts {
+            println!("    {}", s.to_c(0));
+        }
+    }
+}

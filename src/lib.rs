@@ -1,0 +1,14 @@
+//! Meta-crate for the SAGE reproduction workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` for an overview and `DESIGN.md` for the
+//! system inventory.
+pub use sage_ccg as ccg;
+pub use sage_codegen as codegen;
+pub use sage_core as core;
+pub use sage_disambig as disambig;
+pub use sage_interp as interp;
+pub use sage_logic as logic;
+pub use sage_netsim as netsim;
+pub use sage_nlp as nlp;
+pub use sage_spec as spec;

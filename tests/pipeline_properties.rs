@@ -1,0 +1,101 @@
+//! Property-based integration tests over the core invariants:
+//! winnowing never increases ambiguity, checksums verify after construction,
+//! field access round-trips, and the LF text format round-trips.
+
+use proptest::prelude::*;
+use sage_repro::disambig::winnow;
+use sage_repro::logic::{parse_lf, Lf, PredName};
+use sage_repro::netsim::buffer::{FieldSpec, PacketBuf};
+use sage_repro::netsim::checksum::{checksum_with_zeroed_field, ones_complement_sum};
+use sage_repro::netsim::headers::{icmp, ipv4};
+
+/// Strategy generating small random logical forms.
+fn arb_lf() -> impl Strategy<Value = Lf> {
+    let leaf = prop_oneof![
+        "[a-z_]{1,12}".prop_map(Lf::atom),
+        (0i64..256).prop_map(Lf::num),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Lf::is(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Lf::if_then(a, b)),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Lf::and),
+            (inner.clone(), inner).prop_map(|(a, b)| Lf::Pred(PredName::Of, vec![a, b])),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn winnowing_never_increases_lf_count(lfs in prop::collection::vec(arb_lf(), 1..8)) {
+        let trace = winnow(&lfs);
+        let mut unique = Vec::new();
+        for lf in &lfs {
+            if !unique.contains(lf) {
+                unique.push(lf.clone());
+            }
+        }
+        prop_assert!(trace.counts[0] <= lfs.len());
+        for w in trace.counts.windows(2) {
+            prop_assert!(w[1] <= w[0], "counts increased: {:?}", trace.counts);
+        }
+        prop_assert!(!trace.survivors.is_empty());
+        prop_assert!(trace.survivors.len() <= unique.len());
+    }
+
+    #[test]
+    fn lf_display_parse_round_trip(lf in arb_lf()) {
+        let text = lf.to_string();
+        let reparsed = parse_lf(&text).expect("display output must re-parse");
+        prop_assert_eq!(reparsed, lf);
+    }
+
+    #[test]
+    fn icmp_echo_checksum_always_verifies(
+        id in 0u16..=u16::MAX,
+        seq in 0u16..=u16::MAX,
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let msg = icmp::build_echo(false, id, seq, &payload);
+        prop_assert!(icmp::checksum_ok(&msg));
+        prop_assert_eq!(msg.get_field(icmp::FIELDS, "identifier").unwrap() as u16, id);
+        prop_assert_eq!(msg.get_field(icmp::FIELDS, "sequence_number").unwrap() as u16, seq);
+    }
+
+    #[test]
+    fn ip_packets_always_verify_and_round_trip_addresses(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in 1u8..=255,
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let pkt = ipv4::build_packet(src, dst, ipv4::PROTO_ICMP, ttl, &payload);
+        prop_assert!(ipv4::checksum_ok(&pkt));
+        prop_assert_eq!(pkt.get_field(ipv4::FIELDS, "source_address").unwrap() as u32, src);
+        prop_assert_eq!(pkt.get_field(ipv4::FIELDS, "destination_address").unwrap() as u32, dst);
+        prop_assert_eq!(ipv4::payload(&pkt), &payload[..]);
+    }
+
+    #[test]
+    fn checksum_field_insertion_yields_verifying_message(
+        data in prop::collection::vec(any::<u8>(), 8..64),
+    ) {
+        let mut buf = data;
+        let ck = checksum_with_zeroed_field(&buf, 2);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+        prop_assert_eq!(ones_complement_sum(&buf), 0xFFFF);
+    }
+
+    #[test]
+    fn field_access_round_trips(
+        offset in 0usize..64,
+        width in 1usize..32,
+        value in any::<u64>(),
+    ) {
+        let spec = FieldSpec { name: "f", offset_bits: offset, width_bits: width };
+        let masked = value & ((1u64 << width) - 1);
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_bits(&spec, masked).unwrap();
+        prop_assert_eq!(buf.get_bits(&spec).unwrap(), masked);
+    }
+}
