@@ -20,8 +20,12 @@ fn bench_single_lf_to_code(c: &mut Criterion) {
     )
     .unwrap();
     let mut group = c.benchmark_group("lf_to_code");
-    group.bench_function("table4_assignment", |b| b.iter(|| generate_stmts(&table4, &ctx)));
-    group.bench_function("table11_conditional", |b| b.iter(|| generate_stmts(&table11, &ctx)));
+    group.bench_function("table4_assignment", |b| {
+        b.iter(|| generate_stmts(&table4, &ctx))
+    });
+    group.bench_function("table11_conditional", |b| {
+        b.iter(|| generate_stmts(&table11, &ctx))
+    });
     group.finish();
 }
 
@@ -47,9 +51,16 @@ fn bench_message_assembly(c: &mut Criterion) {
 fn bench_full_program_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_generation");
     group.sample_size(10);
-    group.bench_function("rfc792_full_program", |b| b.iter(sage_core::generate_icmp_program));
+    group.bench_function("rfc792_full_program", |b| {
+        b.iter(sage_core::generate_icmp_program)
+    });
     group.finish();
 }
 
-criterion_group!(benches, bench_single_lf_to_code, bench_message_assembly, bench_full_program_generation);
+criterion_group!(
+    benches,
+    bench_single_lf_to_code,
+    bench_message_assembly,
+    bench_full_program_generation
+);
 criterion_main!(benches);

@@ -11,10 +11,19 @@ use sage_logic::Lf;
 
 fn figure2_lfs() -> Vec<Lf> {
     vec![
-        parse_lf("@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))").unwrap(),
+        parse_lf(
+            "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
+        )
+        .unwrap(),
         parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap(),
-        parse_lf("@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))").unwrap(),
-        parse_lf("@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))").unwrap(),
+        parse_lf(
+            "@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))",
+        )
+        .unwrap(),
+        parse_lf(
+            "@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))",
+        )
+        .unwrap(),
     ]
 }
 
@@ -33,7 +42,9 @@ fn bench_single_families(c: &mut Criterion) {
         WinnowStage::Distributivity,
         WinnowStage::Associativity,
     ] {
-        group.bench_function(stage.label(), |b| b.iter(|| apply_single_family(stage, &lfs)));
+        group.bench_function(stage.label(), |b| {
+            b.iter(|| apply_single_family(stage, &lfs))
+        });
     }
     group.finish();
 }
@@ -66,7 +77,9 @@ fn bench_associativity_ablation(c: &mut Criterion) {
 
 fn bench_figure6_statistics(c: &mut Criterion) {
     let corpus: Vec<Vec<Lf>> = (0..20).map(|_| figure2_lfs()).collect();
-    c.bench_function("figure6_per_check_effects", |b| b.iter(|| all_check_effects(&corpus)));
+    c.bench_function("figure6_per_check_effects", |b| {
+        b.iter(|| all_check_effects(&corpus))
+    });
 }
 
 criterion_group!(

@@ -14,7 +14,9 @@ fn bench_checksum(c: &mut Criterion) {
     let data_large = vec![0xCDu8; 1500];
     let mut group = c.benchmark_group("ones_complement_checksum");
     group.bench_function("64B", |b| b.iter(|| ones_complement_checksum(&data_small)));
-    group.bench_function("1500B", |b| b.iter(|| ones_complement_checksum(&data_large)));
+    group.bench_function("1500B", |b| {
+        b.iter(|| ones_complement_checksum(&data_large))
+    });
     group.finish();
 }
 
@@ -82,5 +84,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_checksum, bench_packet_construction, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_checksum,
+    bench_packet_construction,
+    bench_end_to_end
+);
 criterion_main!(benches);

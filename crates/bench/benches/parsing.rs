@@ -25,7 +25,13 @@ fn bench_sentence_parsing(c: &mut Criterion) {
     for (name, sentence) in sentences {
         group.bench_with_input(BenchmarkId::from_parameter(name), &sentence, |b, s| {
             b.iter(|| {
-                parse_sentence(s, &lexicon, &dict, ChunkerConfig::default(), ParserConfig::default())
+                parse_sentence(
+                    s,
+                    &lexicon,
+                    &dict,
+                    ChunkerConfig::default(),
+                    ParserConfig::default(),
+                )
             })
         });
     }
@@ -37,7 +43,8 @@ fn bench_parser_scaling(c: &mut Criterion) {
     // @Of-chain sentence.
     let lexicon = Lexicon::icmp();
     let dict = TermDictionary::networking();
-    let sentence = "The checksum of the header of the message of the packet of the datagram is zero.";
+    let sentence =
+        "The checksum of the header of the message of the packet of the datagram is zero.";
     let mut group = c.benchmark_group("parser_scaling");
     for cap in [8usize, 16, 48, 128] {
         group.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, cap| {
@@ -63,5 +70,10 @@ fn bench_corpus_parse(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sentence_parsing, bench_parser_scaling, bench_corpus_parse);
+criterion_group!(
+    benches,
+    bench_sentence_parsing,
+    bench_parser_scaling,
+    bench_corpus_parse
+);
 criterion_main!(benches);

@@ -10,7 +10,10 @@ use sage_spec::corpus::Protocol;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["fig5a", "fig5b", "fig5c", "fig6"].into_iter().map(String::from).collect()
+        vec!["fig5a", "fig5b", "fig5c", "fig6"]
+            .into_iter()
+            .map(String::from)
+            .collect()
     } else {
         args
     };

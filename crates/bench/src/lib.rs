@@ -8,7 +8,11 @@ pub fn render_table2() -> String {
     let mut out = String::from("Table 2: Error types of failed cases and their frequency\n");
     out.push_str(&format!("{:<55} {:>9}\n", "Error Type", "Frequency"));
     for row in eval::table2() {
-        out.push_str(&format!("{:<55} {:>8.0}%\n", row.label, row.frequency * 100.0));
+        out.push_str(&format!(
+            "{:<55} {:>8.0}%\n",
+            row.label,
+            row.frequency * 100.0
+        ));
     }
     out
 }
@@ -16,7 +20,10 @@ pub fn render_table2() -> String {
 /// Render Table 3.
 pub fn render_table3() -> String {
     let mut out = String::from("Table 3: Students' ICMP checksum range interpretations\n");
-    out.push_str(&format!("{:<6} {:<90} {}\n", "Index", "Interpretation", "Interoperates with ping?"));
+    out.push_str(&format!(
+        "{:<6} {:<90} {}\n",
+        "Index", "Interpretation", "Interoperates with ping?"
+    ));
     for row in eval::table3() {
         out.push_str(&format!(
             "{:<6} {:<90} {}\n",
@@ -73,10 +80,16 @@ pub fn render_table5() -> String {
 /// Render Table 6.
 pub fn render_table6() -> String {
     let mut out = String::from("Table 6: Examples of categorized rewritten text\n");
-    out.push_str(&format!("{:<20} {:>5}  {}\n", "Category", "Count", "Example"));
+    out.push_str(&format!(
+        "{:<20} {:>5}  {}\n",
+        "Category", "Count", "Example"
+    ));
     for row in eval::table6() {
         let example: String = row.example.chars().take(70).collect();
-        out.push_str(&format!("{:<20} {:>5}  {}...\n", row.category, row.count, example));
+        out.push_str(&format!(
+            "{:<20} {:>5}  {}...\n",
+            row.category, row.count, example
+        ));
     }
     out
 }
@@ -93,8 +106,12 @@ pub fn render_table7() -> String {
 
 /// Render Table 8.
 pub fn render_table8() -> String {
-    let mut out = String::from("Table 8: Effect of disabling components on number of logical forms\n");
-    out.push_str(&format!("{:<25} {:>9} {:>9} {:>6}\n", "Component removed", "Increase", "Decrease", "Zero"));
+    let mut out =
+        String::from("Table 8: Effect of disabling components on number of logical forms\n");
+    out.push_str(&format!(
+        "{:<25} {:>9} {:>9} {:>6}\n",
+        "Component removed", "Increase", "Decrease", "Zero"
+    ));
     for row in eval::table8() {
         out.push_str(&format!(
             "{:<25} {:>9} {:>9} {:>6}\n",
@@ -152,8 +169,14 @@ pub fn render_lexicon_counts() -> String {
 
 /// Render one Figure 5 panel.
 pub fn render_figure5(protocol: Protocol, label: &str) -> String {
-    let mut out = format!("Figure 5{label}: #LFs after inconsistency checks ({})\n", protocol.name());
-    out.push_str(&format!("{:<12} {:>6} {:>8} {:>6}\n", "Stage", "max", "avg", "min"));
+    let mut out = format!(
+        "Figure 5{label}: #LFs after inconsistency checks ({})\n",
+        protocol.name()
+    );
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>8} {:>6}\n",
+        "Stage", "max", "avg", "min"
+    ));
     for p in eval::figure5(protocol) {
         out.push_str(&format!(
             "{:<12} {:>6} {:>8.2} {:>6}\n",
@@ -192,9 +215,15 @@ pub fn render_end_to_end() -> String {
     let result = sage_core::icmp_end_to_end(&program);
     let mut out = String::from("End-to-end ICMP evaluation (§6.2)\n");
     for (scenario, ok) in &result.ping_results {
-        out.push_str(&format!("  {scenario:<28} {}\n", if *ok { "ok" } else { "FAILED" }));
+        out.push_str(&format!(
+            "  {scenario:<28} {}\n",
+            if *ok { "ok" } else { "FAILED" }
+        ));
     }
-    out.push_str(&format!("  traceroute                   {}\n", if result.traceroute_ok { "ok" } else { "FAILED" }));
+    out.push_str(&format!(
+        "  traceroute                   {}\n",
+        if result.traceroute_ok { "ok" } else { "FAILED" }
+    ));
     out.push_str(&format!(
         "  tcpdump clean ({} packets)    {}\n",
         result.packets_checked,

@@ -293,7 +293,12 @@ pub fn base_english_entries() -> Vec<LexEntry> {
         ),
         G,
     ));
-    v.push(LexEntry::new("set", C::verb_intrans(), unary_action("set"), G));
+    v.push(LexEntry::new(
+        "set",
+        C::verb_intrans(),
+        unary_action("set"),
+        G,
+    ));
     v.push(LexEntry::new(
         "update",
         C::forward(C::S, C::NP),
@@ -311,7 +316,12 @@ pub fn base_english_entries() -> Vec<LexEntry> {
         ("transmitted", "transmit"),
         ("associated", "associate"),
     ] {
-        v.push(LexEntry::new(verb, C::verb_intrans(), unary_action(action), G));
+        v.push(LexEntry::new(
+            verb,
+            C::verb_intrans(),
+            unary_action(action),
+            G,
+        ));
     }
     // Generic numbers written as words.
     v.push(LexEntry::new("zero", C::NP, SemTerm::num(0), G));
@@ -356,7 +366,12 @@ pub fn icmp_entries() -> Vec<LexEntry> {
         "icmp type",
         "icmp checksum",
     ] {
-        v.push(LexEntry::new(noun, C::NP, np_atom(&noun.replace(' ', "_")), G));
+        v.push(LexEntry::new(
+            noun,
+            C::NP,
+            np_atom(&noun.replace(' ', "_")),
+            G,
+        ));
     }
 
     // 25–38: message-type noun phrases.
@@ -376,7 +391,12 @@ pub fn icmp_entries() -> Vec<LexEntry> {
         "original datagram",
         "original datagram's data",
     ] {
-        v.push(LexEntry::new(msg, C::NP, np_atom(&msg.replace(' ', "_")), G));
+        v.push(LexEntry::new(
+            msg,
+            C::NP,
+            np_atom(&msg.replace(' ', "_")),
+            G,
+        ));
     }
 
     // 39–46: other domain nouns.
@@ -390,22 +410,87 @@ pub fn icmp_entries() -> Vec<LexEntry> {
         "octet",
         "data datagram",
     ] {
-        v.push(LexEntry::new(noun, C::NP, np_atom(&noun.replace(' ', "_")), G));
+        v.push(LexEntry::new(
+            noun,
+            C::NP,
+            np_atom(&noun.replace(' ', "_")),
+            G,
+        ));
     }
 
     // 47–58: verbs describing ICMP operations.
-    v.push(LexEntry::new("reversed", C::verb_intrans(), unary_action("reverse"), G));
-    v.push(LexEntry::new("recomputed", C::verb_intrans(), unary_action("recompute"), G));
-    v.push(LexEntry::new("computed", C::verb_intrans(), unary_action("compute"), G));
-    v.push(LexEntry::new("changed to", C::verb_trans(), trans(PredName::Is), G));
-    v.push(LexEntry::new("set to", C::verb_trans(), trans(PredName::Is), G));
-    v.push(LexEntry::new("identifies", C::verb_trans(), binary_action("identify"), G));
-    v.push(LexEntry::new("matching", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
-    v.push(LexEntry::new("aid in", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
-    v.push(LexEntry::new("to aid in", C::forward(C::np_postmodifier(), C::NP), trans(PredName::Of), G));
-    v.push(LexEntry::new("sent", C::verb_intrans(), unary_action("send"), G));
-    v.push(LexEntry::new("returned", C::verb_intrans(), unary_action("return"), G));
-    v.push(LexEntry::new("discarded", C::verb_intrans(), unary_action("discard"), G));
+    v.push(LexEntry::new(
+        "reversed",
+        C::verb_intrans(),
+        unary_action("reverse"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "recomputed",
+        C::verb_intrans(),
+        unary_action("recompute"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "computed",
+        C::verb_intrans(),
+        unary_action("compute"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "changed to",
+        C::verb_trans(),
+        trans(PredName::Is),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "set to",
+        C::verb_trans(),
+        trans(PredName::Is),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "identifies",
+        C::verb_trans(),
+        binary_action("identify"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "matching",
+        C::forward(C::np_postmodifier(), C::NP),
+        trans(PredName::Of),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "aid in",
+        C::forward(C::np_postmodifier(), C::NP),
+        trans(PredName::Of),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "to aid in",
+        C::forward(C::np_postmodifier(), C::NP),
+        trans(PredName::Of),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "sent",
+        C::verb_intrans(),
+        unary_action("send"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "returned",
+        C::verb_intrans(),
+        unary_action("return"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "discarded",
+        C::verb_intrans(),
+        unary_action("discard"),
+        G,
+    ));
 
     // 59–63: the "For computing the checksum, ..." advice construction
     // (Figure 7): $For, $Compute, plus related gerunds.
@@ -424,22 +509,113 @@ pub fn icmp_entries() -> Vec<LexEntry> {
         ),
         G,
     ));
-    v.push(LexEntry::new("computing", C::np_modifier(), SemTerm::lam("x", SemTerm::pred(PredName::Action, vec![SemTerm::atom("compute"), SemTerm::var("x")])), G));
-    v.push(LexEntry::new("forming", C::np_modifier(), SemTerm::lam("x", SemTerm::pred(PredName::Action, vec![SemTerm::atom("form"), SemTerm::var("x")])), G));
-    v.push(LexEntry::new("to form", C::forward(C::sentence_modifier(), C::NP), SemTerm::lam("x", SemTerm::lam("s", SemTerm::pred(PredName::AdvBefore, vec![SemTerm::pred(PredName::Action, vec![SemTerm::atom("form"), SemTerm::var("x")]), SemTerm::var("s")]))), G));
-    v.push(LexEntry::new("starting with", C::forward(C::np_postmodifier(), C::NP), trans(PredName::StartsWith), G));
+    v.push(LexEntry::new(
+        "computing",
+        C::np_modifier(),
+        SemTerm::lam(
+            "x",
+            SemTerm::pred(
+                PredName::Action,
+                vec![SemTerm::atom("compute"), SemTerm::var("x")],
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "forming",
+        C::np_modifier(),
+        SemTerm::lam(
+            "x",
+            SemTerm::pred(
+                PredName::Action,
+                vec![SemTerm::atom("form"), SemTerm::var("x")],
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "to form",
+        C::forward(C::sentence_modifier(), C::NP),
+        SemTerm::lam(
+            "x",
+            SemTerm::lam(
+                "s",
+                SemTerm::pred(
+                    PredName::AdvBefore,
+                    vec![
+                        SemTerm::pred(
+                            PredName::Action,
+                            vec![SemTerm::atom("form"), SemTerm::var("x")],
+                        ),
+                        SemTerm::var("s"),
+                    ],
+                ),
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "starting with",
+        C::forward(C::np_postmodifier(), C::NP),
+        trans(PredName::StartsWith),
+        G,
+    ));
 
     // 64–71: checksum-specific operations and idioms.  The one's-complement
     // phrases are NP keywords whose @Of relationships the preposition "of"
     // supplies, yielding the Figure 3 logical forms.
     v.push(LexEntry::new("one's complement", C::NP, np_atom("Ones"), G));
-    v.push(LexEntry::new("16-bit one's complement", C::NP, np_atom("Ones"), G));
-    v.push(LexEntry::new("16-bit ones's complement", C::NP, np_atom("Ones"), G));
-    v.push(LexEntry::new("one's complement sum", C::NP, np_atom("OnesSum"), G));
-    v.push(LexEntry::new("may be zero", C::verb_intrans(), SemTerm::lam("x", SemTerm::pred(PredName::May, vec![SemTerm::pred(PredName::Is, vec![SemTerm::var("x"), SemTerm::Ground(sage_logic::Lf::num(0))])])), G));
-    v.push(LexEntry::new("echos and replies", C::NP, np_atom("echos_and_replies"), G));
-    v.push(LexEntry::new("timestamp and replies", C::NP, np_atom("timestamp_and_replies"), G));
-    v.push(LexEntry::new("time exceeded", C::NP, np_atom("time_exceeded"), G));
+    v.push(LexEntry::new(
+        "16-bit one's complement",
+        C::NP,
+        np_atom("Ones"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "16-bit ones's complement",
+        C::NP,
+        np_atom("Ones"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "one's complement sum",
+        C::NP,
+        np_atom("OnesSum"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "may be zero",
+        C::verb_intrans(),
+        SemTerm::lam(
+            "x",
+            SemTerm::pred(
+                PredName::May,
+                vec![SemTerm::pred(
+                    PredName::Is,
+                    vec![SemTerm::var("x"), SemTerm::Ground(sage_logic::Lf::num(0))],
+                )],
+            ),
+        ),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "echos and replies",
+        C::NP,
+        np_atom("echos_and_replies"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "timestamp and replies",
+        C::NP,
+        np_atom("timestamp_and_replies"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "time exceeded",
+        C::NP,
+        np_atom("time_exceeded"),
+        G,
+    ));
 
     v
 }
@@ -452,10 +628,25 @@ pub fn igmp_entries() -> Vec<LexEntry> {
     use LexiconGroup::Igmp as G;
     vec![
         LexEntry::new("igmp message", C::NP, np_atom("igmp_message"), G),
-        LexEntry::new("host membership query", C::NP, np_atom("host_membership_query"), G),
-        LexEntry::new("host membership report", C::NP, np_atom("host_membership_report"), G),
+        LexEntry::new(
+            "host membership query",
+            C::NP,
+            np_atom("host_membership_query"),
+            G,
+        ),
+        LexEntry::new(
+            "host membership report",
+            C::NP,
+            np_atom("host_membership_report"),
+            G,
+        ),
         LexEntry::new("group address", C::NP, np_atom("group_address"), G),
-        LexEntry::new("host group address", C::NP, np_atom("host_group_address"), G),
+        LexEntry::new(
+            "host group address",
+            C::NP,
+            np_atom("host_group_address"),
+            G,
+        ),
         LexEntry::new("igmp checksum", C::NP, np_atom("igmp_checksum"), G),
         LexEntry::new("all-hosts group", C::NP, np_atom("all_hosts_group"), G),
         LexEntry::new("zeroed", C::verb_intrans(), unary_action("zero"), G),
@@ -472,7 +663,12 @@ pub fn ntp_entries() -> Vec<LexEntry> {
         LexEntry::new("ntp message", C::NP, np_atom("ntp_message"), G),
         LexEntry::new("timeout procedure", C::NP, np_atom("timeout_procedure"), G),
         LexEntry::new("peer timer", C::NP, np_atom("peer.timer"), G),
-        LexEntry::new("timer threshold variable", C::NP, np_atom("peer.threshold"), G),
+        LexEntry::new(
+            "timer threshold variable",
+            C::NP,
+            np_atom("peer.threshold"),
+            G,
+        ),
         LexEntry::new(
             "reaches",
             C::verb_trans(),
@@ -498,15 +694,35 @@ pub fn bfd_entries() -> Vec<LexEntry> {
     use Category as C;
     use LexiconGroup::Bfd as G;
     let mut v = vec![
-        LexEntry::new("bfd control packet", C::NP, np_atom("bfd_control_packet"), G),
+        LexEntry::new(
+            "bfd control packet",
+            C::NP,
+            np_atom("bfd_control_packet"),
+            G,
+        ),
         LexEntry::new("bfd packet", C::NP, np_atom("bfd_packet"), G),
-        LexEntry::new("your discriminator field", C::NP, np_atom("your_discriminator"), G),
-        LexEntry::new("my discriminator field", C::NP, np_atom("my_discriminator"), G),
+        LexEntry::new(
+            "your discriminator field",
+            C::NP,
+            np_atom("your_discriminator"),
+            G,
+        ),
+        LexEntry::new(
+            "my discriminator field",
+            C::NP,
+            np_atom("my_discriminator"),
+            G,
+        ),
         LexEntry::new("session", C::NP, np_atom("session"), G),
         LexEntry::new("local system", C::NP, np_atom("local_system"), G),
         LexEntry::new("remote system", C::NP, np_atom("remote_system"), G),
         LexEntry::new("demand mode", C::NP, np_atom("demand_mode"), G),
-        LexEntry::new("periodic transmission", C::NP, np_atom("periodic_transmission"), G),
+        LexEntry::new(
+            "periodic transmission",
+            C::NP,
+            np_atom("periodic_transmission"),
+            G,
+        ),
         LexEntry::new("up", C::NP, np_atom("Up"), G),
         LexEntry::new("down", C::NP, np_atom("Down"), G),
     ];
@@ -516,8 +732,18 @@ pub fn bfd_entries() -> Vec<LexEntry> {
         binary_action("select"),
         G,
     ));
-    v.push(LexEntry::new("found", C::verb_intrans(), unary_action("find"), G));
-    v.push(LexEntry::new("cease", C::verb_intrans(), unary_action("cease"), G));
+    v.push(LexEntry::new(
+        "found",
+        C::verb_intrans(),
+        unary_action("find"),
+        G,
+    ));
+    v.push(LexEntry::new(
+        "cease",
+        C::verb_intrans(),
+        unary_action("cease"),
+        G,
+    ));
     v.push(LexEntry::new(
         "cease the periodic transmission of",
         C::verb_trans(),
@@ -563,7 +789,10 @@ mod tests {
         let entries = lex.lookup("checksum");
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].category, Category::NP);
-        assert_eq!(entries[0].sem.to_lf().unwrap(), sage_logic::Lf::atom("checksum"));
+        assert_eq!(
+            entries[0].sem.to_lf().unwrap(),
+            sage_logic::Lf::atom("checksum")
+        );
     }
 
     #[test]

@@ -106,17 +106,19 @@ fn variants(lf: &Lf, config: OvergenConfig) -> Vec<Lf> {
     let mut out = Vec::new();
     if config.swap_if_arguments {
         out.extend(rewrite_nodes(lf, &|n| match n {
-            Lf::Pred(PredName::If, args) if args.len() == 2 => {
-                Some(Lf::Pred(PredName::If, vec![args[1].clone(), args[0].clone()]))
-            }
+            Lf::Pred(PredName::If, args) if args.len() == 2 => Some(Lf::Pred(
+                PredName::If,
+                vec![args[1].clone(), args[0].clone()],
+            )),
             _ => None,
         }));
     }
     if config.swap_is_arguments {
         out.extend(rewrite_nodes(lf, &|n| match n {
-            Lf::Pred(PredName::Is, args) if args.len() == 2 && args[1].is_leaf() => {
-                Some(Lf::Pred(PredName::Is, vec![args[1].clone(), args[0].clone()]))
-            }
+            Lf::Pred(PredName::Is, args) if args.len() == 2 && args[1].is_leaf() => Some(Lf::Pred(
+                PredName::Is,
+                vec![args[1].clone(), args[0].clone()],
+            )),
             _ => None,
         }));
     }
@@ -167,22 +169,20 @@ fn variants(lf: &Lf, config: OvergenConfig) -> Vec<Lf> {
         }));
         // @And(@Is(a, c), @Is(b, c))  →  @Is(@And(a, b), c)
         out.extend(rewrite_nodes(lf, &|n| match n {
-            Lf::Pred(PredName::And, items) if items.len() == 2 => {
-                match (&items[0], &items[1]) {
-                    (Lf::Pred(PredName::Is, l), Lf::Pred(PredName::Is, r))
-                        if l.len() == 2 && r.len() == 2 && l[1] == r[1] =>
-                    {
-                        Some(Lf::Pred(
-                            PredName::Is,
-                            vec![
-                                Lf::Pred(PredName::And, vec![l[0].clone(), r[0].clone()]),
-                                l[1].clone(),
-                            ],
-                        ))
-                    }
-                    _ => None,
+            Lf::Pred(PredName::And, items) if items.len() == 2 => match (&items[0], &items[1]) {
+                (Lf::Pred(PredName::Is, l), Lf::Pred(PredName::Is, r))
+                    if l.len() == 2 && r.len() == 2 && l[1] == r[1] =>
+                {
+                    Some(Lf::Pred(
+                        PredName::Is,
+                        vec![
+                            Lf::Pred(PredName::And, vec![l[0].clone(), r[0].clone()]),
+                            l[1].clone(),
+                        ],
+                    ))
                 }
-            }
+                _ => None,
+            },
             _ => None,
         }));
     }
@@ -270,7 +270,7 @@ mod tests {
             Lf::is(Lf::atom("code"), Lf::num(0)),
             Lf::is(Lf::atom("identifier"), Lf::num(0)),
         );
-        let out = overgenerate(&[base.clone()], OvergenConfig::default());
+        let out = overgenerate(std::slice::from_ref(&base), OvergenConfig::default());
         let swapped = Lf::if_then(
             Lf::is(Lf::atom("identifier"), Lf::num(0)),
             Lf::is(Lf::atom("code"), Lf::num(0)),
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn base_forms_are_retained_first() {
         let base = Lf::is(Lf::atom("checksum"), Lf::num(0));
-        let out = overgenerate(&[base.clone()], OvergenConfig::default());
+        let out = overgenerate(std::slice::from_ref(&base), OvergenConfig::default());
         assert_eq!(out[0], base);
     }
 
@@ -298,10 +298,13 @@ mod tests {
     fn distributivity_generates_both_readings() {
         // "(A and B) is C"
         let grouped = Lf::is(
-            Lf::and(vec![Lf::atom("source_address"), Lf::atom("destination_address")]),
+            Lf::and(vec![
+                Lf::atom("source_address"),
+                Lf::atom("destination_address"),
+            ]),
             Lf::atom("reversed"),
         );
-        let out = overgenerate(&[grouped.clone()], OvergenConfig::default());
+        let out = overgenerate(std::slice::from_ref(&grouped), OvergenConfig::default());
         let distributed = Lf::and(vec![
             Lf::is(Lf::atom("source_address"), Lf::atom("reversed")),
             Lf::is(Lf::atom("destination_address"), Lf::atom("reversed")),
@@ -318,7 +321,7 @@ mod tests {
                 Lf::atom("c"),
             ],
         );
-        let out = overgenerate(&[left.clone()], OvergenConfig::default());
+        let out = overgenerate(std::slice::from_ref(&left), OvergenConfig::default());
         let right = Lf::Pred(
             PredName::Of,
             vec![

@@ -312,7 +312,11 @@ fn forward_composition(left: &Item, right: &Item, out: &mut Vec<Item>) {
 /// application with the left conjunct completes coordination.
 fn coordination(left: &Item, right: &Item, out: &mut Vec<Item>) {
     if left.cat == Category::Conj && (right.cat == Category::NP || right.cat == Category::S) {
-        let conj_pred = match left.sem.to_lf().and_then(|l| l.as_atom().map(str::to_string)) {
+        let conj_pred = match left
+            .sem
+            .to_lf()
+            .and_then(|l| l.as_atom().map(str::to_string))
+        {
             Some(ref s) if s == "or" => PredName::Or,
             _ => PredName::And,
         };
@@ -358,7 +362,9 @@ mod tests {
     #[test]
     fn checksum_is_zero() {
         let r = parse("The checksum is zero.");
-        assert!(r.logical_forms.contains(&Lf::is(Lf::atom("checksum"), Lf::num(0))));
+        assert!(r
+            .logical_forms
+            .contains(&Lf::is(Lf::atom("checksum"), Lf::num(0))));
         assert!(!r.from_fragment);
     }
 

@@ -199,10 +199,7 @@ mod tests {
             "x",
             SemTerm::lam(
                 "y",
-                SemTerm::pred(
-                    PredName::Is,
-                    vec![SemTerm::var("y"), SemTerm::var("x")],
-                ),
+                SemTerm::pred(PredName::Is, vec![SemTerm::var("y"), SemTerm::var("x")]),
             ),
         )
     }
@@ -262,10 +259,7 @@ mod tests {
     fn freshen_renames_consistently() {
         let t = is_semantics().freshen(7);
         // Still reduces correctly after renaming.
-        let applied = SemTerm::app(
-            SemTerm::app(t, SemTerm::num(1)),
-            SemTerm::atom("code"),
-        );
+        let applied = SemTerm::app(SemTerm::app(t, SemTerm::num(1)), SemTerm::atom("code"));
         assert_eq!(
             applied.to_lf().unwrap(),
             Lf::is(Lf::atom("code"), Lf::num(1))

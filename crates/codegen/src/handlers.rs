@@ -180,13 +180,21 @@ fn resolve_expr(lf: &Lf, ctx: &ContextDict) -> Result<Expr, CodegenError> {
             Ok(Expr::Not(Box::new(resolve_expr(&args[0], ctx)?)))
         }
         Lf::Pred(PredName::Compare, args) if args.len() == 3 => {
-            let op = args[0]
-                .as_atom()
-                .ok_or_else(|| CodegenError::Malformed("@Compare operator must be an atom".into()))?;
-            Ok(Expr::binop(op, resolve_expr(&args[1], ctx)?, resolve_expr(&args[2], ctx)?))
+            let op = args[0].as_atom().ok_or_else(|| {
+                CodegenError::Malformed("@Compare operator must be an atom".into())
+            })?;
+            Ok(Expr::binop(
+                op,
+                resolve_expr(&args[1], ctx)?,
+                resolve_expr(&args[2], ctx)?,
+            ))
         }
         Lf::Pred(PredName::And, args) | Lf::Pred(PredName::Or, args) => {
-            let op = if matches!(lf.pred_name(), Some(PredName::Or)) { "||" } else { "&&" };
+            let op = if matches!(lf.pred_name(), Some(PredName::Or)) {
+                "||"
+            } else {
+                "&&"
+            };
             let mut exprs = args.iter().map(|a| resolve_expr(a, ctx));
             let first = exprs
                 .next()
@@ -273,7 +281,9 @@ fn action_expr(args: &[Lf], ctx: &ContextDict) -> Result<Expr, CodegenError> {
         // Unknown action: keep the original verb as the function name so the
         // failure is visible in review, but flag it for the non-actionable
         // discovery loop (§5.2).
-        return Err(CodegenError::NonActionable(format!("unknown action '{name}'")));
+        return Err(CodegenError::NonActionable(format!(
+            "unknown action '{name}'"
+        )));
     }
     Ok(Expr::call(func, call_args))
 }
@@ -328,9 +338,9 @@ fn generate_effect(lf: &Lf, ctx: &ContextDict) -> Result<Vec<Stmt>, CodegenError
         Lf::Pred(PredName::Must, args) | Lf::Pred(PredName::May, args) if args.len() == 1 => {
             generate_effect(&args[0], ctx)
         }
-        Lf::Pred(PredName::If, _) | Lf::Pred(PredName::AdvBefore, _) | Lf::Pred(PredName::AdvComment, _) => {
-            generate_stmts(lf, ctx)
-        }
+        Lf::Pred(PredName::If, _)
+        | Lf::Pred(PredName::AdvBefore, _)
+        | Lf::Pred(PredName::AdvComment, _) => generate_stmts(lf, ctx),
         Lf::Pred(PredName::Action, args) => {
             let expr = action_expr(args, ctx)?;
             match expr {
@@ -428,10 +438,8 @@ mod tests {
 
     #[test]
     fn figure2_advice_orders_checksum_zeroing_before_compute() {
-        let lf = parse_lf(
-            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
-        )
-        .unwrap();
+        let lf = parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+            .unwrap();
         let ctx = icmp_ctx("Echo or Echo Reply Message", "checksum");
         let stmts = generate_stmts(&lf, &ctx).unwrap();
         let c: Vec<String> = stmts.iter().map(|s| s.to_c(0)).collect();
@@ -466,7 +474,11 @@ mod tests {
         let ctx = icmp_ctx("Echo or Echo Reply Message", "");
         let stmts = generate_stmts(&lf, &ctx).unwrap();
         assert_eq!(stmts.len(), 3);
-        let all = stmts.iter().map(|s| s.to_c(0)).collect::<Vec<_>>().join("\n");
+        let all = stmts
+            .iter()
+            .map(|s| s.to_c(0))
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(all.contains("reverse_source_and_destination"));
         assert!(all.contains("icmp_hdr->type = 0;"));
         assert!(all.contains("compute_checksum"));
@@ -482,7 +494,10 @@ mod tests {
             role: Role::Receiver,
         };
         let stmts = generate_stmts(&lf, &ctx).unwrap();
-        assert_eq!(stmts[0].to_c(0), "bfd.RemoteDiscr = bfd_hdr->my_discriminator;");
+        assert_eq!(
+            stmts[0].to_c(0),
+            "bfd.RemoteDiscr = bfd_hdr->my_discriminator;"
+        );
     }
 
     #[test]
@@ -534,20 +549,21 @@ mod tests {
 
     #[test]
     fn checksum_of_chain_resolves_to_framework_calls() {
-        let lf = parse_lf(
-            "@Is('checksum', @Of('Ones', @Of('OnesSum', 'icmp_message')))",
-        )
-        .unwrap();
+        let lf = parse_lf("@Is('checksum', @Of('Ones', @Of('OnesSum', 'icmp_message')))").unwrap();
         let ctx = icmp_ctx("Echo or Echo Reply Message", "checksum");
         let stmts = generate_stmts(&lf, &ctx).unwrap();
         let c = stmts[0].to_c(0);
-        assert!(c.contains("icmp_hdr->checksum = ones_complement(ones_complement_sum(icmp_message))"));
+        assert!(
+            c.contains("icmp_hdr->checksum = ones_complement(ones_complement_sum(icmp_message))")
+        );
     }
 
     #[test]
     fn error_display() {
         let e = CodegenError::UnresolvedTerm("frobnicator".into());
         assert!(e.to_string().contains("frobnicator"));
-        assert!(CodegenError::UnknownPredicate("X".into()).to_string().contains("@X"));
+        assert!(CodegenError::UnknownPredicate("X".into())
+            .to_string()
+            .contains("@X"));
     }
 }

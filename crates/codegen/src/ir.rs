@@ -154,7 +154,8 @@ impl Stmt {
     pub fn count(&self) -> usize {
         match self {
             Stmt::If { then, els, .. } => {
-                1 + then.iter().map(Stmt::count).sum::<usize>() + els.iter().map(Stmt::count).sum::<usize>()
+                1 + then.iter().map(Stmt::count).sum::<usize>()
+                    + els.iter().map(Stmt::count).sum::<usize>()
             }
             _ => 1,
         }
@@ -203,7 +204,9 @@ pub struct Program {
 impl Program {
     /// Find a function by name substring.
     pub fn function(&self, name_fragment: &str) -> Option<&Function> {
-        self.functions.iter().find(|f| f.name.contains(name_fragment))
+        self.functions
+            .iter()
+            .find(|f| f.name.contains(name_fragment))
     }
 
     /// Render the whole program as C-like source.
@@ -239,7 +242,11 @@ mod tests {
     fn table11_code_shape() {
         // Table 11: nested ifs guarding timeout_procedure().
         let inner = Stmt::If {
-            cond: Expr::binop("||", Expr::Var("symmetric_mode".into()), Expr::Var("client_mode".into())),
+            cond: Expr::binop(
+                "||",
+                Expr::Var("symmetric_mode".into()),
+                Expr::Var("client_mode".into()),
+            ),
             then: vec![Stmt::Call {
                 name: "timeout_procedure".into(),
                 args: vec![],
@@ -247,7 +254,11 @@ mod tests {
             els: vec![],
         };
         let outer = Stmt::If {
-            cond: Expr::binop(">=", Expr::Var("peer.timer".into()), Expr::Var("peer.threshold".into())),
+            cond: Expr::binop(
+                ">=",
+                Expr::Var("peer.timer".into()),
+                Expr::Var("peer.threshold".into()),
+            ),
             then: vec![inner],
             els: vec![],
         };
@@ -293,7 +304,9 @@ mod tests {
                 value: Expr::Num(0),
             }],
         };
-        assert!(f.to_c().starts_with("void icmp_echo_reply_receiver(struct packet *pkt) {"));
+        assert!(f
+            .to_c()
+            .starts_with("void icmp_echo_reply_receiver(struct packet *pkt) {"));
         assert_eq!(f.stmt_count(), 1);
         let p = Program {
             structs: vec!["struct icmp_echo { uint8_t type; };\n".into()],

@@ -40,7 +40,13 @@ pub fn function_name(protocol: &str, message: &str, role: Role) -> String {
 fn slug(s: &str) -> String {
     let mut out: String = s
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     while out.contains("__") {
         out = out.replace("__", "_");
@@ -211,13 +217,28 @@ mod tests {
     #[test]
     fn sender_and_receiver_get_separate_functions() {
         let lfs = vec![
-            annotated("@Is('type', @Num(8))", "Echo or Echo Reply Message", "type", Role::Sender, "s1"),
-            annotated("@Is('type', @Num(0))", "Echo or Echo Reply Message", "type", Role::Receiver, "s2"),
+            annotated(
+                "@Is('type', @Num(8))",
+                "Echo or Echo Reply Message",
+                "type",
+                Role::Sender,
+                "s1",
+            ),
+            annotated(
+                "@Is('type', @Num(0))",
+                "Echo or Echo Reply Message",
+                "type",
+                Role::Receiver,
+                "s2",
+            ),
         ];
         let report = assemble_message_functions(&lfs);
         assert_eq!(report.functions.len(), 2);
         assert!(report.functions.iter().any(|f| f.name.ends_with("_sender")));
-        assert!(report.functions.iter().any(|f| f.name.ends_with("_receiver")));
+        assert!(report
+            .functions
+            .iter()
+            .any(|f| f.name.ends_with("_receiver")));
     }
 
     #[test]

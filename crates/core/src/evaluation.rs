@@ -134,17 +134,14 @@ pub fn table3() -> Vec<Table3Row> {
                 64,
                 echo.as_bytes(),
             );
-            let interoperates = match Network::appendix_a()
-                .router_process(&request, 0, &mut StudentResponder::new(spec))
-            {
-                RouterAction::IcmpReply(reply) => validate_reply(
-                    &reply,
-                    ipv4::addr(10, 0, 1, 100),
-                    7,
-                    1,
-                    &payload,
-                )
-                .success(),
+            let interoperates = match Network::appendix_a().router_process(
+                &request,
+                0,
+                &mut StudentResponder::new(spec),
+            ) {
+                RouterAction::IcmpReply(reply) => {
+                    validate_reply(&reply, ipv4::addr(10, 0, 1, 100), 7, 1, &payload).success()
+                }
                 _ => false,
             };
             let _ = &mut net;
@@ -331,29 +328,69 @@ pub struct CoverageMatrix {
 
 /// Table 9: conceptual components in RFCs.
 pub fn table9() -> CoverageMatrix {
-    let protocols = vec!["IPv4", "TCP", "UDP", "ICMP", "NTP", "OSPF2", "BGP4", "RTP", "BFD"];
+    let protocols = vec![
+        "IPv4", "TCP", "UDP", "ICMP", "NTP", "OSPF2", "BGP4", "RTP", "BFD",
+    ];
     let rows = vec![
         ("Packet Format", "full", vec![true; 9]),
-        ("Interoperation", "full", vec![true, true, true, true, true, true, true, false, true]),
+        (
+            "Interoperation",
+            "full",
+            vec![true, true, true, true, true, true, true, false, true],
+        ),
         ("Pseudo Code", "full", vec![true; 9]),
-        ("State/Session Mngmt.", "partial", vec![false, true, false, false, true, true, true, false, true]),
-        ("Comm. Patterns", "none", vec![false, true, false, false, true, true, true, true, true]),
-        ("Architecture", "none", vec![false, false, false, false, false, true, true, true, false]),
+        (
+            "State/Session Mngmt.",
+            "partial",
+            vec![false, true, false, false, true, true, true, false, true],
+        ),
+        (
+            "Comm. Patterns",
+            "none",
+            vec![false, true, false, false, true, true, true, true, true],
+        ),
+        (
+            "Architecture",
+            "none",
+            vec![false, false, false, false, false, true, true, true, false],
+        ),
     ];
     CoverageMatrix { protocols, rows }
 }
 
 /// Table 10: syntactic components in RFCs.
 pub fn table10() -> CoverageMatrix {
-    let protocols = vec!["IPv4", "TCP", "UDP", "ICMP", "NTP", "OSPF2", "BGP4", "RTP", "BFD"];
+    let protocols = vec![
+        "IPv4", "TCP", "UDP", "ICMP", "NTP", "OSPF2", "BGP4", "RTP", "BFD",
+    ];
     let rows = vec![
         ("Header Diagram", "full", vec![true; 9]),
         ("Listing", "full", vec![true; 9]),
-        ("Table", "none", vec![true, true, false, false, true, true, true, true, true]),
-        ("Algorithm Description", "none", vec![false, true, false, false, true, true, true, true, true]),
-        ("Other Figures", "none", vec![true, false, false, false, true, true, false, true, true]),
-        ("Seq./Comm. Diagram", "none", vec![false, true, false, false, true, false, true, true, true]),
-        ("State Machine Diagram", "none", vec![false, true, false, false, false, false, false, false, true]),
+        (
+            "Table",
+            "none",
+            vec![true, true, false, false, true, true, true, true, true],
+        ),
+        (
+            "Algorithm Description",
+            "none",
+            vec![false, true, false, false, true, true, true, true, true],
+        ),
+        (
+            "Other Figures",
+            "none",
+            vec![true, false, false, false, true, true, false, true, true],
+        ),
+        (
+            "Seq./Comm. Diagram",
+            "none",
+            vec![false, true, false, false, true, false, true, true, true],
+        ),
+        (
+            "State Machine Diagram",
+            "none",
+            vec![false, true, false, false, false, false, false, false, true],
+        ),
     ];
     CoverageMatrix { protocols, rows }
 }
@@ -397,11 +434,30 @@ pub fn table11() -> Table11Result {
     // Check the semantics against the peer-variable model.
     let semantics_ok = {
         use sage_netsim::headers::ntp::{mode, PeerVariables};
-        let client = PeerVariables { timer: 64, threshold: 64, mode: mode::CLIENT };
-        let symmetric = PeerVariables { timer: 64, threshold: 64, mode: mode::SYMMETRIC_ACTIVE };
-        let server = PeerVariables { timer: 64, threshold: 64, mode: mode::SERVER };
-        let below = PeerVariables { timer: 10, threshold: 64, mode: mode::CLIENT };
-        client.timeout_due() && symmetric.timeout_due() && !server.timeout_due() && !below.timeout_due()
+        let client = PeerVariables {
+            timer: 64,
+            threshold: 64,
+            mode: mode::CLIENT,
+        };
+        let symmetric = PeerVariables {
+            timer: 64,
+            threshold: 64,
+            mode: mode::SYMMETRIC_ACTIVE,
+        };
+        let server = PeerVariables {
+            timer: 64,
+            threshold: 64,
+            mode: mode::SERVER,
+        };
+        let below = PeerVariables {
+            timer: 10,
+            threshold: 64,
+            mode: mode::CLIENT,
+        };
+        client.timeout_due()
+            && symmetric.timeout_due()
+            && !server.timeout_due()
+            && !below.timeout_due()
     };
     Table11Result {
         sentence: sage_spec::corpus::ntp::TIMEOUT_SENTENCE,
@@ -431,7 +487,9 @@ pub struct Fig5Point {
 pub fn figure5(protocol: Protocol) -> Vec<Fig5Point> {
     let sage = Sage::default();
     let report = match protocol {
-        Protocol::Bfd => sage.analyze_sentences("BFD", sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES),
+        Protocol::Bfd => {
+            sage.analyze_sentences("BFD", sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES)
+        }
         _ => sage.analyze_document(&protocol.document()),
     };
     let ambiguous: Vec<_> = report
@@ -490,9 +548,15 @@ pub fn disambiguation_summary() -> Vec<(&'static str, usize)> {
     let report = Sage::default().analyze_document(&Protocol::Icmp.document());
     vec![
         ("total sentences", report.analyses.len()),
-        ("resolved automatically", report.count(SentenceStatus::Resolved)),
+        (
+            "resolved automatically",
+            report.count(SentenceStatus::Resolved),
+        ),
         ("zero logical forms", report.count(SentenceStatus::ZeroLf)),
-        ("ambiguous after winnowing", report.count(SentenceStatus::Ambiguous)),
+        (
+            "ambiguous after winnowing",
+            report.count(SentenceStatus::Ambiguous),
+        ),
     ]
 }
 
@@ -525,8 +589,15 @@ mod tests {
     fn table3_has_seven_rows_and_only_full_range_interoperates() {
         let rows = table3();
         assert_eq!(rows.len(), 7);
-        let interoperable: Vec<usize> = rows.iter().filter(|r| r.interoperates).map(|r| r.index).collect();
-        assert!(interoperable.contains(&3), "the correct reading must interoperate");
+        let interoperable: Vec<usize> = rows
+            .iter()
+            .filter(|r| r.interoperates)
+            .map(|r| r.index)
+            .collect();
+        assert!(
+            interoperable.contains(&3),
+            "the correct reading must interoperate"
+        );
         assert!(!interoperable.contains(&1));
         assert!(!interoperable.contains(&4));
         assert!(!interoperable.contains(&7));
@@ -559,7 +630,12 @@ mod tests {
         let np = &rows[1];
         // Removing NP labelling produces far more zero-LF sentences than
         // removing the dictionary (54 vs 0 in the paper).
-        assert!(np.zero > dict.zero, "np.zero={} dict.zero={}", np.zero, dict.zero);
+        assert!(
+            np.zero > dict.zero,
+            "np.zero={} dict.zero={}",
+            np.zero,
+            dict.zero
+        );
     }
 
     #[test]
@@ -588,7 +664,11 @@ mod tests {
         assert_eq!(points.len(), 6);
         let base = &points[0];
         let last = &points[5];
-        assert!(base.max >= 2, "base max should show ambiguity, got {}", base.max);
+        assert!(
+            base.max >= 2,
+            "base max should show ambiguity, got {}",
+            base.max
+        );
         assert!(last.avg <= base.avg);
         assert!(last.min >= 1);
     }
@@ -612,10 +692,13 @@ mod tests {
     fn disambiguation_summary_is_consistent() {
         let s = disambiguation_summary();
         let total = s[0].1;
-        assert_eq!(total, s[1].1 + s[2].1 + s[3].1 + {
-            // skipped sentences (if any) are the remainder
-            let report = Sage::default().analyze_document(&Protocol::Icmp.document());
-            report.count(SentenceStatus::Skipped)
-        });
+        assert_eq!(
+            total,
+            s[1].1 + s[2].1 + s[3].1 + {
+                // skipped sentences (if any) are the remainder
+                let report = Sage::default().analyze_document(&Protocol::Icmp.document());
+                report.count(SentenceStatus::Skipped)
+            }
+        );
     }
 }

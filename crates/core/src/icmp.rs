@@ -32,7 +32,10 @@ use sage_spec::headers::parse_header_diagram;
 pub fn rewritten_resolutions() -> Vec<(String, Role, &'static str, Lf)> {
     let reply_forming = |type_value: i64| {
         Lf::and(vec![
-            Lf::action("reverse", vec![Lf::atom("source and destination addresses")]),
+            Lf::action(
+                "reverse",
+                vec![Lf::atom("source and destination addresses")],
+            ),
             Lf::is(Lf::atom("type code"), Lf::num(type_value)),
             Lf::action("recompute", vec![Lf::atom("checksum")]),
         ])
@@ -41,12 +44,11 @@ pub fn rewritten_resolutions() -> Vec<(String, Role, &'static str, Lf)> {
     // the whole message"; the zero-the-field advice is folded into the
     // framework's checksum routine (it always sums with the field zeroed).
     let checksum = parse_lf("@Action('recompute', 'checksum')").expect("static LF");
-    let identifier = parse_lf(
-        "@If(@Is('code', @Num(0)), @Is('identifier', @From('identifier')))",
-    )
-    .expect("static LF");
+    let identifier = parse_lf("@If(@Is('code', @Num(0)), @Is('identifier', @From('identifier')))")
+        .expect("static LF");
     let gateway = parse_lf("@Is('gateway_internet_address', 'next_gateway')").expect("static LF");
-    let pointer = parse_lf("@If(@Is('code', @Num(0)), @Is('pointer', 'error_octet'))").expect("static LF");
+    let pointer =
+        parse_lf("@If(@Is('code', @Num(0)), @Is('pointer', 'error_octet'))").expect("static LF");
 
     let mut out = Vec::new();
     for (section, reply_type) in [
@@ -130,7 +132,9 @@ pub fn generate_icmp_program() -> Program {
         if analysis.status != SentenceStatus::Resolved {
             continue;
         }
-        let Some(lf) = analysis.resolved_lf() else { continue };
+        let Some(lf) = analysis.resolved_lf() else {
+            continue;
+        };
         let is_simple_assignment = matches!(lf, Lf::Pred(p, args)
             if *p == sage_logic::PredName::Is && args.len() == 2 && args[1].as_number().is_some());
         let field_is_type_or_code = matches!(analysis.context.field.as_str(), "type" | "code");
@@ -206,7 +210,15 @@ pub fn icmp_end_to_end(program: &Program) -> IcmpEndToEnd {
     {
         let mut net = Network::appendix_a();
         let mut responder = GeneratedResponder::new(program.clone());
-        let outcome = ping_once(&mut net, &mut responder, client, router, 0x5A, 1, b"0123456789abcdef");
+        let outcome = ping_once(
+            &mut net,
+            &mut responder,
+            client,
+            router,
+            0x5A,
+            1,
+            b"0123456789abcdef",
+        );
         ping_results.push(("echo".to_string(), outcome.success()));
     }
     // Destination unreachable: ping an unknown destination and expect the
@@ -214,7 +226,15 @@ pub fn icmp_end_to_end(program: &Program) -> IcmpEndToEnd {
     {
         let mut net = Network::appendix_a();
         let mut responder = GeneratedResponder::new(program.clone());
-        let outcome = ping_once(&mut net, &mut responder, client, ipv4::addr(8, 8, 8, 8), 0x5B, 1, b"x");
+        let outcome = ping_once(
+            &mut net,
+            &mut responder,
+            client,
+            ipv4::addr(8, 8, 8, 8),
+            0x5B,
+            1,
+            b"x",
+        );
         ping_results.push((
             "destination unreachable".to_string(),
             outcome == PingOutcome::Error("destination unreachable"),
@@ -225,21 +245,33 @@ pub fn icmp_end_to_end(program: &Program) -> IcmpEndToEnd {
         let mut net = Network::appendix_a();
         let mut responder = GeneratedResponder::new(program.clone());
         let echo = sage_netsim::headers::icmp::build_echo(false, 0x5C, 1, b"ttl");
-        let pkt = ipv4::build_packet(client, ipv4::addr(192, 168, 2, 100), ipv4::PROTO_ICMP, 1, echo.as_bytes());
+        let pkt = ipv4::build_packet(
+            client,
+            ipv4::addr(192, 168, 2, 100),
+            ipv4::PROTO_ICMP,
+            1,
+            echo.as_bytes(),
+        );
         let action = net.router_process(&pkt, 0, &mut responder);
         let ok = matches!(&action, sage_netsim::net::RouterAction::IcmpReply(reply)
-            if {
-                captured.push(reply.as_bytes().to_vec());
-                let inner = sage_netsim::buffer::PacketBuf::from_bytes(ipv4::payload(reply).to_vec());
-                inner.get_field(sage_netsim::headers::icmp::FIELDS, "type").unwrap_or(0) == 11
-            });
+        if {
+            captured.push(reply.as_bytes().to_vec());
+            let inner = sage_netsim::buffer::PacketBuf::from_bytes(ipv4::payload(reply).to_vec());
+            inner.get_field(sage_netsim::headers::icmp::FIELDS, "type").unwrap_or(0) == 11
+        });
         ping_results.push(("time exceeded".to_string(), ok));
     }
     // Traceroute towards a server on another subnet.
     let traceroute_ok = {
         let mut net = Network::appendix_a();
         let mut responder = GeneratedResponder::new(program.clone());
-        let report = traceroute(&mut net, &mut responder, client, ipv4::addr(192, 168, 2, 100), 8);
+        let report = traceroute(
+            &mut net,
+            &mut responder,
+            client,
+            ipv4::addr(192, 168, 2, 100),
+            8,
+        );
         report.completed && report.intermediate_routers().contains(&router)
     };
 
@@ -251,26 +283,58 @@ pub fn icmp_end_to_end(program: &Program) -> IcmpEndToEnd {
         let mut responder = GeneratedResponder::new(program.clone());
         let scenarios: Vec<sage_netsim::buffer::PacketBuf> = vec![
             // echo request to the router
-            ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64,
-                sage_netsim::headers::icmp::build_echo(false, 1, 1, b"abcdefgh").as_bytes()),
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                sage_netsim::headers::icmp::build_echo(false, 1, 1, b"abcdefgh").as_bytes(),
+            ),
             // unknown destination
-            ipv4::build_packet(client, ipv4::addr(8, 8, 8, 8), ipv4::PROTO_ICMP, 64,
-                sage_netsim::headers::icmp::build_echo(false, 2, 1, b"abcdefgh").as_bytes()),
+            ipv4::build_packet(
+                client,
+                ipv4::addr(8, 8, 8, 8),
+                ipv4::PROTO_ICMP,
+                64,
+                sage_netsim::headers::icmp::build_echo(false, 2, 1, b"abcdefgh").as_bytes(),
+            ),
             // TTL expiry
-            ipv4::build_packet(client, ipv4::addr(192, 168, 2, 100), ipv4::PROTO_ICMP, 1,
-                sage_netsim::headers::icmp::build_echo(false, 3, 1, b"abcdefgh").as_bytes()),
+            ipv4::build_packet(
+                client,
+                ipv4::addr(192, 168, 2, 100),
+                ipv4::PROTO_ICMP,
+                1,
+                sage_netsim::headers::icmp::build_echo(false, 3, 1, b"abcdefgh").as_bytes(),
+            ),
             // same-subnet redirect
-            ipv4::build_packet(client, ipv4::addr(10, 0, 1, 200), ipv4::PROTO_ICMP, 64,
-                sage_netsim::headers::icmp::build_echo(false, 4, 1, b"abcdefgh").as_bytes()),
+            ipv4::build_packet(
+                client,
+                ipv4::addr(10, 0, 1, 200),
+                ipv4::PROTO_ICMP,
+                64,
+                sage_netsim::headers::icmp::build_echo(false, 4, 1, b"abcdefgh").as_bytes(),
+            ),
             // timestamp request to the router
-            ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64,
-                sage_netsim::headers::icmp::build_timestamp(false, 5, 1, 1000, 0, 0).as_bytes()),
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                sage_netsim::headers::icmp::build_timestamp(false, 5, 1, 1000, 0, 0).as_bytes(),
+            ),
             // information request to the router
-            ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64,
-                sage_netsim::headers::icmp::build_info(false, 6, 1).as_bytes()),
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                sage_netsim::headers::icmp::build_info(false, 6, 1).as_bytes(),
+            ),
         ];
         for pkt in scenarios {
-            if let sage_netsim::net::RouterAction::IcmpReply(reply) = net.router_process(&pkt, 0, &mut responder) {
+            if let sage_netsim::net::RouterAction::IcmpReply(reply) =
+                net.router_process(&pkt, 0, &mut responder)
+            {
                 captured.push(reply.as_bytes().to_vec());
             }
         }
@@ -312,7 +376,11 @@ mod tests {
             assert!(
                 program.functions.iter().any(|f| f.name.contains(fragment)),
                 "no generated function for {fragment}; have: {:?}",
-                program.functions.iter().map(|f| &f.name).collect::<Vec<_>>()
+                program
+                    .functions
+                    .iter()
+                    .map(|f| &f.name)
+                    .collect::<Vec<_>>()
             );
         }
         // Structs extracted from the RFC art are part of the program.
@@ -323,7 +391,9 @@ mod tests {
     #[test]
     fn echo_receiver_reverses_sets_type_and_recomputes() {
         let program = generate_icmp_program();
-        let f = program.function("echo_or_echo_reply").expect("echo function");
+        let f = program
+            .function("echo_or_echo_reply")
+            .expect("echo function");
         let c = f.to_c();
         assert!(c.contains("reverse_source_and_destination"));
         assert!(c.contains("icmp_hdr->type = 0;"));

@@ -21,4 +21,4 @@ pub mod icmp;
 pub mod pipeline;
 
 pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
-pub use pipeline::{Sage, SageConfig, SentenceAnalysis, SentenceStatus, PipelineReport};
+pub use pipeline::{PipelineReport, Sage, SageConfig, SentenceAnalysis, SentenceStatus};

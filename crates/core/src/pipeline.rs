@@ -106,7 +106,10 @@ pub struct PipelineReport {
 impl PipelineReport {
     /// Sentences with the given status.
     pub fn with_status(&self, status: SentenceStatus) -> Vec<&SentenceAnalysis> {
-        self.analyses.iter().filter(|a| a.status == status).collect()
+        self.analyses
+            .iter()
+            .filter(|a| a.status == status)
+            .collect()
     }
 
     /// Count of sentences with the given status.
@@ -240,7 +243,9 @@ impl Sage {
         let mut report = PipelineReport::default();
         for sentence in doc.sentences() {
             let context = context_for(doc, &sentence);
-            report.analyses.push(self.analyze_sentence(&sentence, context));
+            report
+                .analyses
+                .push(self.analyze_sentence(&sentence, context));
         }
         report
     }
@@ -261,7 +266,9 @@ impl Sage {
                 field: String::new(),
                 role: sage_spec::context::Role::Receiver,
             };
-            report.analyses.push(self.analyze_sentence(&sentence, context));
+            report
+                .analyses
+                .push(self.analyze_sentence(&sentence, context));
         }
         report
     }
@@ -355,7 +362,12 @@ mod tests {
             role: Default::default(),
         };
         let analysis = sage.analyze_sentence(&sentence, ctx);
-        assert_eq!(analysis.status, SentenceStatus::Resolved, "{:#?}", analysis.trace.survivors);
+        assert_eq!(
+            analysis.status,
+            SentenceStatus::Resolved,
+            "{:#?}",
+            analysis.trace.survivors
+        );
         assert!(analysis.base_lf_count >= 1);
     }
 
@@ -420,7 +432,8 @@ mod tests {
     #[test]
     fn bfd_state_management_sentences_mostly_parse() {
         let sage = Sage::default();
-        let report = sage.analyze_sentences("BFD", sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES);
+        let report =
+            sage.analyze_sentences("BFD", sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES);
         assert_eq!(report.analyses.len(), 22);
         let parsed = report
             .analyses

@@ -72,7 +72,9 @@ fn all_nodes_ok(lf: &Lf, pred_name: PredName, ok: impl Fn(&[Lf]) -> bool) -> boo
 /// Helper: arity check for a predicate.
 fn arity_check(name: &'static str, pred: PredName) -> Check {
     Check::new(name, CheckKind::Type, move |lf| {
-        all_nodes_ok(lf, pred.clone(), |args| pred.properties().arity_ok(args.len()))
+        all_nodes_ok(lf, pred.clone(), |args| {
+            pred.properties().arity_ok(args.len())
+        })
     })
 }
 
@@ -101,75 +103,105 @@ pub fn type_checks() -> Vec<Check> {
     // --- 16 argument-type checks ------------------------------------------
     // 17. @Action's function-name argument must be a function name, not a
     //     constant (rules out LF1 in Figure 2).
-    v.push(Check::new("type:action-function-name", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Action, |args| {
-            args.first().map_or(false, valid_function_name)
-        })
-    }));
+    v.push(Check::new(
+        "type:action-function-name",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Action, |args| {
+                args.first().is_some_and(valid_function_name)
+            })
+        },
+    ));
     // 18. @Action arguments after the function name must not be numeric
     //     constants (LF1 in Figure 2: compute applied to '0') nor predicates
     //     that carry their own effects (@Is nested inside an action).
-    v.push(Check::new("type:action-args-not-effects", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Action, |args| {
-            args.iter().skip(1).all(|a| {
-                a.as_number().is_none()
-                    && a.pred_name()
-                        .map_or(true, |p| !p.is_effect() || *p == PredName::Action)
+    v.push(Check::new(
+        "type:action-args-not-effects",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Action, |args| {
+                args.iter().skip(1).all(|a| {
+                    a.as_number().is_none()
+                        && a.pred_name()
+                            .map_or(true, |p| !p.is_effect() || *p == PredName::Action)
+                })
             })
-        })
-    }));
+        },
+    ));
     // 19. @Is cannot have a constant on the left-hand side.
-    v.push(Check::new("type:is-lhs-not-constant", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Is, |args| {
-            args.first().map_or(false, |a| a.as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "type:is-lhs-not-constant",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Is, |args| {
+                args.first().is_some_and(|a| a.as_number().is_none())
+            })
+        },
+    ));
     // 20. @Is left-hand side must be assignable (field, state variable or a
     //     field reference built with @Of/@Field).
-    v.push(Check::new("type:is-lhs-assignable", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Is, |args| {
-            args.first().map_or(false, assignable)
-        })
-    }));
+    v.push(Check::new(
+        "type:is-lhs-assignable",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Is, |args| {
+                args.first().is_some_and(assignable)
+            })
+        },
+    ));
     // 21. @If's condition must not be a bare constant.
-    v.push(Check::new("type:if-condition-not-constant", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::If, |args| {
-            args.first().map_or(false, |c| c.as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "type:if-condition-not-constant",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::If, |args| {
+                args.first().is_some_and(|c| c.as_number().is_none())
+            })
+        },
+    ));
     // 22. @If's consequence must be a predicate (an effect or modal), not a
     //     bare leaf.
-    v.push(Check::new("type:if-consequence-is-pred", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::If, |args| {
-            args.get(1).map_or(false, |c| !c.is_leaf())
-        })
-    }));
+    v.push(Check::new(
+        "type:if-consequence-is-pred",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::If, |args| {
+                args.get(1).is_some_and(|c| !c.is_leaf())
+            })
+        },
+    ));
     // 23. @Of must not relate two numeric constants.
-    v.push(Check::new("type:of-args-not-both-constants", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Of, |args| {
-            !(args.len() == 2
-                && args[0].as_number().is_some()
-                && args[1].as_number().is_some())
-        })
-    }));
+    v.push(Check::new(
+        "type:of-args-not-both-constants",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Of, |args| {
+                !(args.len() == 2 && args[0].as_number().is_some() && args[1].as_number().is_some())
+            })
+        },
+    ));
     // 24. @Of's second argument (the "whole") must not be a numeric constant.
-    v.push(Check::new("type:of-whole-not-constant", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Of, |args| {
-            args.get(1).map_or(false, |a| a.as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "type:of-whole-not-constant",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Of, |args| {
+                args.get(1).is_some_and(|a| a.as_number().is_none())
+            })
+        },
+    ));
     // 25. @Compare's operator must be a comparison operator.
     v.push(Check::new("type:compare-operator", CheckKind::Type, |lf| {
         all_nodes_ok(lf, PredName::Compare, |args| {
             args.first()
                 .and_then(Lf::as_atom)
-                .map_or(false, |op| matches!(op, ">=" | "<=" | ">" | "<" | "==" | "!="))
+                .is_some_and(|op| matches!(op, ">=" | "<=" | ">" | "<" | "==" | "!="))
         })
     }));
     // 26. @Update's target must be a state variable or field.
     v.push(Check::new("type:update-target", CheckKind::Type, |lf| {
         all_nodes_ok(lf, PredName::Update, |args| {
-            args.first().map_or(false, |a| {
+            args.first().is_some_and(|a| {
                 matches!(
                     infer_lf_type(a),
                     Some(AtomType::StateVar) | Some(AtomType::Field) | Some(AtomType::Other) | None
@@ -178,31 +210,43 @@ pub fn type_checks() -> Vec<Check> {
         })
     }));
     // 27. @AdvBefore's first argument (the advice) must be actionable.
-    v.push(Check::new("type:advbefore-advice-actionable", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::AdvBefore, |args| {
-            args.first().map_or(false, |a| {
-                a.pred_name().map_or(false, PredName::is_effect)
+    v.push(Check::new(
+        "type:advbefore-advice-actionable",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+                args.first()
+                    .is_some_and(|a| a.pred_name().is_some_and(PredName::is_effect))
             })
-        })
-    }));
+        },
+    ));
     // 28. @AdvBefore's second argument (the body) must be actionable.
-    v.push(Check::new("type:advbefore-body-actionable", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::AdvBefore, |args| {
-            args.get(1).map_or(false, |a| {
-                a.pred_name().map_or(false, |p| p.is_effect() || *p == PredName::If || *p == PredName::And)
+    v.push(Check::new(
+        "type:advbefore-body-actionable",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+                args.get(1).is_some_and(|a| {
+                    a.pred_name()
+                        .is_some_and(|p| p.is_effect() || *p == PredName::If || *p == PredName::And)
+                })
             })
-        })
-    }));
+        },
+    ));
     // 29. @StartsWith arguments must both be nominal (no bare numbers).
-    v.push(Check::new("type:startswith-args-nominal", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::StartsWith, |args| {
-            args.iter().all(|a| a.as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "type:startswith-args-nominal",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::StartsWith, |args| {
+                args.iter().all(|a| a.as_number().is_none())
+            })
+        },
+    ));
     // 30. @Num wraps only numerics.
     v.push(Check::new("type:num-arg-numeric", CheckKind::Type, |lf| {
         all_nodes_ok(lf, PredName::Num, |args| {
-            args.first().map_or(false, |a| a.as_number().is_some())
+            args.first().is_some_and(|a| a.as_number().is_some())
         })
     }));
     // 31. @Field arguments must be atoms.
@@ -210,11 +254,15 @@ pub fn type_checks() -> Vec<Check> {
         all_nodes_ok(lf, PredName::Field, |args| args.iter().all(Lf::is_leaf))
     }));
     // 32. @Not's argument must not be a numeric constant.
-    v.push(Check::new("type:not-arg-not-constant", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Not, |args| {
-            args.first().map_or(false, |a| a.as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "type:not-arg-not-constant",
+        CheckKind::Type,
+        |lf| {
+            all_nodes_ok(lf, PredName::Not, |args| {
+                args.first().is_some_and(|a| a.as_number().is_none())
+            })
+        },
+    ));
 
     v
 }
@@ -224,94 +272,122 @@ pub fn argument_ordering_checks() -> Vec<Check> {
     let mut v = Vec::new();
     // 1. An @If condition must not contain modal or advice predicates; those
     //    belong in the consequence (rules out @If(B, A) for sentence E).
-    v.push(Check::new("arg-order:if-condition-first", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::If, |args| {
-            args.first().map_or(false, |c| {
-                !c.contains_pred(&PredName::May)
-                    && !c.contains_pred(&PredName::Must)
-                    && !c.contains_pred(&PredName::AdvBefore)
+    v.push(Check::new(
+        "arg-order:if-condition-first",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::If, |args| {
+                args.first().is_some_and(|c| {
+                    !c.contains_pred(&PredName::May)
+                        && !c.contains_pred(&PredName::Must)
+                        && !c.contains_pred(&PredName::AdvBefore)
+                })
             })
-        })
-    }));
+        },
+    ));
     // 2. When an @Is relates a field and a constant, the field must be on
     //    the left.
-    v.push(Check::new("arg-order:is-field-lhs", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Is, |args| {
-            if args.len() != 2 {
-                return true;
-            }
-            let lhs_const = args[0].as_number().is_some();
-            let rhs_fieldish = matches!(
-                infer_lf_type(&args[1]),
-                Some(AtomType::Field) | Some(AtomType::StateVar)
-            );
-            !(lhs_const && rhs_fieldish)
-        })
-    }));
+    v.push(Check::new(
+        "arg-order:is-field-lhs",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Is, |args| {
+                if args.len() != 2 {
+                    return true;
+                }
+                let lhs_const = args[0].as_number().is_some();
+                let rhs_fieldish = matches!(
+                    infer_lf_type(&args[1]),
+                    Some(AtomType::Field) | Some(AtomType::StateVar)
+                );
+                !(lhs_const && rhs_fieldish)
+            })
+        },
+    ));
     // 3. The function name of an @Action must be its first argument.
-    v.push(Check::new("arg-order:action-function-first", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Action, |args| {
-            if args.len() < 2 {
-                return true;
-            }
-            // If a later argument looks like a function while the first does
-            // not, the arguments were swapped.
-            let first_fn = args[0]
-                .as_atom()
-                .map_or(false, |a| sage_logic::types::infer_atom_type(a) == AtomType::Function);
-            let later_fn = args.iter().skip(1).any(|a| {
-                a.as_atom()
-                    .map_or(false, |s| sage_logic::types::infer_atom_type(s) == AtomType::Function)
-            });
-            first_fn || !later_fn
-        })
-    }));
+    v.push(Check::new(
+        "arg-order:action-function-first",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Action, |args| {
+                if args.len() < 2 {
+                    return true;
+                }
+                // If a later argument looks like a function while the first does
+                // not, the arguments were swapped.
+                let first_fn = args[0]
+                    .as_atom()
+                    .is_some_and(|a| sage_logic::types::infer_atom_type(a) == AtomType::Function);
+                let later_fn = args.iter().skip(1).any(|a| {
+                    a.as_atom().is_some_and(|s| {
+                        sage_logic::types::infer_atom_type(s) == AtomType::Function
+                    })
+                });
+                first_fn || !later_fn
+            })
+        },
+    ));
     // 4. @Compare's left operand must be the monitored quantity (state
     //    variable or field), not the threshold constant.
-    v.push(Check::new("arg-order:compare-operands", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Compare, |args| {
-            if args.len() != 3 {
-                return true;
-            }
-            !(args[1].as_number().is_some() && args[2].as_number().is_none())
-        })
-    }));
-    // 5. @AdvBefore's advice (the "before" code) must be the first argument.
-    v.push(Check::new("arg-order:advbefore-advice-first", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::AdvBefore, |args| {
-            if args.len() != 2 {
-                return true;
-            }
-            // The body, not the advice, may be a conditional or conjunction.
-            args.first().map_or(false, |a| {
-                !a.contains_pred(&PredName::If)
+    v.push(Check::new(
+        "arg-order:compare-operands",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Compare, |args| {
+                if args.len() != 3 {
+                    return true;
+                }
+                !(args[1].as_number().is_some() && args[2].as_number().is_none())
             })
-        })
-    }));
+        },
+    ));
+    // 5. @AdvBefore's advice (the "before" code) must be the first argument.
+    v.push(Check::new(
+        "arg-order:advbefore-advice-first",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+                if args.len() != 2 {
+                    return true;
+                }
+                // The body, not the advice, may be a conditional or conjunction.
+                args.first()
+                    .is_some_and(|a| !a.contains_pred(&PredName::If))
+            })
+        },
+    ));
     // 6. @StartsWith: the computed expression comes first, the anchor field
     //    second.
-    v.push(Check::new("arg-order:startswith-anchor-second", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::StartsWith, |args| {
-            if args.len() != 2 {
-                return true;
-            }
-            // If exactly one side is a leaf field, it must be the second.
-            let first_leaf = args[0].is_leaf();
-            let second_leaf = args[1].is_leaf();
-            !(first_leaf && !second_leaf)
-        })
-    }));
+    v.push(Check::new(
+        "arg-order:startswith-anchor-second",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::StartsWith, |args| {
+                if args.len() != 2 {
+                    return true;
+                }
+                // If exactly one side is a leaf field, it must be the second.
+                let first_leaf = args[0].is_leaf();
+                let second_leaf = args[1].is_leaf();
+                !first_leaf || second_leaf
+            })
+        },
+    ));
     // 7. @Update's new value is the second argument (a state variable must
     //    not appear only on the right).
-    v.push(Check::new("arg-order:update-value-second", CheckKind::ArgumentOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Update, |args| {
-            if args.len() != 2 {
-                return true;
-            }
-            let lhs_const = args[0].as_number().is_some();
-            !(lhs_const && args[1].as_number().is_none())
-        })
-    }));
+    v.push(Check::new(
+        "arg-order:update-value-second",
+        CheckKind::ArgumentOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Update, |args| {
+                if args.len() != 2 {
+                    return true;
+                }
+                let lhs_const = args[0].as_number().is_some();
+                !(lhs_const && args[1].as_number().is_none())
+            })
+        },
+    ));
     v
 }
 
@@ -320,43 +396,59 @@ pub fn predicate_ordering_checks() -> Vec<Check> {
     let mut v = Vec::new();
     // 1. @Is must not be nested inside @Of: "A of (B is C)" is never the
     //    intended reading of "A of B is C".
-    v.push(Check::new("pred-order:is-not-under-of", CheckKind::PredicateOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Of, |args| {
-            args.iter().all(|a| !a.contains_pred(&PredName::Is))
-        })
-    }));
-    // 2. @If must not be nested inside @Is.
-    v.push(Check::new("pred-order:if-not-under-is", CheckKind::PredicateOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Is, |args| {
-            args.iter().all(|a| !a.contains_pred(&PredName::If))
-        })
-    }));
-    // 3. Advice predicates must appear only at the root of a logical form.
-    v.push(Check::new("pred-order:advice-at-root", CheckKind::PredicateOrdering, |lf| {
-        let nested_advice = |n: &Lf| {
-            n.args().iter().any(|a| {
-                a.contains(&|m| {
-                    m.pred_name()
-                        .map_or(false, |p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
-                })
+    v.push(Check::new(
+        "pred-order:is-not-under-of",
+        CheckKind::PredicateOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Of, |args| {
+                args.iter().all(|a| !a.contains_pred(&PredName::Is))
             })
-        };
-        match lf {
-            Lf::Pred(p, _) if *p == PredName::AdvBefore || *p == PredName::AdvAfter => {
-                !nested_advice(lf)
+        },
+    ));
+    // 2. @If must not be nested inside @Is.
+    v.push(Check::new(
+        "pred-order:if-not-under-is",
+        CheckKind::PredicateOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Is, |args| {
+                args.iter().all(|a| !a.contains_pred(&PredName::If))
+            })
+        },
+    ));
+    // 3. Advice predicates must appear only at the root of a logical form.
+    v.push(Check::new(
+        "pred-order:advice-at-root",
+        CheckKind::PredicateOrdering,
+        |lf| {
+            let nested_advice = |n: &Lf| {
+                n.args().iter().any(|a| {
+                    a.contains(&|m| {
+                        m.pred_name()
+                            .is_some_and(|p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
+                    })
+                })
+            };
+            match lf {
+                Lf::Pred(p, _) if *p == PredName::AdvBefore || *p == PredName::AdvAfter => {
+                    !nested_advice(lf)
+                }
+                _ => !lf.contains(&|n| {
+                    n.pred_name()
+                        .is_some_and(|p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
+                }),
             }
-            _ => !lf.contains(&|n| {
-                n.pred_name()
-                    .map_or(false, |p| *p == PredName::AdvBefore || *p == PredName::AdvAfter)
-            }),
-        }
-    }));
+        },
+    ));
     // 4. @Action must not contain assignments (@Is) among its arguments.
-    v.push(Check::new("pred-order:is-not-under-action", CheckKind::PredicateOrdering, |lf| {
-        all_nodes_ok(lf, PredName::Action, |args| {
-            args.iter().all(|a| !a.contains_pred(&PredName::Is))
-        })
-    }));
+    v.push(Check::new(
+        "pred-order:is-not-under-action",
+        CheckKind::PredicateOrdering,
+        |lf| {
+            all_nodes_ok(lf, PredName::Action, |args| {
+                args.iter().all(|a| !a.contains_pred(&PredName::Is))
+            })
+        },
+    ));
     v
 }
 
@@ -435,10 +527,9 @@ mod tests {
             "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
         )
         .unwrap();
-        let lf2 = parse_lf(
-            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
-        )
-        .unwrap();
+        let lf2 =
+            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+                .unwrap();
         let checks = type_checks();
         let action_args = checks
             .iter()
@@ -450,7 +541,10 @@ mod tests {
         );
         let any_fail = checks.iter().any(|c| !c.passes(&lf1));
         assert!(any_fail, "LF1 should fail at least one type check");
-        assert!(checks.iter().all(|c| c.passes(&lf2)), "LF2 must pass all type checks");
+        assert!(
+            checks.iter().all(|c| c.passes(&lf2)),
+            "LF2 must pass all type checks"
+        );
     }
 
     #[test]
@@ -465,8 +559,14 @@ mod tests {
         .unwrap();
         let type_fail3 = type_checks().iter().any(|c| !c.passes(&lf3));
         let type_fail4 = type_checks().iter().any(|c| !c.passes(&lf4));
-        assert!(type_fail3, "LF3 should fail type checks (advice arg is a constant)");
-        assert!(type_fail4, "LF4 should fail type checks (advice arg is a constant)");
+        assert!(
+            type_fail3,
+            "LF3 should fail type checks (advice arg is a constant)"
+        );
+        assert!(
+            type_fail4,
+            "LF4 should fail type checks (advice arg is a constant)"
+        );
     }
 
     #[test]
@@ -508,10 +608,8 @@ mod tests {
             "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
         )
         .unwrap();
-        let grouped = parse_lf(
-            "@Is(@And('source_address', 'destination_address'), 'reversed')",
-        )
-        .unwrap();
+        let grouped =
+            parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap();
         let check = &distributivity_checks()[0];
         assert!(!check.passes(&distributed));
         assert!(check.passes(&grouped));
@@ -531,17 +629,19 @@ mod tests {
         let good = parse_lf("@Compare('>=', 'peer.timer', 'peer.threshold')").unwrap();
         let bad = parse_lf("@Compare('peer.timer', '>=', 'peer.threshold')").unwrap();
         let checks = type_checks();
-        let op_check = checks.iter().find(|c| c.name == "type:compare-operator").unwrap();
+        let op_check = checks
+            .iter()
+            .find(|c| c.name == "type:compare-operator")
+            .unwrap();
         assert!(op_check.passes(&good));
         assert!(!op_check.passes(&bad));
     }
 
     #[test]
     fn good_bfd_lf_passes_all_checks() {
-        let lf = parse_lf(
-            "@If(@Is('your_discriminator', 'nonzero'), @Action('select', 'session'))",
-        )
-        .unwrap();
+        let lf =
+            parse_lf("@If(@Is('your_discriminator', 'nonzero'), @Action('select', 'session'))")
+                .unwrap();
         for c in type_checks()
             .iter()
             .chain(argument_ordering_checks().iter())

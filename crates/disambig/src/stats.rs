@@ -149,10 +149,20 @@ mod tests {
 
     fn ambiguous_sentence() -> Vec<Lf> {
         vec![
-            parse_lf("@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))").unwrap(),
-            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap(),
-            parse_lf("@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))").unwrap(),
-            parse_lf("@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))").unwrap(),
+            parse_lf(
+                "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
+            )
+            .unwrap(),
+            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+                .unwrap(),
+            parse_lf(
+                "@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))",
+            )
+            .unwrap(),
+            parse_lf(
+                "@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))",
+            )
+            .unwrap(),
         ]
     }
 
@@ -196,7 +206,9 @@ mod tests {
         let effects = all_check_effects(&corpus);
         assert_eq!(effects.len(), 4);
         assert!(effects.iter().any(|e| e.stage == WinnowStage::Type));
-        assert!(effects.iter().any(|e| e.stage == WinnowStage::Distributivity));
+        assert!(effects
+            .iter()
+            .any(|e| e.stage == WinnowStage::Distributivity));
     }
 
     #[test]

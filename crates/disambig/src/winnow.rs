@@ -68,7 +68,10 @@ pub struct WinnowTrace {
 impl WinnowTrace {
     /// Count after a given stage.
     pub fn count_after(&self, stage: WinnowStage) -> usize {
-        let idx = WinnowStage::ALL.iter().position(|s| *s == stage).expect("known stage");
+        let idx = WinnowStage::ALL
+            .iter()
+            .position(|s| *s == stage)
+            .expect("known stage");
         self.counts[idx]
     }
 
@@ -199,10 +202,20 @@ mod tests {
 
     fn figure2_lfs() -> Vec<Lf> {
         vec![
-            parse_lf("@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))").unwrap(),
-            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap(),
-            parse_lf("@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))").unwrap(),
-            parse_lf("@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))").unwrap(),
+            parse_lf(
+                "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
+            )
+            .unwrap(),
+            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+                .unwrap(),
+            parse_lf(
+                "@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))",
+            )
+            .unwrap(),
+            parse_lf(
+                "@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))",
+            )
+            .unwrap(),
         ]
     }
 
@@ -213,7 +226,8 @@ mod tests {
         assert!(trace.resolved(), "survivors: {:#?}", trace.survivors);
         assert_eq!(
             trace.survivors[0],
-            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))").unwrap()
+            parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+                .unwrap()
         );
     }
 
@@ -244,7 +258,8 @@ mod tests {
 
     #[test]
     fn distributed_reading_is_collapsed() {
-        let grouped = parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap();
+        let grouped =
+            parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap();
         let distributed = parse_lf(
             "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
         )
@@ -260,7 +275,8 @@ mod tests {
             "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
         )
         .unwrap();
-        let grouped = parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap();
+        let grouped =
+            parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap();
         let trace = winnow(&[distributed]);
         assert!(trace.resolved());
         assert_eq!(trace.survivors[0], grouped);
@@ -296,7 +312,7 @@ mod tests {
     fn all_forms_failing_checks_are_kept_conservatively() {
         // A single badly-typed form: winnowing must not produce an empty set.
         let bad = parse_lf("@Is(@Num(0), @Num(1))").unwrap();
-        let trace = winnow(&[bad.clone()]);
+        let trace = winnow(std::slice::from_ref(&bad));
         assert_eq!(trace.survivors, vec![bad]);
     }
 
@@ -304,7 +320,10 @@ mod tests {
     fn stage_lookup_by_name() {
         let trace = winnow(&figure2_lfs());
         assert_eq!(trace.count_after(WinnowStage::Base), 4);
-        assert_eq!(trace.count_after(WinnowStage::Associativity), trace.survivors.len());
+        assert_eq!(
+            trace.count_after(WinnowStage::Associativity),
+            trace.survivors.len()
+        );
         assert_eq!(WinnowStage::Base.label(), "Base");
         assert_eq!(WinnowStage::ALL.len(), 6);
     }

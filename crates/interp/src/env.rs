@@ -44,8 +44,12 @@ impl Env {
                 m
             }
         };
-        let src = request_ip.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
-        let dst = request_ip.get_field(ipv4::FIELDS, "destination_address").unwrap_or(0) as u32;
+        let src = request_ip
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let dst = request_ip
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
         let mut vars = HashMap::new();
         if let IcmpEvent::Redirect(gateway) = event {
             vars.insert("next_gateway".to_string(), i64::from(gateway));
@@ -102,7 +106,13 @@ mod tests {
 
     fn echo_request_ip() -> PacketBuf {
         let echo = icmp::build_echo(false, 0x42, 3, b"payload!");
-        ipv4::build_packet(addr(10, 0, 1, 100), addr(10, 0, 1, 1), ipv4::PROTO_ICMP, 64, echo.as_bytes())
+        ipv4::build_packet(
+            addr(10, 0, 1, 100),
+            addr(10, 0, 1, 1),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        )
     }
 
     #[test]

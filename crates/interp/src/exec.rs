@@ -116,7 +116,11 @@ fn call_framework(env: &mut Env, name: &str, args: &[Expr]) -> Result<i64, ExecE
         "ones_complement" => {
             // Applied to the one's-complement sum of the message in the
             // checksum idiom; evaluate the inner expression then complement.
-            let inner = if args.is_empty() { 0 } else { eval_expr(env, &args[0])? };
+            let inner = if args.is_empty() {
+                0
+            } else {
+                eval_expr(env, &args[0])?
+            };
             Ok(i64::from(!(inner as u16)))
         }
         "compute_checksum" => {
@@ -266,15 +270,32 @@ mod tests {
     #[test]
     fn reverse_and_checksum_framework_calls() {
         let mut env = echo_env();
-        exec_stmt(&mut env, &Stmt::Call { name: "reverse_source_and_destination".into(), args: vec![] }).unwrap();
+        exec_stmt(
+            &mut env,
+            &Stmt::Call {
+                name: "reverse_source_and_destination".into(),
+                args: vec![],
+            },
+        )
+        .unwrap();
         assert_eq!(env.reply_src, addr(10, 0, 1, 1));
         assert_eq!(env.reply_dst, addr(10, 0, 1, 100));
         exec_stmt(
             &mut env,
-            &Stmt::Assign { target: Expr::field("icmp", "type"), value: Expr::Num(0) },
+            &Stmt::Assign {
+                target: Expr::field("icmp", "type"),
+                value: Expr::Num(0),
+            },
         )
         .unwrap();
-        exec_stmt(&mut env, &Stmt::Call { name: "compute_checksum".into(), args: vec![] }).unwrap();
+        exec_stmt(
+            &mut env,
+            &Stmt::Call {
+                name: "compute_checksum".into(),
+                args: vec![],
+            },
+        )
+        .unwrap();
         assert!(icmp::checksum_ok(&env.reply));
     }
 
@@ -303,8 +324,14 @@ mod tests {
         env.set_var("a", 5);
         env.set_var("b", 3);
         let cases = vec![
-            (Expr::binop(">=", Expr::Var("a".into()), Expr::Var("b".into())), 1),
-            (Expr::binop("<", Expr::Var("a".into()), Expr::Var("b".into())), 0),
+            (
+                Expr::binop(">=", Expr::Var("a".into()), Expr::Var("b".into())),
+                1,
+            ),
+            (
+                Expr::binop("<", Expr::Var("a".into()), Expr::Var("b".into())),
+                0,
+            ),
             (Expr::binop("&&", Expr::Num(1), Expr::Num(0)), 0),
             (Expr::binop("||", Expr::Num(1), Expr::Num(0)), 1),
             (Expr::binop("+", Expr::Num(2), Expr::Num(3)), 5),
@@ -321,10 +348,20 @@ mod tests {
         // checksum field pre-zeroed gives the same result as the framework's
         // compute_checksum.
         let mut env = echo_env();
-        exec_stmt(&mut env, &Stmt::Assign { target: Expr::field("icmp", "checksum"), value: Expr::Num(0) }).unwrap();
+        exec_stmt(
+            &mut env,
+            &Stmt::Assign {
+                target: Expr::field("icmp", "checksum"),
+                value: Expr::Num(0),
+            },
+        )
+        .unwrap();
         let expr = Expr::call(
             "ones_complement",
-            vec![Expr::call("ones_complement_sum", vec![Expr::Var("icmp_message".into())])],
+            vec![Expr::call(
+                "ones_complement_sum",
+                vec![Expr::Var("icmp_message".into())],
+            )],
         );
         let v = eval_expr(&mut env, &expr).unwrap() as u16;
         let expected = checksum_with_zeroed_field(env.reply.as_bytes(), 2);
@@ -338,8 +375,14 @@ mod tests {
             name: "f".into(),
             role: String::new(),
             body: vec![
-                Stmt::Call { name: "discard_packet".into(), args: vec![] },
-                Stmt::Assign { target: Expr::Var("after".into()), value: Expr::Num(1) },
+                Stmt::Call {
+                    name: "discard_packet".into(),
+                    args: vec![],
+                },
+                Stmt::Assign {
+                    target: Expr::Var("after".into()),
+                    value: Expr::Num(1),
+                },
             ],
         };
         exec_function(&mut env, &f).unwrap();
@@ -363,7 +406,14 @@ mod tests {
     #[test]
     fn encapsulated_reply_is_a_valid_ip_packet() {
         let mut env = echo_env();
-        exec_stmt(&mut env, &Stmt::Call { name: "reverse_source_and_destination".into(), args: vec![] }).unwrap();
+        exec_stmt(
+            &mut env,
+            &Stmt::Call {
+                name: "reverse_source_and_destination".into(),
+                args: vec![],
+            },
+        )
+        .unwrap();
         let pkt = encapsulate_reply(&env);
         assert!(ipv4::checksum_ok(&pkt));
         assert_eq!(

@@ -102,7 +102,11 @@ pub struct BfdGeneratedReceiver {
 
 impl BfdGeneratedReceiver {
     /// Create a receiver with one known session in the given state.
-    pub fn new(program: Program, session_state: bfd::SessionState, known_sessions: Vec<u32>) -> Self {
+    pub fn new(
+        program: Program,
+        session_state: bfd::SessionState,
+        known_sessions: Vec<u32>,
+    ) -> Self {
         BfdGeneratedReceiver {
             program,
             session_state,
@@ -130,7 +134,9 @@ impl BfdGeneratedReceiver {
         env.set_var("down", i64::from(bfd::SessionState::Down.code()));
         // The "nonzero" symbol used by conditions like "If the Your
         // Discriminator field is nonzero" evaluates against the field value.
-        let your_discr = packet.get_field(bfd::FIELDS, "your_discriminator").unwrap_or(0) as i64;
+        let your_discr = packet
+            .get_field(bfd::FIELDS, "your_discriminator")
+            .unwrap_or(0) as i64;
         env.set_var("nonzero", i64::from(your_discr != 0));
         env.set_var(
             "session_found",
@@ -179,9 +185,18 @@ mod tests {
                 name: "icmp_echo_or_echo_reply_message_receiver".into(),
                 role: "receiver".into(),
                 body: vec![
-                    Stmt::Call { name: "reverse_source_and_destination".into(), args: vec![] },
-                    Stmt::Assign { target: Expr::field("icmp", "type"), value: Expr::Num(0) },
-                    Stmt::Call { name: "compute_checksum".into(), args: vec![] },
+                    Stmt::Call {
+                        name: "reverse_source_and_destination".into(),
+                        args: vec![],
+                    },
+                    Stmt::Assign {
+                        target: Expr::field("icmp", "type"),
+                        value: Expr::Num(0),
+                    },
+                    Stmt::Call {
+                        name: "compute_checksum".into(),
+                        args: vec![],
+                    },
                 ],
             }],
         }
@@ -215,9 +230,11 @@ mod tests {
             64,
             echo.as_bytes(),
         );
-        let gen_action = net.router_process(&req, 0, &mut GeneratedResponder::new(echo_reply_program()));
+        let gen_action =
+            net.router_process(&req, 0, &mut GeneratedResponder::new(echo_reply_program()));
         let ref_action = net.router_process(&req, 0, &mut ReferenceResponder);
-        let (RouterAction::IcmpReply(g), RouterAction::IcmpReply(r)) = (gen_action, ref_action) else {
+        let (RouterAction::IcmpReply(g), RouterAction::IcmpReply(r)) = (gen_action, ref_action)
+        else {
             panic!("expected replies");
         };
         assert_eq!(ipv4::payload(&g), ipv4::payload(&r));
@@ -261,10 +278,17 @@ mod tests {
                 role: "receiver".into(),
                 body: vec![
                     Stmt::If {
-                        cond: Expr::binop("!=", Expr::field("bfd", "your_discriminator"), Expr::Num(0)),
+                        cond: Expr::binop(
+                            "!=",
+                            Expr::field("bfd", "your_discriminator"),
+                            Expr::Num(0),
+                        ),
                         then: vec![Stmt::If {
                             cond: Expr::Not(Box::new(Expr::Var("session_found".into()))),
-                            then: vec![Stmt::Call { name: "discard_packet".into(), args: vec![] }],
+                            then: vec![Stmt::Call {
+                                name: "discard_packet".into(),
+                                args: vec![],
+                            }],
                             els: vec![],
                         }],
                         els: vec![],
@@ -282,12 +306,27 @@ mod tests {
                             "&&",
                             Expr::binop(
                                 "&&",
-                                Expr::binop("==", Expr::Var("bfd.RemoteDemandMode".into()), Expr::Num(1)),
-                                Expr::binop("==", Expr::Var("bfd.SessionState".into()), Expr::Var("Up".into())),
+                                Expr::binop(
+                                    "==",
+                                    Expr::Var("bfd.RemoteDemandMode".into()),
+                                    Expr::Num(1),
+                                ),
+                                Expr::binop(
+                                    "==",
+                                    Expr::Var("bfd.SessionState".into()),
+                                    Expr::Var("Up".into()),
+                                ),
                             ),
-                            Expr::binop("==", Expr::Var("bfd.RemoteSessionState".into()), Expr::Var("Up".into())),
+                            Expr::binop(
+                                "==",
+                                Expr::Var("bfd.RemoteSessionState".into()),
+                                Expr::Var("Up".into()),
+                            ),
                         ),
-                        then: vec![Stmt::Call { name: "cease_periodic_transmission".into(), args: vec![] }],
+                        then: vec![Stmt::Call {
+                            name: "cease_periodic_transmission".into(),
+                            args: vec![],
+                        }],
                         els: vec![],
                     },
                 ],
@@ -297,11 +336,8 @@ mod tests {
 
     #[test]
     fn bfd_generated_code_selects_sessions_and_updates_state() {
-        let mut rx = BfdGeneratedReceiver::new(
-            bfd_reception_program(),
-            bfd::SessionState::Up,
-            vec![5],
-        );
+        let mut rx =
+            BfdGeneratedReceiver::new(bfd_reception_program(), bfd::SessionState::Up, vec![5]);
         // Known session, remote in demand mode and Up: accept + cease.
         let pkt = bfd::build_control_packet(bfd::SessionState::Up, 42, 5, 3, true);
         let out = rx.receive(&pkt).unwrap();
@@ -313,11 +349,8 @@ mod tests {
 
     #[test]
     fn bfd_generated_code_discards_unknown_sessions() {
-        let mut rx = BfdGeneratedReceiver::new(
-            bfd_reception_program(),
-            bfd::SessionState::Up,
-            vec![5],
-        );
+        let mut rx =
+            BfdGeneratedReceiver::new(bfd_reception_program(), bfd::SessionState::Up, vec![5]);
         let pkt = bfd::build_control_packet(bfd::SessionState::Up, 42, 999, 3, false);
         let out = rx.receive(&pkt).unwrap();
         assert!(out.discarded);
@@ -328,7 +361,8 @@ mod tests {
     fn bfd_generated_code_matches_reference_behaviour() {
         // The generated behaviour must agree with the hand-written
         // reference receiver in netsim for the same packets.
-        let mut rx = BfdGeneratedReceiver::new(bfd_reception_program(), bfd::SessionState::Up, vec![7]);
+        let mut rx =
+            BfdGeneratedReceiver::new(bfd_reception_program(), bfd::SessionState::Up, vec![7]);
         let mut table = bfd::SessionTable::new();
         table.add(bfd::SessionVariables {
             session_state: bfd::SessionState::Up,

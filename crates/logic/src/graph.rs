@@ -132,7 +132,11 @@ mod tests {
     use super::*;
 
     fn abc() -> (Lf, Lf, Lf) {
-        (Lf::atom("Ones"), Lf::atom("OnesSum"), Lf::atom("icmp_message"))
+        (
+            Lf::atom("Ones"),
+            Lf::atom("OnesSum"),
+            Lf::atom("icmp_message"),
+        )
     }
 
     #[test]

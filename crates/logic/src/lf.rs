@@ -175,10 +175,9 @@ impl Lf {
     /// Apply a transformation bottom-up to every node.
     pub fn map_bottom_up(&self, f: &impl Fn(Lf) -> Lf) -> Lf {
         let rebuilt = match self {
-            Lf::Pred(p, args) => Lf::Pred(
-                p.clone(),
-                args.iter().map(|a| a.map_bottom_up(f)).collect(),
-            ),
+            Lf::Pred(p, args) => {
+                Lf::Pred(p.clone(), args.iter().map(|a| a.map_bottom_up(f)).collect())
+            }
             other => other.clone(),
         };
         f(rebuilt)

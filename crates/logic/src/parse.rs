@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "LF parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "LF parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -190,8 +194,7 @@ mod tests {
 
     #[test]
     fn parses_figure2_lf2() {
-        let text =
-            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))";
+        let text = "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))";
         let lf = parse_lf(text).unwrap();
         assert_eq!(lf.pred_name(), Some(&PredName::AdvBefore));
         assert_eq!(lf.args().len(), 2);
@@ -211,7 +214,11 @@ mod tests {
         let lf = Lf::if_then(
             Lf::pred(
                 PredName::Compare,
-                vec![Lf::atom(">="), Lf::atom("peer.timer"), Lf::atom("peer.threshold")],
+                vec![
+                    Lf::atom(">="),
+                    Lf::atom("peer.timer"),
+                    Lf::atom("peer.threshold"),
+                ],
             ),
             Lf::action("timeout_procedure", vec![]),
         );

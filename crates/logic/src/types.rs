@@ -145,7 +145,17 @@ const MESSAGE_WORDS: &[&str] = &[
 
 /// Protocol / layer names.
 const PROTOCOL_WORDS: &[&str] = &[
-    "icmp", "ip", "udp", "tcp", "igmp", "ntp", "bfd", "internet protocol", "ospf", "bgp", "rtp",
+    "icmp",
+    "ip",
+    "udp",
+    "tcp",
+    "igmp",
+    "ntp",
+    "bfd",
+    "internet protocol",
+    "ospf",
+    "bgp",
+    "rtp",
 ];
 
 /// State values used by BFD/NTP state-management text.

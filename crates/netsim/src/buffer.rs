@@ -32,7 +32,7 @@ impl FieldSpec {
     /// The byte range `[start, end)` this field touches.
     pub fn byte_range(&self) -> (usize, usize) {
         let start = self.offset_bits / 8;
-        let end = (self.offset_bits + self.width_bits + 7) / 8;
+        let end = (self.offset_bits + self.width_bits).div_ceil(8);
         (start, end)
     }
 }
@@ -43,9 +43,17 @@ pub enum FieldError {
     /// The named field is not in the table.
     UnknownField(String),
     /// The buffer is too short to contain the field.
-    OutOfBounds { field: String, needed: usize, len: usize },
+    OutOfBounds {
+        field: String,
+        needed: usize,
+        len: usize,
+    },
     /// The value does not fit in the field's width.
-    ValueTooLarge { field: String, width_bits: usize, value: u64 },
+    ValueTooLarge {
+        field: String,
+        width_bits: usize,
+        value: u64,
+    },
 }
 
 impl fmt::Display for FieldError {
@@ -53,10 +61,20 @@ impl fmt::Display for FieldError {
         match self {
             FieldError::UnknownField(name) => write!(f, "unknown field '{name}'"),
             FieldError::OutOfBounds { field, needed, len } => {
-                write!(f, "field '{field}' needs {needed} bytes but buffer has {len}")
+                write!(
+                    f,
+                    "field '{field}' needs {needed} bytes but buffer has {len}"
+                )
             }
-            FieldError::ValueTooLarge { field, width_bits, value } => {
-                write!(f, "value {value} does not fit in {width_bits}-bit field '{field}'")
+            FieldError::ValueTooLarge {
+                field,
+                width_bits,
+                value,
+            } => {
+                write!(
+                    f,
+                    "value {value} does not fit in {width_bits}-bit field '{field}'"
+                )
             }
         }
     }
@@ -78,7 +96,9 @@ impl PacketBuf {
 
     /// A zero-filled buffer of `len` bytes.
     pub fn zeroed(len: usize) -> PacketBuf {
-        PacketBuf { bytes: vec![0; len] }
+        PacketBuf {
+            bytes: vec![0; len],
+        }
     }
 
     /// Wrap existing bytes.
@@ -125,7 +145,12 @@ impl PacketBuf {
     }
 
     /// Write a named field (big-endian / network byte order).
-    pub fn set_field(&mut self, table: &[FieldSpec], name: &str, value: u64) -> Result<(), FieldError> {
+    pub fn set_field(
+        &mut self,
+        table: &[FieldSpec],
+        name: &str,
+        value: u64,
+    ) -> Result<(), FieldError> {
         let spec = Self::find(table, name)?;
         self.set_bits(spec, value)
     }

@@ -109,10 +109,16 @@ mod tests {
     fn checksum_with_zeroed_field_ignores_prefilled_value() {
         let mut a = vec![8u8, 0, 0xAA, 0xBB, 0x12, 0x34];
         let b = vec![8u8, 0, 0x00, 0x00, 0x12, 0x34];
-        assert_eq!(checksum_with_zeroed_field(&a, 2), checksum_with_zeroed_field(&b, 2));
+        assert_eq!(
+            checksum_with_zeroed_field(&a, 2),
+            checksum_with_zeroed_field(&b, 2)
+        );
         a[2] = 0;
         a[3] = 0;
-        assert_eq!(checksum_with_zeroed_field(&a, 2), ones_complement_checksum(&a));
+        assert_eq!(
+            checksum_with_zeroed_field(&a, 2),
+            ones_complement_checksum(&a)
+        );
     }
 
     #[test]

@@ -238,8 +238,12 @@ impl StudentResponder {
         let icmp_reply = self
             .respond(IcmpEvent::EchoRequest, request_ip)
             .unwrap_or_else(|| PacketBuf::zeroed(icmp::HEADER_LEN));
-        let src = request_ip.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
-        let dst = request_ip.get_field(ipv4::FIELDS, "destination_address").unwrap_or(0) as u32;
+        let src = request_ip
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let dst = request_ip
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
         let (reply_src, reply_dst) = if self.spec.ip_header_error {
             // Forgot to swap the addresses: the reply goes back out with the
             // original source/destination.
@@ -247,7 +251,13 @@ impl StudentResponder {
         } else {
             (dst, src)
         };
-        let mut reply = ipv4::build_packet(reply_src, reply_dst, ipv4::PROTO_ICMP, 64, icmp_reply.as_bytes());
+        let mut reply = ipv4::build_packet(
+            reply_src,
+            reply_dst,
+            ipv4::PROTO_ICMP,
+            64,
+            icmp_reply.as_bytes(),
+        );
         if self.spec.ip_header_error {
             // Also leave a stale IP header checksum behind.
             reply.set_field(ipv4::FIELDS, "header_checksum", 0).ok();
@@ -281,8 +291,12 @@ impl IcmpResponder for StudentResponder {
         } else {
             (id, seq)
         };
-        reply.set_field(icmp::FIELDS, "identifier", u64::from(wid)).ok()?;
-        reply.set_field(icmp::FIELDS, "sequence_number", u64::from(wseq)).ok()?;
+        reply
+            .set_field(icmp::FIELDS, "identifier", u64::from(wid))
+            .ok()?;
+        reply
+            .set_field(icmp::FIELDS, "sequence_number", u64::from(wseq))
+            .ok()?;
         // Payload errors: wrong content; length errors: truncated.
         if !self.spec.length_error {
             if self.spec.payload_error {
@@ -293,7 +307,9 @@ impl IcmpResponder for StudentResponder {
         }
         // Checksum according to the chosen interpretation.
         let ck = self.spec.checksum.compute(&reply, original);
-        reply.set_field(icmp::FIELDS, "checksum", u64::from(ck)).ok()?;
+        reply
+            .set_field(icmp::FIELDS, "checksum", u64::from(ck))
+            .ok()?;
         Some(reply)
     }
 }
@@ -305,7 +321,9 @@ pub fn classify_errors(
     request_ip: &PacketBuf,
 ) -> Vec<ErrorCategory> {
     let mut errors = Vec::new();
-    let src = request_ip.get_field(ipv4::FIELDS, "source_address").unwrap_or(0);
+    let src = request_ip
+        .get_field(ipv4::FIELDS, "source_address")
+        .unwrap_or(0);
     let observed_dst = observed_reply_ip
         .get_field(ipv4::FIELDS, "destination_address")
         .unwrap_or(u64::MAX);
@@ -331,7 +349,9 @@ pub fn classify_errors(
     let reply = PacketBuf::from_bytes(reply_bytes.to_vec());
     let rtype = reply.get_field(icmp::FIELDS, "type").unwrap_or(255);
     let rid = reply.get_field(icmp::FIELDS, "identifier").unwrap_or(0) as u16;
-    let rseq = reply.get_field(icmp::FIELDS, "sequence_number").unwrap_or(0) as u16;
+    let rseq = reply
+        .get_field(icmp::FIELDS, "sequence_number")
+        .unwrap_or(0) as u16;
     if rtype != u64::from(icmp::msg_type::ECHO_REPLY) {
         errors.push(ErrorCategory::IcmpHeader);
     }
@@ -461,7 +481,10 @@ mod tests {
         assert_eq!(indices, vec![1, 2, 3, 4, 5, 6, 7]);
         // Only the full-message readings (and the degenerate incremental
         // update) interoperate.
-        let interoperable: Vec<bool> = all.iter().map(ChecksumInterpretation::interoperates).collect();
+        let interoperable: Vec<bool> = all
+            .iter()
+            .map(ChecksumInterpretation::interoperates)
+            .collect();
         assert_eq!(interoperable.iter().filter(|b| **b).count(), 3);
     }
 

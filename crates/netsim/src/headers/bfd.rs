@@ -72,12 +72,18 @@ pub fn build_control_packet(
 ) -> PacketBuf {
     let mut p = PacketBuf::zeroed(HEADER_LEN);
     p.set_field(FIELDS, "version", 1).expect("field");
-    p.set_field(FIELDS, "state", u64::from(state.code())).expect("field");
-    p.set_field(FIELDS, "detect_mult", u64::from(detect_mult)).expect("field");
-    p.set_field(FIELDS, "length", HEADER_LEN as u64).expect("field");
-    p.set_field(FIELDS, "my_discriminator", u64::from(my_discriminator)).expect("field");
-    p.set_field(FIELDS, "your_discriminator", u64::from(your_discriminator)).expect("field");
-    p.set_field(FIELDS, "demand", u64::from(demand)).expect("field");
+    p.set_field(FIELDS, "state", u64::from(state.code()))
+        .expect("field");
+    p.set_field(FIELDS, "detect_mult", u64::from(detect_mult))
+        .expect("field");
+    p.set_field(FIELDS, "length", HEADER_LEN as u64)
+        .expect("field");
+    p.set_field(FIELDS, "my_discriminator", u64::from(my_discriminator))
+        .expect("field");
+    p.set_field(FIELDS, "your_discriminator", u64::from(your_discriminator))
+        .expect("field");
+    p.set_field(FIELDS, "demand", u64::from(demand))
+        .expect("field");
     p
 }
 
@@ -238,7 +244,12 @@ mod tests {
 
     #[test]
     fn session_state_codes_round_trip() {
-        for s in [SessionState::AdminDown, SessionState::Down, SessionState::Init, SessionState::Up] {
+        for s in [
+            SessionState::AdminDown,
+            SessionState::Down,
+            SessionState::Init,
+            SessionState::Up,
+        ] {
             assert_eq!(SessionState::from_code(s.code()), Some(s));
         }
         assert_eq!(SessionState::from_code(9), None);
@@ -249,7 +260,10 @@ mod tests {
         let mut table = SessionTable::new();
         let discr = table.add(up_session(5));
         let pkt = build_control_packet(SessionState::Up, 42, discr, 3, false);
-        assert_eq!(receive_control_packet(&mut table, &pkt), ReceiveAction::Accepted);
+        assert_eq!(
+            receive_control_packet(&mut table, &pkt),
+            ReceiveAction::Accepted
+        );
         let session = table.select(discr).unwrap();
         assert_eq!(session.remote_session_state, SessionState::Up);
         assert_eq!(session.remote_discr, 42);
@@ -271,7 +285,10 @@ mod tests {
         let mut table = SessionTable::new();
         let discr = table.add(up_session(1));
         let pkt = build_control_packet(SessionState::Up, 42, discr, 3, true);
-        assert_eq!(receive_control_packet(&mut table, &pkt), ReceiveAction::Accepted);
+        assert_eq!(
+            receive_control_packet(&mut table, &pkt),
+            ReceiveAction::Accepted
+        );
         assert!(!table.select(discr).unwrap().periodic_transmission_active);
     }
 
@@ -282,7 +299,10 @@ mod tests {
         s.session_state = SessionState::Init;
         let discr = table.add(s);
         let pkt = build_control_packet(SessionState::Up, 42, discr, 3, true);
-        assert_eq!(receive_control_packet(&mut table, &pkt), ReceiveAction::Accepted);
+        assert_eq!(
+            receive_control_packet(&mut table, &pkt),
+            ReceiveAction::Accepted
+        );
         assert!(table.select(discr).unwrap().periodic_transmission_active);
     }
 
@@ -292,10 +312,16 @@ mod tests {
         table.add(up_session(1));
         // detect_mult == 0
         let bad = build_control_packet(SessionState::Up, 42, 1, 0, false);
-        assert!(matches!(receive_control_packet(&mut table, &bad), ReceiveAction::Discarded(_)));
+        assert!(matches!(
+            receive_control_packet(&mut table, &bad),
+            ReceiveAction::Discarded(_)
+        ));
         // my discriminator == 0
         let bad2 = build_control_packet(SessionState::Up, 0, 1, 3, false);
-        assert!(matches!(receive_control_packet(&mut table, &bad2), ReceiveAction::Discarded(_)));
+        assert!(matches!(
+            receive_control_packet(&mut table, &bad2),
+            ReceiveAction::Discarded(_)
+        ));
     }
 
     #[test]

@@ -68,7 +68,8 @@ pub const TIMESTAMP_LEN: usize = 20;
 /// checksum sentence.
 pub fn finalize_checksum(msg: &mut PacketBuf) {
     let ck = checksum_with_zeroed_field(msg.as_bytes(), 2);
-    msg.set_field(FIELDS, "checksum", u64::from(ck)).expect("header present");
+    msg.set_field(FIELDS, "checksum", u64::from(ck))
+        .expect("header present");
 }
 
 /// Verify the ICMP checksum over the entire message.
@@ -79,11 +80,17 @@ pub fn checksum_ok(msg: &PacketBuf) -> bool {
 /// Build an echo or echo-reply message.
 pub fn build_echo(reply: bool, identifier: u16, sequence: u16, data: &[u8]) -> PacketBuf {
     let mut m = PacketBuf::zeroed(HEADER_LEN);
-    let t = if reply { msg_type::ECHO_REPLY } else { msg_type::ECHO };
+    let t = if reply {
+        msg_type::ECHO_REPLY
+    } else {
+        msg_type::ECHO
+    };
     m.set_field(FIELDS, "type", u64::from(t)).expect("field");
     m.set_field(FIELDS, "code", 0).expect("field");
-    m.set_field(FIELDS, "identifier", u64::from(identifier)).expect("field");
-    m.set_field(FIELDS, "sequence_number", u64::from(sequence)).expect("field");
+    m.set_field(FIELDS, "identifier", u64::from(identifier))
+        .expect("field");
+    m.set_field(FIELDS, "sequence_number", u64::from(sequence))
+        .expect("field");
     m.extend_from_slice(data);
     finalize_checksum(&mut m);
     m
@@ -92,11 +99,18 @@ pub fn build_echo(reply: bool, identifier: u16, sequence: u16, data: &[u8]) -> P
 /// Build an error message (destination unreachable, time exceeded, source
 /// quench or parameter problem) quoting the offending datagram: the internet
 /// header plus the first 64 bits of the original datagram's data.
-pub fn build_error(msg_type: u8, code: u8, second_word: u32, original_datagram: &[u8]) -> PacketBuf {
+pub fn build_error(
+    msg_type: u8,
+    code: u8,
+    second_word: u32,
+    original_datagram: &[u8],
+) -> PacketBuf {
     let mut m = PacketBuf::zeroed(HEADER_LEN);
-    m.set_field(FIELDS, "type", u64::from(msg_type)).expect("field");
+    m.set_field(FIELDS, "type", u64::from(msg_type))
+        .expect("field");
     m.set_field(FIELDS, "code", u64::from(code)).expect("field");
-    m.set_field(FIELDS, "rest_of_header", u64::from(second_word)).expect("field");
+    m.set_field(FIELDS, "rest_of_header", u64::from(second_word))
+        .expect("field");
     m.extend_from_slice(&quoted_payload(original_datagram));
     finalize_checksum(&mut m);
     m
@@ -120,13 +134,26 @@ pub fn build_timestamp(
     transmit: u32,
 ) -> PacketBuf {
     let mut m = PacketBuf::zeroed(TIMESTAMP_LEN);
-    let t = if reply { msg_type::TIMESTAMP_REPLY } else { msg_type::TIMESTAMP };
+    let t = if reply {
+        msg_type::TIMESTAMP_REPLY
+    } else {
+        msg_type::TIMESTAMP
+    };
     m.set_field(FIELDS, "type", u64::from(t)).expect("field");
-    m.set_field(FIELDS, "identifier", u64::from(identifier)).expect("field");
-    m.set_field(FIELDS, "sequence_number", u64::from(sequence)).expect("field");
-    m.set_field(TIMESTAMP_FIELDS, "originate_timestamp", u64::from(originate)).expect("field");
-    m.set_field(TIMESTAMP_FIELDS, "receive_timestamp", u64::from(receive)).expect("field");
-    m.set_field(TIMESTAMP_FIELDS, "transmit_timestamp", u64::from(transmit)).expect("field");
+    m.set_field(FIELDS, "identifier", u64::from(identifier))
+        .expect("field");
+    m.set_field(FIELDS, "sequence_number", u64::from(sequence))
+        .expect("field");
+    m.set_field(
+        TIMESTAMP_FIELDS,
+        "originate_timestamp",
+        u64::from(originate),
+    )
+    .expect("field");
+    m.set_field(TIMESTAMP_FIELDS, "receive_timestamp", u64::from(receive))
+        .expect("field");
+    m.set_field(TIMESTAMP_FIELDS, "transmit_timestamp", u64::from(transmit))
+        .expect("field");
     finalize_checksum(&mut m);
     m
 }
@@ -134,10 +161,16 @@ pub fn build_timestamp(
 /// Build an information request / reply message (header only, no data).
 pub fn build_info(reply: bool, identifier: u16, sequence: u16) -> PacketBuf {
     let mut m = PacketBuf::zeroed(HEADER_LEN);
-    let t = if reply { msg_type::INFO_REPLY } else { msg_type::INFO_REQUEST };
+    let t = if reply {
+        msg_type::INFO_REPLY
+    } else {
+        msg_type::INFO_REQUEST
+    };
     m.set_field(FIELDS, "type", u64::from(t)).expect("field");
-    m.set_field(FIELDS, "identifier", u64::from(identifier)).expect("field");
-    m.set_field(FIELDS, "sequence_number", u64::from(sequence)).expect("field");
+    m.set_field(FIELDS, "identifier", u64::from(identifier))
+        .expect("field");
+    m.set_field(FIELDS, "sequence_number", u64::from(sequence))
+        .expect("field");
     finalize_checksum(&mut m);
     m
 }
@@ -186,7 +219,10 @@ mod tests {
         assert!(checksum_ok(&m));
         let len = m.len();
         m.as_bytes_mut()[len - 1] ^= 0xFF;
-        assert!(!checksum_ok(&m), "corrupting payload must break the checksum");
+        assert!(
+            !checksum_ok(&m),
+            "corrupting payload must break the checksum"
+        );
     }
 
     #[test]
@@ -216,10 +252,23 @@ mod tests {
     fn timestamp_message_has_three_timestamps() {
         let m = build_timestamp(true, 9, 2, 111, 222, 333);
         assert_eq!(m.len(), TIMESTAMP_LEN);
-        assert_eq!(m.get_field(FIELDS, "type").unwrap(), u64::from(msg_type::TIMESTAMP_REPLY));
-        assert_eq!(m.get_field(TIMESTAMP_FIELDS, "originate_timestamp").unwrap(), 111);
-        assert_eq!(m.get_field(TIMESTAMP_FIELDS, "receive_timestamp").unwrap(), 222);
-        assert_eq!(m.get_field(TIMESTAMP_FIELDS, "transmit_timestamp").unwrap(), 333);
+        assert_eq!(
+            m.get_field(FIELDS, "type").unwrap(),
+            u64::from(msg_type::TIMESTAMP_REPLY)
+        );
+        assert_eq!(
+            m.get_field(TIMESTAMP_FIELDS, "originate_timestamp")
+                .unwrap(),
+            111
+        );
+        assert_eq!(
+            m.get_field(TIMESTAMP_FIELDS, "receive_timestamp").unwrap(),
+            222
+        );
+        assert_eq!(
+            m.get_field(TIMESTAMP_FIELDS, "transmit_timestamp").unwrap(),
+            333
+        );
         assert!(checksum_ok(&m));
     }
 
@@ -227,7 +276,10 @@ mod tests {
     fn info_messages_have_no_data() {
         let m = build_info(false, 5, 6);
         assert_eq!(m.len(), HEADER_LEN);
-        assert_eq!(m.get_field(FIELDS, "type").unwrap(), u64::from(msg_type::INFO_REQUEST));
+        assert_eq!(
+            m.get_field(FIELDS, "type").unwrap(),
+            u64::from(msg_type::INFO_REQUEST)
+        );
         assert!(checksum_ok(&m));
     }
 

@@ -28,10 +28,13 @@ pub const FIELDS: &[FieldSpec] = &[
 pub fn build_message(msg_type: u8, group_address: u32) -> PacketBuf {
     let mut m = PacketBuf::zeroed(HEADER_LEN);
     m.set_field(FIELDS, "version", 1).expect("field");
-    m.set_field(FIELDS, "type", u64::from(msg_type)).expect("field");
-    m.set_field(FIELDS, "group_address", u64::from(group_address)).expect("field");
+    m.set_field(FIELDS, "type", u64::from(msg_type))
+        .expect("field");
+    m.set_field(FIELDS, "group_address", u64::from(group_address))
+        .expect("field");
     let ck = checksum_with_zeroed_field(m.as_bytes(), 2);
-    m.set_field(FIELDS, "checksum", u64::from(ck)).expect("field");
+    m.set_field(FIELDS, "checksum", u64::from(ck))
+        .expect("field");
     m
 }
 
@@ -67,7 +70,10 @@ mod tests {
     fn report_carries_group_address() {
         let group = addr(224, 0, 0, 251);
         let r = build_message(msg_type::MEMBERSHIP_REPORT, group);
-        assert_eq!(r.get_field(FIELDS, "group_address").unwrap(), u64::from(group));
+        assert_eq!(
+            r.get_field(FIELDS, "group_address").unwrap(),
+            u64::from(group)
+        );
         assert!(checksum_ok(&r));
     }
 
@@ -76,8 +82,14 @@ mod tests {
         let q = build_message(msg_type::MEMBERSHIP_QUERY, 0);
         let group = addr(224, 1, 2, 3);
         let r = respond_to_query(&q, group).unwrap();
-        assert_eq!(r.get_field(FIELDS, "type").unwrap(), u64::from(msg_type::MEMBERSHIP_REPORT));
-        assert_eq!(r.get_field(FIELDS, "group_address").unwrap(), u64::from(group));
+        assert_eq!(
+            r.get_field(FIELDS, "type").unwrap(),
+            u64::from(msg_type::MEMBERSHIP_REPORT)
+        );
+        assert_eq!(
+            r.get_field(FIELDS, "group_address").unwrap(),
+            u64::from(group)
+        );
     }
 
     #[test]

@@ -47,13 +47,18 @@ pub fn build_packet(src: u32, dst: u32, protocol: u8, ttl: u8, payload: &[u8]) -
     let mut buf = PacketBuf::zeroed(HEADER_LEN);
     buf.set_field(FIELDS, "version", 4).expect("field");
     buf.set_field(FIELDS, "ihl", 5).expect("field");
-    buf.set_field(FIELDS, "total_length", total_len as u64).expect("field");
+    buf.set_field(FIELDS, "total_length", total_len as u64)
+        .expect("field");
     buf.set_field(FIELDS, "ttl", u64::from(ttl)).expect("field");
-    buf.set_field(FIELDS, "protocol", u64::from(protocol)).expect("field");
-    buf.set_field(FIELDS, "source_address", u64::from(src)).expect("field");
-    buf.set_field(FIELDS, "destination_address", u64::from(dst)).expect("field");
+    buf.set_field(FIELDS, "protocol", u64::from(protocol))
+        .expect("field");
+    buf.set_field(FIELDS, "source_address", u64::from(src))
+        .expect("field");
+    buf.set_field(FIELDS, "destination_address", u64::from(dst))
+        .expect("field");
     let ck = checksum_with_zeroed_field(&buf.as_bytes()[..HEADER_LEN], 10);
-    buf.set_field(FIELDS, "header_checksum", u64::from(ck)).expect("field");
+    buf.set_field(FIELDS, "header_checksum", u64::from(ck))
+        .expect("field");
     buf.extend_from_slice(payload);
     buf
 }
@@ -92,11 +97,20 @@ mod tests {
 
     #[test]
     fn build_produces_valid_header() {
-        let p = build_packet(addr(10, 0, 1, 5), addr(192, 168, 2, 9), PROTO_ICMP, 64, b"hello");
+        let p = build_packet(
+            addr(10, 0, 1, 5),
+            addr(192, 168, 2, 9),
+            PROTO_ICMP,
+            64,
+            b"hello",
+        );
         assert_eq!(p.get_field(FIELDS, "version").unwrap(), 4);
         assert_eq!(p.get_field(FIELDS, "ihl").unwrap(), 5);
         assert_eq!(p.get_field(FIELDS, "total_length").unwrap() as usize, 25);
-        assert_eq!(p.get_field(FIELDS, "protocol").unwrap(), u64::from(PROTO_ICMP));
+        assert_eq!(
+            p.get_field(FIELDS, "protocol").unwrap(),
+            u64::from(PROTO_ICMP)
+        );
         assert_eq!(p.get_field(FIELDS, "ttl").unwrap(), 64);
         assert!(checksum_ok(&p));
         assert_eq!(payload(&p), b"hello");
@@ -112,7 +126,13 @@ mod tests {
 
     #[test]
     fn refresh_checksum_after_ttl_change() {
-        let mut p = build_packet(addr(10, 0, 1, 5), addr(10, 0, 2, 5), PROTO_ICMP, 64, &[1, 2, 3]);
+        let mut p = build_packet(
+            addr(10, 0, 1, 5),
+            addr(10, 0, 2, 5),
+            PROTO_ICMP,
+            64,
+            &[1, 2, 3],
+        );
         p.set_field(FIELDS, "ttl", 63).unwrap();
         assert!(!checksum_ok(&p), "stale checksum should fail");
         refresh_checksum(&mut p);

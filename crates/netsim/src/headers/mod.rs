@@ -89,7 +89,11 @@ mod tests {
             let table = field_table(proto).unwrap();
             let mut names = std::collections::HashSet::new();
             for f in table {
-                assert!(names.insert(f.name), "duplicate field {} in {proto}", f.name);
+                assert!(
+                    names.insert(f.name),
+                    "duplicate field {} in {proto}",
+                    f.name
+                );
             }
         }
     }

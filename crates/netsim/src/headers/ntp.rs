@@ -38,19 +38,40 @@ pub const FIELDS: &[FieldSpec] = &[
 ];
 
 /// Build an NTP packet.
-pub fn build_packet(leap: u8, version: u8, mode: u8, stratum: u8, transmit_timestamp: u64) -> PacketBuf {
+pub fn build_packet(
+    leap: u8,
+    version: u8,
+    mode: u8,
+    stratum: u8,
+    transmit_timestamp: u64,
+) -> PacketBuf {
     let mut p = PacketBuf::zeroed(HEADER_LEN);
-    p.set_field(FIELDS, "leap_indicator", u64::from(leap)).expect("field");
-    p.set_field(FIELDS, "version", u64::from(version)).expect("field");
+    p.set_field(FIELDS, "leap_indicator", u64::from(leap))
+        .expect("field");
+    p.set_field(FIELDS, "version", u64::from(version))
+        .expect("field");
     p.set_field(FIELDS, "mode", u64::from(mode)).expect("field");
-    p.set_field(FIELDS, "stratum", u64::from(stratum)).expect("field");
-    p.set_field(FIELDS, "transmit_timestamp", transmit_timestamp).expect("field");
+    p.set_field(FIELDS, "stratum", u64::from(stratum))
+        .expect("field");
+    p.set_field(FIELDS, "transmit_timestamp", transmit_timestamp)
+        .expect("field");
     p
 }
 
 /// Encapsulate an NTP packet in UDP (Appendix A: NTP runs over UDP port 123).
-pub fn encapsulate_in_udp(src_addr: u32, dst_addr: u32, src_port: u16, ntp: &PacketBuf) -> PacketBuf {
-    super::udp::build_datagram(src_addr, dst_addr, src_port, super::udp::NTP_PORT, ntp.as_bytes())
+pub fn encapsulate_in_udp(
+    src_addr: u32,
+    dst_addr: u32,
+    src_port: u16,
+    ntp: &PacketBuf,
+) -> PacketBuf {
+    super::udp::build_datagram(
+        src_addr,
+        dst_addr,
+        src_port,
+        super::udp::NTP_PORT,
+        ntp.as_bytes(),
+    )
 }
 
 /// The peer variables involved in the timeout-procedure sentence
@@ -87,9 +108,15 @@ mod tests {
         let p = build_packet(0, 1, mode::CLIENT, 2, 0x0123_4567_89AB_CDEF);
         assert_eq!(p.len(), HEADER_LEN);
         assert_eq!(p.get_field(FIELDS, "version").unwrap(), 1);
-        assert_eq!(p.get_field(FIELDS, "mode").unwrap(), u64::from(mode::CLIENT));
+        assert_eq!(
+            p.get_field(FIELDS, "mode").unwrap(),
+            u64::from(mode::CLIENT)
+        );
         assert_eq!(p.get_field(FIELDS, "stratum").unwrap(), 2);
-        assert_eq!(p.get_field(FIELDS, "transmit_timestamp").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(
+            p.get_field(FIELDS, "transmit_timestamp").unwrap(),
+            0x0123_4567_89AB_CDEF
+        );
     }
 
     #[test]
@@ -103,22 +130,35 @@ mod tests {
         let ntp = build_packet(0, 1, mode::CLIENT, 3, 42);
         let udp = encapsulate_in_udp(addr(10, 0, 1, 5), addr(10, 0, 2, 5), 45000, &ntp);
         assert_eq!(
-            udp.get_field(super::super::udp::FIELDS, "destination_port").unwrap(),
+            udp.get_field(super::super::udp::FIELDS, "destination_port")
+                .unwrap(),
             u64::from(super::super::udp::NTP_PORT)
         );
         assert_eq!(super::super::udp::payload(&udp), ntp.as_bytes());
-        assert!(super::super::udp::checksum_ok(addr(10, 0, 1, 5), addr(10, 0, 2, 5), &udp));
+        assert!(super::super::udp::checksum_ok(
+            addr(10, 0, 1, 5),
+            addr(10, 0, 2, 5),
+            &udp
+        ));
     }
 
     #[test]
     fn timeout_condition_matches_table11_semantics() {
         // Fires in client mode once the timer reaches the threshold.
-        let mut v = PeerVariables { timer: 64, threshold: 64, mode: mode::CLIENT };
+        let mut v = PeerVariables {
+            timer: 64,
+            threshold: 64,
+            mode: mode::CLIENT,
+        };
         assert!(v.timeout_due());
         v.timer = 63;
         assert!(!v.timeout_due());
         // Symmetric modes also fire ("and" in the RFC means OR — §7).
-        v = PeerVariables { timer: 100, threshold: 64, mode: mode::SYMMETRIC_ACTIVE };
+        v = PeerVariables {
+            timer: 100,
+            threshold: 64,
+            mode: mode::SYMMETRIC_ACTIVE,
+        };
         assert!(v.timeout_due());
         // Server/broadcast modes never fire.
         v.mode = mode::SERVER;

@@ -28,14 +28,18 @@ pub fn build_datagram(
 ) -> PacketBuf {
     let length = (HEADER_LEN + payload.len()) as u16;
     let mut d = PacketBuf::zeroed(HEADER_LEN);
-    d.set_field(FIELDS, "source_port", u64::from(src_port)).expect("field");
-    d.set_field(FIELDS, "destination_port", u64::from(dst_port)).expect("field");
-    d.set_field(FIELDS, "length", u64::from(length)).expect("field");
+    d.set_field(FIELDS, "source_port", u64::from(src_port))
+        .expect("field");
+    d.set_field(FIELDS, "destination_port", u64::from(dst_port))
+        .expect("field");
+    d.set_field(FIELDS, "length", u64::from(length))
+        .expect("field");
     d.extend_from_slice(payload);
     let ck = compute_checksum(src_addr, dst_addr, d.as_bytes());
     // Per RFC 768, a computed checksum of zero is transmitted as all ones.
     let ck = if ck == 0 { 0xFFFF } else { ck };
-    d.set_field(FIELDS, "checksum", u64::from(ck)).expect("field");
+    d.set_field(FIELDS, "checksum", u64::from(ck))
+        .expect("field");
     d
 }
 
@@ -87,9 +91,18 @@ mod tests {
 
     #[test]
     fn datagram_round_trip() {
-        let d = build_datagram(addr(10, 0, 1, 5), addr(10, 0, 2, 5), 5000, NTP_PORT, b"ntp-data");
+        let d = build_datagram(
+            addr(10, 0, 1, 5),
+            addr(10, 0, 2, 5),
+            5000,
+            NTP_PORT,
+            b"ntp-data",
+        );
         assert_eq!(d.get_field(FIELDS, "source_port").unwrap(), 5000);
-        assert_eq!(d.get_field(FIELDS, "destination_port").unwrap(), u64::from(NTP_PORT));
+        assert_eq!(
+            d.get_field(FIELDS, "destination_port").unwrap(),
+            u64::from(NTP_PORT)
+        );
         assert_eq!(d.get_field(FIELDS, "length").unwrap() as usize, 8 + 8);
         assert_eq!(payload(&d), b"ntp-data");
         assert!(checksum_ok(addr(10, 0, 1, 5), addr(10, 0, 2, 5), &d));

@@ -127,7 +127,14 @@ impl IcmpResponder for ReferenceResponder {
                 let orig = buf
                     .get_field(icmp::TIMESTAMP_FIELDS, "originate_timestamp")
                     .unwrap_or(0) as u32;
-                Some(icmp::build_timestamp(true, id, seq, orig, orig + 1, orig + 1))
+                Some(icmp::build_timestamp(
+                    true,
+                    id,
+                    seq,
+                    orig,
+                    orig + 1,
+                    orig + 1,
+                ))
             }
             IcmpEvent::InfoRequest => {
                 let buf = PacketBuf::from_bytes(icmp_payload.to_vec());
@@ -252,8 +259,12 @@ impl Network {
             return RouterAction::Dropped("truncated header");
         };
         let dst = dst as u32;
-        let src = packet.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
-        let tos = packet.get_field(ipv4::FIELDS, "type_of_service").unwrap_or(0) as u8;
+        let src = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let tos = packet
+            .get_field(ipv4::FIELDS, "type_of_service")
+            .unwrap_or(0) as u8;
         let ttl = packet.get_field(ipv4::FIELDS, "ttl").unwrap_or(0) as u8;
         let protocol = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
 
@@ -333,7 +344,8 @@ impl Network {
 
         // Forward: decrement TTL, refresh checksum, enqueue.
         let mut fwd = packet.clone();
-        fwd.set_field(ipv4::FIELDS, "ttl", u64::from(ttl - 1)).expect("field");
+        fwd.set_field(ipv4::FIELDS, "ttl", u64::from(ttl - 1))
+            .expect("field");
         ipv4::refresh_checksum(&mut fwd);
         self.router.interfaces[egress].queue.push(fwd);
         RouterAction::Forwarded(egress)
@@ -346,8 +358,15 @@ mod tests {
 
     fn echo_request_packet(dst: u32, ttl: u8, tos: u8) -> PacketBuf {
         let echo = icmp::build_echo(false, 0x42, 1, b"abcdefgh");
-        let mut p = ipv4::build_packet(ipv4::addr(10, 0, 1, 100), dst, ipv4::PROTO_ICMP, ttl, echo.as_bytes());
-        p.set_field(ipv4::FIELDS, "type_of_service", u64::from(tos)).unwrap();
+        let mut p = ipv4::build_packet(
+            ipv4::addr(10, 0, 1, 100),
+            dst,
+            ipv4::PROTO_ICMP,
+            ttl,
+            echo.as_bytes(),
+        );
+        p.set_field(ipv4::FIELDS, "type_of_service", u64::from(tos))
+            .unwrap();
         ipv4::refresh_checksum(&mut p);
         p
     }
@@ -435,7 +454,9 @@ mod tests {
         let inner = PacketBuf::from_bytes(ipv4::payload(&reply).to_vec());
         assert_eq!(inner.get_field(icmp::FIELDS, "type").unwrap(), 5);
         assert_eq!(
-            inner.get_field(icmp::FIELDS, "gateway_internet_address").unwrap(),
+            inner
+                .get_field(icmp::FIELDS, "gateway_internet_address")
+                .unwrap(),
             u64::from(ipv4::addr(10, 0, 1, 1))
         );
     }
@@ -462,7 +483,8 @@ mod tests {
             64,
             ts.as_bytes(),
         );
-        let RouterAction::IcmpReply(reply) = net.router_process(&pkt, 0, &mut ReferenceResponder) else {
+        let RouterAction::IcmpReply(reply) = net.router_process(&pkt, 0, &mut ReferenceResponder)
+        else {
             panic!("expected timestamp reply");
         };
         let inner = PacketBuf::from_bytes(ipv4::payload(&reply).to_vec());
@@ -476,7 +498,8 @@ mod tests {
             64,
             info.as_bytes(),
         );
-        let RouterAction::IcmpReply(reply) = net.router_process(&pkt, 0, &mut ReferenceResponder) else {
+        let RouterAction::IcmpReply(reply) = net.router_process(&pkt, 0, &mut ReferenceResponder)
+        else {
             panic!("expected info reply");
         };
         let inner = PacketBuf::from_bytes(ipv4::payload(&reply).to_vec());

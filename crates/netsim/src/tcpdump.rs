@@ -75,8 +75,16 @@ pub fn decode_packet(bytes: &[u8]) -> Decoded {
     if !ipv4::checksum_ok(&packet) {
         warnings.push(Warning::BadIpChecksum);
     }
-    let src = ipv4::addr_to_string(packet.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32);
-    let dst = ipv4::addr_to_string(packet.get_field(ipv4::FIELDS, "destination_address").unwrap_or(0) as u32);
+    let src = ipv4::addr_to_string(
+        packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32,
+    );
+    let dst = ipv4::addr_to_string(
+        packet
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32,
+    );
     let protocol = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
     let payload = ipv4::payload(&packet);
 
@@ -132,7 +140,10 @@ fn decode_udp(payload: &[u8], warnings: &mut Vec<Warning>) -> String {
     if length != payload.len() {
         warnings.push(Warning::BadUdpLength);
     }
-    format!("UDP {sport} > {dport}, length {}", payload.len() - udp::HEADER_LEN)
+    format!(
+        "UDP {sport} > {dport}, length {}",
+        payload.len() - udp::HEADER_LEN
+    )
 }
 
 fn decode_igmp(payload: &[u8], warnings: &mut Vec<Warning>) -> String {
@@ -160,9 +171,15 @@ mod tests {
 
     fn echo_in_ip() -> Vec<u8> {
         let echo = icmp::build_echo(false, 66, 1, b"abcdefgh");
-        ipv4::build_packet(addr(10, 0, 1, 100), addr(10, 0, 1, 1), ipv4::PROTO_ICMP, 64, echo.as_bytes())
-            .as_bytes()
-            .to_vec()
+        ipv4::build_packet(
+            addr(10, 0, 1, 100),
+            addr(10, 0, 1, 1),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        )
+        .as_bytes()
+        .to_vec()
     }
 
     #[test]
@@ -213,7 +230,13 @@ mod tests {
         let mut msg = PacketBuf::zeroed(icmp::HEADER_LEN);
         msg.set_field(icmp::FIELDS, "type", 99).unwrap();
         icmp::finalize_checksum(&mut msg);
-        let pkt = ipv4::build_packet(addr(1, 1, 1, 1), addr(2, 2, 2, 2), ipv4::PROTO_ICMP, 64, msg.as_bytes());
+        let pkt = ipv4::build_packet(
+            addr(1, 1, 1, 1),
+            addr(2, 2, 2, 2),
+            ipv4::PROTO_ICMP,
+            64,
+            msg.as_bytes(),
+        );
         let d = decode_packet(pkt.as_bytes());
         assert!(d.warnings.contains(&Warning::UnknownIcmpType(99)));
     }
@@ -221,13 +244,25 @@ mod tests {
     #[test]
     fn udp_and_igmp_decode() {
         let dgram = udp::build_datagram(addr(1, 1, 1, 1), addr(2, 2, 2, 2), 45000, 123, b"ntp");
-        let pkt = ipv4::build_packet(addr(1, 1, 1, 1), addr(2, 2, 2, 2), ipv4::PROTO_UDP, 64, dgram.as_bytes());
+        let pkt = ipv4::build_packet(
+            addr(1, 1, 1, 1),
+            addr(2, 2, 2, 2),
+            ipv4::PROTO_UDP,
+            64,
+            dgram.as_bytes(),
+        );
         let d = decode_packet(pkt.as_bytes());
         assert!(d.clean(), "warnings: {:?}", d.warnings);
         assert!(d.summary.contains("UDP 45000 > 123"));
 
         let q = igmp::build_message(igmp::msg_type::MEMBERSHIP_QUERY, 0);
-        let pkt = ipv4::build_packet(addr(1, 1, 1, 1), addr(224, 0, 0, 1), ipv4::PROTO_IGMP, 1, q.as_bytes());
+        let pkt = ipv4::build_packet(
+            addr(1, 1, 1, 1),
+            addr(224, 0, 0, 1),
+            ipv4::PROTO_IGMP,
+            1,
+            q.as_bytes(),
+        );
         let d = decode_packet(pkt.as_bytes());
         assert!(d.clean(), "warnings: {:?}", d.warnings);
         assert!(d.summary.contains("IGMP membership query"));

@@ -63,7 +63,9 @@ pub fn validate_reply(
     if !ipv4::checksum_ok(reply) {
         return PingOutcome::Rejected("bad IP header checksum");
     }
-    let dst = reply.get_field(ipv4::FIELDS, "destination_address").unwrap_or(0) as u32;
+    let dst = reply
+        .get_field(ipv4::FIELDS, "destination_address")
+        .unwrap_or(0) as u32;
     if dst != expected_dst {
         return PingOutcome::Rejected("reply not addressed to the sender");
     }
@@ -88,7 +90,11 @@ pub fn validate_reply(
     if inner.get_field(icmp::FIELDS, "identifier").unwrap_or(0) as u16 != identifier {
         return PingOutcome::Rejected("identifier mismatch");
     }
-    if inner.get_field(icmp::FIELDS, "sequence_number").unwrap_or(0) as u16 != seq {
+    if inner
+        .get_field(icmp::FIELDS, "sequence_number")
+        .unwrap_or(0) as u16
+        != seq
+    {
         return PingOutcome::Rejected("sequence number mismatch");
     }
     let reply_payload = &inner_bytes[icmp::HEADER_LEN..];
@@ -122,7 +128,10 @@ mod tests {
         assert!(outcome.success(), "outcome: {outcome:?}");
         assert_eq!(
             outcome,
-            PingOutcome::Reply { bytes: 8 + 16, seq: 1 }
+            PingOutcome::Reply {
+                bytes: 8 + 16,
+                seq: 1
+            }
         );
     }
 
@@ -144,7 +153,13 @@ mod tests {
     #[test]
     fn reply_with_wrong_identifier_is_rejected() {
         let echo = icmp::build_echo(true, 999, 1, b"data");
-        let reply = ipv4::build_packet(addr(10, 0, 1, 1), addr(10, 0, 1, 100), ipv4::PROTO_ICMP, 64, echo.as_bytes());
+        let reply = ipv4::build_packet(
+            addr(10, 0, 1, 1),
+            addr(10, 0, 1, 100),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        );
         let outcome = validate_reply(&reply, addr(10, 0, 1, 100), 0x77, 1, b"data");
         assert_eq!(outcome, PingOutcome::Rejected("identifier mismatch"));
     }
@@ -152,7 +167,13 @@ mod tests {
     #[test]
     fn reply_with_wrong_payload_is_rejected() {
         let echo = icmp::build_echo(true, 7, 1, b"XXXX");
-        let reply = ipv4::build_packet(addr(10, 0, 1, 1), addr(10, 0, 1, 100), ipv4::PROTO_ICMP, 64, echo.as_bytes());
+        let reply = ipv4::build_packet(
+            addr(10, 0, 1, 1),
+            addr(10, 0, 1, 100),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        );
         let outcome = validate_reply(&reply, addr(10, 0, 1, 100), 7, 1, b"data");
         assert_eq!(outcome, PingOutcome::Rejected("payload mismatch"));
     }
@@ -161,15 +182,30 @@ mod tests {
     fn reply_with_bad_icmp_checksum_is_rejected() {
         let mut echo = icmp::build_echo(true, 7, 1, b"data");
         echo.set_field(icmp::FIELDS, "checksum", 0x1234).unwrap();
-        let reply = ipv4::build_packet(addr(10, 0, 1, 1), addr(10, 0, 1, 100), ipv4::PROTO_ICMP, 64, echo.as_bytes());
+        let reply = ipv4::build_packet(
+            addr(10, 0, 1, 1),
+            addr(10, 0, 1, 100),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        );
         let outcome = validate_reply(&reply, addr(10, 0, 1, 100), 7, 1, b"data");
-        assert_eq!(outcome, PingOutcome::Rejected("bad ICMP checksum (dropped by kernel)"));
+        assert_eq!(
+            outcome,
+            PingOutcome::Rejected("bad ICMP checksum (dropped by kernel)")
+        );
     }
 
     #[test]
     fn correct_manual_reply_is_accepted() {
         let echo = icmp::build_echo(true, 7, 3, b"data");
-        let reply = ipv4::build_packet(addr(10, 0, 1, 1), addr(10, 0, 1, 100), ipv4::PROTO_ICMP, 64, echo.as_bytes());
+        let reply = ipv4::build_packet(
+            addr(10, 0, 1, 1),
+            addr(10, 0, 1, 100),
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        );
         let outcome = validate_reply(&reply, addr(10, 0, 1, 100), 7, 3, b"data");
         assert!(outcome.success());
     }

@@ -50,7 +50,13 @@ pub fn traceroute(
     let mut hops = Vec::new();
     let mut completed = false;
     for ttl in 1..=max_ttl {
-        let probe_udp = udp::build_datagram(src, dst, 45000 + u16::from(ttl), 33434 + u16::from(ttl), b"probe");
+        let probe_udp = udp::build_datagram(
+            src,
+            dst,
+            45000 + u16::from(ttl),
+            33434 + u16::from(ttl),
+            b"probe",
+        );
         let probe = ipv4::build_packet(src, dst, ipv4::PROTO_UDP, ttl, probe_udp.as_bytes());
         let action = net.router_process(&probe, 0, responder);
         let hop = match action {
@@ -58,10 +64,7 @@ pub fn traceroute(
                 let from = reply.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
                 let inner = PacketBuf::from_bytes(ipv4::payload(&reply).to_vec());
                 let t = inner.get_field(icmp::FIELDS, "type").ok().map(|v| v as u8);
-                if matches!(
-                    t,
-                    Some(icmp::msg_type::DEST_UNREACHABLE)
-                ) {
+                if matches!(t, Some(icmp::msg_type::DEST_UNREACHABLE)) {
                     completed = true;
                 }
                 Hop {
@@ -114,7 +117,10 @@ mod tests {
         assert!(report.completed);
         assert_eq!(report.hops.len(), 2);
         // First hop: time exceeded from the router's ingress interface.
-        assert_eq!(report.hops[0].icmp_type, Some(icmp::msg_type::TIME_EXCEEDED));
+        assert_eq!(
+            report.hops[0].icmp_type,
+            Some(icmp::msg_type::TIME_EXCEEDED)
+        );
         assert_eq!(report.hops[0].responder, Some(addr(10, 0, 1, 1)));
         // Second hop: the destination.
         assert_eq!(report.hops[1].responder, Some(addr(192, 168, 2, 100)));

@@ -126,7 +126,10 @@ pub fn chunk(tokens: &[Token], dict: &TermDictionary, config: ChunkerConfig) -> 
                 }
             }
             if matched > 0 {
-                phrases.push(Phrase::from_tokens(&tokens[i..i + matched], PhraseKind::DomainTerm));
+                phrases.push(Phrase::from_tokens(
+                    &tokens[i..i + matched],
+                    PhraseKind::DomainTerm,
+                ));
                 i += matched;
                 continue;
             }
@@ -143,9 +146,7 @@ pub fn chunk(tokens: &[Token], dict: &TermDictionary, config: ChunkerConfig) -> 
                 j += 1;
             }
             let noun_start = j;
-            while j < tokens.len()
-                && tags[j] == PosTag::Noun
-                && tokens[j].kind != TokenKind::Punct
+            while j < tokens.len() && tags[j] == PosTag::Noun && tokens[j].kind != TokenKind::Punct
             {
                 j += 1;
             }
@@ -157,7 +158,10 @@ pub fn chunk(tokens: &[Token], dict: &TermDictionary, config: ChunkerConfig) -> 
             }
         }
 
-        phrases.push(Phrase::from_tokens(std::slice::from_ref(t), passthrough_kind(t)));
+        phrases.push(Phrase::from_tokens(
+            std::slice::from_ref(t),
+            passthrough_kind(t),
+        ));
         i += 1;
     }
     phrases
@@ -182,7 +186,11 @@ mod tests {
     use crate::token::tokenize;
 
     fn default_chunks(s: &str) -> Vec<Phrase> {
-        chunk(&tokenize(s), &TermDictionary::networking(), ChunkerConfig::default())
+        chunk(
+            &tokenize(s),
+            &TermDictionary::networking(),
+            ChunkerConfig::default(),
+        )
     }
 
     fn texts(phrases: &[Phrase]) -> Vec<&str> {
@@ -228,14 +236,20 @@ mod tests {
         let p = default_chunks("the checksum is zero");
         assert_eq!(p[0].text, "the");
         assert_eq!(p[0].kind, PhraseKind::Word);
-        assert!(p.iter().any(|x| x.text == "is" && x.kind == PhraseKind::Word));
+        assert!(p
+            .iter()
+            .any(|x| x.text == "is" && x.kind == PhraseKind::Word));
     }
 
     #[test]
     fn punctuation_is_preserved_separately() {
         let p = default_chunks("For computing the checksum, the checksum field should be zero.");
-        assert!(p.iter().any(|x| x.kind == PhraseKind::Punct && x.text == ","));
-        assert!(p.iter().any(|x| x.kind == PhraseKind::Punct && x.text == "."));
+        assert!(p
+            .iter()
+            .any(|x| x.kind == PhraseKind::Punct && x.text == ","));
+        assert!(p
+            .iter()
+            .any(|x| x.kind == PhraseKind::Punct && x.text == "."));
     }
 
     #[test]
@@ -244,7 +258,11 @@ mod tests {
             use_dictionary: false,
             use_np_labeling: true,
         };
-        let p = chunk(&tokenize("the echo reply message is sent"), &TermDictionary::networking(), cfg);
+        let p = chunk(
+            &tokenize("the echo reply message is sent"),
+            &TermDictionary::networking(),
+            cfg,
+        );
         // Without the dictionary the phrase may still be grouped by the
         // pattern pass, but it must not be labelled as a DomainTerm.
         assert!(p.iter().all(|x| x.kind != PhraseKind::DomainTerm));

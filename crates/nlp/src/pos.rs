@@ -44,37 +44,163 @@ pub enum PosTag {
     Symbol,
 }
 
-const DETERMINERS: &[&str] = &["the", "a", "an", "this", "these", "that", "those", "any", "each", "every", "some", "both", "no", "whichever"];
-const PREPOSITIONS: &[&str] = &[
-    "of", "in", "to", "from", "with", "for", "by", "at", "on", "into", "within", "without",
-    "via", "upon", "over", "under", "between", "through", "during", "before", "after", "as",
-    "per", "plus",
+const DETERMINERS: &[&str] = &[
+    "the",
+    "a",
+    "an",
+    "this",
+    "these",
+    "that",
+    "those",
+    "any",
+    "each",
+    "every",
+    "some",
+    "both",
+    "no",
+    "whichever",
 ];
-const MODALS: &[&str] = &["must", "should", "may", "shall", "can", "will", "might", "would", "could"];
-const COPULAS: &[&str] = &["is", "are", "was", "were", "be", "been", "being", "has", "have", "had"];
+const PREPOSITIONS: &[&str] = &[
+    "of", "in", "to", "from", "with", "for", "by", "at", "on", "into", "within", "without", "via",
+    "upon", "over", "under", "between", "through", "during", "before", "after", "as", "per",
+    "plus",
+];
+const MODALS: &[&str] = &[
+    "must", "should", "may", "shall", "can", "will", "might", "would", "could",
+];
+const COPULAS: &[&str] = &[
+    "is", "are", "was", "were", "be", "been", "being", "has", "have", "had",
+];
 const CONJUNCTIONS: &[&str] = &["and", "or", "nor"];
-const SUBORDINATORS: &[&str] = &["if", "when", "whenever", "unless", "while", "until", "where", "whether", "because", "since"];
-const PRONOUNS: &[&str] = &["it", "its", "they", "them", "their", "which", "who", "whom", "whose"];
+const SUBORDINATORS: &[&str] = &[
+    "if", "when", "whenever", "unless", "while", "until", "where", "whether", "because", "since",
+];
+const PRONOUNS: &[&str] = &[
+    "it", "its", "they", "them", "their", "which", "who", "whom", "whose",
+];
 const NEGATIONS: &[&str] = &["not", "n't", "never"];
 const ADVERBS: &[&str] = &[
-    "simply", "immediately", "only", "also", "then", "thus", "otherwise", "however", "usually",
-    "normally", "always", "again", "already", "currently", "subsequently",
+    "simply",
+    "immediately",
+    "only",
+    "also",
+    "then",
+    "thus",
+    "otherwise",
+    "however",
+    "usually",
+    "normally",
+    "always",
+    "again",
+    "already",
+    "currently",
+    "subsequently",
 ];
 /// Common RFC verbs (base, third person and participle forms).
 const VERBS: &[&str] = &[
-    "set", "sets", "compute", "computes", "computed", "computing", "recompute", "recomputed",
-    "send", "sends", "sent", "sending", "receive", "receives", "received", "discard",
-    "discarded", "discards", "reverse", "reversed", "change", "changed", "changes", "form",
-    "forms", "formed", "use", "used", "uses", "identify", "identifies", "identified", "aid",
-    "match", "matches", "matching", "reach", "reaches", "reached", "call", "called", "calls",
-    "select", "selected", "selects", "cease", "ceases", "ceased", "update", "updated",
-    "updates", "initialize", "initialized", "transmit", "transmitted", "transmits", "replace",
-    "replaced", "return", "returned", "returns", "specify", "specified", "specifies",
-    "describe", "described", "describes", "contain", "contains", "contained", "assume",
-    "assumed", "assumes", "starting", "start", "started", "starts", "exceed", "exceeded",
-    "exceeds", "detect", "detected", "detects", "found", "find", "finds", "associated",
-    "associate", "belong", "belongs", "respond", "responds", "responded", "echoed", "copied",
-    "copy", "copies", "append", "appended", "insert", "inserted", "generate", "generated",
+    "set",
+    "sets",
+    "compute",
+    "computes",
+    "computed",
+    "computing",
+    "recompute",
+    "recomputed",
+    "send",
+    "sends",
+    "sent",
+    "sending",
+    "receive",
+    "receives",
+    "received",
+    "discard",
+    "discarded",
+    "discards",
+    "reverse",
+    "reversed",
+    "change",
+    "changed",
+    "changes",
+    "form",
+    "forms",
+    "formed",
+    "use",
+    "used",
+    "uses",
+    "identify",
+    "identifies",
+    "identified",
+    "aid",
+    "match",
+    "matches",
+    "matching",
+    "reach",
+    "reaches",
+    "reached",
+    "call",
+    "called",
+    "calls",
+    "select",
+    "selected",
+    "selects",
+    "cease",
+    "ceases",
+    "ceased",
+    "update",
+    "updated",
+    "updates",
+    "initialize",
+    "initialized",
+    "transmit",
+    "transmitted",
+    "transmits",
+    "replace",
+    "replaced",
+    "return",
+    "returned",
+    "returns",
+    "specify",
+    "specified",
+    "specifies",
+    "describe",
+    "described",
+    "describes",
+    "contain",
+    "contains",
+    "contained",
+    "assume",
+    "assumed",
+    "assumes",
+    "starting",
+    "start",
+    "started",
+    "starts",
+    "exceed",
+    "exceeded",
+    "exceeds",
+    "detect",
+    "detected",
+    "detects",
+    "found",
+    "find",
+    "finds",
+    "associated",
+    "associate",
+    "belong",
+    "belongs",
+    "respond",
+    "responds",
+    "responded",
+    "echoed",
+    "copied",
+    "copy",
+    "copies",
+    "append",
+    "appended",
+    "insert",
+    "inserted",
+    "generate",
+    "generated",
     "generates",
 ];
 

@@ -44,11 +44,11 @@ pub fn split_sentences(paragraph: &str) -> Vec<String> {
                 .last()
                 .unwrap_or("")
                 .to_string();
-            let prev_is_digit = prev_word.chars().last().map_or(false, |p| p.is_ascii_digit());
+            let prev_is_digit = prev_word.chars().last().is_some_and(|p| p.is_ascii_digit());
             let next_nonspace_lower = chars[i + 1..]
                 .iter()
                 .find(|ch| !ch.is_whitespace())
-                .map_or(false, |ch| ch.is_lowercase());
+                .is_some_and(|ch| ch.is_lowercase());
             let boundary = next_is_space
                 && !is_abbreviation(&prev_word)
                 && !(c == '.' && prev_is_digit && next_nonspace_lower);
@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn keeps_fragment_without_terminal_period() {
-        let s = split_sentences("The internet header plus the first 64 bits of the original datagram's data");
+        let s = split_sentences(
+            "The internet header plus the first 64 bits of the original datagram's data",
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -125,7 +127,9 @@ mod tests {
 
     #[test]
     fn numbered_ip_addresses_do_not_split() {
-        let s = split_sentences("The router recognizes 10.0.1.1/24 and 192.168.2.1/24 as local subnets.");
+        let s = split_sentences(
+            "The router recognizes 10.0.1.1/24 and 192.168.2.1/24 as local subnets.",
+        );
         assert_eq!(s.len(), 1);
     }
 }

@@ -88,9 +88,7 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                 let cj = chars[j].1;
                 if is_word_char(cj) {
                     j += 1;
-                } else if cj == '.'
-                    && j + 1 < chars.len()
-                    && chars[j + 1].1.is_ascii_alphanumeric()
+                } else if cj == '.' && j + 1 < chars.len() && chars[j + 1].1.is_ascii_alphanumeric()
                 {
                     // A dot followed by an alphanumeric continues a dotted
                     // identifier; a dot followed by space/EOL ends a sentence.
@@ -100,7 +98,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                     break;
                 }
             }
-            let end = if j < chars.len() { chars[j].0 } else { input.len() };
+            let end = if j < chars.len() {
+                chars[j].0
+            } else {
+                input.len()
+            };
             let text = &input[start..end];
             let kind = if has_dot {
                 TokenKind::DottedIdent
@@ -115,9 +117,11 @@ pub fn tokenize(input: &str) -> Vec<Token> {
             let mut j = i;
             while j < chars.len() {
                 let cj = chars[j].1;
-                if cj.is_ascii_digit() || cj == '.' && j + 1 < chars.len() && chars[j + 1].1.is_ascii_digit() {
-                    j += 1;
-                } else if cj == '/' && j + 1 < chars.len() && chars[j + 1].1.is_ascii_digit() {
+                if cj.is_ascii_digit()
+                    || (cj == '.' || cj == '/')
+                        && j + 1 < chars.len()
+                        && chars[j + 1].1.is_ascii_digit()
+                {
                     j += 1;
                 } else if (cj == '-' || cj.is_ascii_alphabetic())
                     && j > i
@@ -126,7 +130,8 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                     && chars[j + 1].1.is_ascii_alphabetic()
                 {
                     // `16-bit`, `64bits` style suffixes
-                    while j < chars.len() && (chars[j].1 == '-' || chars[j].1.is_ascii_alphabetic()) {
+                    while j < chars.len() && (chars[j].1 == '-' || chars[j].1.is_ascii_alphabetic())
+                    {
                         j += 1;
                     }
                     break;
@@ -134,14 +139,26 @@ pub fn tokenize(input: &str) -> Vec<Token> {
                     break;
                 }
             }
-            let end = if j < chars.len() { chars[j].0 } else { input.len() };
+            let end = if j < chars.len() {
+                chars[j].0
+            } else {
+                input.len()
+            };
             tokens.push(Token::new(&input[start..end], TokenKind::Number, start));
             i = j;
         } else if c == ',' || c == '.' || c == ';' || c == ':' || c == '(' || c == ')' || c == '"' {
-            tokens.push(Token::new(&input[start..start + c.len_utf8()], TokenKind::Punct, start));
+            tokens.push(Token::new(
+                &input[start..start + c.len_utf8()],
+                TokenKind::Punct,
+                start,
+            ));
             i += 1;
         } else {
-            tokens.push(Token::new(&input[start..start + c.len_utf8()], TokenKind::Symbol, start));
+            tokens.push(Token::new(
+                &input[start..start + c.len_utf8()],
+                TokenKind::Symbol,
+                start,
+            ));
             i += 1;
         }
     }
@@ -223,7 +240,10 @@ mod tests {
     #[test]
     fn numbers_keep_kind() {
         let toks = tokenize("changed to 16, and the checksum recomputed");
-        let n: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Number).collect();
+        let n: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .collect();
         assert_eq!(n.len(), 1);
         assert_eq!(n[0].text, "16");
     }

@@ -101,7 +101,10 @@ pub fn static_context() -> Vec<(&'static str, &'static str)> {
     vec![
         ("source address", "ip.source_address"),
         ("destination address", "ip.destination_address"),
-        ("source and destination addresses", "ip.source_address,ip.destination_address"),
+        (
+            "source and destination addresses",
+            "ip.source_address,ip.destination_address",
+        ),
         ("internet header", "ip.header"),
         ("time to live", "ip.ttl"),
         ("time-to-live", "ip.ttl"),
@@ -167,10 +170,15 @@ mod tests {
             Role::Receiver
         );
         assert_eq!(
-            infer_role("The data received in the echo message must be returned in the echo reply message."),
+            infer_role(
+                "The data received in the echo message must be returned in the echo reply message."
+            ),
             Role::Receiver
         );
-        assert_eq!(infer_role("The checksum is the 16-bit one's complement of the sum."), Role::Both);
+        assert_eq!(
+            infer_role("The checksum is the 16-bit one's complement of the sum."),
+            Role::Both
+        );
         assert_eq!(infer_role("The sender sets the identifier."), Role::Sender);
     }
 

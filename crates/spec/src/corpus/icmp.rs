@@ -426,7 +426,10 @@ mod tests {
         let doc = crate::preprocess::parse_rfc("ICMP", 792, RAW_TEXT);
         let n = doc.sentences().len();
         assert!(n >= 60, "only {n} sentences extracted");
-        assert!(n <= 120, "{n} sentences extracted — corpus grew unexpectedly");
+        assert!(
+            n <= 120,
+            "{n} sentences extracted — corpus grew unexpectedly"
+        );
     }
 
     #[test]

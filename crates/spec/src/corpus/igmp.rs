@@ -75,7 +75,11 @@ mod tests {
         assert!(doc.section("Internet Group Management").is_some());
         let section = &doc.sections[0];
         assert!(section.header_diagram().is_some());
-        let names: Vec<_> = section.field_entries().iter().map(|e| e.name.clone()).collect();
+        let names: Vec<_> = section
+            .field_entries()
+            .iter()
+            .map(|e| e.name.clone())
+            .collect();
         assert!(names.contains(&"Checksum".to_string()));
         assert!(names.contains(&"Group Address".to_string()));
     }

@@ -110,17 +110,21 @@ mod tests {
     #[test]
     fn timeout_sentence_is_extracted_from_the_document() {
         let doc = crate::preprocess::parse_rfc("NTP", 1059, RAW_TEXT);
-        let found = doc
-            .sentences()
-            .into_iter()
-            .any(|s| s.text.contains("timeout procedure is called in client mode"));
+        let found = doc.sentences().into_iter().any(|s| {
+            s.text
+                .contains("timeout procedure is called in client mode")
+        });
         assert!(found);
     }
 
     #[test]
     fn ntp_header_diagram_extracts_subbyte_fields() {
         let doc = crate::preprocess::parse_rfc("NTP", 1059, RAW_TEXT);
-        let art = doc.section("NTP Data Format").unwrap().header_diagram().unwrap();
+        let art = doc
+            .section("NTP Data Format")
+            .unwrap()
+            .header_diagram()
+            .unwrap();
         let hs = crate::headers::parse_header_diagram("ntp", art).unwrap();
         assert!(hs.field("Stratum").is_some());
         assert!(hs.field("li").unwrap().width_bits <= 2);

@@ -129,7 +129,8 @@ pub fn parse_header_diagram(name: &str, art: &str) -> Option<HeaderStruct> {
 
 fn is_ruler(line: &str) -> bool {
     let l = line.trim();
-    l.len() > 4 && l.chars().all(|c| c == '+' || c == '-' || c == ' ')
+    l.len() > 4
+        && l.chars().all(|c| c == '+' || c == '-' || c == ' ')
         && l.contains('+')
         && l.contains('-')
 }
@@ -185,7 +186,11 @@ mod tests {
             ("sequence_number", 48, 16),
         ] {
             let f = hs.field(name).unwrap();
-            assert_eq!((f.offset_bits, f.width_bits), (offset, width), "field {name}");
+            assert_eq!(
+                (f.offset_bits, f.width_bits),
+                (offset, width),
+                "field {name}"
+            );
         }
     }
 
@@ -208,7 +213,10 @@ mod tests {
     #[test]
     fn name_normalisation() {
         assert_eq!(normalise_name("Sequence Number"), "sequence_number");
-        assert_eq!(normalise_name("  Gateway Internet Address "), "gateway_internet_address");
+        assert_eq!(
+            normalise_name("  Gateway Internet Address "),
+            "gateway_internet_address"
+        );
         assert_eq!(normalise_name("unused"), "unused");
         assert_eq!(normalise_name("Originate Timestamp"), "originate_timestamp");
     }

@@ -40,9 +40,11 @@ fn looks_like_field_name(line: &str) -> bool {
     }
     // Every word starts with an uppercase letter or digit ("Code", "Sequence
     // Number", "Gateway Internet Address", "Originate Timestamp").
-    words
-        .iter()
-        .all(|w| w.chars().next().is_some_and(|c| c.is_ascii_uppercase() || c.is_ascii_digit()))
+    words.iter().all(|w| {
+        w.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase() || c.is_ascii_digit())
+    })
 }
 
 fn looks_like_section_title(line: &str) -> bool {

@@ -20,9 +20,18 @@ fn main() {
         doc.rfc_number,
         doc.protocol
     );
-    println!("resolved automatically : {}", report.count(SentenceStatus::Resolved));
-    println!("zero logical forms     : {}", report.count(SentenceStatus::ZeroLf));
-    println!("still ambiguous        : {}", report.count(SentenceStatus::Ambiguous));
+    println!(
+        "resolved automatically : {}",
+        report.count(SentenceStatus::Resolved)
+    );
+    println!(
+        "zero logical forms     : {}",
+        report.count(SentenceStatus::ZeroLf)
+    );
+    println!(
+        "still ambiguous        : {}",
+        report.count(SentenceStatus::Ambiguous)
+    );
 
     println!("\n--- sentences needing a human rewrite (ambiguous after winnowing) ---");
     for a in report.with_status(SentenceStatus::Ambiguous) {
@@ -32,7 +41,10 @@ fn main() {
             a.sentence.field.as_deref().unwrap_or("-"),
             a.sentence.text
         );
-        println!("  {} interpretations remain; comparing them locates the ambiguity:", a.trace.survivors.len());
+        println!(
+            "  {} interpretations remain; comparing them locates the ambiguity:",
+            a.trace.survivors.len()
+        );
         for lf in a.trace.survivors.iter().take(3) {
             println!("    {lf}");
         }

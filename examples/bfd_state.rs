@@ -30,8 +30,14 @@ fn main() {
     }
 
     println!("\n--- Table 5: the challenging sentences and their rewrites ---");
-    println!("nested-code original : {}", bfd_corpus::TABLE5_NESTED_CODE.0);
-    println!("nested-code rewritten: {}", bfd_corpus::TABLE5_NESTED_CODE.1);
+    println!(
+        "nested-code original : {}",
+        bfd_corpus::TABLE5_NESTED_CODE.0
+    );
+    println!(
+        "nested-code rewritten: {}",
+        bfd_corpus::TABLE5_NESTED_CODE.1
+    );
     println!("rephrasing original  : {}", bfd_corpus::TABLE5_REPHRASING.0);
     println!("rephrasing rewritten : {}", bfd_corpus::TABLE5_REPHRASING.1);
 
@@ -42,10 +48,22 @@ fn main() {
         ..Default::default()
     });
     let scenarios = [
-        ("known session, demand mode", bfd::build_control_packet(bfd::SessionState::Up, 42, discr, 3, true)),
-        ("known session, no demand", bfd::build_control_packet(bfd::SessionState::Up, 43, discr, 3, false)),
-        ("unknown session", bfd::build_control_packet(bfd::SessionState::Up, 44, 999, 3, false)),
-        ("zero detect mult", bfd::build_control_packet(bfd::SessionState::Up, 45, discr, 0, false)),
+        (
+            "known session, demand mode",
+            bfd::build_control_packet(bfd::SessionState::Up, 42, discr, 3, true),
+        ),
+        (
+            "known session, no demand",
+            bfd::build_control_packet(bfd::SessionState::Up, 43, discr, 3, false),
+        ),
+        (
+            "unknown session",
+            bfd::build_control_packet(bfd::SessionState::Up, 44, 999, 3, false),
+        ),
+        (
+            "zero detect mult",
+            bfd::build_control_packet(bfd::SessionState::Up, 45, discr, 0, false),
+        ),
     ];
     for (label, pkt) in scenarios {
         let action = bfd::receive_control_packet(&mut table, &pkt);

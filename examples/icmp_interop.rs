@@ -28,7 +28,10 @@ fn main() {
     for (scenario, ok) in &result.ping_results {
         println!("  {scenario:<28} {}", if *ok { "ok" } else { "FAILED" });
     }
-    println!("  traceroute                   {}", if result.traceroute_ok { "ok" } else { "FAILED" });
+    println!(
+        "  traceroute                   {}",
+        if result.traceroute_ok { "ok" } else { "FAILED" }
+    );
     println!(
         "  tcpdump clean ({} packets)    {}",
         result.packets_checked,

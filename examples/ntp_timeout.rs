@@ -16,7 +16,10 @@ fn main() {
     let t11 = table11();
     println!("RFC 1059 sentence:\n  {}\n", t11.sentence);
     println!("generated code:\n{}\n", t11.generated_code);
-    println!("paper's reference code:\n{}\n", ntp_corpus::TIMEOUT_PAPER_CODE);
+    println!(
+        "paper's reference code:\n{}\n",
+        ntp_corpus::TIMEOUT_PAPER_CODE
+    );
     println!(
         "semantic check (fires in client and symmetric modes, not in server mode): {}\n",
         if t11.semantics_ok { "ok" } else { "FAILED" }
@@ -29,7 +32,10 @@ fn main() {
         threshold: 64,
         mode: ntp::mode::CLIENT,
     };
-    println!("peer.timer = {}, peer.threshold = {}, mode = client", peer.timer, peer.threshold);
+    println!(
+        "peer.timer = {}, peer.threshold = {}, mode = client",
+        peer.timer, peer.threshold
+    );
     println!("timeout due: {}", peer.timeout_due());
 
     if peer.timeout_due() {
@@ -38,8 +44,12 @@ fn main() {
         let dst = ipv4::addr(192, 168, 2, 100);
         let datagram = ntp::encapsulate_in_udp(src, dst, 45123, &message);
         let packet = ipv4::build_packet(src, dst, ipv4::PROTO_UDP, 64, datagram.as_bytes());
-        println!("\nconstructed NTP packet: {} bytes (NTP) in {} bytes (UDP) in {} bytes (IP)",
-            message.len(), datagram.len(), packet.len());
+        println!(
+            "\nconstructed NTP packet: {} bytes (NTP) in {} bytes (UDP) in {} bytes (IP)",
+            message.len(),
+            datagram.len(),
+            packet.len()
+        );
         println!(
             "UDP checksum valid: {}",
             udp::checksum_ok(src, dst, &datagram)

@@ -39,8 +39,14 @@ fn main() {
         role: Default::default(),
     };
     let analysis = sage.analyze_sentence(&sentence, context.clone());
-    println!("\nlogical forms entering winnowing: {}", analysis.base_lf_count);
-    println!("counts after each check stage    : {:?}", analysis.trace.counts);
+    println!(
+        "\nlogical forms entering winnowing: {}",
+        analysis.base_lf_count
+    );
+    println!(
+        "counts after each check stage    : {:?}",
+        analysis.trace.counts
+    );
     println!("status                           : {:?}", analysis.status);
     for lf in &analysis.trace.survivors {
         println!("surviving LF                     : {lf}");

@@ -37,7 +37,11 @@ fn generated_code_matches_reference_for_echo() {
     let (RouterAction::IcmpReply(g), RouterAction::IcmpReply(r)) = (generated, reference) else {
         panic!("both responders should reply");
     };
-    assert_eq!(ipv4::payload(&g), ipv4::payload(&r), "generated reply differs from reference");
+    assert_eq!(
+        ipv4::payload(&g),
+        ipv4::payload(&r),
+        "generated reply differs from reference"
+    );
 }
 
 #[test]
@@ -50,19 +54,87 @@ fn all_eight_message_scenarios_produce_clean_captures() {
     let mut pcap = PcapWriter::new();
 
     let scenarios: Vec<(&str, sage_repro::netsim::buffer::PacketBuf)> = vec![
-        ("echo", ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64, icmp::build_echo(false, 1, 1, b"x").as_bytes())),
-        ("dest-unreachable", ipv4::build_packet(client, ipv4::addr(9, 9, 9, 9), ipv4::PROTO_ICMP, 64, icmp::build_echo(false, 2, 1, b"x").as_bytes())),
-        ("time-exceeded", ipv4::build_packet(client, ipv4::addr(192, 168, 2, 100), ipv4::PROTO_ICMP, 1, icmp::build_echo(false, 3, 1, b"x").as_bytes())),
-        ("redirect", ipv4::build_packet(client, ipv4::addr(10, 0, 1, 50), ipv4::PROTO_ICMP, 64, icmp::build_echo(false, 4, 1, b"x").as_bytes())),
-        ("timestamp", ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64, icmp::build_timestamp(false, 5, 1, 123, 0, 0).as_bytes())),
-        ("information", ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64, icmp::build_info(false, 6, 1).as_bytes())),
+        (
+            "echo",
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                icmp::build_echo(false, 1, 1, b"x").as_bytes(),
+            ),
+        ),
+        (
+            "dest-unreachable",
+            ipv4::build_packet(
+                client,
+                ipv4::addr(9, 9, 9, 9),
+                ipv4::PROTO_ICMP,
+                64,
+                icmp::build_echo(false, 2, 1, b"x").as_bytes(),
+            ),
+        ),
+        (
+            "time-exceeded",
+            ipv4::build_packet(
+                client,
+                ipv4::addr(192, 168, 2, 100),
+                ipv4::PROTO_ICMP,
+                1,
+                icmp::build_echo(false, 3, 1, b"x").as_bytes(),
+            ),
+        ),
+        (
+            "redirect",
+            ipv4::build_packet(
+                client,
+                ipv4::addr(10, 0, 1, 50),
+                ipv4::PROTO_ICMP,
+                64,
+                icmp::build_echo(false, 4, 1, b"x").as_bytes(),
+            ),
+        ),
+        (
+            "timestamp",
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                icmp::build_timestamp(false, 5, 1, 123, 0, 0).as_bytes(),
+            ),
+        ),
+        (
+            "information",
+            ipv4::build_packet(
+                client,
+                router,
+                ipv4::PROTO_ICMP,
+                64,
+                icmp::build_info(false, 6, 1).as_bytes(),
+            ),
+        ),
     ];
     // Source quench: mark a buffer full.
     net.router.full_buffers.push(1);
-    let source_quench_trigger = ipv4::build_packet(client, ipv4::addr(192, 168, 2, 100), ipv4::PROTO_ICMP, 64, icmp::build_echo(false, 7, 1, b"x").as_bytes());
+    let source_quench_trigger = ipv4::build_packet(
+        client,
+        ipv4::addr(192, 168, 2, 100),
+        ipv4::PROTO_ICMP,
+        64,
+        icmp::build_echo(false, 7, 1, b"x").as_bytes(),
+    );
     // Parameter problem: unsupported type of service.
-    let mut param_problem_trigger = ipv4::build_packet(client, ipv4::addr(172, 64, 3, 100), ipv4::PROTO_ICMP, 64, icmp::build_echo(false, 8, 1, b"x").as_bytes());
-    param_problem_trigger.set_field(ipv4::FIELDS, "type_of_service", 1).unwrap();
+    let mut param_problem_trigger = ipv4::build_packet(
+        client,
+        ipv4::addr(172, 64, 3, 100),
+        ipv4::PROTO_ICMP,
+        64,
+        icmp::build_echo(false, 8, 1, b"x").as_bytes(),
+    );
+    param_problem_trigger
+        .set_field(ipv4::FIELDS, "type_of_service", 1)
+        .unwrap();
     ipv4::refresh_checksum(&mut param_problem_trigger);
 
     let mut all = scenarios;
@@ -76,7 +148,12 @@ fn all_eight_message_scenarios_produce_clean_captures() {
                 replies += 1;
                 pcap.add_packet(i as u32, reply.as_bytes());
                 let decoded = decode_packet(reply.as_bytes());
-                assert!(decoded.clean(), "{name}: {} -> {:?}", decoded.summary, decoded.warnings);
+                assert!(
+                    decoded.clean(),
+                    "{name}: {} -> {:?}",
+                    decoded.summary,
+                    decoded.warnings
+                );
             }
             other => panic!("{name}: expected an ICMP reply, got {other:?}"),
         }
@@ -99,13 +176,29 @@ fn faulty_student_implementations_fail_ping_but_generated_code_passes() {
         checksum: ChecksumInterpretation::IpHeader,
         ..FaultSpec::correct()
     });
-    let outcome = ping_once(&mut net, &mut faulty, client, router, 1, 1, b"payload-bytes");
+    let outcome = ping_once(
+        &mut net,
+        &mut faulty,
+        client,
+        router,
+        1,
+        1,
+        b"payload-bytes",
+    );
     assert!(!outcome.success());
 
     // The SAGE-generated implementation passes the same test.
     let program = generate_icmp_program();
     let mut net = Network::appendix_a();
     let mut generated = GeneratedResponder::new(program);
-    let outcome = ping_once(&mut net, &mut generated, client, router, 1, 1, b"payload-bytes");
+    let outcome = ping_once(
+        &mut net,
+        &mut generated,
+        client,
+        router,
+        1,
+        1,
+        b"payload-bytes",
+    );
     assert!(outcome.success(), "{outcome:?}");
 }

@@ -56,7 +56,10 @@ fn ntp_document_parses_and_udp_encapsulation_works() {
 #[test]
 fn bfd_state_management_parses_and_winnows() {
     let sage = Sage::default();
-    let report = sage.analyze_sentences("BFD", sage_repro::spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES);
+    let report = sage.analyze_sentences(
+        "BFD",
+        sage_repro::spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES,
+    );
     assert_eq!(report.analyses.len(), 22);
     let parsed = report
         .analyses
@@ -65,8 +68,16 @@ fn bfd_state_management_parses_and_winnows() {
         .count();
     assert!(parsed >= 12, "only {parsed}/22 BFD sentences parsed");
     // Long conditionals over-generate and are winnowed back down.
-    let worst = report.analyses.iter().map(|a| a.base_lf_count).max().unwrap();
-    assert!(worst >= 4, "expected over-generation on long sentences, max base was {worst}");
+    let worst = report
+        .analyses
+        .iter()
+        .map(|a| a.base_lf_count)
+        .max()
+        .unwrap();
+    assert!(
+        worst >= 4,
+        "expected over-generation on long sentences, max base was {worst}"
+    );
     for a in &report.analyses {
         if a.base_lf_count > 0 {
             assert!(

@@ -1,0 +1,63 @@
+//! Bootstrap smoke test: every crate re-exported by the `sage_repro`
+//! meta-crate must be reachable through it, and one cheap end-to-end
+//! pipeline call must work. This guards the workspace wiring itself — if a
+//! member manifest or re-export goes missing, this file stops compiling.
+
+use sage_repro::ccg::{Lexicon, ParserConfig};
+use sage_repro::codegen::handlers::generate_stmts;
+use sage_repro::core::pipeline::{Sage, SageConfig, SentenceStatus};
+use sage_repro::disambig::winnow;
+use sage_repro::interp::GeneratedResponder;
+use sage_repro::logic::parse_lf;
+use sage_repro::netsim::headers::icmp;
+use sage_repro::nlp::{ChunkerConfig, TermDictionary};
+use sage_repro::spec::context::ContextDict;
+use sage_repro::spec::document::{Block, Document, Section};
+
+/// Touch one symbol from each re-exported crate so a broken re-export is a
+/// compile error, not a runtime surprise.
+#[test]
+fn every_reexported_crate_is_reachable() {
+    let _ = Lexicon::icmp();
+    let _ = ParserConfig::default();
+    let _ = ChunkerConfig::default();
+    let _ = TermDictionary::networking();
+    let lf = parse_lf("@Is('type', '3')").expect("logic crate parses a static LF");
+    let trace = winnow(std::slice::from_ref(&lf));
+    assert!(
+        !trace.survivors.is_empty(),
+        "winnowing a single LF keeps it"
+    );
+    let stmts = generate_stmts(&lf, &ContextDict::default());
+    assert!(stmts.is_ok(), "codegen handles the Table 4 LF");
+    let echo = icmp::build_echo(false, 1, 1, b"x");
+    assert!(icmp::checksum_ok(&echo), "netsim builds a verifying echo");
+    let _ = GeneratedResponder::new(sage_repro::core::generate_icmp_program());
+}
+
+/// One cheap end-to-end `Sage::analyze_document` call over a single
+/// sentence, exercising nlp -> ccg -> logic -> disambig in one pass.
+#[test]
+fn analyze_document_end_to_end_on_one_sentence() {
+    let sage = Sage::new(SageConfig::default());
+    let doc = Document {
+        protocol: "ICMP".to_string(),
+        rfc_number: 792,
+        sections: vec![Section {
+            title: "Echo or Echo Reply Message".to_string(),
+            blocks: vec![Block::Paragraph {
+                text: "The checksum is zero.".to_string(),
+                indent: 0,
+            }],
+        }],
+    };
+    let report = sage.analyze_document(&doc);
+    assert_eq!(report.analyses.len(), 1);
+    let analysis = &report.analyses[0];
+    assert_eq!(
+        analysis.status,
+        SentenceStatus::Resolved,
+        "a simple declarative sentence must resolve to one LF; trace: {:?}",
+        analysis.trace.counts
+    );
+}
