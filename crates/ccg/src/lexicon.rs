@@ -8,7 +8,7 @@
 
 use crate::category::Category;
 use crate::semantics::SemTerm;
-use sage_logic::PredName;
+use sage_logic::{Interner, PredName, Symbol};
 use std::collections::HashMap;
 
 /// Where a lexical entry came from (base grammar vs per-protocol extension).
@@ -174,6 +174,70 @@ impl Lexicon {
     /// Number of entries contributed by a group.
     pub fn group_count(&self, group: LexiconGroup) -> usize {
         self.count_by_group.get(&group).copied().unwrap_or(0)
+    }
+}
+
+/// Memoized, [`Symbol`]-keyed lookup view over a shared read-only
+/// [`Lexicon`].
+///
+/// Chart initialisation probes the lexicon once per candidate span, and a
+/// corpus re-probes the same few hundred surface phrases over and over.  The
+/// cache interns each (lower-cased) phrase and keys the resolved entry slice
+/// by its symbol, so repeat probes cost one hash of a `&str` to find the
+/// symbol plus one hash of a `u32` — no per-call lower-case allocation.
+///
+/// Workers of the batch pipeline each own one `LookupCache` borrowing the
+/// single shared lexicon.
+pub struct LookupCache<'lex> {
+    lexicon: &'lex Lexicon,
+    interner: Interner,
+    memo: HashMap<Symbol, &'lex [LexEntry]>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<'lex> LookupCache<'lex> {
+    /// Wrap a shared lexicon.
+    pub fn new(lexicon: &'lex Lexicon) -> LookupCache<'lex> {
+        LookupCache {
+            lexicon,
+            interner: Interner::new(),
+            memo: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The wrapped lexicon.
+    pub fn lexicon(&self) -> &'lex Lexicon {
+        self.lexicon
+    }
+
+    /// Memoized equivalent of [`Lexicon::lookup`].
+    pub fn lookup(&mut self, phrase: &str) -> &'lex [LexEntry] {
+        let sym = if phrase.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.interner.intern(&phrase.to_ascii_lowercase())
+        } else {
+            self.interner.intern(phrase)
+        };
+        if let Some(entries) = self.memo.get(&sym) {
+            self.hits += 1;
+            return entries;
+        }
+        self.misses += 1;
+        let entries = self.lexicon.lookup(self.interner.resolve(sym));
+        self.memo.insert(sym, entries);
+        entries
+    }
+
+    /// Memoized equivalent of [`Lexicon::contains`].
+    pub fn contains(&mut self, phrase: &str) -> bool {
+        !self.lookup(phrase).is_empty()
+    }
+
+    /// `(hits, misses)` counters — each miss is one real lexicon probe.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 }
 
@@ -837,6 +901,22 @@ mod tests {
         assert!(lex.contains("your discriminator field"));
         assert!(lex.contains("periodic transmission"));
         assert!(lex.contains("local system"));
+    }
+
+    #[test]
+    fn lookup_cache_agrees_with_direct_lookup_and_memoizes() {
+        let lexicon = Lexicon::bfd();
+        let mut cache = LookupCache::new(&lexicon);
+        for phrase in ["checksum", "Checksum", "is", "no such phrase", "checksum"] {
+            assert_eq!(cache.lookup(phrase), lexicon.lookup(phrase), "{phrase}");
+        }
+        let (hits, misses) = cache.stats();
+        // "Checksum" and the repeat "checksum" hit the memo.
+        assert_eq!(misses, 3, "expected 3 distinct probes");
+        assert_eq!(hits, 2, "expected 2 memo hits");
+        assert!(cache.contains("checksum"));
+        assert!(!cache.contains("no such phrase"));
+        assert_eq!(cache.lexicon().len(), lexicon.len());
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub mod parser;
 pub mod semantics;
 
 pub use category::{Category, Slash};
-pub use lexicon::{LexEntry, Lexicon};
-pub use parser::{parse_phrases, parse_sentence, ParseResult, ParserConfig};
+pub use lexicon::{LexEntry, Lexicon, LookupCache};
+pub use parser::{
+    parse_phrases, parse_phrases_cached, parse_sentence, parse_sentence_cached, ParseResult,
+    ParserConfig,
+};
 pub use semantics::SemTerm;

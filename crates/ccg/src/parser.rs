@@ -8,7 +8,7 @@
 //! ambiguity that the disambiguation stage (crate `sage-disambig`) winnows.
 
 use crate::category::{Category, Slash};
-use crate::lexicon::Lexicon;
+use crate::lexicon::{LexEntry, Lexicon, LookupCache};
 use crate::semantics::SemTerm;
 use sage_logic::{Lf, PredName};
 use sage_nlp::{chunk, tokenize, ChunkerConfig, Phrase, PhraseKind, TermDictionary};
@@ -87,8 +87,42 @@ pub fn parse_sentence(
     parse_phrases(&phrases, lexicon, parser_config)
 }
 
+/// [`parse_sentence`] with a memoized [`LookupCache`] instead of a bare
+/// lexicon — the batch pipeline's per-worker hot path.
+pub fn parse_sentence_cached(
+    sentence: &str,
+    cache: &mut LookupCache<'_>,
+    dict: &TermDictionary,
+    chunker_config: ChunkerConfig,
+    parser_config: ParserConfig,
+) -> ParseResult {
+    let tokens = tokenize(sentence);
+    let phrases = chunk(&tokens, dict, chunker_config);
+    parse_phrases_cached(&phrases, cache, parser_config)
+}
+
 /// Parse an already-chunked sentence.
 pub fn parse_phrases(phrases: &[Phrase], lexicon: &Lexicon, config: ParserConfig) -> ParseResult {
+    parse_phrases_with(phrases, config, &mut |surface| lexicon.lookup(surface))
+}
+
+/// [`parse_phrases`] through a memoized [`LookupCache`].
+pub fn parse_phrases_cached(
+    phrases: &[Phrase],
+    cache: &mut LookupCache<'_>,
+    config: ParserConfig,
+) -> ParseResult {
+    parse_phrases_with(phrases, config, &mut |surface| cache.lookup(surface))
+}
+
+/// The chart parser proper, generic over how lexical entries are fetched.
+/// The returned entry slices borrow the lexicon (`'lex`), not the probe
+/// string, so both the direct and the memoized lookup fit.
+fn parse_phrases_with<'lex>(
+    phrases: &[Phrase],
+    config: ParserConfig,
+    lookup: &mut dyn FnMut(&str) -> &'lex [LexEntry],
+) -> ParseResult {
     let n = phrases.len();
     if n == 0 {
         return ParseResult {
@@ -115,8 +149,7 @@ pub fn parse_phrases(phrases: &[Phrase], lexicon: &Lexicon, config: ParserConfig
                 .map(|p| p.lower.as_str())
                 .collect::<Vec<_>>()
                 .join(" ");
-            let mut items: Vec<Item> = lexicon
-                .lookup(&surface)
+            let mut items: Vec<Item> = lookup(&surface)
                 .iter()
                 .map(|e| Item {
                     cat: e.category.clone(),
@@ -493,6 +526,37 @@ mod tests {
             "analyses: {:#?}",
             r.logical_forms
         );
+    }
+
+    #[test]
+    fn cached_parse_matches_uncached_parse() {
+        let lexicon = Lexicon::bfd();
+        let dict = TermDictionary::networking();
+        let mut cache = LookupCache::new(&lexicon);
+        for sentence in [
+            "The checksum is zero.",
+            "For computing the checksum, the checksum field should be zero.",
+            "If code = 0, the identifier is zero.",
+            "The checksum is zero.", // repeat: memo hits must not change output
+        ] {
+            let plain = parse_sentence(
+                sentence,
+                &lexicon,
+                &dict,
+                ChunkerConfig::default(),
+                ParserConfig::default(),
+            );
+            let cached = parse_sentence_cached(
+                sentence,
+                &mut cache,
+                &dict,
+                ChunkerConfig::default(),
+                ParserConfig::default(),
+            );
+            assert_eq!(cached, plain, "cached parse diverged on {sentence:?}");
+        }
+        let (hits, _misses) = cache.stats();
+        assert!(hits > 0, "repeat sentence should hit the memo");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! that spans the whole sentence yields a closed term, which converts to a
 //! logical form.
 
-use sage_logic::{Lf, PredName};
+use sage_logic::{Lf, LfArena, LfId, PredName};
 use std::fmt;
 
 /// A semantic term: lambda calculus over logical-form fragments.
@@ -144,6 +144,23 @@ impl SemTerm {
         }
     }
 
+    /// Convert a closed, normalised term directly into an arena-resident
+    /// logical form.  Equal results hash-cons to the same [`LfId`], so the
+    /// chart's duplicate analyses collapse to id comparisons downstream.
+    pub fn to_lf_interned(&self, arena: &mut LfArena) -> Option<LfId> {
+        match self.normalize() {
+            SemTerm::Ground(lf) => Some(arena.intern_lf(&lf)),
+            SemTerm::Pred(p, args) => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(a.to_lf_interned(arena)?);
+                }
+                Some(arena.pred(&p, out))
+            }
+            _ => None,
+        }
+    }
+
     /// True if the term contains no free variables, lambdas or applications.
     pub fn is_ground(&self) -> bool {
         self.to_lf().is_some()
@@ -253,6 +270,25 @@ mod tests {
             t.to_lf().unwrap(),
             Lf::and(vec![Lf::atom("a"), Lf::atom("b")])
         );
+    }
+
+    #[test]
+    fn interned_conversion_matches_boxed_conversion() {
+        let mut arena = LfArena::new();
+        let applied = SemTerm::app(
+            SemTerm::app(is_semantics(), SemTerm::num(0)),
+            SemTerm::atom("checksum"),
+        );
+        let id = applied.to_lf_interned(&mut arena).unwrap();
+        assert_eq!(arena.resolve(id), applied.to_lf().unwrap());
+        // Open terms convert to None in both representations.
+        assert!(is_semantics().to_lf_interned(&mut arena).is_none());
+        // Equal terms hash-cons to the same id.
+        let again = SemTerm::pred(
+            PredName::Is,
+            vec![SemTerm::atom("checksum"), SemTerm::num(0)],
+        );
+        assert_eq!(again.to_lf_interned(&mut arena), Some(id));
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! The batched, parallel evaluation engine.
+//!
+//! [`BatchPipeline`] fans a corpus of sentences across scoped worker threads.
+//! The [`Sage`] pipeline (configuration, lexicon, term dictionary) is shared
+//! read-only; each worker owns an [`AnalysisWorkspace`] — its private string
+//! interner / logical-form arena, memoized lexicon cache and pre-built check
+//! families — so the hot path takes no locks.  Work is distributed by an
+//! atomic cursor and every sentence's [`StageReport`] is written into its own
+//! slot, so the merged [`BatchReport`] is identical regardless of worker
+//! count or scheduling order (the determinism test pins byte-identical
+//! rendered reports for 1, 2 and 8 workers).
+//!
+//! ```
+//! use sage_core::batch::{BatchItem, BatchPipeline};
+//! use sage_core::pipeline::Sage;
+//! use sage_spec::corpus::Protocol;
+//!
+//! let sage = Sage::default();
+//! let items = BatchItem::from_document(&Protocol::Icmp.document());
+//! let report = BatchPipeline::new(&sage).with_workers(2).run(&items);
+//! assert_eq!(report.reports.len(), items.len());
+//! ```
+
+use crate::pipeline::{field_value_idiom, PipelineReport, Sage, SentenceAnalysis, SentenceStatus};
+use sage_ccg::ParseResult;
+use sage_spec::context::{context_for, ContextDict, Role};
+use sage_spec::document::{Document, Sentence};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of batch work: a sentence plus its already-resolved context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// The sentence to analyze.
+    pub sentence: Sentence,
+    /// Its dynamic context dictionary.
+    pub context: ContextDict,
+}
+
+impl BatchItem {
+    /// Expand a structured document into batch items, resolving each
+    /// sentence's context up front (mirrors [`Sage::analyze_document`]).
+    pub fn from_document(doc: &Document) -> Vec<BatchItem> {
+        doc.sentences()
+            .into_iter()
+            .map(|sentence| {
+                let context = context_for(doc, &sentence);
+                BatchItem { sentence, context }
+            })
+            .collect()
+    }
+
+    /// Wrap a bare sentence list the way [`Sage::analyze_sentences`] does
+    /// (used for the BFD state-management corpus).
+    pub fn from_sentences(protocol: &str, sentences: &[&str]) -> Vec<BatchItem> {
+        sentences
+            .iter()
+            .map(|s| {
+                let sentence = Sentence {
+                    text: (*s).to_string(),
+                    section: format!("{protocol} state management"),
+                    field: None,
+                };
+                let context = ContextDict {
+                    protocol: protocol.to_string(),
+                    message: sentence.section.clone(),
+                    field: String::new(),
+                    role: Role::Receiver,
+                };
+                BatchItem { sentence, context }
+            })
+            .collect()
+    }
+}
+
+/// The per-sentence stage record a worker emits: corpus position, the
+/// Figure-5 stage counts, the outcome, and the full analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Position of the sentence in the input corpus.
+    pub index: usize,
+    /// Surviving-LF counts after each winnowing stage (Base → Associativity).
+    pub counts: [usize; 6],
+    /// Final sentence status.
+    pub status: SentenceStatus,
+    /// The single surviving logical form, rendered, when resolved.
+    pub resolved_lf: Option<String>,
+    /// The full per-sentence analysis.
+    pub analysis: SentenceAnalysis,
+}
+
+impl StageReport {
+    fn new(index: usize, analysis: SentenceAnalysis) -> StageReport {
+        StageReport {
+            index,
+            counts: analysis.trace.counts,
+            status: analysis.status,
+            resolved_lf: analysis.resolved_lf().map(|lf| lf.to_string()),
+            analysis,
+        }
+    }
+
+    /// One deterministic report line for this sentence.
+    pub fn render_line(&self) -> String {
+        format!(
+            "[{:>3}] {:<9} counts={:?} lf={} :: {}",
+            self.index,
+            status_label(self.status),
+            self.counts,
+            self.resolved_lf.as_deref().unwrap_or("-"),
+            self.analysis.sentence.text
+        )
+    }
+}
+
+fn status_label(status: SentenceStatus) -> &'static str {
+    match status {
+        SentenceStatus::Resolved => "resolved",
+        SentenceStatus::ZeroLf => "zero-lf",
+        SentenceStatus::Ambiguous => "ambiguous",
+        SentenceStatus::Skipped => "skipped",
+    }
+}
+
+/// The merged result of a batch run: per-sentence [`StageReport`]s in corpus
+/// order, independent of how many workers produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Number of worker threads that produced the report.
+    pub workers: usize,
+    /// Per-sentence reports, sorted by corpus index.
+    pub reports: Vec<StageReport>,
+}
+
+impl BatchReport {
+    /// Sum of per-sentence stage counts (the corpus-level Figure 5 row).
+    pub fn stage_totals(&self) -> [usize; 6] {
+        let mut totals = [0usize; 6];
+        for r in &self.reports {
+            for (t, c) in totals.iter_mut().zip(r.counts.iter()) {
+                *t += c;
+            }
+        }
+        totals
+    }
+
+    /// Number of sentences with the given status.
+    pub fn count(&self, status: SentenceStatus) -> usize {
+        self.reports.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Flatten into the sequential pipeline's report type.
+    pub fn into_pipeline_report(self) -> PipelineReport {
+        PipelineReport {
+            analyses: self.reports.into_iter().map(|r| r.analysis).collect(),
+        }
+    }
+
+    /// Render the whole report as deterministic text.  Worker count is
+    /// deliberately excluded: runs with different worker counts must render
+    /// byte-identically.
+    pub fn render(&self) -> String {
+        let totals = self.stage_totals();
+        let mut out = format!("Batch pipeline report: {} sentences\n", self.reports.len());
+        out.push_str(&format!(
+            "status: resolved {} / ambiguous {} / zero-lf {} / skipped {}\n",
+            self.count(SentenceStatus::Resolved),
+            self.count(SentenceStatus::Ambiguous),
+            self.count(SentenceStatus::ZeroLf),
+            self.count(SentenceStatus::Skipped),
+        ));
+        out.push_str(&format!(
+            "stage totals: base {} type {} arg-order {} pred-order {} distrib {} assoc {}\n",
+            totals[0], totals[1], totals[2], totals[3], totals[4], totals[5]
+        ));
+        for r in &self.reports {
+            out.push_str(&r.render_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The batch driver: a shared read-only [`Sage`] plus a worker count.
+pub struct BatchPipeline<'s> {
+    sage: &'s Sage,
+    workers: usize,
+}
+
+impl<'s> BatchPipeline<'s> {
+    /// Wrap a pipeline; defaults to one worker per available core.
+    pub fn new(sage: &'s Sage) -> BatchPipeline<'s> {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        BatchPipeline { sage, workers }
+    }
+
+    /// Override the worker count (clamped to at least 1).
+    pub fn with_workers(mut self, workers: usize) -> BatchPipeline<'s> {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Chart-parse each distinct text exactly once, the work shared across
+    /// the pool by an atomic cursor.
+    fn parse_texts(&self, texts: &[&str], worker_count: usize) -> Vec<std::sync::Arc<ParseResult>> {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<std::sync::Arc<ParseResult>>>> =
+            texts.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count.min(texts.len()).max(1) {
+                scope.spawn(|| {
+                    let mut ws = self.sage.workspace();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(text) = texts.get(i) else { break };
+                        let result = self.sage.parse_memoized(text, &mut ws);
+                        *slots[i].lock().expect("parse slot lock") = Some(result);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("parse slot lock")
+                    .expect("every text parsed")
+            })
+            .collect()
+    }
+
+    /// Phase 1: chart-parse each *distinct* sentence exactly once, then the
+    /// distinct subject-supplied retries ("The {field} is {text}") for the
+    /// sentences whose primary parse came back empty — so no worker ever
+    /// re-parses a sentence another worker (or the retry path) already has.
+    /// Sentences the pipeline resolves without parsing (empty after
+    /// trimming, or matched by the field-value idiom) are skipped, mirroring
+    /// the analysis path.
+    fn parse_unique(
+        &self,
+        items: &[BatchItem],
+        worker_count: usize,
+    ) -> Vec<(String, std::sync::Arc<ParseResult>)> {
+        let mut unique: Vec<&str> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for item in items {
+            let text = item.sentence.text.trim();
+            if text.is_empty() || field_value_idiom(text, &item.context).is_some() {
+                continue;
+            }
+            if seen.insert(text) {
+                unique.push(text);
+            }
+        }
+        let results = self.parse_texts(&unique, worker_count);
+        let empty: std::collections::HashMap<&str, bool> = unique
+            .iter()
+            .zip(&results)
+            .map(|(t, r)| (*t, r.logical_forms.is_empty()))
+            .collect();
+
+        // Distinct retry texts, built exactly as `analyze_sentence_in` does.
+        let mut retry_texts: Vec<String> = Vec::new();
+        let mut seen_retry = std::collections::HashSet::new();
+        for item in items {
+            let text = item.sentence.text.trim();
+            if empty.get(text) != Some(&true) {
+                continue;
+            }
+            if let Some(field) = &item.sentence.field {
+                let with_subject = format!("The {} is {}", field.to_ascii_lowercase(), text);
+                if seen_retry.insert(with_subject.clone()) {
+                    retry_texts.push(with_subject);
+                }
+            }
+        }
+        let retry_refs: Vec<&str> = retry_texts.iter().map(String::as_str).collect();
+        let retry_results = self.parse_texts(&retry_refs, worker_count);
+
+        unique
+            .into_iter()
+            .map(str::to_string)
+            .zip(results)
+            .chain(retry_texts.into_iter().zip(retry_results))
+            .collect()
+    }
+
+    /// Analyze every item, fanning the corpus across scoped workers.
+    pub fn run(&self, items: &[BatchItem]) -> BatchReport {
+        let worker_count = self.workers.min(items.len()).max(1);
+        let parsed = self.parse_unique(items, worker_count);
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<StageReport>>> =
+            items.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..worker_count {
+                scope.spawn(|| {
+                    let mut ws = self.sage.workspace();
+                    for (text, result) in &parsed {
+                        ws.preload_parse(text, std::sync::Arc::clone(result));
+                    }
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        let analysis = self.sage.analyze_sentence_in(
+                            &item.sentence,
+                            item.context.clone(),
+                            &mut ws,
+                        );
+                        *slots[i].lock().expect("slot lock") = Some(StageReport::new(i, analysis));
+                    }
+                });
+            }
+        });
+
+        let reports = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every slot filled by a worker")
+            })
+            .collect();
+        BatchReport {
+            workers: worker_count,
+            reports,
+        }
+    }
+
+    /// [`BatchPipeline::run`] over a structured document.
+    pub fn run_document(&self, doc: &Document) -> BatchReport {
+        self.run(&BatchItem::from_document(doc))
+    }
+
+    /// [`BatchPipeline::run`] over a bare sentence list.
+    pub fn run_sentences(&self, protocol: &str, sentences: &[&str]) -> BatchReport {
+        self.run(&BatchItem::from_sentences(protocol, sentences))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::SageConfig;
+    use sage_spec::corpus::Protocol;
+
+    #[test]
+    fn batch_report_matches_sequential_document_analysis() {
+        let sage = Sage::new(SageConfig::default());
+        let doc = Protocol::Icmp.document();
+        let sequential = sage.analyze_document(&doc);
+        let batch = BatchPipeline::new(&sage).with_workers(2).run_document(&doc);
+        assert_eq!(batch.reports.len(), sequential.analyses.len());
+        let merged = batch.into_pipeline_report();
+        assert_eq!(merged, sequential);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let sage = Sage::default();
+        let doc = Protocol::Igmp.document();
+        let items = BatchItem::from_document(&doc);
+        let one = BatchPipeline::new(&sage).with_workers(1).run(&items);
+        let four = BatchPipeline::new(&sage).with_workers(4).run(&items);
+        assert_eq!(one.reports, four.reports);
+        assert_eq!(one.render(), four.render());
+    }
+
+    #[test]
+    fn batch_sentences_match_sequential_sentence_analysis() {
+        let sage = Sage::default();
+        let sentences = sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES;
+        let sequential = sage.analyze_sentences("BFD", sentences);
+        let batch = BatchPipeline::new(&sage)
+            .with_workers(3)
+            .run_sentences("BFD", sentences);
+        assert_eq!(batch.into_pipeline_report(), sequential);
+    }
+
+    #[test]
+    fn empty_corpus_is_handled() {
+        let sage = Sage::default();
+        let report = BatchPipeline::new(&sage).with_workers(8).run(&[]);
+        assert!(report.reports.is_empty());
+        assert_eq!(report.stage_totals(), [0; 6]);
+        assert!(report.render().contains("0 sentences"));
+    }
+
+    #[test]
+    fn stage_totals_and_counts_are_consistent() {
+        let sage = Sage::default();
+        let batch = BatchPipeline::new(&sage)
+            .with_workers(2)
+            .run_document(&Protocol::Icmp.document());
+        let totals = batch.stage_totals();
+        // Winnowing never increases the number of LFs stage over stage.
+        for w in totals.windows(2) {
+            assert!(w[1] <= w[0], "stage totals increased: {totals:?}");
+        }
+        let statuses = batch.count(SentenceStatus::Resolved)
+            + batch.count(SentenceStatus::Ambiguous)
+            + batch.count(SentenceStatus::ZeroLf)
+            + batch.count(SentenceStatus::Skipped);
+        assert_eq!(statuses, batch.reports.len());
+    }
+}

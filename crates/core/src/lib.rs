@@ -16,9 +16,13 @@
 //! assert!(report.analyses.len() > 50);
 //! ```
 
+pub mod batch;
 pub mod evaluation;
 pub mod icmp;
 pub mod pipeline;
 
+pub use batch::{BatchItem, BatchPipeline, BatchReport, StageReport};
 pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
-pub use pipeline::{PipelineReport, Sage, SageConfig, SentenceAnalysis, SentenceStatus};
+pub use pipeline::{
+    AnalysisWorkspace, PipelineReport, Sage, SageConfig, SentenceAnalysis, SentenceStatus,
+};

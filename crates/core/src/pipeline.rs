@@ -1,12 +1,16 @@
 //! The SAGE pipeline: parse → disambiguate → report / generate.
 
 use sage_ccg::overgenerate::{overgenerate, OvergenConfig};
-use sage_ccg::{parse_sentence, Lexicon, ParserConfig};
-use sage_disambig::{winnow, WinnowTrace};
-use sage_logic::{Lf, PredName};
+use sage_ccg::{
+    parse_sentence, parse_sentence_cached, Lexicon, LookupCache, ParseResult, ParserConfig,
+};
+use sage_disambig::{winnow, WinnowTrace, Winnower};
+use sage_logic::{Interner, Lf, LfArena, PredName, Symbol};
 use sage_nlp::{ChunkerConfig, TermDictionary};
 use sage_spec::context::{context_for, ContextDict};
 use sage_spec::document::{Document, Sentence};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which lexicon to parse with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -62,7 +66,7 @@ pub enum SentenceStatus {
 }
 
 /// The per-sentence record produced by the pipeline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SentenceAnalysis {
     /// The sentence and its structural origin.
     pub sentence: Sentence,
@@ -97,7 +101,7 @@ impl SentenceAnalysis {
 }
 
 /// The result of running the pipeline over a document.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PipelineReport {
     /// One record per processed sentence.
     pub analyses: Vec<SentenceAnalysis>,
@@ -134,6 +138,57 @@ pub struct Sage {
     dictionary: TermDictionary,
 }
 
+/// Per-worker scratch state for the memoized analysis path.
+///
+/// The lexicon and configuration live in the shared, read-only [`Sage`];
+/// everything mutable — the [`Symbol`](sage_logic::Symbol)-keyed lexicon
+/// lookup memo, the hash-consing logical-form arena, and the pre-built
+/// winnowing check families — lives here.  The batch pipeline gives each
+/// worker thread its own workspace, so no locks are taken on the hot path.
+pub struct AnalysisWorkspace<'s> {
+    cache: LookupCache<'s>,
+    arena: LfArena,
+    winnower: Winnower,
+    /// Configuration of the [`Sage`] this workspace was built from; the
+    /// sentence-level parse memo is only consulted when it matches the
+    /// pipeline actually running, so a workspace handed to a differently
+    /// configured pipeline stays correct (just uncached).
+    config: SageConfig,
+    texts: Interner,
+    parse_memo: HashMap<Symbol, Arc<ParseResult>>,
+    parse_hits: u64,
+}
+
+impl AnalysisWorkspace<'_> {
+    /// `(hits, misses)` of the lexicon lookup memo.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Number of distinct logical-form nodes interned so far.
+    pub fn arena_nodes(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `(hits, distinct sentences)` of the sentence-level parse memo.  RFC
+    /// prose repeats field descriptions verbatim across message sections
+    /// (the ICMP checksum paragraph appears once per message type), so hits
+    /// skip entire chart parses.
+    pub fn parse_memo_stats(&self) -> (u64, usize) {
+        (self.parse_hits, self.parse_memo.len())
+    }
+
+    /// Seed the sentence-level parse memo with an already-computed result.
+    /// The batch driver parses each distinct sentence once (work-shared
+    /// across the pool) and preloads every worker — a refcount bump per
+    /// entry, not a deep clone — so no sentence is chart-parsed twice
+    /// however the corpus is sharded.
+    pub fn preload_parse(&mut self, text: &str, result: Arc<ParseResult>) {
+        let sym = self.texts.intern(text);
+        self.parse_memo.insert(sym, result);
+    }
+}
+
 impl Sage {
     /// Build a pipeline with the given configuration.
     pub fn new(config: SageConfig) -> Sage {
@@ -152,6 +207,131 @@ impl Sage {
     /// Access the configuration.
     pub fn config(&self) -> &SageConfig {
         &self.config
+    }
+
+    /// Build a fresh per-worker workspace borrowing this pipeline's shared
+    /// read-only lexicon.
+    pub fn workspace(&self) -> AnalysisWorkspace<'_> {
+        AnalysisWorkspace {
+            cache: LookupCache::new(&self.lexicon),
+            arena: LfArena::new(),
+            winnower: Winnower::new(),
+            config: self.config,
+            texts: Interner::new(),
+            parse_memo: HashMap::new(),
+            parse_hits: 0,
+        }
+    }
+
+    /// Parse through the workspace: memoized lexicon lookups always, plus a
+    /// sentence-level memo keyed by the interned text when the workspace was
+    /// built for this pipeline's configuration.
+    pub(crate) fn parse_memoized(
+        &self,
+        text: &str,
+        ws: &mut AnalysisWorkspace<'_>,
+    ) -> Arc<ParseResult> {
+        if ws.config != self.config {
+            // Workspace built for a different configuration: its lexicon
+            // cache and memo belong to another pipeline, so parse against
+            // *this* pipeline's lexicon directly — correct, just uncached.
+            return Arc::new(parse_sentence(
+                text,
+                &self.lexicon,
+                &self.dictionary,
+                self.config.chunker,
+                self.config.parser,
+            ));
+        }
+        let sym = ws.texts.intern(text);
+        if let Some(result) = ws.parse_memo.get(&sym) {
+            ws.parse_hits += 1;
+            return Arc::clone(result);
+        }
+        let result = Arc::new(parse_sentence_cached(
+            text,
+            &mut ws.cache,
+            &self.dictionary,
+            self.config.chunker,
+            self.config.parser,
+        ));
+        ws.parse_memo.insert(sym, Arc::clone(&result));
+        result
+    }
+
+    /// [`Sage::analyze_sentence`] through a reusable [`AnalysisWorkspace`]:
+    /// lexicon probes are memoized by interned symbol, logical forms are
+    /// hash-consed in the workspace arena, and winnowing compares arena ids
+    /// instead of string trees.  Produces the identical analysis.
+    pub fn analyze_sentence_in(
+        &self,
+        sentence: &Sentence,
+        context: ContextDict,
+        ws: &mut AnalysisWorkspace<'_>,
+    ) -> SentenceAnalysis {
+        let text = sentence.text.trim();
+        if text.is_empty() {
+            return SentenceAnalysis {
+                sentence: sentence.clone(),
+                context,
+                parser_lf_count: 0,
+                base_lf_count: 0,
+                base_lfs: Vec::new(),
+                trace: ws.winnower.winnow_interned(&[], &mut ws.arena),
+                subject_supplied: false,
+                status: SentenceStatus::Skipped,
+            };
+        }
+
+        if let Some(lf) = field_value_idiom(text, &context) {
+            let trace = ws
+                .winnower
+                .winnow_interned(std::slice::from_ref(&lf), &mut ws.arena);
+            return SentenceAnalysis {
+                sentence: sentence.clone(),
+                context,
+                parser_lf_count: 1,
+                base_lf_count: 1,
+                base_lfs: vec![lf],
+                trace,
+                subject_supplied: false,
+                status: SentenceStatus::Resolved,
+            };
+        }
+
+        let mut result = self.parse_memoized(text, ws);
+        let mut subject_supplied = false;
+        if result.logical_forms.is_empty() {
+            if let Some(field) = &sentence.field {
+                let with_subject = format!("The {} is {}", field.to_ascii_lowercase(), text);
+                let retry = self.parse_memoized(&with_subject, ws);
+                if !retry.logical_forms.is_empty() {
+                    result = retry;
+                    subject_supplied = true;
+                }
+            }
+        }
+
+        let parser_lf_count = result.logical_forms.len();
+        let base = overgenerate(&result.logical_forms, self.config.overgen);
+        let trace = ws.winnower.winnow_interned(&base, &mut ws.arena);
+        let status = if base.is_empty() {
+            SentenceStatus::ZeroLf
+        } else if trace.survivors.len() == 1 {
+            SentenceStatus::Resolved
+        } else {
+            SentenceStatus::Ambiguous
+        };
+        SentenceAnalysis {
+            sentence: sentence.clone(),
+            context,
+            parser_lf_count,
+            base_lf_count: base.len(),
+            base_lfs: base,
+            trace,
+            subject_supplied,
+            status,
+        }
     }
 
     /// Parse one sentence (with optional subject re-supply) and winnow it.
@@ -282,7 +462,7 @@ impl Default for Sage {
 
 /// Recognise the field-value idioms: a bare value ("3"), or a value list
 /// entry ("0 = net unreachable", "8 for echo message").
-fn field_value_idiom(text: &str, context: &ContextDict) -> Option<Lf> {
+pub(crate) fn field_value_idiom(text: &str, context: &ContextDict) -> Option<Lf> {
     if context.field.is_empty() {
         return None;
     }
@@ -441,6 +621,50 @@ mod tests {
             .filter(|a| a.status != SentenceStatus::ZeroLf)
             .count();
         assert!(parsed >= 12, "only {parsed}/22 BFD sentences parsed");
+    }
+
+    #[test]
+    fn workspace_path_matches_plain_path_over_icmp_corpus() {
+        let sage = Sage::default();
+        let mut ws = sage.workspace();
+        let doc = Protocol::Icmp.document();
+        for sentence in doc.sentences() {
+            let context = context_for(&doc, &sentence);
+            let plain = sage.analyze_sentence(&sentence, context.clone());
+            let memoized = sage.analyze_sentence_in(&sentence, context, &mut ws);
+            assert_eq!(memoized, plain, "diverged on {:?}", sentence.text);
+        }
+        let (hits, misses) = ws.lookup_stats();
+        assert!(hits > misses, "memo should dominate over a corpus");
+        assert!(ws.arena_nodes() > 0);
+    }
+
+    #[test]
+    fn foreign_workspace_is_correct_just_uncached() {
+        // A workspace built from a differently-configured pipeline must not
+        // leak its lexicon or memo into the analysis.
+        let icmp_sage = Sage::new(SageConfig {
+            lexicon: LexiconChoice::Icmp,
+            ..SageConfig::default()
+        });
+        let bfd_sage = Sage::default();
+        let mut foreign_ws = icmp_sage.workspace();
+        let sentence = Sentence {
+            text: "If bfd.RemoteDemandMode is 1, the local system must cease the periodic \
+                   transmission of BFD Control packets."
+                .into(),
+            section: "BFD state management".into(),
+            field: None,
+        };
+        let ctx = ContextDict {
+            protocol: "BFD".into(),
+            message: sentence.section.clone(),
+            field: String::new(),
+            role: Default::default(),
+        };
+        let plain = bfd_sage.analyze_sentence(&sentence, ctx.clone());
+        let via_foreign = bfd_sage.analyze_sentence_in(&sentence, ctx, &mut foreign_ws);
+        assert_eq!(via_foreign, plain);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! types"); ordering checks are block-list style ("this pattern is
 //! forbidden"), matching the paper's description.
 
+use sage_logic::intern::{LfArena, LfId, LfNode, Symbol};
 use sage_logic::types::{assignable, infer_lf_type, valid_function_name, AtomType};
 use sage_logic::{Lf, PredName};
 
@@ -505,6 +506,50 @@ pub fn distributed_assignment(lf: &Lf) -> Option<Lf> {
     None
 }
 
+/// Interned counterpart of [`distributed_assignment`]: detects and rewrites
+/// the distributed pattern with `Symbol`/[`LfId`] comparisons instead of
+/// string-tree equality.  Because the arena hash-conses, the shared
+/// right-hand-side test (`l[1] == r[1]`) is a single id compare.
+pub fn distributed_assignment_interned(arena: &mut LfArena, id: LfId) -> Option<LfId> {
+    let and_sym = arena.intern_symbol(PredName::And.name());
+    let is_sym = arena.intern_symbol(PredName::Is.name());
+    rewrite_interned(arena, id, and_sym, is_sym)
+}
+
+fn rewrite_interned(
+    arena: &mut LfArena,
+    id: LfId,
+    and_sym: Symbol,
+    is_sym: Symbol,
+) -> Option<LfId> {
+    // Root pattern: @And(@Is(l0, c), @Is(r0, c)) → @Is(@And(l0, r0), c).
+    if let LfNode::Pred(p, items) = arena.node(id) {
+        if *p == and_sym && items.len() == 2 {
+            if let (LfNode::Pred(pl, l), LfNode::Pred(pr, r)) =
+                (arena.node(items[0]), arena.node(items[1]))
+            {
+                if *pl == is_sym && *pr == is_sym && l.len() == 2 && r.len() == 2 && l[1] == r[1] {
+                    let (l0, r0, shared) = (l[0], r[0], l[1]);
+                    let grouped_lhs = arena.pred_from_symbol(and_sym, vec![l0, r0]);
+                    return Some(arena.pred_from_symbol(is_sym, vec![grouped_lhs, shared]));
+                }
+            }
+        }
+    }
+    // Otherwise rewrite the first descendant that matches, as the boxed
+    // version does.
+    if let LfNode::Pred(p, args) = arena.node(id).clone() {
+        for (i, a) in args.iter().enumerate() {
+            if let Some(r) = rewrite_interned(arena, *a, and_sym, is_sym) {
+                let mut new_args = args.clone();
+                new_args[i] = r;
+                return Some(arena.pred_from_symbol(p, new_args));
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,6 +645,30 @@ mod tests {
         let bad = parse_lf("@Is('x', @AdvBefore(@Action('compute', 'checksum'), 'y'))").unwrap();
         let checks = predicate_ordering_checks();
         assert!(checks.iter().any(|c| !c.passes(&bad)));
+    }
+
+    #[test]
+    fn interned_distributed_rewrite_matches_boxed_rewrite() {
+        let mut arena = LfArena::new();
+        for text in [
+            "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
+            // Nested occurrence under an @If.
+            "@If(@Is('code', @Num(0)), @And(@Is('a', 'x'), @Is('b', 'x')))",
+            // Not distributed: different right-hand sides.
+            "@And(@Is('a', 'x'), @Is('b', 'y'))",
+            // Not distributed at all.
+            "@Is('checksum', @Num(0))",
+        ] {
+            let lf = parse_lf(text).unwrap();
+            let id = arena.intern_lf(&lf);
+            let interned = distributed_assignment_interned(&mut arena, id);
+            let boxed = distributed_assignment(&lf);
+            assert_eq!(
+                interned.map(|g| arena.resolve(g)),
+                boxed,
+                "disagreement on {text}"
+            );
+        }
     }
 
     #[test]

@@ -24,8 +24,8 @@ pub mod stats;
 pub mod winnow;
 
 pub use checks::{
-    argument_ordering_checks, distributivity_checks, predicate_ordering_checks, type_checks, Check,
-    CheckKind,
+    argument_ordering_checks, distributed_assignment_interned, distributivity_checks,
+    predicate_ordering_checks, type_checks, Check, CheckKind,
 };
 pub use stats::{per_check_effect, CheckEffect};
 pub use winnow::{winnow, WinnowStage, WinnowTrace, Winnower};

@@ -8,11 +8,13 @@
 //! strictly less useful to the human in the loop than an ambiguous one.
 
 use crate::checks::{
-    argument_ordering_checks, distributed_assignment, distributivity_checks,
-    predicate_ordering_checks, type_checks, Check,
+    argument_ordering_checks, distributed_assignment, distributed_assignment_interned,
+    distributivity_checks, predicate_ordering_checks, type_checks, Check,
 };
 use sage_logic::graph::dedup_isomorphic;
+use sage_logic::intern::{LfArena, LfId};
 use sage_logic::Lf;
+use std::collections::HashSet;
 
 /// The stages of the winnowing pipeline, in application order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,6 +190,82 @@ impl Winnower {
             survivors: after_assoc,
         }
     }
+
+    /// [`Winnower::winnow`] on the interned representation: every set
+    /// operation — base deduplication, the distributivity preference's
+    /// membership tests, and the associativity stage — compares [`LfId`]s
+    /// (O(1), thanks to hash-consing) instead of re-walking string trees.
+    ///
+    /// Produces a trace identical to the boxed path; the batch pipeline's
+    /// determinism test and the property suite pin that equivalence.
+    pub fn winnow_interned(&self, base: &[Lf], arena: &mut LfArena) -> WinnowTrace {
+        // Base deduplication by id.
+        let mut seen: HashSet<LfId> = HashSet::new();
+        let base_forms: Vec<(LfId, Lf)> = base
+            .iter()
+            .filter_map(|lf| {
+                let id = arena.intern_lf(lf);
+                seen.insert(id).then(|| (id, lf.clone()))
+            })
+            .collect();
+        let mut counts = [0usize; 6];
+        counts[0] = base_forms.len();
+
+        let family = |checks: &[Check], forms: &[(LfId, Lf)]| -> Vec<(LfId, Lf)> {
+            let kept: Vec<(LfId, Lf)> = forms
+                .iter()
+                .filter(|(_, lf)| checks.iter().all(|c| c.passes(lf)))
+                .cloned()
+                .collect();
+            if kept.is_empty() {
+                forms.to_vec()
+            } else {
+                kept
+            }
+        };
+
+        let after_type = family(&self.type_checks, &base_forms);
+        counts[1] = after_type.len();
+
+        let after_arg = family(&self.arg_order_checks, &after_type);
+        counts[2] = after_arg.len();
+
+        let after_pred = family(&self.pred_order_checks, &after_arg);
+        counts[3] = after_pred.len();
+
+        // Distributivity preference, with id-based membership tests.
+        let mut after_distrib: Vec<(LfId, Lf)> = Vec::new();
+        let mut distrib_ids: HashSet<LfId> = HashSet::new();
+        let pred_ids: HashSet<LfId> = after_pred.iter().map(|(id, _)| *id).collect();
+        for (id, lf) in &after_pred {
+            if let Some(grouped) = distributed_assignment_interned(arena, *id) {
+                if pred_ids.contains(&grouped) || distrib_ids.contains(&grouped) {
+                    continue;
+                }
+                distrib_ids.insert(grouped);
+                after_distrib.push((grouped, arena.resolve(grouped)));
+            } else if distrib_ids.insert(*id) {
+                after_distrib.push((*id, lf.clone()));
+            }
+        }
+        if after_distrib.is_empty() {
+            after_distrib = after_pred;
+        }
+        counts[4] = after_distrib.len();
+
+        // Associativity: one representative per canonical id.
+        let mut canon_seen: HashSet<LfId> = HashSet::new();
+        let mut survivors: Vec<Lf> = Vec::new();
+        for (id, lf) in &after_distrib {
+            let c = arena.canonical(*id);
+            if canon_seen.insert(c) {
+                survivors.push(lf.clone());
+            }
+        }
+        counts[5] = survivors.len();
+
+        WinnowTrace { counts, survivors }
+    }
 }
 
 /// Convenience wrapper: winnow with a freshly-built check set.
@@ -326,6 +404,31 @@ mod tests {
         );
         assert_eq!(WinnowStage::Base.label(), "Base");
         assert_eq!(WinnowStage::ALL.len(), 6);
+    }
+
+    #[test]
+    fn interned_winnow_matches_boxed_winnow() {
+        let winnower = Winnower::new();
+        let fixtures: Vec<Vec<Lf>> = vec![
+            figure2_lfs(),
+            vec![
+                parse_lf("@StartsWith(@Is('checksum', @Of('Ones', @Of('OnesSum', 'icmp_message'))), 'icmp_type')").unwrap(),
+                parse_lf("@StartsWith(@Is('checksum', @Of(@Of('Ones', 'OnesSum'), 'icmp_message')), 'icmp_type')").unwrap(),
+            ],
+            vec![
+                parse_lf("@Is(@And('source_address', 'destination_address'), 'reversed')").unwrap(),
+                parse_lf("@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))").unwrap(),
+            ],
+            vec![parse_lf("@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))").unwrap()],
+            vec![parse_lf("@Is(@Num(0), @Num(1))").unwrap()],
+            vec![],
+        ];
+        let mut arena = LfArena::new();
+        for (i, base) in fixtures.iter().enumerate() {
+            let boxed = winnower.winnow(base);
+            let interned = winnower.winnow_interned(base, &mut arena);
+            assert_eq!(interned, boxed, "fixture {i} diverged");
+        }
     }
 
     #[test]

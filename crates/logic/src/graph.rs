@@ -8,6 +8,7 @@
 //! associative chains and sorting commutative children into a canonical form;
 //! two forms are isomorphic iff their canonical forms are equal.
 
+use crate::intern::{LfArena, LfId, LfNode};
 use crate::lf::Lf;
 use crate::pred::PredName;
 
@@ -45,6 +46,38 @@ impl LfGraph {
         self.labels.push(label);
         self.children.push(Vec::new());
         let kids: Vec<usize> = lf.args().iter().map(|a| self.add(a)).collect();
+        self.children[idx] = kids;
+        idx
+    }
+
+    /// Build the graph for an arena-resident logical form without
+    /// materialising the boxed tree; labels are resolved from the arena's
+    /// interner.
+    pub fn from_interned(arena: &LfArena, id: LfId) -> LfGraph {
+        let mut g = LfGraph {
+            labels: Vec::new(),
+            children: Vec::new(),
+            root: 0,
+        };
+        g.root = g.add_interned(arena, id);
+        g
+    }
+
+    fn add_interned(&mut self, arena: &LfArena, id: LfId) -> usize {
+        let label = match arena.node(id) {
+            LfNode::Atom(sym) => format!("'{}'", arena.interner().resolve(*sym)),
+            LfNode::Num(n) => format!("{n}"),
+            LfNode::Pred(sym, _) => format!("@{}", arena.interner().resolve(*sym)),
+        };
+        let idx = self.labels.len();
+        self.labels.push(label);
+        self.children.push(Vec::new());
+        let kids: Vec<usize> = arena
+            .args(id)
+            .to_vec()
+            .into_iter()
+            .map(|a| self.add_interned(arena, a))
+            .collect();
         self.children[idx] = kids;
         idx
     }
@@ -114,6 +147,20 @@ pub fn dedup_isomorphic(forms: &[Lf]) -> Vec<Lf> {
         }
     }
     kept
+}
+
+/// Interned counterpart of [`isomorphic`]: compares canonical [`LfId`]s, so
+/// repeated queries against the same arena are O(1) id comparisons after the
+/// first canonicalisation.
+pub fn isomorphic_interned(arena: &mut LfArena, a: LfId, b: LfId) -> bool {
+    arena.isomorphic(a, b)
+}
+
+/// Interned counterpart of [`dedup_isomorphic`]: one representative per
+/// isomorphism class, first occurrence kept, set membership tested on
+/// canonical ids instead of repeated tree comparisons.
+pub fn dedup_isomorphic_interned(arena: &mut LfArena, ids: &[LfId]) -> Vec<LfId> {
+    arena.dedup_isomorphic(ids)
 }
 
 /// Grouping helper used by tests and by Figure-3 style analyses: build the
@@ -219,6 +266,29 @@ mod tests {
         let kids = &g.children[g.root];
         assert_eq!(g.labels[kids[0]], "'a'");
         assert_eq!(g.labels[kids[1]], "'b'");
+    }
+
+    #[test]
+    fn interned_graph_matches_boxed_graph() {
+        let mut arena = LfArena::new();
+        let lf = Lf::is(Lf::atom("checksum"), Lf::num(0));
+        let id = arena.intern_lf(&lf);
+        let g_boxed = LfGraph::from_lf(&lf);
+        let g_interned = LfGraph::from_interned(&arena, id);
+        assert_eq!(g_interned, g_boxed);
+    }
+
+    #[test]
+    fn interned_isomorphism_and_dedup_delegate_to_arena() {
+        let mut arena = LfArena::new();
+        let (a, b, c) = abc();
+        let left = of_chain_left(a.clone(), b.clone(), c.clone());
+        let right = of_chain_right(a, b, c);
+        let il = arena.intern_lf(&left);
+        let ir = arena.intern_lf(&right);
+        assert!(isomorphic_interned(&mut arena, il, ir));
+        let kept = dedup_isomorphic_interned(&mut arena, &[il, ir]);
+        assert_eq!(kept, vec![il]);
     }
 
     #[test]

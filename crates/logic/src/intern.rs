@@ -1,0 +1,447 @@
+//! String interning and arena-backed logical forms.
+//!
+//! The boxed [`Lf`] tree is convenient but allocation-heavy: chart parsing
+//! and winnowing clone, hash and compare thousands of small trees per
+//! sentence, each carrying `String` atoms.  This module provides the cheap
+//! representation the batch pipeline runs on:
+//!
+//! * [`Interner`] maps strings to dense [`Symbol`] ids (insertion-ordered,
+//!   so a given interner is deterministic for a given input sequence);
+//! * [`LfArena`] stores logical-form nodes in a hash-consed arena: equal
+//!   subtrees always share one [`LfId`], so structural equality, hashing and
+//!   "cloning" are all O(1) id operations.
+//!
+//! Symbols and ids are only meaningful relative to the interner/arena that
+//! produced them; the batch pipeline therefore gives each worker its own
+//! arena and resolves back to plain [`Lf`] values before merging results.
+
+use crate::lf::Lf;
+use crate::pred::PredName;
+use std::collections::HashMap;
+
+/// An interned string: a dense id into an [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index (dense, starting at 0, in interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Insertion-ordered string interner.
+///
+/// Two strings are equal iff their symbols are equal — the invariant the
+/// property tests pin (`Symbol` equality ⇔ string equality).
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Intern a string, returning its symbol (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.get(s) {
+            return Symbol(id);
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        self.map.insert(s.to_string(), id);
+        self.strings.push(s.to_string());
+        Symbol(id)
+    }
+
+    /// The symbol for `s`, if it has been interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied().map(Symbol)
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if the symbol came from a different interner (out of range).
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// Id of a node in an [`LfArena`].  Because the arena hash-conses, two ids
+/// from the same arena are equal iff the logical forms they denote are
+/// structurally equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LfId(u32);
+
+impl LfId {
+    /// The raw index into the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An arena-resident logical-form node.  Atoms and predicate names are
+/// [`Symbol`]s; children are [`LfId`]s into the same arena.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum LfNode {
+    /// Interned scalar symbol.
+    Atom(Symbol),
+    /// Numeric literal.
+    Num(i64),
+    /// Predicate (name symbol) applied to arena children.
+    Pred(Symbol, Vec<LfId>),
+}
+
+/// Hash-consed arena of logical forms with an embedded string interner.
+#[derive(Debug, Clone)]
+pub struct LfArena {
+    interner: Interner,
+    nodes: Vec<LfNode>,
+    dedup: HashMap<LfNode, u32>,
+    canonical: HashMap<LfId, LfId>,
+}
+
+impl Default for LfArena {
+    fn default() -> Self {
+        LfArena::new()
+    }
+}
+
+impl LfArena {
+    /// An empty arena.  The interner is pre-seeded with
+    /// [`PredName::BUILTIN_NAMES`], so every worker's arena assigns the
+    /// same symbols to the core predicate vocabulary.
+    pub fn new() -> LfArena {
+        let mut interner = Interner::new();
+        for name in PredName::BUILTIN_NAMES {
+            interner.intern(name);
+        }
+        LfArena {
+            interner,
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+            canonical: HashMap::new(),
+        }
+    }
+
+    /// The embedded string interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Number of distinct nodes stored.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the arena holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Look at a node.
+    pub fn node(&self, id: LfId) -> &LfNode {
+        &self.nodes[id.index()]
+    }
+
+    fn insert(&mut self, node: LfNode) -> LfId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return LfId(id);
+        }
+        let id = u32::try_from(self.nodes.len()).expect("arena overflow");
+        self.dedup.insert(node.clone(), id);
+        self.nodes.push(node);
+        LfId(id)
+    }
+
+    /// Intern an atom leaf.
+    pub fn atom(&mut self, s: &str) -> LfId {
+        let sym = self.interner.intern(s);
+        self.insert(LfNode::Atom(sym))
+    }
+
+    /// Intern a number leaf.
+    pub fn num(&mut self, n: i64) -> LfId {
+        self.insert(LfNode::Num(n))
+    }
+
+    /// Intern a bare string, without creating a node.
+    pub fn intern_symbol(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Intern a predicate node over already-interned children.
+    pub fn pred(&mut self, name: &PredName, args: Vec<LfId>) -> LfId {
+        let sym = self.interner.intern(name.name());
+        self.insert(LfNode::Pred(sym, args))
+    }
+
+    /// Intern a predicate node whose name symbol is already known.
+    pub fn pred_from_symbol(&mut self, name: Symbol, args: Vec<LfId>) -> LfId {
+        self.insert(LfNode::Pred(name, args))
+    }
+
+    /// Intern a whole [`Lf`] tree, sharing equal subtrees.
+    pub fn intern_lf(&mut self, lf: &Lf) -> LfId {
+        match lf {
+            Lf::Atom(s) => self.atom(s),
+            Lf::Number(n) => self.num(*n),
+            Lf::Pred(p, args) => {
+                let kids: Vec<LfId> = args.iter().map(|a| self.intern_lf(a)).collect();
+                self.pred(p, kids)
+            }
+        }
+    }
+
+    /// Rebuild the boxed [`Lf`] tree for an arena node.
+    pub fn resolve(&self, id: LfId) -> Lf {
+        match self.node(id) {
+            LfNode::Atom(sym) => Lf::Atom(self.interner.resolve(*sym).to_string()),
+            LfNode::Num(n) => Lf::Number(*n),
+            LfNode::Pred(sym, args) => {
+                let name = PredName::from_name(self.interner.resolve(*sym));
+                let kids = args.iter().map(|a| self.resolve(*a)).collect();
+                Lf::Pred(name, kids)
+            }
+        }
+    }
+
+    /// The predicate name of a node, if it is a predicate.
+    pub fn pred_name(&self, id: LfId) -> Option<PredName> {
+        match self.node(id) {
+            LfNode::Pred(sym, _) => Some(PredName::from_name(self.interner.resolve(*sym))),
+            _ => None,
+        }
+    }
+
+    /// Child ids of a predicate node (empty for leaves).
+    pub fn args(&self, id: LfId) -> &[LfId] {
+        match self.node(id) {
+            LfNode::Pred(_, args) => args,
+            _ => &[],
+        }
+    }
+
+    /// Total node count of the tree rooted at `id` (shared subtrees are
+    /// counted once per occurrence, matching [`Lf::node_count`]).
+    pub fn node_count(&self, id: LfId) -> usize {
+        1 + self
+            .args(id)
+            .iter()
+            .map(|a| self.node_count(*a))
+            .sum::<usize>()
+    }
+
+    /// The canonical representative of `id`'s isomorphism class: associative
+    /// chains flattened, commutative children sorted.
+    ///
+    /// Because the arena hash-conses, canonical ids of two forms are equal
+    /// iff [`crate::graph::canonical_form`]s of the resolved trees are equal:
+    /// after recursive canonicalisation, structurally equal subtrees share
+    /// one id, so sorting commutative children by id is a total order that
+    /// matches sorting the resolved trees by their derived `Ord` up to
+    /// permutation — the sorted child *sets* coincide, hence so do the
+    /// rebuilt parent nodes.
+    pub fn canonical(&mut self, id: LfId) -> LfId {
+        if let Some(&c) = self.canonical.get(&id) {
+            return c;
+        }
+        let canon = match self.node(id).clone() {
+            LfNode::Atom(_) | LfNode::Num(_) => id,
+            LfNode::Pred(sym, args) => {
+                let name = self.interner.resolve(sym).to_string();
+                let props = PredName::from_name(&name).properties();
+                let mut canon_args: Vec<LfId> = Vec::with_capacity(args.len());
+                for a in args {
+                    let ca = self.canonical(a);
+                    // Flatten nested uses of the same associative predicate,
+                    // mirroring `graph::canonical_form`.
+                    if props.associative {
+                        if let LfNode::Pred(csym, inner) = self.node(ca) {
+                            if *csym == sym {
+                                canon_args.extend(inner.clone());
+                                continue;
+                            }
+                        }
+                    }
+                    canon_args.push(ca);
+                }
+                if props.commutative {
+                    // Sort by the resolved trees' `Ord`, so the canonical
+                    // child order matches `graph::canonical_form` exactly
+                    // and mixed interned/boxed comparisons agree.
+                    canon_args.sort_by_cached_key(|a| self.resolve(*a));
+                }
+                self.insert(LfNode::Pred(sym, canon_args))
+            }
+        };
+        self.canonical.insert(id, canon);
+        canon
+    }
+
+    /// True when two arena forms are isomorphic modulo associativity and
+    /// commutativity (id-compare of canonical representatives).
+    pub fn isomorphic(&mut self, a: LfId, b: LfId) -> bool {
+        self.canonical(a) == self.canonical(b)
+    }
+
+    /// Deduplicate ids, keeping the first representative of each
+    /// isomorphism class (the interned counterpart of
+    /// [`crate::graph::dedup_isomorphic`]).
+    pub fn dedup_isomorphic(&mut self, ids: &[LfId]) -> Vec<LfId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept = Vec::new();
+        for &id in ids {
+            let c = self.canonical(id);
+            if seen.insert(c) {
+                kept.push(id);
+            }
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{canonical_form, isomorphic, of_chain_left, of_chain_right};
+    use crate::parse::parse_lf;
+
+    #[test]
+    fn interner_round_trips_and_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("checksum");
+        let b = i.intern("type");
+        let a2 = i.intern("checksum");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "checksum");
+        assert_eq!(i.resolve(b), "type");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("checksum"), Some(a));
+        assert_eq!(i.get("missing"), None);
+    }
+
+    #[test]
+    fn fresh_arenas_assign_identical_symbols_to_builtins() {
+        let a = LfArena::new();
+        let b = LfArena::new();
+        for name in PredName::BUILTIN_NAMES {
+            assert_eq!(
+                a.interner().get(name),
+                b.interner().get(name),
+                "workers must agree on {name}"
+            );
+            assert!(a.interner().get(name).is_some(), "{name} pre-seeded");
+        }
+    }
+
+    #[test]
+    fn arena_hash_conses_equal_trees() {
+        let mut arena = LfArena::new();
+        let lf = parse_lf("@Is('checksum', @Num(0))").unwrap();
+        let a = arena.intern_lf(&lf);
+        let b = arena.intern_lf(&lf);
+        assert_eq!(a, b, "equal trees must share one id");
+        let other = arena.intern_lf(&parse_lf("@Is('checksum', @Num(1))").unwrap());
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut arena = LfArena::new();
+        for text in [
+            "@Is('checksum', @Num(0))",
+            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
+            "@StartsWith(@Is('checksum', @Of('Ones', @Of('OnesSum', 'icmp_message'))), 'icmp_type')",
+            "'bare_atom'",
+            "@Num(-7)",
+        ] {
+            let lf = parse_lf(text).unwrap();
+            let id = arena.intern_lf(&lf);
+            assert_eq!(arena.resolve(id), lf, "round trip failed for {text}");
+            assert_eq!(arena.node_count(id), lf.node_count());
+        }
+    }
+
+    #[test]
+    fn shared_subtrees_share_ids() {
+        let mut arena = LfArena::new();
+        let lf = parse_lf("@And(@Is('a', '0'), @Is('a', '0'))").unwrap();
+        let id = arena.intern_lf(&lf);
+        let kids = arena.args(id);
+        assert_eq!(kids[0], kids[1], "identical children must be one node");
+    }
+
+    #[test]
+    fn canonical_matches_boxed_canonicalization() {
+        let mut arena = LfArena::new();
+        let a = of_chain_left(Lf::atom("x"), Lf::atom("y"), Lf::atom("z"));
+        let b = of_chain_right(Lf::atom("x"), Lf::atom("y"), Lf::atom("z"));
+        let ia = arena.intern_lf(&a);
+        let ib = arena.intern_lf(&b);
+        assert!(arena.isomorphic(ia, ib));
+        let ca = arena.canonical(ia);
+        assert_eq!(arena.resolve(ca), canonical_form(&a));
+    }
+
+    #[test]
+    fn commutative_sorting_agrees_with_boxed_form() {
+        let mut arena = LfArena::new();
+        let x = Lf::and(vec![Lf::atom("b"), Lf::atom("a"), Lf::num(3)]);
+        let ix = arena.intern_lf(&x);
+        let canon = arena.canonical(ix);
+        assert_eq!(arena.resolve(canon), canonical_form(&x));
+    }
+
+    #[test]
+    fn isomorphism_agrees_with_boxed_implementation() {
+        let mut arena = LfArena::new();
+        let pairs = [
+            ("@And('a', 'b')", "@And('b', 'a')"),
+            ("@Is('a', 'b')", "@Is('b', 'a')"),
+            ("@Of(@Of('a', 'b'), 'c')", "@Of('a', @Of('b', 'c'))"),
+            ("@Is('x', @Num(0))", "@Is('x', @Num(1))"),
+        ];
+        for (ta, tb) in pairs {
+            let a = parse_lf(ta).unwrap();
+            let b = parse_lf(tb).unwrap();
+            let ia = arena.intern_lf(&a);
+            let ib = arena.intern_lf(&b);
+            assert_eq!(
+                arena.isomorphic(ia, ib),
+                isomorphic(&a, &b),
+                "disagreement on ({ta}, {tb})"
+            );
+        }
+    }
+
+    #[test]
+    fn dedup_isomorphic_keeps_first_representative() {
+        let mut arena = LfArena::new();
+        let l = of_chain_left(Lf::atom("a"), Lf::atom("b"), Lf::atom("c"));
+        let r = of_chain_right(Lf::atom("a"), Lf::atom("b"), Lf::atom("c"));
+        let other = Lf::is(Lf::atom("x"), Lf::num(1));
+        let ids = vec![
+            arena.intern_lf(&l),
+            arena.intern_lf(&r),
+            arena.intern_lf(&other),
+        ];
+        let kept = arena.dedup_isomorphic(&ids);
+        assert_eq!(kept, vec![ids[0], ids[2]]);
+    }
+}

@@ -15,13 +15,15 @@
 //! ```
 
 pub mod graph;
+pub mod intern;
 pub mod lf;
 pub mod parse;
 pub mod pred;
 pub mod types;
 
 pub use graph::{canonical_form, isomorphic, LfGraph};
+pub use intern::{Interner, LfArena, LfId, LfNode, Symbol};
 pub use lf::Lf;
-pub use parse::{parse_lf, ParseError};
+pub use parse::{parse_lf, parse_lf_interned, ParseError};
 pub use pred::{PredName, PredProperties};
-pub use types::{infer_atom_type, AtomType};
+pub use types::{infer_atom_type, AtomType, TypeCache};

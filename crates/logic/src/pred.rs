@@ -6,6 +6,7 @@
 //! commutative, which predicates it may (not) be nested under, and what
 //! argument types it expects.
 
+use crate::intern::{Interner, Symbol};
 use std::fmt;
 
 /// The predicate vocabulary used by SAGE logical forms.
@@ -73,6 +74,48 @@ pub enum PredName {
 }
 
 impl PredName {
+    /// The canonical names of every built-in predicate, in declaration
+    /// order.  Pre-seeding an [`Interner`] with these gives every pipeline
+    /// worker identical symbols for the core vocabulary.
+    pub const BUILTIN_NAMES: &'static [&'static str] = &[
+        "Is",
+        "And",
+        "Or",
+        "Not",
+        "If",
+        "Of",
+        "Action",
+        "Num",
+        "Str",
+        "AdvBefore",
+        "AdvAfter",
+        "AdvComment",
+        "StartsWith",
+        "Compare",
+        "Update",
+        "Seq",
+        "Field",
+        "From",
+        "Must",
+        "May",
+        "Send",
+        "Discard",
+        "Select",
+        "Cease",
+        "Reverse",
+        "Recompute",
+    ];
+
+    /// Intern this predicate's canonical name.
+    pub fn intern(&self, interner: &mut Interner) -> Symbol {
+        interner.intern(self.name())
+    }
+
+    /// Rebuild a predicate name from an interned symbol.
+    pub fn from_symbol(sym: Symbol, interner: &Interner) -> PredName {
+        PredName::from_name(interner.resolve(sym))
+    }
+
     /// Parse a predicate name as it appears in textual LFs (without the `@`).
     pub fn from_name(name: &str) -> PredName {
         match name {
@@ -443,6 +486,22 @@ mod tests {
     fn condition_context_classification() {
         assert!(PredName::If.is_condition_context());
         assert!(!PredName::And.is_condition_context());
+    }
+
+    #[test]
+    fn builtin_names_round_trip_through_symbols() {
+        let mut interner = crate::intern::Interner::new();
+        for name in PredName::BUILTIN_NAMES {
+            let p = PredName::from_name(name);
+            assert!(!matches!(p, PredName::Custom(_)), "{name} became Custom");
+            let sym = p.intern(&mut interner);
+            assert_eq!(PredName::from_symbol(sym, &interner), p);
+        }
+        assert_eq!(interner.len(), PredName::BUILTIN_NAMES.len());
+        // Custom predicates intern by their preserved name.
+        let custom = PredName::Custom("Frobnicate".into());
+        let sym = custom.intern(&mut interner);
+        assert_eq!(PredName::from_symbol(sym, &interner), custom);
     }
 
     #[test]

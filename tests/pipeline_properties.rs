@@ -1,10 +1,13 @@
 //! Property-based integration tests over the core invariants:
 //! winnowing never increases ambiguity, checksums verify after construction,
-//! field access round-trips, and the LF text format round-trips.
+//! field access round-trips, the LF text format round-trips, and the
+//! interned (Symbol/arena) representation is indistinguishable from the
+//! boxed one: parse→print→parse identity, `Symbol` equality ⇔ string
+//! equality, and graph-isomorphism invariance under interning.
 
 use proptest::prelude::*;
-use sage_repro::disambig::winnow;
-use sage_repro::logic::{parse_lf, Lf, PredName};
+use sage_repro::disambig::{winnow, Winnower};
+use sage_repro::logic::{isomorphic, parse_lf, Interner, Lf, LfArena, LfGraph, PredName};
 use sage_repro::netsim::buffer::{FieldSpec, PacketBuf};
 use sage_repro::netsim::checksum::{checksum_with_zeroed_field, ones_complement_sum};
 use sage_repro::netsim::headers::{icmp, ipv4};
@@ -48,6 +51,54 @@ proptest! {
         let text = lf.to_string();
         let reparsed = parse_lf(&text).expect("display output must re-parse");
         prop_assert_eq!(reparsed, lf);
+    }
+
+    #[test]
+    fn interned_parse_print_parse_round_trip_is_identity(lf in arb_lf()) {
+        let mut arena = LfArena::new();
+        let id = arena.intern_lf(&lf);
+        // Arena → boxed tree round trip.
+        let resolved = arena.resolve(id);
+        prop_assert_eq!(&resolved, &lf);
+        // print → parse → re-intern lands on the same hash-consed id.
+        let reparsed = parse_lf(&resolved.to_string()).expect("display must re-parse");
+        prop_assert_eq!(arena.intern_lf(&reparsed), id);
+        prop_assert_eq!(arena.node_count(id), lf.node_count());
+    }
+
+    #[test]
+    fn symbol_equality_iff_string_equality(a in "[a-z_]{1,8}", b in "[a-z_]{1,8}") {
+        let mut interner = Interner::new();
+        let sa = interner.intern(&a);
+        let sb = interner.intern(&b);
+        prop_assert_eq!(sa == sb, a == b, "symbols {:?}/{:?} for {:?}/{:?}", sa, sb, a, b);
+        prop_assert_eq!(interner.resolve(sa), a.as_str());
+        prop_assert_eq!(interner.resolve(sb), b.as_str());
+        // Re-interning is stable.
+        prop_assert_eq!(interner.intern(&a), sa);
+    }
+
+    #[test]
+    fn graph_isomorphism_is_invariant_under_interning(a in arb_lf(), b in arb_lf()) {
+        let mut arena = LfArena::new();
+        let ia = arena.intern_lf(&a);
+        let ib = arena.intern_lf(&b);
+        prop_assert_eq!(arena.isomorphic(ia, ib), isomorphic(&a, &b));
+        // Every form is isomorphic to its own canonical form, in both
+        // representations, and the adjacency graphs agree node for node.
+        let canon = sage_repro::logic::canonical_form(&a);
+        let ic = arena.intern_lf(&canon);
+        prop_assert!(arena.isomorphic(ia, ic));
+        prop_assert_eq!(LfGraph::from_interned(&arena, ia), LfGraph::from_lf(&a));
+    }
+
+    #[test]
+    fn interned_winnow_matches_boxed_winnow(lfs in prop::collection::vec(arb_lf(), 1..8)) {
+        let winnower = Winnower::new();
+        let mut arena = LfArena::new();
+        let boxed = winnower.winnow(&lfs);
+        let interned = winnower.winnow_interned(&lfs, &mut arena);
+        prop_assert_eq!(interned, boxed);
     }
 
     #[test]

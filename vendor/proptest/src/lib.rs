@@ -13,7 +13,9 @@
 //! SplitMix64 RNG (runs are fully deterministic), there is no shrinking, and
 //! `prop_assert*` failures panic immediately with the failing case's values
 //! left to the assertion message. The number of cases per property is
-//! `PROPTEST_CASES` (default 64).
+//! `PROPTEST_CASES` (default 64), and the RNG seed is `PROPTEST_SEED`
+//! (decimal or `0x`-prefixed hex; default `0x5A6E`) — export the seed a CI
+//! failure ran with to reproduce the exact case sequence locally.
 
 /// Deterministic RNG and test-runner loop.
 pub mod test_runner {
@@ -21,9 +23,27 @@ pub mod test_runner {
     pub struct TestRng(u64);
 
     impl TestRng {
-        /// Fixed default seed: property runs are reproducible across machines.
+        /// Seeded from `PROPTEST_SEED` (decimal or `0x`-prefixed hex) when
+        /// set, else a fixed default: property runs are reproducible across
+        /// machines, and a CI failure's seed can be replayed locally.
         pub fn deterministic() -> Self {
-            TestRng(0x5A6E_u64 ^ 0x9E37_79B9_7F4A_7C15)
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| {
+                    let v = v.trim();
+                    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                        None => v.parse().ok(),
+                    }
+                })
+                .unwrap_or(0x5A6E);
+            TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+        }
+
+        /// Build a generator from an explicit seed (what
+        /// [`TestRng::deterministic`] does after reading the env var).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
         }
 
         /// Next raw 64-bit value.
