@@ -54,6 +54,15 @@ fn bench_full_program_generation(c: &mut Criterion) {
     group.bench_function("rfc792_full_program", |b| {
         b.iter(sage_core::generate_icmp_program)
     });
+    group.bench_function("rfc1112_igmp_program", |b| {
+        b.iter(sage_core::generate_igmp_program)
+    });
+    group.bench_function("rfc1059_ntp_program", |b| {
+        b.iter(sage_core::generate_ntp_program)
+    });
+    group.bench_function("rfc5880_bfd_program", |b| {
+        b.iter(sage_core::generate_bfd_program)
+    });
     group.finish();
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Usage: `cargo run -p sage-bench --bin tables [-- <table>...]`
 //! where `<table>` is one of `table2`..`table11`, `lexicon`, `e2e`,
-//! `summary`, or `all` (default).
+//! `protocols`, `summary`, or `all` (default).
 
 use sage_bench as render;
 use sage_spec::corpus::Protocol;
@@ -11,8 +11,20 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
-            "table10", "table11", "lexicon", "e2e", "summary",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "table10",
+            "table11",
+            "lexicon",
+            "e2e",
+            "protocols",
+            "summary",
         ]
         .into_iter()
         .map(String::from)
@@ -34,6 +46,7 @@ fn main() {
             "table11" => render::render_table11(),
             "lexicon" => render::render_lexicon_counts(),
             "e2e" => render::render_end_to_end(),
+            "protocols" => render::render_protocol_summary(),
             "summary" => render::render_disambiguation_summary(),
             "fig5a" => render::render_figure5(Protocol::Icmp, "a"),
             other => format!("unknown table '{other}'\n"),

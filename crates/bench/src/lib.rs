@@ -232,6 +232,22 @@ pub fn render_end_to_end() -> String {
     out
 }
 
+/// Render the per-protocol end-to-end summary: every generated program run
+/// through its scenario (§6.2 ICMP; §6.3 IGMP and NTP; §6.4 BFD).
+pub fn render_protocol_summary() -> String {
+    let mut out = String::from("Per-protocol end-to-end execution (§6.2-§6.4)\n");
+    for row in eval::end_to_end_summary() {
+        out.push_str(&format!(
+            "  {:<5} {:<42} {:>3} packets  {}\n",
+            row.protocol,
+            row.scenario,
+            row.packets,
+            if row.ok { "ok" } else { "FAILED" }
+        ));
+    }
+    out
+}
+
 /// Render the §6.5 disambiguation summary.
 pub fn render_disambiguation_summary() -> String {
     let mut out = String::from("Disambiguation summary over the ICMP corpus (§6.5)\n");

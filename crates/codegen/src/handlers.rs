@@ -128,8 +128,12 @@ fn resolve_term(term: &str, ctx: &ContextDict) -> Result<Expr, CodegenError> {
     let protocol = ctx.protocol.to_ascii_lowercase();
 
     // Dynamic context: "type" inside a Destination Unreachable field list
-    // means the ICMP type field.
-    let stripped = norm.trim_end_matches("_field").to_string();
+    // means the ICMP type field.  RFC prose names fields with a "field" or
+    // "bit" suffix ("the Demand bit", "the State field"); strip either.
+    let stripped = norm
+        .trim_end_matches("_field")
+        .trim_end_matches("_bit")
+        .to_string();
     if known_field(&protocol, &stripped) {
         return Ok(Expr::field(&protocol, &stripped));
     }
@@ -215,10 +219,14 @@ fn resolve_expr(lf: &Lf, ctx: &ContextDict) -> Result<Expr, CodegenError> {
 }
 
 /// `@Of(part, whole)`: checksum-operator chains become framework calls;
-/// other uses resolve to the part as a field of the whole's protocol.
+/// "the value of X" reads X; other uses resolve to the part as a field of
+/// the whole's protocol.
 fn resolve_of(args: &[Lf], ctx: &ContextDict) -> Result<Expr, CodegenError> {
     let part = args[0].as_atom().unwrap_or_default().to_ascii_lowercase();
     match part.as_str() {
+        // The RFC 5880 bookkeeping idiom "Set bfd.RemoteDiscr to the value
+        // of My Discriminator": the value of a field is the field itself.
+        "value" => resolve_expr(&args[1], ctx),
         "ones" | "one's complement" | "16-bit one's complement" => Ok(Expr::call(
             "ones_complement",
             vec![resolve_expr(&args[1], ctx)?],
@@ -517,6 +525,21 @@ mod tests {
         assert!(c.contains("peer.timer >= peer.threshold"));
         assert!(c.contains("client_mode || symmetric_mode"));
         assert!(c.contains("timeout_procedure()"));
+    }
+
+    #[test]
+    fn value_of_idiom_reads_the_named_field() {
+        // The pipeline-resolved RFC 5880 bookkeeping shape: the value of a
+        // field (with the prose "bit" suffix) is the field itself.
+        let lf = parse_lf("@Is('bfd.remotedemandmode', @Of('value', 'demand_bit'))").unwrap();
+        let ctx = ContextDict {
+            protocol: "BFD".into(),
+            message: "Reception of BFD Control Packets".into(),
+            field: String::new(),
+            role: Role::Receiver,
+        };
+        let stmts = generate_stmts(&lf, &ctx).unwrap();
+        assert_eq!(stmts[0].to_c(0), "bfd.remotedemandmode = bfd_hdr->demand;");
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`program`] — advice reordering (`@AdvBefore`), sender/receiver
 //!   function stitching and C-like emission.
 
+#![deny(missing_docs)]
+
 pub mod handlers;
 pub mod ir;
 pub mod program;

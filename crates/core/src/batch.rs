@@ -2,7 +2,8 @@
 //!
 //! [`BatchPipeline`] fans a corpus of sentences across scoped worker threads.
 //! The [`Sage`] pipeline (configuration, lexicon, term dictionary) is shared
-//! read-only; each worker owns an [`AnalysisWorkspace`] — its private string
+//! read-only; each worker owns an
+//! [`AnalysisWorkspace`](crate::pipeline::AnalysisWorkspace) — its private string
 //! interner / logical-form arena, memoized lexicon cache and pre-built check
 //! families — so the hot path takes no locks.  Work is distributed by an
 //! atomic cursor and every sentence's [`StageReport`] is written into its own
@@ -48,6 +49,26 @@ impl BatchItem {
                 BatchItem { sentence, context }
             })
             .collect()
+    }
+
+    /// The four corpora of the evaluation as one mixed batch, in the order
+    /// the paper evaluates them: the ICMP, IGMP and NTP documents plus the
+    /// BFD state-management sentence list.  Running this through
+    /// [`BatchPipeline::run`] analyzes the whole multi-protocol evaluation
+    /// in a single deterministic pass.
+    pub fn mixed_corpus() -> Vec<BatchItem> {
+        use sage_spec::corpus::Protocol;
+        let mut items = Vec::new();
+        for protocol in Protocol::all() {
+            match protocol {
+                Protocol::Bfd => items.extend(BatchItem::from_sentences(
+                    "BFD",
+                    sage_spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES,
+                )),
+                _ => items.extend(BatchItem::from_document(&protocol.document())),
+            }
+        }
+        items
     }
 
     /// Wrap a bare sentence list the way [`Sage::analyze_sentences`] does
@@ -383,6 +404,22 @@ mod tests {
             .with_workers(3)
             .run_sentences("BFD", sentences);
         assert_eq!(batch.into_pipeline_report(), sequential);
+    }
+
+    #[test]
+    fn mixed_corpus_concatenates_all_four_protocols() {
+        let items = BatchItem::mixed_corpus();
+        // The BFD tail is the 22 state-management sentences; the documents
+        // precede it in evaluation order.
+        assert!(items.len() > 22 + 60);
+        let protocols: Vec<&str> = items.iter().map(|i| i.context.protocol.as_str()).collect();
+        for p in ["ICMP", "IGMP", "NTP", "BFD"] {
+            assert!(protocols.contains(&p), "missing {p}");
+        }
+        let sage = Sage::default();
+        let report = BatchPipeline::new(&sage).with_workers(2).run(&items);
+        assert_eq!(report.reports.len(), items.len());
+        assert!(report.count(SentenceStatus::Resolved) > 0);
     }
 
     #[test]

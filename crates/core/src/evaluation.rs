@@ -528,6 +528,102 @@ pub fn figure6() -> Vec<CheckEffect> {
 }
 
 // ---------------------------------------------------------------------------
+// Per-protocol end-to-end summary (§6.2, §6.3, §6.4)
+// ---------------------------------------------------------------------------
+
+/// One row of the per-protocol end-to-end summary: a generated program ran
+/// its protocol's scenario on the virtual network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndToEndRow {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// The scenario the generated code was exercised in.
+    pub scenario: &'static str,
+    /// Whether every check of the scenario succeeded.
+    pub ok: bool,
+    /// Number of packets captured during the scenario.
+    pub packets: usize,
+}
+
+/// Run every protocol's generated program through its end-to-end scenario —
+/// the §6.2 ICMP experiments plus the generality scenarios (§6.3 IGMP and
+/// NTP, §6.4 BFD) — dispatching each program through one shared
+/// [`ResponderRegistry`](sage_interp::ResponderRegistry).
+pub fn end_to_end_summary() -> Vec<EndToEndRow> {
+    use crate::programs::generate_program;
+    use sage_interp::ResponderRegistry;
+    use sage_netsim::headers::{bfd, ntp};
+    use sage_netsim::tools::{bfd_session, igmp as igmp_tool, ntp_exchange};
+
+    let mut registry = ResponderRegistry::new();
+    for protocol in Protocol::all() {
+        registry.register(protocol.name(), generate_program(protocol));
+    }
+    let mut rows = Vec::new();
+
+    // ICMP: ping / traceroute / tcpdump (§6.2).
+    let icmp_result = crate::icmp::icmp_end_to_end(registry.program("ICMP").expect("registered"));
+    rows.push(EndToEndRow {
+        protocol: "ICMP",
+        scenario: "ping/traceroute/tcpdump (Appendix A)",
+        ok: icmp_result.all_ok(),
+        packets: icmp_result.packets_checked,
+    });
+
+    // IGMP: membership query/report (§6.3).
+    let group = ipv4::addr(224, 0, 0, 251);
+    let mut igmp_host = registry.igmp_responder(group).expect("registered");
+    let igmp_report = igmp_tool::membership_exchange(&Network::appendix_a(), &mut igmp_host, group);
+    rows.push(EndToEndRow {
+        protocol: "IGMP",
+        scenario: "membership query/report",
+        ok: igmp_report.all_ok() && igmp_host.errors.is_empty(),
+        packets: igmp_report.packets.len(),
+    });
+
+    // NTP: the Table 11 timeout rule driving a client/server exchange (§6.3).
+    let mut policy = registry.ntp_timeout_policy().expect("registered");
+    let mut server = registry.ntp_server(2, 0x8000_0000).expect("registered");
+    let peer = ntp::PeerVariables {
+        timer: 64,
+        threshold: 64,
+        mode: ntp::mode::CLIENT,
+    };
+    let ntp_report = ntp_exchange::client_server_exchange(
+        &mut Network::appendix_a(),
+        &mut policy,
+        &mut server,
+        &peer,
+        0xDEAD_BEEF,
+    );
+    rows.push(EndToEndRow {
+        protocol: "NTP",
+        scenario: "timeout-triggered client/server exchange",
+        ok: ntp_report.all_ok() && policy.errors.is_empty() && server.errors.is_empty(),
+        packets: ntp_report.packets.len(),
+    });
+
+    // BFD: session bring-up, Down -> Init -> Up (§6.4).
+    let mut a = registry.bfd_endpoint(7, 9).expect("registered");
+    let mut b = registry.bfd_endpoint(9, 7).expect("registered");
+    let bfd_report = bfd_session::session_bring_up(&mut a, &mut b, 4);
+    let handshake_ok = bfd_report.b_state_path()
+        == vec![
+            bfd::SessionState::Down,
+            bfd::SessionState::Init,
+            bfd::SessionState::Up,
+        ];
+    rows.push(EndToEndRow {
+        protocol: "BFD",
+        scenario: "session bring-up (Down -> Init -> Up)",
+        ok: bfd_report.all_ok() && handshake_ok && a.errors.is_empty() && b.errors.is_empty(),
+        packets: bfd_report.packets.len(),
+    });
+
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Lexicon-extension counts (§6.3, §6.4)
 // ---------------------------------------------------------------------------
 
@@ -678,6 +774,18 @@ mod tests {
         let effects = figure6();
         assert_eq!(effects.len(), 4);
         assert!(effects.iter().any(|e| e.mean_filtered > 0.0));
+    }
+
+    #[test]
+    fn end_to_end_summary_passes_for_all_four_protocols() {
+        let rows = end_to_end_summary();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.ok, "{} failed: {row:?}", row.protocol);
+            assert!(row.packets >= 2, "{} captured too little", row.protocol);
+        }
+        let protocols: Vec<_> = rows.iter().map(|r| r.protocol).collect();
+        assert_eq!(protocols, vec!["ICMP", "IGMP", "NTP", "BFD"]);
     }
 
     #[test]

@@ -20,9 +20,13 @@ pub mod batch;
 pub mod evaluation;
 pub mod icmp;
 pub mod pipeline;
+pub mod programs;
 
 pub use batch::{BatchItem, BatchPipeline, BatchReport, StageReport};
 pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
 pub use pipeline::{
     AnalysisWorkspace, PipelineReport, Sage, SageConfig, SentenceAnalysis, SentenceStatus,
+};
+pub use programs::{
+    generate_bfd_program, generate_igmp_program, generate_ntp_program, generate_program,
 };

@@ -141,7 +141,7 @@ pub struct Sage {
 /// Per-worker scratch state for the memoized analysis path.
 ///
 /// The lexicon and configuration live in the shared, read-only [`Sage`];
-/// everything mutable — the [`Symbol`](sage_logic::Symbol)-keyed lexicon
+/// everything mutable — the [`Symbol`]-keyed lexicon
 /// lookup memo, the hash-consing logical-form arena, and the pre-built
 /// winnowing check families — lives here.  The batch pipeline gives each
 /// worker thread its own workspace, so no locks are taken on the hot path.

@@ -15,9 +15,11 @@
 //! 5. **Associativity** — logically identical regroupings of associative
 //!    predicates, detected by graph isomorphism.
 //!
-//! [`winnow`] applies the families in the order shown in Figure 5 and
+//! [`winnow()`] applies the families in the order shown in Figure 5 and
 //! records the number of surviving LFs after each stage; [`stats`] applies
 //! each family in isolation, as in Figure 6.
+
+#![deny(missing_docs)]
 
 pub mod checks;
 pub mod stats;

@@ -25,6 +25,10 @@ pub struct Env {
     pub sent: bool,
     /// Set when generated code calls `cease_periodic_transmission`.
     pub transmission_ceased: bool,
+    /// The protocol whose header the reply buffer holds ("icmp", "igmp",
+    /// "ntp", "bfd", …).  Protocol-agnostic framework services — currently
+    /// `compute_checksum` — use it to locate the right header field.
+    pub reply_proto: String,
 }
 
 impl Env {
@@ -69,6 +73,7 @@ impl Env {
             discarded: false,
             sent: false,
             transmission_ceased: false,
+            reply_proto: "icmp".to_string(),
         }
     }
 
@@ -85,17 +90,37 @@ impl Env {
             discarded: false,
             sent: false,
             transmission_ceased: false,
+            reply_proto: "icmp".to_string(),
+        }
+    }
+
+    /// Tag the reply buffer with the protocol whose header it holds, so
+    /// protocol-agnostic framework services resolve the right fields.
+    pub fn with_protocol(mut self, protocol: &str) -> Env {
+        self.reply_proto = protocol.to_ascii_lowercase();
+        self
+    }
+
+    /// Canonical key for a state variable.  Dotted state variables are
+    /// case-normalised: the RFC prose writes `bfd.RemoteDiscr` but the
+    /// pipeline's tokeniser lowercases sentence text, so generated code
+    /// refers to `bfd.remotediscr` — both must hit the same slot.
+    fn var_key(name: &str) -> String {
+        if name.contains('.') {
+            name.to_ascii_lowercase()
+        } else {
+            name.to_string()
         }
     }
 
     /// Read a state variable (0 if unset).
     pub fn var(&self, name: &str) -> i64 {
-        self.vars.get(name).copied().unwrap_or(0)
+        self.vars.get(&Env::var_key(name)).copied().unwrap_or(0)
     }
 
     /// Set a state variable.
     pub fn set_var(&mut self, name: &str, value: i64) {
-        self.vars.insert(name.to_string(), value);
+        self.vars.insert(Env::var_key(name), value);
     }
 }
 
@@ -151,10 +176,32 @@ mod tests {
     }
 
     #[test]
+    fn dotted_state_variables_are_case_insensitive() {
+        // The prose spelling and the tokeniser's lowercased spelling must
+        // alias; plain identifiers stay case-sensitive.
+        let req = echo_request_ip();
+        let mut env = Env::for_event(IcmpEvent::EchoRequest, &req);
+        env.set_var("bfd.RemoteDiscr", 7);
+        assert_eq!(env.var("bfd.remotediscr"), 7);
+        env.set_var("bfd.sessionstate", 3);
+        assert_eq!(env.var("bfd.SessionState"), 3);
+        env.set_var("Up", 3);
+        assert_eq!(env.var("up"), 0);
+    }
+
+    #[test]
     fn received_message_environment() {
         let msg = PacketBuf::from_bytes(vec![1, 2, 3, 4]);
         let env = Env::for_received_message(&msg);
         assert_eq!(env.reply.as_bytes(), &[1, 2, 3, 4]);
         assert!(env.request_ip.is_empty());
+        assert_eq!(env.reply_proto, "icmp");
+    }
+
+    #[test]
+    fn with_protocol_retags_the_reply_buffer() {
+        let msg = PacketBuf::from_bytes(vec![0; 8]);
+        let env = Env::for_received_message(&msg).with_protocol("IGMP");
+        assert_eq!(env.reply_proto, "igmp");
     }
 }

@@ -124,8 +124,18 @@ fn call_framework(env: &mut Env, name: &str, args: &[Expr]) -> Result<i64, ExecE
             Ok(i64::from(!(inner as u16)))
         }
         "compute_checksum" => {
-            let ck = checksum_with_zeroed_field(env.reply.as_bytes(), 2);
-            write_field(env, "icmp", "checksum", i64::from(ck))?;
+            // Protocol-generic: locate the checksum field of the protocol
+            // the reply buffer holds (ICMP and IGMP both keep it at byte 2;
+            // protocols without one, like NTP-over-UDP and BFD, leave the
+            // checksum to the lower layers and the call is a no-op).
+            let proto = env.reply_proto.clone();
+            let table = headers::field_table(&proto)
+                .ok_or_else(|| ExecError::UnknownField(format!("{proto}.checksum")))?;
+            let Some(spec) = table.iter().find(|f| f.name == "checksum") else {
+                return Ok(0);
+            };
+            let ck = checksum_with_zeroed_field(env.reply.as_bytes(), spec.byte_range().0);
+            write_field(env, &proto, "checksum", i64::from(ck))?;
             Ok(i64::from(ck))
         }
         "reverse_source_and_destination" => {

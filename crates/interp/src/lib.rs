@@ -9,12 +9,16 @@
 //! (allocating the reply buffer, quoting the offending datagram in error
 //! messages), lower-layer header access and one's-complement arithmetic.
 //!
-//! * [`env`] — the execution environment: the received packet, the reply
+//! * [`mod@env`] — the execution environment: the received packet, the reply
 //!   under construction, state variables and framework services;
 //! * [`exec`] — the statement/expression interpreter;
 //! * [`responder`] — adapters that plug generated programs into the virtual
-//!   network as [`sage_netsim::net::IcmpResponder`]s and into the BFD
-//!   session machinery.
+//!   network as [`sage_netsim::net::IcmpResponder`]s, into the per-protocol
+//!   scenario drivers of `sage_netsim::tools`, and into the BFD session
+//!   machinery; [`ResponderRegistry`] holds one generated program per
+//!   protocol and dispatches to the right adapter.
+
+#![deny(missing_docs)]
 
 pub mod env;
 pub mod exec;
@@ -22,4 +26,7 @@ pub mod responder;
 
 pub use env::Env;
 pub use exec::{eval_expr, exec_function, exec_stmt, ExecError};
-pub use responder::{BfdGeneratedReceiver, GeneratedResponder};
+pub use responder::{
+    BfdGeneratedReceiver, GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer,
+    GeneratedNtpTimeoutPolicy, GeneratedResponder, ResponderRegistry,
+};

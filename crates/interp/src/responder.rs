@@ -1,11 +1,23 @@
 //! Adapters that plug generated programs into the network substrate.
+//!
+//! One adapter per protocol scenario — [`GeneratedResponder`] (ICMP router
+//! events), [`GeneratedIgmpResponder`] (membership queries),
+//! [`GeneratedNtpTimeoutPolicy`] / [`GeneratedNtpServer`] (the Table 11
+//! client trigger and the server reply), [`GeneratedBfdEndpoint`] (session
+//! state management) — plus the [`ResponderRegistry`] that holds the four
+//! generated programs side by side and hands out the right adapter per
+//! protocol.
 
 use crate::env::Env;
 use crate::exec::{exec_function, ExecError};
 use sage_codegen::ir::{Function, Program};
 use sage_netsim::buffer::PacketBuf;
-use sage_netsim::headers::bfd;
+use sage_netsim::headers::{bfd, ntp};
 use sage_netsim::net::{IcmpEvent, IcmpResponder};
+use sage_netsim::tools::bfd_session::BfdEndpoint;
+use sage_netsim::tools::igmp::IgmpResponder as IgmpResponderTrait;
+use sage_netsim::tools::ntp_exchange::{NtpServer, NtpTimeoutPolicy};
+use std::collections::BTreeMap;
 
 /// The message-name fragment a router event corresponds to, used to select
 /// the generated function (function names are derived from section titles).
@@ -163,6 +175,320 @@ impl BfdGeneratedReceiver {
             remote_discr: env.var("bfd.RemoteDiscr"),
             remote_demand_mode: env.var("bfd.RemoteDemandMode"),
         })
+    }
+}
+
+/// An IGMP host backed by a SAGE-generated program: answers Host Membership
+/// Queries with reports for the group it belongs to (§6.3).
+#[derive(Debug, Clone)]
+pub struct GeneratedIgmpResponder {
+    /// The generated program.
+    pub program: Program,
+    /// The host group this host reports membership of.
+    pub group: u32,
+    /// Execution errors encountered (should stay empty for a good program).
+    pub errors: Vec<ExecError>,
+}
+
+impl GeneratedIgmpResponder {
+    /// Wrap a generated program for a host in `group`.
+    pub fn new(program: Program, group: u32) -> GeneratedIgmpResponder {
+        GeneratedIgmpResponder {
+            program,
+            group,
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl IgmpResponderTrait for GeneratedIgmpResponder {
+    fn respond(&mut self, query: &PacketBuf) -> Option<PacketBuf> {
+        let function = self
+            .program
+            .functions
+            .iter()
+            .find(|f| f.name.starts_with("igmp"))?
+            .clone();
+        let mut env = Env::for_received_message(query).with_protocol("igmp");
+        env.set_var("reported_group", i64::from(self.group));
+        if let Err(e) = exec_function(&mut env, &function) {
+            self.errors.push(e);
+            return None;
+        }
+        if env.discarded {
+            return None;
+        }
+        Some(env.reply)
+    }
+}
+
+/// The Table 11 timeout decision made by SAGE-generated code (§6.3).
+#[derive(Debug, Clone)]
+pub struct GeneratedNtpTimeoutPolicy {
+    /// The generated program.
+    pub program: Program,
+    /// Execution errors encountered (should stay empty for a good program).
+    pub errors: Vec<ExecError>,
+}
+
+impl GeneratedNtpTimeoutPolicy {
+    /// Wrap a generated program.
+    pub fn new(program: Program) -> GeneratedNtpTimeoutPolicy {
+        GeneratedNtpTimeoutPolicy {
+            program,
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl NtpTimeoutPolicy for GeneratedNtpTimeoutPolicy {
+    fn timeout_due(&mut self, peer: &ntp::PeerVariables) -> bool {
+        let Some(function) = self
+            .program
+            .functions
+            .iter()
+            .find(|f| f.name.contains("timeout"))
+            .cloned()
+        else {
+            return false;
+        };
+        let mut env = Env::for_received_message(&PacketBuf::new()).with_protocol("ntp");
+        env.set_var("peer.timer", peer.timer as i64);
+        env.set_var("peer.threshold", peer.threshold as i64);
+        env.set_var("client_mode", i64::from(peer.mode == ntp::mode::CLIENT));
+        env.set_var(
+            "symmetric_mode",
+            i64::from(matches!(
+                peer.mode,
+                ntp::mode::SYMMETRIC_ACTIVE | ntp::mode::SYMMETRIC_PASSIVE
+            )),
+        );
+        if let Err(e) = exec_function(&mut env, &function) {
+            self.errors.push(e);
+            return false;
+        }
+        env.var("timeout_procedure_called") != 0
+    }
+}
+
+/// An NTP server backed by a SAGE-generated program: forms the server-mode
+/// reply to a client request (§6.3).
+#[derive(Debug, Clone)]
+pub struct GeneratedNtpServer {
+    /// The generated program.
+    pub program: Program,
+    /// The stratum the server answers with.
+    pub stratum: u8,
+    /// The server clock, used for the receive and transmit timestamps.
+    pub clock: u64,
+    /// Execution errors encountered (should stay empty for a good program).
+    pub errors: Vec<ExecError>,
+}
+
+impl GeneratedNtpServer {
+    /// Wrap a generated program for a server at `stratum` with `clock`.
+    pub fn new(program: Program, stratum: u8, clock: u64) -> GeneratedNtpServer {
+        GeneratedNtpServer {
+            program,
+            stratum,
+            clock,
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl NtpServer for GeneratedNtpServer {
+    fn respond(&mut self, request: &PacketBuf) -> Option<PacketBuf> {
+        let function = self
+            .program
+            .functions
+            .iter()
+            .find(|f| f.name.contains("data_format"))?
+            .clone();
+        let mut env = Env::for_received_message(request).with_protocol("ntp");
+        env.set_var("server_stratum", i64::from(self.stratum));
+        env.set_var("server_clock", self.clock as i64);
+        if let Err(e) = exec_function(&mut env, &function) {
+            self.errors.push(e);
+            return None;
+        }
+        if env.discarded {
+            return None;
+        }
+        Some(env.reply)
+    }
+}
+
+/// One side of a BFD session driven by SAGE-generated state-management code
+/// (§6.4): plugs into [`sage_netsim::tools::bfd_session::session_bring_up`].
+#[derive(Debug, Clone)]
+pub struct GeneratedBfdEndpoint {
+    /// The generated program (the "Reception of BFD Control Packets"
+    /// functions).
+    pub program: Program,
+    /// The local session variables, updated by the generated code.
+    pub session: bfd::SessionVariables,
+    /// Execution errors encountered (should stay empty for a good program).
+    pub errors: Vec<ExecError>,
+}
+
+impl GeneratedBfdEndpoint {
+    /// A Down session with the given local/remote discriminator pair.
+    pub fn new(program: Program, local_discr: u32, remote_discr: u32) -> GeneratedBfdEndpoint {
+        GeneratedBfdEndpoint {
+            program,
+            session: bfd::SessionVariables {
+                local_discr,
+                remote_discr,
+                ..bfd::SessionVariables::default()
+            },
+            errors: Vec::new(),
+        }
+    }
+}
+
+impl BfdEndpoint for GeneratedBfdEndpoint {
+    fn state(&self) -> bfd::SessionState {
+        self.session.session_state
+    }
+
+    fn receive(&mut self, packet: &PacketBuf) {
+        let functions: Vec<Function> = self
+            .program
+            .functions
+            .iter()
+            .filter(|f| f.name.contains("reception"))
+            .cloned()
+            .collect();
+        let mut env = Env::for_received_message(packet).with_protocol("bfd");
+        // Seed the session variables and state-name constants the generated
+        // code reads.
+        env.set_var(
+            "bfd.SessionState",
+            i64::from(self.session.session_state.code()),
+        );
+        env.set_var(
+            "bfd.RemoteSessionState",
+            i64::from(self.session.remote_session_state.code()),
+        );
+        env.set_var("bfd.RemoteDiscr", i64::from(self.session.remote_discr));
+        env.set_var(
+            "bfd.RemoteDemandMode",
+            i64::from(self.session.remote_demand_mode),
+        );
+        env.set_var(
+            "periodic_transmission_active",
+            i64::from(self.session.periodic_transmission_active),
+        );
+        env.set_var(&format!("session.{}", self.session.local_discr), 1);
+        for (name, state) in [
+            ("admindown", bfd::SessionState::AdminDown),
+            ("down", bfd::SessionState::Down),
+            ("init", bfd::SessionState::Init),
+            ("up", bfd::SessionState::Up),
+        ] {
+            env.set_var(name, i64::from(state.code()));
+        }
+        for f in &functions {
+            if let Err(e) = exec_function(&mut env, f) {
+                self.errors.push(e);
+                return;
+            }
+            if env.discarded {
+                return;
+            }
+        }
+        // Read the updated session variables back out of the environment.
+        self.session.session_state =
+            bfd::SessionState::from_code(env.var("bfd.SessionState") as u8)
+                .unwrap_or(self.session.session_state);
+        self.session.remote_session_state =
+            bfd::SessionState::from_code(env.var("bfd.RemoteSessionState") as u8)
+                .unwrap_or(self.session.remote_session_state);
+        self.session.remote_discr = env.var("bfd.RemoteDiscr") as u32;
+        self.session.remote_demand_mode = env.var("bfd.RemoteDemandMode") != 0;
+        self.session.periodic_transmission_active =
+            env.var("periodic_transmission_active") != 0 && !env.transmission_ceased;
+    }
+
+    fn control_packet(&self) -> PacketBuf {
+        bfd::build_control_packet(
+            self.session.session_state,
+            self.session.local_discr,
+            self.session.remote_discr,
+            3,
+            self.session.demand_mode,
+        )
+    }
+}
+
+/// A protocol-dispatching registry of generated programs: the multi-protocol
+/// responder surface.  Register one [`Program`] per protocol (keyed by name,
+/// case-insensitive), then hand out the protocol-specific adapter.
+#[derive(Debug, Clone, Default)]
+pub struct ResponderRegistry {
+    programs: BTreeMap<String, Program>,
+}
+
+impl ResponderRegistry {
+    /// An empty registry.
+    pub fn new() -> ResponderRegistry {
+        ResponderRegistry::default()
+    }
+
+    /// Register (or replace) the generated program for `protocol`.
+    pub fn register(&mut self, protocol: &str, program: Program) {
+        self.programs.insert(protocol.to_ascii_lowercase(), program);
+    }
+
+    /// The program registered for `protocol`, if any.
+    pub fn program(&self, protocol: &str) -> Option<&Program> {
+        self.programs.get(&protocol.to_ascii_lowercase())
+    }
+
+    /// The registered protocol names, sorted.
+    pub fn protocols(&self) -> Vec<&str> {
+        self.programs.keys().map(String::as_str).collect()
+    }
+
+    /// An ICMP responder over the registered ICMP program.
+    pub fn icmp_responder(&self) -> Option<GeneratedResponder> {
+        Some(GeneratedResponder::new(self.program("icmp")?.clone()))
+    }
+
+    /// An IGMP host (member of `group`) over the registered IGMP program.
+    pub fn igmp_responder(&self, group: u32) -> Option<GeneratedIgmpResponder> {
+        Some(GeneratedIgmpResponder::new(
+            self.program("igmp")?.clone(),
+            group,
+        ))
+    }
+
+    /// The Table 11 timeout policy over the registered NTP program.
+    pub fn ntp_timeout_policy(&self) -> Option<GeneratedNtpTimeoutPolicy> {
+        Some(GeneratedNtpTimeoutPolicy::new(self.program("ntp")?.clone()))
+    }
+
+    /// An NTP server over the registered NTP program.
+    pub fn ntp_server(&self, stratum: u8, clock: u64) -> Option<GeneratedNtpServer> {
+        Some(GeneratedNtpServer::new(
+            self.program("ntp")?.clone(),
+            stratum,
+            clock,
+        ))
+    }
+
+    /// A BFD endpoint over the registered BFD program.
+    pub fn bfd_endpoint(
+        &self,
+        local_discr: u32,
+        remote_discr: u32,
+    ) -> Option<GeneratedBfdEndpoint> {
+        Some(GeneratedBfdEndpoint::new(
+            self.program("bfd")?.clone(),
+            local_discr,
+            remote_discr,
+        ))
     }
 }
 
@@ -355,6 +681,38 @@ mod tests {
         let out = rx.receive(&pkt).unwrap();
         assert!(out.discarded);
         assert!(!out.ceased_transmission);
+    }
+
+    #[test]
+    fn registry_dispatches_by_protocol_name() {
+        let mut reg = ResponderRegistry::new();
+        reg.register("ICMP", echo_reply_program());
+        reg.register("bfd", bfd_reception_program());
+        assert_eq!(reg.protocols(), vec!["bfd", "icmp"]);
+        assert!(reg.program("Icmp").is_some());
+        assert!(reg.icmp_responder().is_some());
+        assert!(
+            reg.igmp_responder(1).is_none(),
+            "no IGMP program registered"
+        );
+        assert!(reg.ntp_server(2, 1).is_none());
+        assert!(reg.bfd_endpoint(1, 2).is_some());
+    }
+
+    #[test]
+    fn generated_bfd_endpoint_discards_malformed_packets() {
+        let mut ep = GeneratedBfdEndpoint::new(bfd_reception_program(), 9, 7);
+        // Unknown session: state must not move, bookkeeping must not run.
+        ep.receive(&bfd::build_control_packet(
+            bfd::SessionState::Down,
+            7,
+            999,
+            3,
+            false,
+        ));
+        assert_eq!(ep.state(), bfd::SessionState::Down);
+        assert_eq!(ep.session.remote_discr, 7);
+        assert!(ep.errors.is_empty());
     }
 
     #[test]

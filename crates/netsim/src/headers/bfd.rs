@@ -163,6 +163,32 @@ impl SessionTable {
     }
 }
 
+/// The RFC 5880 §6.8.6 session state transition for one received packet:
+/// the rules the corpus carries ("Down + received Init → Up", "Init +
+/// received Up → Up", "received AdminDown while not Down → Down") plus the
+/// Down + received Down → Init bootstrap rule the excerpt elides (supplied
+/// to the generated code through the human-resolution mechanism of §6.5).
+///
+/// The rules apply *sequentially* on the evolving state, exactly as the
+/// generated sequential `if` statements execute, so the reference and the
+/// generated code agree packet-for-packet.
+pub fn session_state_transition(local: SessionState, received: SessionState) -> SessionState {
+    let mut state = local;
+    if received == SessionState::AdminDown && state != SessionState::Down {
+        state = SessionState::Down;
+    }
+    if state == SessionState::Down && received == SessionState::Down {
+        state = SessionState::Init;
+    }
+    if state == SessionState::Down && received == SessionState::Init {
+        state = SessionState::Up;
+    }
+    if state == SessionState::Init && received == SessionState::Up {
+        state = SessionState::Up;
+    }
+    state
+}
+
 /// The outcome of processing a received control packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReceiveAction {
@@ -228,6 +254,23 @@ mod tests {
             local_discr: discr,
             ..SessionVariables::default()
         }
+    }
+
+    #[test]
+    fn state_transitions_follow_the_reception_rules() {
+        use SessionState::{AdminDown, Down, Init, Up};
+        // The three-way handshake path.
+        assert_eq!(session_state_transition(Down, Down), Init);
+        assert_eq!(session_state_transition(Down, Init), Up);
+        assert_eq!(session_state_transition(Init, Up), Up);
+        // AdminDown received pulls a live session Down; a Down session stays.
+        assert_eq!(session_state_transition(Up, AdminDown), Down);
+        assert_eq!(session_state_transition(Init, AdminDown), Down);
+        assert_eq!(session_state_transition(Down, AdminDown), Down);
+        // No rule fires: state holds.
+        assert_eq!(session_state_transition(Up, Up), Up);
+        assert_eq!(session_state_transition(Up, Down), Up);
+        assert_eq!(session_state_transition(Init, Down), Init);
     }
 
     #[test]

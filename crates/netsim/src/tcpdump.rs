@@ -1,7 +1,7 @@
 //! A `tcpdump`-style decoder/validator.
 //!
 //! §6.2: "tcpdump output lists packet types (e.g., an IP packet with a
-//! time-exceeded ICMP message) and will warn if a packet [is] truncated or
+//! time-exceeded ICMP message) and will warn if a packet \[is\] truncated or
 //! corrupted."  This module reproduces those behaviours: it produces a
 //! one-line summary per packet and a list of warnings; the end-to-end
 //! experiments assert that SAGE-generated packets decode with *no warnings*.

@@ -1,0 +1,272 @@
+//! The BFD session bring-up scenario (§6.4): two endpoints exchange control
+//! packets until both sessions reach Up (Down → Init → Up).
+//!
+//! The reception behaviour of each endpoint is pluggable — the hand-written
+//! [`ReferenceBfdEndpoint`] (built on
+//! [`bfd::session_state_transition`]) or SAGE-generated state-management
+//! code — while the driver owns the things RFC 5880 assigns to the
+//! environment: alternating transmission, UDP/IP encapsulation on the BFD
+//! control port, and packet capture.
+
+use crate::buffer::PacketBuf;
+use crate::headers::{bfd, ipv4, udp};
+use crate::tcpdump::decode_packet;
+
+/// The destination UDP port for BFD single-hop control packets (RFC 5881).
+pub const BFD_CONTROL_PORT: u16 = 3784;
+
+/// One side of a BFD session — the role filled by SAGE-generated code.
+pub trait BfdEndpoint {
+    /// The session's current state.
+    fn state(&self) -> bfd::SessionState;
+    /// Process one received control packet, updating the session state.
+    fn receive(&mut self, packet: &PacketBuf);
+    /// Build the control packet this endpoint currently transmits.
+    fn control_packet(&self) -> PacketBuf;
+}
+
+/// The hand-written reference endpoint, used as ground truth in parity
+/// tests.  Discriminators are statically configured, as in the paper's
+/// testbed.
+#[derive(Debug, Clone)]
+pub struct ReferenceBfdEndpoint {
+    /// The local session variables.
+    pub session: bfd::SessionVariables,
+}
+
+impl ReferenceBfdEndpoint {
+    /// A Down session with the given local/remote discriminator pair.
+    pub fn new(local_discr: u32, remote_discr: u32) -> ReferenceBfdEndpoint {
+        ReferenceBfdEndpoint {
+            session: bfd::SessionVariables {
+                local_discr,
+                remote_discr,
+                ..bfd::SessionVariables::default()
+            },
+        }
+    }
+}
+
+impl BfdEndpoint for ReferenceBfdEndpoint {
+    fn state(&self) -> bfd::SessionState {
+        self.session.session_state
+    }
+
+    fn receive(&mut self, packet: &PacketBuf) {
+        // The §6.8.6 discard rules first.
+        if packet.get_field(bfd::FIELDS, "version").unwrap_or(0) != 1
+            || packet.get_field(bfd::FIELDS, "detect_mult").unwrap_or(0) == 0
+            || packet
+                .get_field(bfd::FIELDS, "my_discriminator")
+                .unwrap_or(0)
+                == 0
+        {
+            return;
+        }
+        let your_discr = packet
+            .get_field(bfd::FIELDS, "your_discriminator")
+            .unwrap_or(0) as u32;
+        if your_discr != 0 && your_discr != self.session.local_discr {
+            return;
+        }
+        let received =
+            bfd::SessionState::from_code(packet.get_field(bfd::FIELDS, "state").unwrap_or(0) as u8)
+                .unwrap_or(bfd::SessionState::Down);
+        // "If the Your Discriminator field is zero and the State field is
+        //  not Down or AdminDown, the packet MUST be discarded."
+        if your_discr == 0
+            && !matches!(
+                received,
+                bfd::SessionState::Down | bfd::SessionState::AdminDown
+            )
+        {
+            return;
+        }
+        if self.session.session_state == bfd::SessionState::AdminDown {
+            return;
+        }
+        self.session.remote_session_state = received;
+        self.session.remote_discr = packet
+            .get_field(bfd::FIELDS, "my_discriminator")
+            .unwrap_or(0) as u32;
+        self.session.remote_demand_mode = packet.get_field(bfd::FIELDS, "demand").unwrap_or(0) == 1;
+        self.session.session_state =
+            bfd::session_state_transition(self.session.session_state, received);
+        if self.session.remote_demand_mode
+            && self.session.session_state == bfd::SessionState::Up
+            && self.session.remote_session_state == bfd::SessionState::Up
+        {
+            self.session.periodic_transmission_active = false;
+        }
+    }
+
+    fn control_packet(&self) -> PacketBuf {
+        bfd::build_control_packet(
+            self.session.session_state,
+            self.session.local_discr,
+            self.session.remote_discr,
+            3,
+            self.session.demand_mode,
+        )
+    }
+}
+
+/// The trace of a bring-up attempt.
+#[derive(Debug, Clone)]
+pub struct BringUpReport {
+    /// `(state of a, state of b)` after each delivered packet.
+    pub states: Vec<(bfd::SessionState, bfd::SessionState)>,
+    /// True if both sessions reached Up within the round budget.
+    pub came_up: bool,
+    /// Every control packet, UDP/IP-encapsulated, decoded cleanly in the
+    /// tcpdump substitute.
+    pub decoded_clean: bool,
+    /// The raw IP packets exchanged.
+    pub packets: Vec<Vec<u8>>,
+}
+
+impl BringUpReport {
+    /// The sequence of states endpoint `b` moved through (deduplicated) —
+    /// the classic bring-up is Down → Init → Up.
+    pub fn b_state_path(&self) -> Vec<bfd::SessionState> {
+        let mut path = vec![bfd::SessionState::Down];
+        for (_, b) in &self.states {
+            if path.last() != Some(b) {
+                path.push(*b);
+            }
+        }
+        path
+    }
+
+    /// True if the session came up and every capture was clean.
+    pub fn all_ok(&self) -> bool {
+        self.came_up && self.decoded_clean
+    }
+}
+
+/// Drive the two endpoints until both report Up (or the round budget runs
+/// out): each round, `a` transmits and `b` receives, then `b` transmits and
+/// `a` receives.  Control packets are captured UDP/IP-encapsulated on the
+/// BFD control port, between the first two hosts' addresses.
+pub fn session_bring_up(
+    a: &mut dyn BfdEndpoint,
+    b: &mut dyn BfdEndpoint,
+    max_rounds: usize,
+) -> BringUpReport {
+    let addr_a = ipv4::addr(10, 0, 1, 100);
+    let addr_b = ipv4::addr(10, 0, 1, 200);
+    let mut states = Vec::new();
+    let mut packets = Vec::new();
+    let mut decoded_clean = true;
+
+    let deliver = |from: &mut dyn BfdEndpoint,
+                   to: &mut dyn BfdEndpoint,
+                   src: u32,
+                   dst: u32,
+                   packets: &mut Vec<Vec<u8>>,
+                   decoded_clean: &mut bool| {
+        let control = from.control_packet();
+        let datagram = udp::build_datagram(src, dst, 49152, BFD_CONTROL_PORT, control.as_bytes());
+        let ip = ipv4::build_packet(src, dst, ipv4::PROTO_UDP, 255, datagram.as_bytes());
+        if !decode_packet(ip.as_bytes()).clean() {
+            *decoded_clean = false;
+        }
+        packets.push(ip.as_bytes().to_vec());
+        to.receive(&control);
+    };
+
+    for _ in 0..max_rounds {
+        deliver(a, b, addr_a, addr_b, &mut packets, &mut decoded_clean);
+        states.push((a.state(), b.state()));
+        if a.state() == bfd::SessionState::Up && b.state() == bfd::SessionState::Up {
+            break;
+        }
+        deliver(b, a, addr_b, addr_a, &mut packets, &mut decoded_clean);
+        states.push((a.state(), b.state()));
+        if a.state() == bfd::SessionState::Up && b.state() == bfd::SessionState::Up {
+            break;
+        }
+    }
+
+    let came_up = states
+        .last()
+        .is_some_and(|(sa, sb)| *sa == bfd::SessionState::Up && *sb == bfd::SessionState::Up);
+    BringUpReport {
+        states,
+        came_up,
+        decoded_clean,
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfd::SessionState::{Down, Init, Up};
+
+    #[test]
+    fn reference_endpoints_bring_the_session_up() {
+        let mut a = ReferenceBfdEndpoint::new(7, 9);
+        let mut b = ReferenceBfdEndpoint::new(9, 7);
+        let report = session_bring_up(&mut a, &mut b, 4);
+        assert!(report.all_ok(), "{report:#?}");
+        // b walks the classic three-way handshake path.
+        assert_eq!(report.b_state_path(), vec![Down, Init, Up]);
+        assert_eq!(a.session.remote_discr, 9);
+        assert_eq!(b.session.remote_discr, 7);
+    }
+
+    #[test]
+    fn misconfigured_discriminator_is_learned_from_the_peer() {
+        // a is configured with the wrong remote discriminator (999), so its
+        // first packet is discarded by b — but the §6.8.6 bookkeeping (Set
+        // bfd.RemoteDiscr to the value of My Discriminator) lets a learn the
+        // real discriminator from b's reply and the session still comes up.
+        let mut a = ReferenceBfdEndpoint::new(7, 999);
+        let mut b = ReferenceBfdEndpoint::new(9, 7);
+        let report = session_bring_up(&mut a, &mut b, 4);
+        assert!(report.came_up, "{report:#?}");
+        assert_eq!(a.session.remote_discr, 9);
+    }
+
+    #[test]
+    fn wrong_discriminator_and_malformed_packets_are_discarded() {
+        let mut b = ReferenceBfdEndpoint::new(9, 7);
+        // Unknown session: nonzero Your Discriminator that selects nothing.
+        b.receive(&bfd::build_control_packet(Down, 7, 999, 3, false));
+        assert_eq!(b.state(), Down, "discarded packet must not transition");
+        assert_eq!(b.session.remote_discr, 7, "no bookkeeping on discard");
+        // Zero Detect Mult.
+        b.receive(&bfd::build_control_packet(Down, 7, 9, 0, false));
+        assert_eq!(b.state(), Down);
+        // Zero My Discriminator.
+        b.receive(&bfd::build_control_packet(Down, 0, 9, 3, false));
+        assert_eq!(b.state(), Down);
+        // A well-formed packet then transitions Down → Init.
+        b.receive(&bfd::build_control_packet(Down, 7, 9, 3, false));
+        assert_eq!(b.state(), Init);
+    }
+
+    #[test]
+    fn zero_your_discriminator_is_accepted_only_for_down_states() {
+        // "If the Your Discriminator field is zero and the State field is
+        //  not Down or AdminDown, the packet MUST be discarded."
+        let mut b = ReferenceBfdEndpoint::new(9, 7);
+        b.receive(&bfd::build_control_packet(Init, 7, 0, 3, false));
+        assert_eq!(b.state(), Down, "Init with zero discriminator: discard");
+        b.receive(&bfd::build_control_packet(Up, 7, 0, 3, false));
+        assert_eq!(b.state(), Down, "Up with zero discriminator: discard");
+        // State Down with zero discriminator is the bootstrap case.
+        b.receive(&bfd::build_control_packet(Down, 7, 0, 3, false));
+        assert_eq!(b.state(), Init);
+    }
+
+    #[test]
+    fn admin_down_endpoint_never_comes_up() {
+        let mut a = ReferenceBfdEndpoint::new(7, 9);
+        a.session.session_state = bfd::SessionState::AdminDown;
+        let mut b = ReferenceBfdEndpoint::new(9, 7);
+        let report = session_bring_up(&mut a, &mut b, 4);
+        assert!(!report.came_up);
+    }
+}

@@ -1,11 +1,26 @@
-//! Simulated Linux network tools.
+//! Simulated Linux network tools and protocol scenario drivers.
 //!
 //! §6.2 tests SAGE-generated ICMP code against `ping` and `traceroute`;
-//! these modules reproduce the relevant client-side behaviour of those
-//! tools against the virtual network in [`crate::net`].
+//! [`mod@ping`] and [`mod@traceroute`] reproduce the relevant client-side behaviour
+//! of those tools against the virtual network in [`crate::net`].  The
+//! generality studies add one scenario driver per protocol, each with a
+//! pluggable responder trait so the same exchange runs against the
+//! hand-written reference or SAGE-generated code: [`igmp`] (§6.3 host
+//! membership query/report), [`ntp_exchange`] (§6.3 client/server exchange
+//! triggered by the Table 11 timeout rule) and [`bfd_session`] (§6.4
+//! session bring-up, Down → Init → Up).
 
+pub mod bfd_session;
+pub mod igmp;
+pub mod ntp_exchange;
 pub mod ping;
 pub mod traceroute;
 
+pub use bfd_session::{session_bring_up, BfdEndpoint, BringUpReport, ReferenceBfdEndpoint};
+pub use igmp::{membership_exchange, IgmpExchangeReport, IgmpResponder, ReferenceIgmpResponder};
+pub use ntp_exchange::{
+    client_server_exchange, NtpExchangeReport, NtpServer, NtpTimeoutPolicy, ReferenceNtpServer,
+    ReferenceTimeoutPolicy,
+};
 pub use ping::{ping_once, PingOutcome};
 pub use traceroute::{traceroute, Hop, TracerouteReport};

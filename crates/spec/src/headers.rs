@@ -2,8 +2,8 @@
 //!
 //! RFC 792-style diagrams draw each 32-bit word between `+-+-+` rulers, with
 //! field names between `|` separators; the number of bit positions a field
-//! spans (dashes/columns) gives its width.  SAGE "extract[s] field names and
-//! widths and directly generate[s] data structures (specifically, structs in
+//! spans (dashes/columns) gives its width.  SAGE "extract\[s\] field names and
+//! widths and directly generate\[s\] data structures (specifically, structs in
 //! C) to represent headers" (§3).
 
 /// A field extracted from a header diagram.

@@ -40,6 +40,41 @@ fn batch_report_agrees_with_sequential_pipeline() {
 }
 
 #[test]
+fn mixed_four_protocol_batch_is_byte_identical_across_worker_counts() {
+    // The four corpora as one mixed batch: ICMP + IGMP + NTP documents plus
+    // the BFD state-management sentences, all under the shared lexicon.
+    let sage = Sage::default();
+    let items = BatchItem::mixed_corpus();
+    assert!(items.len() > 100, "mixed corpus too small: {}", items.len());
+    let rendered: Vec<String> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            BatchPipeline::new(&sage)
+                .with_workers(w)
+                .run(&items)
+                .render()
+        })
+        .collect();
+    assert_eq!(rendered[0], rendered[1], "1 vs 2 workers diverged");
+    assert_eq!(rendered[0], rendered[2], "1 vs 8 workers diverged");
+    // The mixed batch agrees with the per-corpus sequential pipelines run
+    // back to back.
+    let batch = BatchPipeline::new(&sage).with_workers(4).run(&items);
+    let mut sequential = Vec::new();
+    for p in Protocol::all() {
+        let report = match p {
+            Protocol::Bfd => sage.analyze_sentences(
+                "BFD",
+                sage_repro::spec::corpus::bfd::STATE_MANAGEMENT_SENTENCES,
+            ),
+            _ => sage.analyze_document(&p.document()),
+        };
+        sequential.extend(report.analyses);
+    }
+    assert_eq!(batch.into_pipeline_report().analyses, sequential);
+}
+
+#[test]
 fn repeated_runs_are_byte_identical() {
     let sage = Sage::default();
     let items = BatchItem::from_sentences(

@@ -5,7 +5,7 @@
 use sage_repro::core::{generate_icmp_program, icmp_end_to_end};
 use sage_repro::interp::GeneratedResponder;
 use sage_repro::netsim::headers::{icmp, ipv4};
-use sage_repro::netsim::net::{Network, ReferenceResponder, RouterAction};
+use sage_repro::netsim::net::{Network, RouterAction};
 use sage_repro::netsim::pcap::{read_pcap, PcapWriter};
 use sage_repro::netsim::tcpdump::decode_packet;
 use sage_repro::netsim::tools::ping::ping_once;
@@ -18,31 +18,9 @@ fn generated_icmp_interoperates_end_to_end() {
     assert!(result.packets_checked >= 5);
 }
 
-#[test]
-fn generated_code_matches_reference_for_echo() {
-    let program = generate_icmp_program();
-    let request = {
-        let echo = icmp::build_echo(false, 0xAB, 2, b"integration-test");
-        ipv4::build_packet(
-            ipv4::addr(10, 0, 1, 100),
-            ipv4::addr(10, 0, 1, 1),
-            ipv4::PROTO_ICMP,
-            64,
-            echo.as_bytes(),
-        )
-    };
-    let mut net = Network::appendix_a();
-    let generated = net.router_process(&request, 0, &mut GeneratedResponder::new(program));
-    let reference = net.router_process(&request, 0, &mut ReferenceResponder);
-    let (RouterAction::IcmpReply(g), RouterAction::IcmpReply(r)) = (generated, reference) else {
-        panic!("both responders should reply");
-    };
-    assert_eq!(
-        ipv4::payload(&g),
-        ipv4::payload(&r),
-        "generated reply differs from reference"
-    );
-}
+// Generated-vs-reference parity (formerly the ICMP-only
+// `generated_code_matches_reference_for_echo`) now lives in
+// `tests/parity.rs` as one parameterized suite spanning all four protocols.
 
 #[test]
 fn all_eight_message_scenarios_produce_clean_captures() {

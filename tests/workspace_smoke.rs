@@ -35,6 +35,33 @@ fn every_reexported_crate_is_reachable() {
     let _ = GeneratedResponder::new(sage_repro::core::generate_icmp_program());
 }
 
+/// The README's "protocol-generic path" snippet claims it cannot rot
+/// because it doubles as the doctest on `sage_repro` — keep the two copies
+/// in sync: every line of the README's `rust` fence must appear (with the
+/// `//!` prefix stripped) in the `src/lib.rs` doctest.
+#[test]
+fn readme_snippet_matches_the_lib_doctest() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let readme = std::fs::read_to_string(format!("{root}/README.md")).expect("README.md");
+    let lib = std::fs::read_to_string(format!("{root}/src/lib.rs")).expect("src/lib.rs");
+
+    let fence = readme
+        .split("```rust\n")
+        .nth(1)
+        .and_then(|rest| rest.split("```").next())
+        .expect("README has a rust fence");
+    let doctest_lines: Vec<&str> = lib
+        .lines()
+        .map(|l| l.trim_start_matches("//!").trim())
+        .collect();
+    for line in fence.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        assert!(
+            doctest_lines.contains(&line),
+            "README snippet line not in the src/lib.rs doctest: {line}"
+        );
+    }
+}
+
 /// One cheap end-to-end `Sage::analyze_document` call over a single
 /// sentence, exercising nlp -> ccg -> logic -> disambig in one pass.
 #[test]
