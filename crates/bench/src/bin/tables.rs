@@ -3,12 +3,55 @@
 //! Usage: `cargo run -p sage-bench --bin tables [-- <table>...]`
 //! where `<table>` is one of `table2`..`table11`, `lexicon`, `e2e`,
 //! `protocols`, `summary`, or `all` (default).
+//!
+//! The extra `bench-diff [fresh-dir]` subcommand compares a fresh
+//! `SAGE_BENCH_JSON` run (default `target/bench-json`) against the
+//! committed `BENCH_*.json` baselines in the current directory and prints
+//! the delta table — the CI bench-drift step's reporting half.
 
 use sage_bench as render;
 use sage_spec::corpus::Protocol;
 
+/// `(id, ns_per_iter)` pairs from every `.json` file in `dir` (fresh runs),
+/// or from every `BENCH_*.json` file when `baselines` is set.
+fn collect_results(dir: &str, baselines: bool) -> Vec<(String, f64)> {
+    let mut files: Vec<std::path::PathBuf> = match std::fs::read_dir(dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                name.ends_with(".json") && (!baselines || name.starts_with("BENCH_"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench-diff: cannot read {dir}: {e}");
+            Vec::new()
+        }
+    };
+    files.sort();
+    let mut out = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => out.extend(render::extract_bench_results(&text)),
+            Err(e) => eprintln!("bench-diff: cannot read {}: {e}", path.display()),
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench-diff") {
+        let fresh_dir = args
+            .get(1)
+            .map(String::as_str)
+            .unwrap_or("target/bench-json");
+        let baseline = collect_results(".", true);
+        let fresh = collect_results(fresh_dir, false);
+        print!("{}", render::render_bench_diff(&baseline, &fresh));
+        return;
+    }
     let wanted: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table2",

@@ -257,6 +257,114 @@ pub fn render_disambiguation_summary() -> String {
     out
 }
 
+// ---- bench-drift tooling ----------------------------------------------------
+
+/// Extract `(id, ns_per_iter)` measurement pairs from a bench JSON blob.
+///
+/// Works on both formats this repo produces — the shim harness output
+/// (`{"results": [...]}`) and the committed `BENCH_*.json` baselines
+/// (`{"benchmarks": {"group": [...]}}`) — because both serialise every
+/// measurement as an object containing an `"id"` string and an
+/// `"ns_per_iter"` number.  A hand-rolled scan keeps the workspace free of
+/// a JSON dependency (the build environment is offline).
+pub fn extract_bench_results(json: &str) -> Vec<(String, f64)> {
+    let mut events: Vec<(usize, bool)> = json
+        .match_indices("\"id\"")
+        .map(|(i, _)| (i, true))
+        .chain(
+            json.match_indices("\"ns_per_iter\"")
+                .map(|(i, _)| (i, false)),
+        )
+        .collect();
+    events.sort_unstable();
+    let mut out = Vec::new();
+    let mut last_id: Option<String> = None;
+    for (pos, is_id) in events {
+        let rest = &json[pos..];
+        let Some(colon) = rest.find(':') else {
+            continue;
+        };
+        let val = rest[colon + 1..].trim_start();
+        if is_id {
+            if let Some(stripped) = val.strip_prefix('"') {
+                if let Some(end) = stripped.find('"') {
+                    last_id = Some(stripped[..end].to_string());
+                }
+            }
+        } else {
+            let num: String = val
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            if let (Some(id), Ok(n)) = (last_id.take(), num.parse::<f64>()) {
+                out.push((id, n));
+            }
+        }
+    }
+    out
+}
+
+/// Render the bench-drift table: every benchmark id present in the
+/// committed baselines and/or a fresh run, with the per-iteration times and
+/// the relative delta (negative = the fresh run is faster).
+///
+/// Purely informational — the CI drift step prints this into the job log so
+/// perf movement is visible on every PR without making timing-noisy runs a
+/// build failure.
+pub fn render_bench_diff(baseline: &[(String, f64)], fresh: &[(String, f64)]) -> String {
+    let fresh_by_id: std::collections::HashMap<&str, f64> =
+        fresh.iter().map(|(id, ns)| (id.as_str(), *ns)).collect();
+    // An id can appear in several baseline files (BENCH_parser.json refreshes
+    // the throughput rows of BENCH_batch.json); the later file wins, keeping
+    // the first file's position.
+    let mut base_order: Vec<&str> = Vec::new();
+    let mut base_by_id: std::collections::HashMap<&str, f64> = std::collections::HashMap::new();
+    for (id, ns) in baseline {
+        if base_by_id.insert(id.as_str(), *ns).is_none() {
+            base_order.push(id.as_str());
+        }
+    }
+    let mut out = String::from("Bench drift vs committed BENCH_*.json baselines\n");
+    out.push_str(&format!(
+        "{:<50} {:>14} {:>14} {:>9}\n",
+        "benchmark", "baseline", "fresh", "delta"
+    ));
+    let mut not_exercised = 0usize;
+    for id in base_order {
+        let base_ns = base_by_id[id];
+        match fresh_by_id.get(id) {
+            Some(fresh_ns) => {
+                let delta = (fresh_ns - base_ns) / base_ns * 100.0;
+                out.push_str(&format!(
+                    "{:<50} {:>11.1} ms {:>11.1} ms {:>+8.1}%\n",
+                    id,
+                    base_ns / 1e6,
+                    fresh_ns / 1e6,
+                    delta
+                ));
+            }
+            None => not_exercised += 1,
+        }
+    }
+    for (id, fresh_ns) in fresh {
+        if !base_by_id.contains_key(id.as_str()) {
+            out.push_str(&format!(
+                "{:<50} {:>14} {:>11.1} ms {:>9}\n",
+                id,
+                "-",
+                fresh_ns / 1e6,
+                "new"
+            ));
+        }
+    }
+    if not_exercised > 0 {
+        out.push_str(&format!(
+            "({not_exercised} baseline benchmarks not exercised by this run)\n"
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,5 +397,51 @@ mod tests {
     #[test]
     fn table4_shows_the_paper_code_line() {
         assert!(render_table4().contains("icmp_hdr->type = 3;"));
+    }
+
+    #[test]
+    fn bench_results_extract_from_both_schemas() {
+        let shim = r#"{
+  "binary": "parser",
+  "unit": "ns_per_iter",
+  "results": [
+    {"id": "parser/a", "iterations": 10, "total_ns": 100, "ns_per_iter": 10.0},
+    {"id": "parser/b", "iterations": 5, "total_ns": 100, "ns_per_iter": 20.5}
+  ]
+}"#;
+        assert_eq!(
+            extract_bench_results(shim),
+            vec![
+                ("parser/a".to_string(), 10.0),
+                ("parser/b".to_string(), 20.5)
+            ]
+        );
+        let baseline = "{\n \"benchmarks\": {\n  \"throughput\": [\n   {\n    \"id\": \"throughput/x\",\n    \"iterations\": 3,\n    \"ns_per_iter\": 1500000.0\n   }\n  ]\n }\n}";
+        assert_eq!(
+            extract_bench_results(baseline),
+            vec![("throughput/x".to_string(), 1500000.0)]
+        );
+        assert!(extract_bench_results("not json at all").is_empty());
+    }
+
+    #[test]
+    fn bench_diff_reports_deltas_missing_and_new() {
+        let baseline = vec![
+            ("throughput/batch_workers/1".to_string(), 20_000_000.0),
+            ("gone/bench".to_string(), 1_000_000.0),
+        ];
+        let fresh = vec![
+            ("throughput/batch_workers/1".to_string(), 10_000_000.0),
+            ("brand/new".to_string(), 2_000_000.0),
+        ];
+        let table = render_bench_diff(&baseline, &fresh);
+        assert!(table.contains("throughput/batch_workers/1"), "{table}");
+        assert!(table.contains("-50.0%"), "{table}");
+        assert!(
+            table.contains("1 baseline benchmarks not exercised"),
+            "{table}"
+        );
+        assert!(table.contains("new"), "{table}");
+        assert!(!table.contains("gone/bench"), "{table}");
     }
 }

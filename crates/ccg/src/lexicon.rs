@@ -6,8 +6,8 @@
 //! constructors in this module mirror those increments and the tests pin the
 //! counts.
 
-use crate::category::Category;
-use crate::semantics::SemTerm;
+use crate::category::{CatArena, CatId, Category};
+use crate::semantics::{SemArena, SemId, SemTerm};
 use sage_logic::{Interner, PredName, Symbol};
 use std::collections::HashMap;
 
@@ -50,11 +50,43 @@ impl LexEntry {
     }
 }
 
-/// The lexicon: phrase → candidate entries.
+/// A lexical entry pre-interned into the owning lexicon's arenas: the
+/// category and semantic-term ids the chart parser copies straight into
+/// chart cells, with no per-parse cloning or re-interning.
+///
+/// The ids are valid in the lexicon's [`CatArena`] / [`SemArena`] *and in
+/// any clone of them* — cloning an arena preserves ids, which is how a
+/// parser workspace gets private mutable arenas that still agree with the
+/// shared read-only lexicon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InternedEntry {
+    /// Interned syntactic category.
+    pub cat: CatId,
+    /// Interned semantic term.
+    pub sem: SemId,
+}
+
+/// One phrase's candidate entries, boxed and pre-interned in parallel
+/// (`entries[i]` interns to `items[i]`).
+#[derive(Debug, Clone, Default)]
+struct PhraseEntries {
+    entries: Vec<LexEntry>,
+    items: Vec<InternedEntry>,
+}
+
+static EMPTY_PHRASE: PhraseEntries = PhraseEntries {
+    entries: Vec::new(),
+    items: Vec::new(),
+};
+
+/// The lexicon: phrase → candidate entries, pre-interned at build time into
+/// the lexicon's own category/semantics arenas.
 #[derive(Debug, Clone, Default)]
 pub struct Lexicon {
-    entries: HashMap<String, Vec<LexEntry>>,
+    entries: HashMap<String, PhraseEntries>,
     count_by_group: HashMap<LexiconGroup, usize>,
+    cats: CatArena,
+    sems: SemArena,
 }
 
 // ---- semantic helpers -------------------------------------------------------
@@ -140,20 +172,52 @@ impl Lexicon {
         lex
     }
 
-    /// Add entries, indexing them by phrase.
+    /// Add entries, indexing them by phrase and pre-interning each one's
+    /// category and semantics into the lexicon's arenas.
     pub fn add_entries(&mut self, entries: Vec<LexEntry>) {
         for e in entries {
             *self.count_by_group.entry(e.group).or_insert(0) += 1;
-            self.entries.entry(e.phrase.clone()).or_default().push(e);
+            let item = InternedEntry {
+                cat: self.cats.intern(&e.category),
+                sem: self.sems.intern_term(&e.sem),
+            };
+            let set = self.entries.entry(e.phrase.clone()).or_default();
+            set.entries.push(e);
+            set.items.push(item);
         }
+    }
+
+    /// The phrase's entry set; lower-cases the probe only when it actually
+    /// contains upper-case bytes, so hot-path probes (chart surfaces are
+    /// already lower-case) allocate nothing.
+    fn phrase_entries(&self, phrase: &str) -> &PhraseEntries {
+        let set = if phrase.bytes().any(|b| b.is_ascii_uppercase()) {
+            self.entries.get(&phrase.to_ascii_lowercase())
+        } else {
+            self.entries.get(phrase)
+        };
+        set.unwrap_or(&EMPTY_PHRASE)
     }
 
     /// Look up all entries for a (lower-cased) phrase.
     pub fn lookup(&self, phrase: &str) -> &[LexEntry] {
-        self.entries
-            .get(&phrase.to_ascii_lowercase())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        &self.phrase_entries(phrase).entries
+    }
+
+    /// Look up the pre-interned chart items for a (lower-cased) phrase, in
+    /// the same order as [`Lexicon::lookup`].
+    pub fn lookup_interned(&self, phrase: &str) -> &[InternedEntry] {
+        &self.phrase_entries(phrase).items
+    }
+
+    /// The arena the entries' categories are interned into.
+    pub fn cat_arena(&self) -> &CatArena {
+        &self.cats
+    }
+
+    /// The arena the entries' semantic terms are interned into.
+    pub fn sem_arena(&self) -> &SemArena {
+        &self.sems
     }
 
     /// True if the phrase has at least one entry.
@@ -163,7 +227,7 @@ impl Lexicon {
 
     /// Total number of entries.
     pub fn len(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        self.entries.values().map(|s| s.entries.len()).sum()
     }
 
     /// True if the lexicon is empty.
@@ -191,7 +255,7 @@ impl Lexicon {
 pub struct LookupCache<'lex> {
     lexicon: &'lex Lexicon,
     interner: Interner,
-    memo: HashMap<Symbol, &'lex [LexEntry]>,
+    memo: HashMap<Symbol, &'lex PhraseEntries>,
     hits: u64,
     misses: u64,
 }
@@ -213,21 +277,33 @@ impl<'lex> LookupCache<'lex> {
         self.lexicon
     }
 
-    /// Memoized equivalent of [`Lexicon::lookup`].
-    pub fn lookup(&mut self, phrase: &str) -> &'lex [LexEntry] {
+    fn probe(&mut self, phrase: &str) -> &'lex PhraseEntries {
         let sym = if phrase.bytes().any(|b| b.is_ascii_uppercase()) {
             self.interner.intern(&phrase.to_ascii_lowercase())
         } else {
             self.interner.intern(phrase)
         };
-        if let Some(entries) = self.memo.get(&sym) {
+        if let Some(set) = self.memo.get(&sym) {
             self.hits += 1;
-            return entries;
+            return set;
         }
         self.misses += 1;
-        let entries = self.lexicon.lookup(self.interner.resolve(sym));
-        self.memo.insert(sym, entries);
-        entries
+        let set = self.lexicon.phrase_entries(self.interner.resolve(sym));
+        self.memo.insert(sym, set);
+        set
+    }
+
+    /// Memoized equivalent of [`Lexicon::lookup`].
+    pub fn lookup(&mut self, phrase: &str) -> &'lex [LexEntry] {
+        &self.probe(phrase).entries
+    }
+
+    /// Memoized equivalent of [`Lexicon::lookup_interned`] — the chart
+    /// parser's lexical-initialisation path.  Repeat probes cost one `&str`
+    /// hash plus one `u32` hash; the returned items are `Copy` ids ready to
+    /// drop into chart cells.
+    pub fn lookup_interned(&mut self, phrase: &str) -> &'lex [InternedEntry] {
+        &self.probe(phrase).items
     }
 
     /// Memoized equivalent of [`Lexicon::contains`].
@@ -917,6 +993,33 @@ mod tests {
         assert!(cache.contains("checksum"));
         assert!(!cache.contains("no such phrase"));
         assert_eq!(cache.lexicon().len(), lexicon.len());
+    }
+
+    #[test]
+    fn interned_entries_mirror_boxed_entries() {
+        let lexicon = Lexicon::bfd();
+        for phrase in ["checksum", "is", "of", "set", "zero", "bfd control packet"] {
+            let entries = lexicon.lookup(phrase);
+            let items = lexicon.lookup_interned(phrase);
+            assert_eq!(entries.len(), items.len(), "{phrase}");
+            for (e, item) in entries.iter().zip(items) {
+                assert_eq!(
+                    lexicon.cat_arena().resolve(item.cat),
+                    e.category,
+                    "category mismatch for {phrase}"
+                );
+                assert_eq!(
+                    lexicon.sem_arena().resolve(item.sem),
+                    e.sem,
+                    "semantics mismatch for {phrase}"
+                );
+            }
+        }
+        assert!(lexicon.lookup_interned("no such phrase").is_empty());
+        // The memoized path returns the same interned items.
+        let mut cache = LookupCache::new(&lexicon);
+        assert_eq!(cache.lookup_interned("is"), lexicon.lookup_interned("is"));
+        assert_eq!(cache.lookup_interned("IS"), lexicon.lookup_interned("is"));
     }
 
     #[test]

@@ -11,7 +11,11 @@
 //!   added for ICMP (71), IGMP (+8), NTP (+5) and BFD (+15), mirroring §6;
 //! * [`parser`] — a CKY chart parser with forward/backward application,
 //!   composition and coordination, returning *all* logical forms of a
-//!   sentence;
+//!   sentence.  The engine is interned and zero-clone: chart items are
+//!   `Copy` pairs of arena ids on a packed flat chart, built through a
+//!   recyclable [`ParserWorkspace`];
+//! * [`mod@reference`] — the pre-refactor boxed engine, kept as the
+//!   differential-testing oracle the parity suite compares against;
 //! * [`overgenerate`] — reproduction of CCG's well-known over-generation
 //!   behaviours (argument-order swaps for `If`-sentences, comma
 //!   distributivity), which the disambiguation stage then winnows.
@@ -32,16 +36,19 @@
 //! assert!(!result.logical_forms.is_empty());
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod category;
 pub mod lexicon;
 pub mod overgenerate;
 pub mod parser;
+pub mod reference;
 pub mod semantics;
 
-pub use category::{Category, Slash};
-pub use lexicon::{LexEntry, Lexicon, LookupCache};
+pub use category::{CatArena, CatId, Category, Slash};
+pub use lexicon::{InternedEntry, LexEntry, Lexicon, LookupCache};
 pub use parser::{
     parse_phrases, parse_phrases_cached, parse_sentence, parse_sentence_cached, ParseResult,
-    ParserConfig,
+    ParserConfig, ParserWorkspace,
 };
-pub use semantics::SemTerm;
+pub use semantics::{SemArena, SemId, SemTerm};

@@ -15,7 +15,8 @@
 //! distribution as in the paper.  Each expansion is tagged with the
 //! ambiguity class it models.
 
-use sage_logic::{Lf, PredName};
+use sage_logic::{Lf, LfArena, LfId, PredName};
+use std::collections::HashSet;
 
 /// Which over-generation behaviours to emulate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,9 +71,21 @@ impl OvergenConfig {
 /// also produce.  The original forms are always retained and returned first;
 /// duplicates are removed.
 pub fn overgenerate(base: &[Lf], config: OvergenConfig) -> Vec<Lf> {
+    overgenerate_with(base, config, &mut LfArena::new())
+}
+
+/// [`overgenerate`] through a caller-supplied hash-consing arena: membership
+/// of the growing variant set is one interning walk plus an id-set probe per
+/// candidate, instead of a linear scan of deep tree comparisons.  Using the
+/// analysis workspace's arena also pre-interns every surviving form for the
+/// winnowing stage that follows.  Output is identical to [`overgenerate`].
+pub fn overgenerate_with(base: &[Lf], config: OvergenConfig, arena: &mut LfArena) -> Vec<Lf> {
     let mut out: Vec<Lf> = Vec::new();
+    let mut seen: HashSet<LfId> = HashSet::new();
     for lf in base {
-        push_unique(&mut out, lf.clone());
+        if seen.insert(arena.intern_lf(lf)) {
+            out.push(lf.clone());
+        }
     }
     // Expand transitively: variants of variants, up to a small bound to
     // mirror how multiple parser choices multiply.
@@ -81,7 +94,7 @@ pub fn overgenerate(base: &[Lf], config: OvergenConfig) -> Vec<Lf> {
         let mut next = Vec::new();
         for lf in &frontier {
             for v in variants(lf, config) {
-                if !out.contains(&v) {
+                if seen.insert(arena.intern_lf(&v)) {
                     out.push(v.clone());
                     next.push(v);
                 }
@@ -93,12 +106,6 @@ pub fn overgenerate(base: &[Lf], config: OvergenConfig) -> Vec<Lf> {
         frontier = next;
     }
     out
-}
-
-fn push_unique(v: &mut Vec<Lf>, lf: Lf) {
-    if !v.contains(&lf) {
-        v.push(lf);
-    }
 }
 
 /// Single-step variants of one logical form.
@@ -355,6 +362,34 @@ mod tests {
         );
         let out = overgenerate(&[base], OvergenConfig::default());
         assert!(out.len() >= 4, "got {} variants", out.len());
+    }
+
+    #[test]
+    fn arena_dedup_matches_linear_dedup() {
+        let mut arena = LfArena::new();
+        let fixtures: Vec<Vec<Lf>> = vec![
+            vec![Lf::if_then(
+                Lf::is(Lf::atom("code"), Lf::num(0)),
+                Lf::is(Lf::atom("identifier"), Lf::num(0)),
+            )],
+            vec![Lf::Pred(
+                PredName::AdvBefore,
+                vec![
+                    Lf::action("compute", vec![Lf::atom("checksum")]),
+                    Lf::is(Lf::atom("checksum_field"), Lf::num(0)),
+                ],
+            )],
+            vec![
+                Lf::is(Lf::atom("a"), Lf::num(1)),
+                Lf::is(Lf::atom("a"), Lf::num(1)), // duplicate in base
+            ],
+            vec![],
+        ];
+        for base in fixtures {
+            let plain = overgenerate(&base, OvergenConfig::default());
+            let interned = overgenerate_with(&base, OvergenConfig::default(), &mut arena);
+            assert_eq!(interned, plain);
+        }
     }
 
     #[test]

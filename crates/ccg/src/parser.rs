@@ -1,4 +1,4 @@
-//! The CKY chart parser.
+//! The CKY chart parser, rewritten around interned, id-compared items.
 //!
 //! The parser operates over noun-phrase-chunked sentences.  Chart cells hold
 //! `(category, semantics)` items; adjacent items combine through forward and
@@ -6,18 +6,43 @@
 //! absorption.  Every complete analysis of the sentence yields one logical
 //! form; sentences with several analyses yield several LFs — the raw
 //! ambiguity that the disambiguation stage (crate `sage-disambig`) winnows.
+//!
+//! # Representation
+//!
+//! A chart item is a pair of `u32` arena ids — a [`CatId`] into a
+//! hash-consed [`CatArena`] and a [`SemId`] into a hash-consed
+//! [`SemArena`] — so items are `Copy`, unification is an id compare plus
+//! the `N`/`NP` coercion check, and per-cell duplicate detection hashes two
+//! integers instead of walking category/semantics trees.  The chart itself
+//! is packed: one flat `Vec` of items plus a `(start, end)` range per cell,
+//! filled cell-by-cell in CKY order, so combining a split point reads two
+//! completed ranges and appends to the tail — no per-split cell cloning.
+//! Combination rules build new arena nodes (beta reduction rewrites only
+//! the spine it touches) instead of cloning subtrees, and the joined
+//! surface string for multi-phrase lexicon probes is a single scratch
+//! buffer reused across spans and sentences.
+//!
+//! All of that state lives in a [`ParserWorkspace`], which clones the
+//! lexicon's pre-interned arenas once at construction (clones preserve ids,
+//! so the lexicon's [`InternedEntry`] ids stay valid) and is recycled
+//! across sentences.  The pre-refactor boxed engine survives as
+//! [`crate::reference`], and `tests/parser_parity.rs` pins the two engines
+//! to identical output over all four RFC corpora.
 
-use crate::category::{Category, Slash};
-use crate::lexicon::{LexEntry, Lexicon, LookupCache};
-use crate::semantics::SemTerm;
-use sage_logic::{Lf, PredName};
+use crate::category::{CatArena, CatId, Slash};
+use crate::lexicon::{InternedEntry, Lexicon, LookupCache};
+use crate::semantics::{SemArena, SemId};
+use sage_logic::{Lf, LfId, PredName, Symbol};
 use sage_nlp::{chunk, tokenize, ChunkerConfig, Phrase, PhraseKind, TermDictionary};
+use std::collections::HashSet;
 
-/// An item in a chart cell: a category with its semantics.
-#[derive(Debug, Clone, PartialEq)]
+/// An item in a chart cell: an interned category with its interned
+/// semantics.  Two items from one workspace are equal iff their boxed
+/// counterparts are structurally equal, because both arenas hash-cons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct Item {
-    cat: Category,
-    sem: SemTerm,
+    cat: CatId,
+    sem: SemId,
 }
 
 /// Parser configuration.
@@ -74,7 +99,430 @@ impl ParseResult {
     }
 }
 
+/// Reusable per-thread parsing state: the memoized lexicon view, private
+/// clones of the lexicon's category/semantics arenas, and the packed-chart
+/// scratch buffers.
+///
+/// Construction clones the lexicon's arenas **once**; after that, parsing a
+/// sentence allocates only when it encounters a term, category or surface
+/// string the workspace has never seen before (hash-consing makes repeats
+/// free), so a workspace recycled across a corpus quickly reaches a
+/// steady state where the hot path performs no allocation at all.
+///
+/// The workspace borrows the lexicon, which also guarantees the lexicon
+/// cannot gain entries (and thus arena ids the clones lack) while any
+/// workspace is alive.
+pub struct ParserWorkspace<'lex> {
+    cache: LookupCache<'lex>,
+    cats: CatArena,
+    sems: SemArena,
+    /// Packed chart: all cells' items in one allocation, cell-contiguous.
+    chart: Vec<Item>,
+    /// Per-cell `(start, end)` ranges into `chart`, indexed `i * n + (j - i - 1)`.
+    ranges: Vec<(u32, u32)>,
+    /// Per-cell duplicate filter, cleared at each cell start.
+    seen: HashSet<Item>,
+    /// Reused surface buffer for multi-phrase lexicon probes.
+    surface: String,
+    /// Reused buffer for `' '` → `'_'` atom normalisation.
+    atom_buf: String,
+    sym_z_comp: Symbol,
+    sym_conj_left: Symbol,
+}
+
+impl<'lex> ParserWorkspace<'lex> {
+    /// Build a workspace over a shared read-only lexicon, cloning its
+    /// pre-interned arenas (id-preserving) and pre-interning the variable
+    /// names the combination rules introduce.
+    pub fn new(lexicon: &'lex Lexicon) -> ParserWorkspace<'lex> {
+        let cats = lexicon.cat_arena().clone();
+        let mut sems = lexicon.sem_arena().clone();
+        let sym_z_comp = sems.lf_arena_mut().intern_symbol("z_comp");
+        let sym_conj_left = sems.lf_arena_mut().intern_symbol("conj_left");
+        ParserWorkspace {
+            cache: LookupCache::new(lexicon),
+            cats,
+            sems,
+            chart: Vec::new(),
+            ranges: Vec::new(),
+            seen: HashSet::new(),
+            surface: String::new(),
+            atom_buf: String::new(),
+            sym_z_comp,
+            sym_conj_left,
+        }
+    }
+
+    /// The wrapped lexicon.
+    pub fn lexicon(&self) -> &'lex Lexicon {
+        self.cache.lexicon()
+    }
+
+    /// `(hits, misses)` of the memoized lexicon lookup — each miss is one
+    /// real lexicon probe.
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// `(category nodes, semantic nodes)` currently interned — a measure of
+    /// how much *distinct* structure the corpus produced, since recycled
+    /// parses reuse existing nodes.
+    pub fn arena_sizes(&self) -> (usize, usize) {
+        (self.cats.len(), self.sems.len())
+    }
+
+    /// Parse a raw sentence: tokenize, chunk noun phrases, then chart-parse.
+    pub fn parse_sentence(
+        &mut self,
+        sentence: &str,
+        dict: &TermDictionary,
+        chunker_config: ChunkerConfig,
+        parser_config: ParserConfig,
+    ) -> ParseResult {
+        let tokens = tokenize(sentence);
+        let phrases = chunk(&tokens, dict, chunker_config);
+        self.parse_phrases(&phrases, parser_config)
+    }
+
+    /// Parse an already-chunked sentence on the packed chart.
+    pub fn parse_phrases(&mut self, phrases: &[Phrase], config: ParserConfig) -> ParseResult {
+        let n = phrases.len();
+        if n == 0 {
+            return ParseResult {
+                logical_forms: Vec::new(),
+                from_fragment: false,
+                chart_items: 0,
+            };
+        }
+
+        self.chart.clear();
+        self.ranges.clear();
+        self.ranges.resize(n * n, (0, 0));
+        let mut total_items = 0usize;
+        let cap = config.max_items_per_cell;
+
+        // Cells are completed in CKY order (spans small to large), so each
+        // cell's items are one contiguous run of the flat chart: lexical
+        // items first, then combinations — the same in-cell order the
+        // reference engine produces.
+        for span in 1..=n {
+            for i in 0..=n - span {
+                let j = i + span;
+                let start = self.chart.len();
+                self.seen.clear();
+
+                // ---- lexical initialisation -------------------------------
+                if span <= config.max_lexical_span {
+                    let has_punct = phrases[i..j].iter().any(|p| p.kind == PhraseKind::Punct);
+                    if !(has_punct && span > 1) {
+                        self.surface.clear();
+                        for (offset, p) in phrases[i..j].iter().enumerate() {
+                            if offset > 0 {
+                                self.surface.push(' ');
+                            }
+                            self.surface.push_str(&p.lower);
+                        }
+                        let entries: &[InternedEntry] = self.cache.lookup_interned(&self.surface);
+                        if span == 1 && entries.is_empty() {
+                            // Fallback readings for single phrases not in
+                            // the lexicon.
+                            self.push_fallback(&phrases[i], config, start, cap, &mut total_items);
+                        } else {
+                            for e in entries {
+                                self.push_item(
+                                    Item {
+                                        cat: e.cat,
+                                        sem: e.sem,
+                                    },
+                                    start,
+                                    cap,
+                                    &mut total_items,
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // ---- CKY combination --------------------------------------
+                if span >= 2 {
+                    for k in i + 1..j {
+                        let (ls, le) = self.ranges[cell_index(i, k, n)];
+                        let (rs, re) = self.ranges[cell_index(k, j, n)];
+                        for li in ls..le {
+                            for ri in rs..re {
+                                // Items are Copy ids, so reading them does
+                                // not hold a borrow on the chart while the
+                                // rules push to its tail.
+                                let l = self.chart[li as usize];
+                                let r = self.chart[ri as usize];
+                                self.combine(l, r, start, cap, &mut total_items);
+                            }
+                        }
+                    }
+                }
+
+                self.ranges[cell_index(i, j, n)] = (start as u32, self.chart.len() as u32);
+            }
+        }
+
+        // ---- read out results ------------------------------------------
+        let root = self.ranges[cell_index(0, n, n)];
+        let mut ids = self.collect_lfs(root, CatArena::S);
+        let mut from_fragment = false;
+        if ids.is_empty() && config.allow_fragments {
+            ids = self.collect_lfs(root, CatArena::NP);
+            if ids.is_empty() {
+                ids = self.collect_lfs(root, CatArena::N);
+            }
+            from_fragment = !ids.is_empty();
+        }
+        ParseResult {
+            logical_forms: ids.iter().map(|id| self.sems.resolve_lf(*id)).collect(),
+            from_fragment,
+            chart_items: total_items,
+        }
+    }
+
+    fn push_item(&mut self, item: Item, cell_start: usize, cap: usize, total: &mut usize) {
+        if self.chart.len() - cell_start >= cap {
+            return;
+        }
+        if !self.seen.insert(item) {
+            return;
+        }
+        *total += 1;
+        self.chart.push(item);
+    }
+
+    /// Default readings for single phrases without lexicon entries.
+    fn push_fallback(
+        &mut self,
+        phrase: &Phrase,
+        config: ParserConfig,
+        cell_start: usize,
+        cap: usize,
+        total: &mut usize,
+    ) {
+        match phrase.kind {
+            PhraseKind::Number => {
+                let sem = match phrase.lower.parse::<i64>() {
+                    Ok(n) => self.sems.num(n),
+                    Err(_) => self.sems.atom(&phrase.lower),
+                };
+                self.push_item(
+                    Item {
+                        cat: CatArena::NP,
+                        sem,
+                    },
+                    cell_start,
+                    cap,
+                    total,
+                );
+            }
+            PhraseKind::DomainTerm | PhraseKind::NounPhrase => {
+                if config.unknown_nominals_as_np {
+                    let sem = if phrase.lower.contains(' ') {
+                        self.atom_buf.clear();
+                        for ch in phrase.lower.chars() {
+                            self.atom_buf.push(if ch == ' ' { '_' } else { ch });
+                        }
+                        self.sems.atom(&self.atom_buf)
+                    } else {
+                        self.sems.atom(&phrase.lower)
+                    };
+                    self.push_item(
+                        Item {
+                            cat: CatArena::NP,
+                            sem,
+                        },
+                        cell_start,
+                        cap,
+                        total,
+                    );
+                }
+            }
+            PhraseKind::Punct => {
+                let sem = self.sems.atom(&phrase.lower);
+                self.push_item(
+                    Item {
+                        cat: CatArena::PUNCT,
+                        sem,
+                    },
+                    cell_start,
+                    cap,
+                    total,
+                );
+            }
+            PhraseKind::Word => {
+                // Unknown single words: no reading.  (The lexicon plus the
+                // nominal fallback covers the vocabulary SAGE understands;
+                // an unknown verb legitimately blocks a full-sentence parse,
+                // which is exactly the "0 LF" signal the pipeline reports.)
+            }
+        }
+    }
+
+    /// Try every combination rule on a pair of adjacent items, pushing the
+    /// results straight into the current cell (dedup makes this equivalent
+    /// to the reference engine's collect-then-insert).
+    fn combine(&mut self, l: Item, r: Item, cell_start: usize, cap: usize, total: &mut usize) {
+        self.forward_application(l, r, cell_start, cap, total);
+        self.backward_application(l, r, cell_start, cap, total);
+        self.forward_composition(l, r, cell_start, cap, total);
+        self.coordination(l, r, cell_start, cap, total);
+        self.punctuation(l, r, cell_start, cap, total);
+        self.noun_compound(l, r, cell_start, cap, total);
+    }
+
+    /// `X/Y  Y  =>  X`
+    fn forward_application(
+        &mut self,
+        l: Item,
+        r: Item,
+        cell_start: usize,
+        cap: usize,
+        total: &mut usize,
+    ) {
+        if let Some((result, Slash::Forward, arg)) = self.cats.as_complex(l.cat) {
+            if CatArena::unifies(arg, r.cat) {
+                let app = self.sems.app(l.sem, r.sem);
+                let sem = self.sems.normalize(app);
+                self.push_item(Item { cat: result, sem }, cell_start, cap, total);
+            }
+        }
+    }
+
+    /// `Y  X\Y  =>  X`
+    fn backward_application(
+        &mut self,
+        l: Item,
+        r: Item,
+        cell_start: usize,
+        cap: usize,
+        total: &mut usize,
+    ) {
+        if let Some((result, Slash::Backward, arg)) = self.cats.as_complex(r.cat) {
+            if CatArena::unifies(arg, l.cat) {
+                let app = self.sems.app(r.sem, l.sem);
+                let sem = self.sems.normalize(app);
+                self.push_item(Item { cat: result, sem }, cell_start, cap, total);
+            }
+        }
+    }
+
+    /// `X/Y  Y/Z  =>  X/Z`  (forward composition, B rule)
+    fn forward_composition(
+        &mut self,
+        l: Item,
+        r: Item,
+        cell_start: usize,
+        cap: usize,
+        total: &mut usize,
+    ) {
+        if let (Some((x, Slash::Forward, y1)), Some((y2, Slash::Forward, z))) =
+            (self.cats.as_complex(l.cat), self.cats.as_complex(r.cat))
+        {
+            if CatArena::unifies(y1, y2) {
+                let var = self.sems.var_sym(self.sym_z_comp);
+                let inner = self.sems.app(r.sem, var);
+                let outer = self.sems.app(l.sem, inner);
+                let sem = self.sems.lam(self.sym_z_comp, outer);
+                let cat = self.cats.forward(x, z);
+                self.push_item(Item { cat, sem }, cell_start, cap, total);
+            }
+        }
+    }
+
+    /// `CONJ  X  =>  X\X`  with `λy.@And(y, x_right)`; a later backward
+    /// application with the left conjunct completes coordination.
+    fn coordination(&mut self, l: Item, r: Item, cell_start: usize, cap: usize, total: &mut usize) {
+        if l.cat == CatArena::CONJ && (r.cat == CatArena::NP || r.cat == CatArena::S) {
+            let is_or = match self.sems.ground_atom(l.sem) {
+                Some(sym) => self.sems.lf_arena().interner().resolve(sym) == "or",
+                None => false,
+            };
+            let conj_pred = if is_or { PredName::Or } else { PredName::And };
+            let var = self.sems.var_sym(self.sym_conj_left);
+            let body = self.sems.pred(conj_pred, vec![var, r.sem]);
+            let sem = self.sems.lam(self.sym_conj_left, body);
+            let cat = self.cats.backward(r.cat, r.cat);
+            self.push_item(Item { cat, sem }, cell_start, cap, total);
+        }
+    }
+
+    /// Punctuation absorption: `X PUNCT => X` and `PUNCT X => X`.
+    fn punctuation(&mut self, l: Item, r: Item, cell_start: usize, cap: usize, total: &mut usize) {
+        if r.cat == CatArena::PUNCT && l.cat != CatArena::PUNCT {
+            self.push_item(l, cell_start, cap, total);
+        }
+        if l.cat == CatArena::PUNCT && r.cat != CatArena::PUNCT {
+            self.push_item(r, cell_start, cap, total);
+        }
+    }
+
+    /// `NP NP => NP` for simple noun-noun compounds ("BFD Control packets").
+    /// Restricted to ground atomic semantics so that it cannot interfere
+    /// with clause-level structure.
+    fn noun_compound(
+        &mut self,
+        l: Item,
+        r: Item,
+        cell_start: usize,
+        cap: usize,
+        total: &mut usize,
+    ) {
+        if l.cat != CatArena::NP || r.cat != CatArena::NP {
+            return;
+        }
+        if let (Some(a), Some(b)) = (self.sems.ground_atom(l.sem), self.sems.ground_atom(r.sem)) {
+            self.atom_buf.clear();
+            self.atom_buf
+                .push_str(self.sems.lf_arena().interner().resolve(a));
+            self.atom_buf.push('_');
+            self.atom_buf
+                .push_str(self.sems.lf_arena().interner().resolve(b));
+            let sem = self.sems.atom(&self.atom_buf);
+            self.push_item(
+                Item {
+                    cat: CatArena::NP,
+                    sem,
+                },
+                cell_start,
+                cap,
+                total,
+            );
+        }
+    }
+
+    /// Ground logical forms of the root items unifying with `target`,
+    /// deduplicated by arena id, in chart order.
+    fn collect_lfs(&mut self, (start, end): (u32, u32), target: CatId) -> Vec<LfId> {
+        let mut out: Vec<LfId> = Vec::new();
+        for idx in start..end {
+            let item = self.chart[idx as usize];
+            if CatArena::unifies(item.cat, target) {
+                if let Some(lf) = self.sems.to_lf_id(item.sem) {
+                    if !out.contains(&lf) {
+                        out.push(lf);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Flat index of the cell covering `phrases[i..j]` in an `n`-phrase chart.
+fn cell_index(i: usize, j: usize, n: usize) -> usize {
+    i * n + (j - i - 1)
+}
+
 /// Parse a raw sentence: tokenize, chunk noun phrases, then chart-parse.
+///
+/// Builds a transient [`ParserWorkspace`]; callers parsing more than one
+/// sentence should hold a workspace and use
+/// [`ParserWorkspace::parse_sentence`] (or [`parse_sentence_cached`]) so
+/// arenas and scratch buffers are recycled.
 pub fn parse_sentence(
     sentence: &str,
     lexicon: &Lexicon,
@@ -82,299 +530,33 @@ pub fn parse_sentence(
     chunker_config: ChunkerConfig,
     parser_config: ParserConfig,
 ) -> ParseResult {
-    let tokens = tokenize(sentence);
-    let phrases = chunk(&tokens, dict, chunker_config);
-    parse_phrases(&phrases, lexicon, parser_config)
+    ParserWorkspace::new(lexicon).parse_sentence(sentence, dict, chunker_config, parser_config)
 }
 
-/// [`parse_sentence`] with a memoized [`LookupCache`] instead of a bare
-/// lexicon — the batch pipeline's per-worker hot path.
+/// [`parse_sentence`] through a reusable [`ParserWorkspace`] — the batch
+/// pipeline's per-worker hot path.
 pub fn parse_sentence_cached(
     sentence: &str,
-    cache: &mut LookupCache<'_>,
+    ws: &mut ParserWorkspace<'_>,
     dict: &TermDictionary,
     chunker_config: ChunkerConfig,
     parser_config: ParserConfig,
 ) -> ParseResult {
-    let tokens = tokenize(sentence);
-    let phrases = chunk(&tokens, dict, chunker_config);
-    parse_phrases_cached(&phrases, cache, parser_config)
+    ws.parse_sentence(sentence, dict, chunker_config, parser_config)
 }
 
 /// Parse an already-chunked sentence.
 pub fn parse_phrases(phrases: &[Phrase], lexicon: &Lexicon, config: ParserConfig) -> ParseResult {
-    parse_phrases_with(phrases, config, &mut |surface| lexicon.lookup(surface))
+    ParserWorkspace::new(lexicon).parse_phrases(phrases, config)
 }
 
-/// [`parse_phrases`] through a memoized [`LookupCache`].
+/// [`parse_phrases`] through a reusable [`ParserWorkspace`].
 pub fn parse_phrases_cached(
     phrases: &[Phrase],
-    cache: &mut LookupCache<'_>,
+    ws: &mut ParserWorkspace<'_>,
     config: ParserConfig,
 ) -> ParseResult {
-    parse_phrases_with(phrases, config, &mut |surface| cache.lookup(surface))
-}
-
-/// The chart parser proper, generic over how lexical entries are fetched.
-/// The returned entry slices borrow the lexicon (`'lex`), not the probe
-/// string, so both the direct and the memoized lookup fit.
-fn parse_phrases_with<'lex>(
-    phrases: &[Phrase],
-    config: ParserConfig,
-    lookup: &mut dyn FnMut(&str) -> &'lex [LexEntry],
-) -> ParseResult {
-    let n = phrases.len();
-    if n == 0 {
-        return ParseResult {
-            logical_forms: Vec::new(),
-            from_fragment: false,
-            chart_items: 0,
-        };
-    }
-
-    // chart[i][j] covers phrases[i..j] (j exclusive); indexed as chart[i][j - i - 1].
-    let mut chart: Vec<Vec<Vec<Item>>> = vec![vec![Vec::new(); n]; n];
-    let mut total_items = 0usize;
-
-    // ---- lexical initialisation ------------------------------------------
-    for i in 0..n {
-        let max_span = config.max_lexical_span.min(n - i);
-        for len in 1..=max_span {
-            let j = i + len;
-            if phrases[i..j].iter().any(|p| p.kind == PhraseKind::Punct) && len > 1 {
-                continue;
-            }
-            let surface = phrases[i..j]
-                .iter()
-                .map(|p| p.lower.as_str())
-                .collect::<Vec<_>>()
-                .join(" ");
-            let mut items: Vec<Item> = lookup(&surface)
-                .iter()
-                .map(|e| Item {
-                    cat: e.category.clone(),
-                    sem: e.sem.clone(),
-                })
-                .collect();
-            if len == 1 && items.is_empty() {
-                // Fallback readings for single phrases not in the lexicon.
-                items.extend(fallback_items(&phrases[i], config));
-            }
-            let cell = &mut chart[i][j - i - 1];
-            for it in items {
-                push_item(cell, it, config.max_items_per_cell, &mut total_items);
-            }
-        }
-    }
-
-    // ---- CKY combination ---------------------------------------------------
-    for span in 2..=n {
-        for i in 0..=n - span {
-            let j = i + span;
-            for k in i + 1..j {
-                let left_cell = chart[i][k - i - 1].clone();
-                let right_cell = chart[k][j - k - 1].clone();
-                if left_cell.is_empty() || right_cell.is_empty() {
-                    continue;
-                }
-                let mut new_items = Vec::new();
-                for l in &left_cell {
-                    for r in &right_cell {
-                        combine(l, r, &mut new_items);
-                    }
-                }
-                let cell = &mut chart[i][j - i - 1];
-                for it in new_items {
-                    push_item(cell, it, config.max_items_per_cell, &mut total_items);
-                }
-            }
-        }
-    }
-
-    // ---- read out results ---------------------------------------------------
-    let root = &chart[0][n - 1];
-    let mut lfs = collect_lfs(root, &Category::S);
-    let mut from_fragment = false;
-    if lfs.is_empty() && config.allow_fragments {
-        lfs = collect_lfs(root, &Category::NP);
-        if lfs.is_empty() {
-            lfs = collect_lfs(root, &Category::N);
-        }
-        from_fragment = !lfs.is_empty();
-    }
-    ParseResult {
-        logical_forms: lfs,
-        from_fragment,
-        chart_items: total_items,
-    }
-}
-
-fn collect_lfs(cell: &[Item], target: &Category) -> Vec<Lf> {
-    let mut out: Vec<Lf> = Vec::new();
-    for item in cell {
-        if item.cat.unifies_with(target) {
-            if let Some(lf) = item.sem.to_lf() {
-                if !out.contains(&lf) {
-                    out.push(lf);
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Default readings for phrases without lexicon entries.
-fn fallback_items(phrase: &Phrase, config: ParserConfig) -> Vec<Item> {
-    let mut items = Vec::new();
-    match phrase.kind {
-        PhraseKind::Number => {
-            let sem = phrase
-                .lower
-                .parse::<i64>()
-                .map(SemTerm::num)
-                .unwrap_or_else(|_| SemTerm::atom(&phrase.lower));
-            items.push(Item {
-                cat: Category::NP,
-                sem,
-            });
-        }
-        PhraseKind::DomainTerm | PhraseKind::NounPhrase => {
-            if config.unknown_nominals_as_np {
-                items.push(Item {
-                    cat: Category::NP,
-                    sem: SemTerm::atom(phrase.lower.replace(' ', "_")),
-                });
-            }
-        }
-        PhraseKind::Punct => {
-            items.push(Item {
-                cat: Category::Punct,
-                sem: SemTerm::atom(&phrase.lower),
-            });
-        }
-        PhraseKind::Word => {
-            // Unknown single words: no reading.  (The lexicon plus the
-            // nominal fallback covers the vocabulary SAGE understands; an
-            // unknown verb legitimately blocks a full-sentence parse, which
-            // is exactly the "0 LF" signal the pipeline reports.)
-        }
-    }
-    items
-}
-
-fn push_item(cell: &mut Vec<Item>, item: Item, cap: usize, total: &mut usize) {
-    if cell.len() >= cap || cell.contains(&item) {
-        return;
-    }
-    *total += 1;
-    cell.push(item);
-}
-
-/// Try every combination rule on a pair of adjacent items.
-fn combine(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    forward_application(left, right, out);
-    backward_application(left, right, out);
-    forward_composition(left, right, out);
-    coordination(left, right, out);
-    punctuation(left, right, out);
-    noun_compound(left, right, out);
-}
-
-/// `NP NP => NP` for simple noun-noun compounds ("BFD Control packets").
-/// Restricted to ground atomic semantics so that it cannot interfere with
-/// clause-level structure.
-fn noun_compound(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if left.cat != Category::NP || right.cat != Category::NP {
-        return;
-    }
-    if let (Some(Lf::Atom(a)), Some(Lf::Atom(b))) = (left.sem.to_lf(), right.sem.to_lf()) {
-        out.push(Item {
-            cat: Category::NP,
-            sem: SemTerm::atom(format!("{a}_{b}")),
-        });
-    }
-}
-
-/// `X/Y  Y  =>  X`
-fn forward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if let Some((result, Slash::Forward, arg)) = left.cat.as_complex() {
-        if arg.unifies_with(&right.cat) {
-            out.push(Item {
-                cat: result.clone(),
-                sem: SemTerm::app(left.sem.clone(), right.sem.clone()).normalize(),
-            });
-        }
-    }
-}
-
-/// `Y  X\Y  =>  X`
-fn backward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if let Some((result, Slash::Backward, arg)) = right.cat.as_complex() {
-        if arg.unifies_with(&left.cat) {
-            out.push(Item {
-                cat: result.clone(),
-                sem: SemTerm::app(right.sem.clone(), left.sem.clone()).normalize(),
-            });
-        }
-    }
-}
-
-/// `X/Y  Y/Z  =>  X/Z`  (forward composition, B rule)
-fn forward_composition(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if let (Some((x, Slash::Forward, y1)), Some((y2, Slash::Forward, z))) =
-        (left.cat.as_complex(), right.cat.as_complex())
-    {
-        if y1.unifies_with(y2) {
-            let var = "z_comp";
-            let sem = SemTerm::lam(
-                var,
-                SemTerm::app(
-                    left.sem.clone(),
-                    SemTerm::app(right.sem.clone(), SemTerm::var(var)),
-                ),
-            );
-            out.push(Item {
-                cat: Category::forward(x.clone(), z.clone()),
-                sem,
-            });
-        }
-    }
-}
-
-/// `CONJ  X  =>  X\X`  with `λy.@And(y, x_right)`; a later backward
-/// application with the left conjunct completes coordination.
-fn coordination(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if left.cat == Category::Conj && (right.cat == Category::NP || right.cat == Category::S) {
-        let conj_pred = match left
-            .sem
-            .to_lf()
-            .and_then(|l| l.as_atom().map(str::to_string))
-        {
-            Some(ref s) if s == "or" => PredName::Or,
-            _ => PredName::And,
-        };
-        let sem = SemTerm::lam(
-            "conj_left",
-            SemTerm::pred(
-                conj_pred,
-                vec![SemTerm::var("conj_left"), right.sem.clone()],
-            ),
-        );
-        out.push(Item {
-            cat: Category::backward(right.cat.clone(), right.cat.clone()),
-            sem,
-        });
-    }
-}
-
-/// Punctuation absorption: `X PUNCT => X` and `PUNCT X => X`.
-fn punctuation(left: &Item, right: &Item, out: &mut Vec<Item>) {
-    if right.cat == Category::Punct && left.cat != Category::Punct {
-        out.push(left.clone());
-    }
-    if left.cat == Category::Punct && right.cat != Category::Punct {
-        out.push(right.clone());
-    }
+    ws.parse_phrases(phrases, config)
 }
 
 #[cfg(test)]
@@ -529,15 +711,15 @@ mod tests {
     }
 
     #[test]
-    fn cached_parse_matches_uncached_parse() {
+    fn recycled_workspace_matches_fresh_parses() {
         let lexicon = Lexicon::bfd();
         let dict = TermDictionary::networking();
-        let mut cache = LookupCache::new(&lexicon);
+        let mut ws = ParserWorkspace::new(&lexicon);
         for sentence in [
             "The checksum is zero.",
             "For computing the checksum, the checksum field should be zero.",
             "If code = 0, the identifier is zero.",
-            "The checksum is zero.", // repeat: memo hits must not change output
+            "The checksum is zero.", // repeat: recycled arenas must not change output
         ] {
             let plain = parse_sentence(
                 sentence,
@@ -546,17 +728,52 @@ mod tests {
                 ChunkerConfig::default(),
                 ParserConfig::default(),
             );
-            let cached = parse_sentence_cached(
+            let recycled = parse_sentence_cached(
                 sentence,
-                &mut cache,
+                &mut ws,
                 &dict,
                 ChunkerConfig::default(),
                 ParserConfig::default(),
             );
-            assert_eq!(cached, plain, "cached parse diverged on {sentence:?}");
+            assert_eq!(recycled, plain, "recycled parse diverged on {sentence:?}");
         }
-        let (hits, _misses) = cache.stats();
-        assert!(hits > 0, "repeat sentence should hit the memo");
+        let (hits, _misses) = ws.lookup_stats();
+        assert!(hits > 0, "repeat sentence should hit the lookup memo");
+        let (cats, sems) = ws.arena_sizes();
+        assert!(cats >= 6 && sems > 0);
+        assert_eq!(ws.lexicon().len(), lexicon.len());
+    }
+
+    #[test]
+    fn interned_engine_matches_reference_engine() {
+        let lexicon = Lexicon::bfd();
+        let dict = TermDictionary::networking();
+        let mut ws = ParserWorkspace::new(&lexicon);
+        for sentence in [
+            "The checksum is zero.",
+            "For computing the checksum, the checksum field should be zero.",
+            "The checksum of the header of the message is zero.",
+            "The source address and the destination address are reversed.",
+            "If bfd.RemoteDemandMode is 1, the local system must cease the \
+             periodic transmission of BFD Control packets.",
+            "The internet header plus the first 64 bits of the original datagram's data",
+        ] {
+            let reference = crate::reference::parse_sentence(
+                sentence,
+                &lexicon,
+                &dict,
+                ChunkerConfig::default(),
+                ParserConfig::default(),
+            );
+            let interned = parse_sentence_cached(
+                sentence,
+                &mut ws,
+                &dict,
+                ChunkerConfig::default(),
+                ParserConfig::default(),
+            );
+            assert_eq!(interned, reference, "engines diverged on {sentence:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! The pre-refactor boxed CKY engine, kept as a differential-testing oracle.
+//!
+//! This is the chart parser exactly as it stood before the interned
+//! zero-clone rewrite in [`crate::parser`]: chart items own cloned
+//! [`Category`] / [`SemTerm`] trees, every split point clones both input
+//! cells, per-cell deduplication is a linear `Vec::contains` scan, and each
+//! candidate span heap-allocates its joined surface string.  It is slow by
+//! design — its only job is to define the semantics the production engine
+//! must preserve.
+//!
+//! The parity suite (`tests/parser_parity.rs`) runs every sentence of all
+//! four RFC corpora through both engines and asserts identical results, so
+//! any behavioural drift in the interned engine is caught against this
+//! specification rather than against a snapshot.
+
+use crate::category::{Category, Slash};
+use crate::lexicon::Lexicon;
+use crate::parser::{ParseResult, ParserConfig};
+use crate::semantics::SemTerm;
+use sage_logic::{Lf, PredName};
+use sage_nlp::{chunk, tokenize, ChunkerConfig, Phrase, PhraseKind, TermDictionary};
+
+/// An item in a chart cell: a category with its semantics (boxed trees).
+#[derive(Debug, Clone, PartialEq)]
+struct Item {
+    cat: Category,
+    sem: SemTerm,
+}
+
+/// Parse a raw sentence with the reference engine: tokenize, chunk noun
+/// phrases, then chart-parse.
+pub fn parse_sentence(
+    sentence: &str,
+    lexicon: &Lexicon,
+    dict: &TermDictionary,
+    chunker_config: ChunkerConfig,
+    parser_config: ParserConfig,
+) -> ParseResult {
+    let tokens = tokenize(sentence);
+    let phrases = chunk(&tokens, dict, chunker_config);
+    parse_phrases(&phrases, lexicon, parser_config)
+}
+
+/// Parse an already-chunked sentence with the reference engine.
+pub fn parse_phrases(phrases: &[Phrase], lexicon: &Lexicon, config: ParserConfig) -> ParseResult {
+    let n = phrases.len();
+    if n == 0 {
+        return ParseResult {
+            logical_forms: Vec::new(),
+            from_fragment: false,
+            chart_items: 0,
+        };
+    }
+
+    // chart[i][j] covers phrases[i..j] (j exclusive); indexed as chart[i][j - i - 1].
+    let mut chart: Vec<Vec<Vec<Item>>> = vec![vec![Vec::new(); n]; n];
+    let mut total_items = 0usize;
+
+    // ---- lexical initialisation ------------------------------------------
+    for i in 0..n {
+        let max_span = config.max_lexical_span.min(n - i);
+        for len in 1..=max_span {
+            let j = i + len;
+            if phrases[i..j].iter().any(|p| p.kind == PhraseKind::Punct) && len > 1 {
+                continue;
+            }
+            let surface = phrases[i..j]
+                .iter()
+                .map(|p| p.lower.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            let mut items: Vec<Item> = lexicon
+                .lookup(&surface)
+                .iter()
+                .map(|e| Item {
+                    cat: e.category.clone(),
+                    sem: e.sem.clone(),
+                })
+                .collect();
+            if len == 1 && items.is_empty() {
+                // Fallback readings for single phrases not in the lexicon.
+                items.extend(fallback_items(&phrases[i], config));
+            }
+            let cell = &mut chart[i][j - i - 1];
+            for it in items {
+                push_item(cell, it, config.max_items_per_cell, &mut total_items);
+            }
+        }
+    }
+
+    // ---- CKY combination ---------------------------------------------------
+    for span in 2..=n {
+        for i in 0..=n - span {
+            let j = i + span;
+            for k in i + 1..j {
+                let left_cell = chart[i][k - i - 1].clone();
+                let right_cell = chart[k][j - k - 1].clone();
+                if left_cell.is_empty() || right_cell.is_empty() {
+                    continue;
+                }
+                let mut new_items = Vec::new();
+                for l in &left_cell {
+                    for r in &right_cell {
+                        combine(l, r, &mut new_items);
+                    }
+                }
+                let cell = &mut chart[i][j - i - 1];
+                for it in new_items {
+                    push_item(cell, it, config.max_items_per_cell, &mut total_items);
+                }
+            }
+        }
+    }
+
+    // ---- read out results ---------------------------------------------------
+    let root = &chart[0][n - 1];
+    let mut lfs = collect_lfs(root, &Category::S);
+    let mut from_fragment = false;
+    if lfs.is_empty() && config.allow_fragments {
+        lfs = collect_lfs(root, &Category::NP);
+        if lfs.is_empty() {
+            lfs = collect_lfs(root, &Category::N);
+        }
+        from_fragment = !lfs.is_empty();
+    }
+    ParseResult {
+        logical_forms: lfs,
+        from_fragment,
+        chart_items: total_items,
+    }
+}
+
+fn collect_lfs(cell: &[Item], target: &Category) -> Vec<Lf> {
+    let mut out: Vec<Lf> = Vec::new();
+    for item in cell {
+        if item.cat.unifies_with(target) {
+            if let Some(lf) = item.sem.to_lf() {
+                if !out.contains(&lf) {
+                    out.push(lf);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Default readings for phrases without lexicon entries.
+fn fallback_items(phrase: &Phrase, config: ParserConfig) -> Vec<Item> {
+    let mut items = Vec::new();
+    match phrase.kind {
+        PhraseKind::Number => {
+            let sem = phrase
+                .lower
+                .parse::<i64>()
+                .map(SemTerm::num)
+                .unwrap_or_else(|_| SemTerm::atom(&phrase.lower));
+            items.push(Item {
+                cat: Category::NP,
+                sem,
+            });
+        }
+        PhraseKind::DomainTerm | PhraseKind::NounPhrase => {
+            if config.unknown_nominals_as_np {
+                items.push(Item {
+                    cat: Category::NP,
+                    sem: SemTerm::atom(phrase.lower.replace(' ', "_")),
+                });
+            }
+        }
+        PhraseKind::Punct => {
+            items.push(Item {
+                cat: Category::Punct,
+                sem: SemTerm::atom(&phrase.lower),
+            });
+        }
+        PhraseKind::Word => {
+            // Unknown single words: no reading.
+        }
+    }
+    items
+}
+
+fn push_item(cell: &mut Vec<Item>, item: Item, cap: usize, total: &mut usize) {
+    if cell.len() >= cap || cell.contains(&item) {
+        return;
+    }
+    *total += 1;
+    cell.push(item);
+}
+
+/// Try every combination rule on a pair of adjacent items.
+fn combine(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    forward_application(left, right, out);
+    backward_application(left, right, out);
+    forward_composition(left, right, out);
+    coordination(left, right, out);
+    punctuation(left, right, out);
+    noun_compound(left, right, out);
+}
+
+/// `NP NP => NP` for simple noun-noun compounds.
+fn noun_compound(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if left.cat != Category::NP || right.cat != Category::NP {
+        return;
+    }
+    if let (Some(Lf::Atom(a)), Some(Lf::Atom(b))) = (left.sem.to_lf(), right.sem.to_lf()) {
+        out.push(Item {
+            cat: Category::NP,
+            sem: SemTerm::atom(format!("{a}_{b}")),
+        });
+    }
+}
+
+/// `X/Y  Y  =>  X`
+fn forward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let Some((result, Slash::Forward, arg)) = left.cat.as_complex() {
+        if arg.unifies_with(&right.cat) {
+            out.push(Item {
+                cat: result.clone(),
+                sem: SemTerm::app(left.sem.clone(), right.sem.clone()).normalize(),
+            });
+        }
+    }
+}
+
+/// `Y  X\Y  =>  X`
+fn backward_application(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let Some((result, Slash::Backward, arg)) = right.cat.as_complex() {
+        if arg.unifies_with(&left.cat) {
+            out.push(Item {
+                cat: result.clone(),
+                sem: SemTerm::app(right.sem.clone(), left.sem.clone()).normalize(),
+            });
+        }
+    }
+}
+
+/// `X/Y  Y/Z  =>  X/Z`  (forward composition, B rule)
+fn forward_composition(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if let (Some((x, Slash::Forward, y1)), Some((y2, Slash::Forward, z))) =
+        (left.cat.as_complex(), right.cat.as_complex())
+    {
+        if y1.unifies_with(y2) {
+            let var = "z_comp";
+            let sem = SemTerm::lam(
+                var,
+                SemTerm::app(
+                    left.sem.clone(),
+                    SemTerm::app(right.sem.clone(), SemTerm::var(var)),
+                ),
+            );
+            out.push(Item {
+                cat: Category::forward(x.clone(), z.clone()),
+                sem,
+            });
+        }
+    }
+}
+
+/// `CONJ  X  =>  X\X`  with `λy.@And(y, x_right)`.
+fn coordination(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if left.cat == Category::Conj && (right.cat == Category::NP || right.cat == Category::S) {
+        let conj_pred = match left
+            .sem
+            .to_lf()
+            .and_then(|l| l.as_atom().map(str::to_string))
+        {
+            Some(ref s) if s == "or" => PredName::Or,
+            _ => PredName::And,
+        };
+        let sem = SemTerm::lam(
+            "conj_left",
+            SemTerm::pred(
+                conj_pred,
+                vec![SemTerm::var("conj_left"), right.sem.clone()],
+            ),
+        );
+        out.push(Item {
+            cat: Category::backward(right.cat.clone(), right.cat.clone()),
+            sem,
+        });
+    }
+}
+
+/// Punctuation absorption: `X PUNCT => X` and `PUNCT X => X`.
+fn punctuation(left: &Item, right: &Item, out: &mut Vec<Item>) {
+    if right.cat == Category::Punct && left.cat != Category::Punct {
+        out.push(left.clone());
+    }
+    if left.cat == Category::Punct && right.cat != Category::Punct {
+        out.push(right.clone());
+    }
+}

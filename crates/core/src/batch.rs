@@ -3,9 +3,10 @@
 //! [`BatchPipeline`] fans a corpus of sentences across scoped worker threads.
 //! The [`Sage`] pipeline (configuration, lexicon, term dictionary) is shared
 //! read-only; each worker owns an
-//! [`AnalysisWorkspace`](crate::pipeline::AnalysisWorkspace) — its private string
-//! interner / logical-form arena, memoized lexicon cache and pre-built check
-//! families — so the hot path takes no locks.  Work is distributed by an
+//! [`AnalysisWorkspace`](crate::pipeline::AnalysisWorkspace) — its private
+//! interned-parser workspace (recycled category/semantics arenas and packed
+//! chart over the pre-interned lexicon), logical-form arena and pre-built
+//! check families — so the hot path takes no locks.  Work is distributed by an
 //! atomic cursor and every sentence's [`StageReport`] is written into its own
 //! slot, so the merged [`BatchReport`] is identical regardless of worker
 //! count or scheduling order (the determinism test pins byte-identical

@@ -1,8 +1,8 @@
 //! The SAGE pipeline: parse → disambiguate → report / generate.
 
-use sage_ccg::overgenerate::{overgenerate, OvergenConfig};
+use sage_ccg::overgenerate::{overgenerate, overgenerate_with, OvergenConfig};
 use sage_ccg::{
-    parse_sentence, parse_sentence_cached, Lexicon, LookupCache, ParseResult, ParserConfig,
+    parse_sentence, parse_sentence_cached, Lexicon, ParseResult, ParserConfig, ParserWorkspace,
 };
 use sage_disambig::{winnow, WinnowTrace, Winnower};
 use sage_logic::{Interner, Lf, LfArena, PredName, Symbol};
@@ -141,12 +141,14 @@ pub struct Sage {
 /// Per-worker scratch state for the memoized analysis path.
 ///
 /// The lexicon and configuration live in the shared, read-only [`Sage`];
-/// everything mutable — the [`Symbol`]-keyed lexicon
-/// lookup memo, the hash-consing logical-form arena, and the pre-built
-/// winnowing check families — lives here.  The batch pipeline gives each
-/// worker thread its own workspace, so no locks are taken on the hot path.
+/// everything mutable — the [`ParserWorkspace`] (memoized lexicon lookups
+/// plus the recycled category/semantics arenas and packed-chart buffers of
+/// the interned CKY engine), the hash-consing logical-form arena, and the
+/// pre-built winnowing check families — lives here.  The batch pipeline
+/// gives each worker thread its own workspace, so no locks are taken on the
+/// hot path.
 pub struct AnalysisWorkspace<'s> {
-    cache: LookupCache<'s>,
+    parser: ParserWorkspace<'s>,
     arena: LfArena,
     winnower: Winnower,
     /// Configuration of the [`Sage`] this workspace was built from; the
@@ -162,7 +164,14 @@ pub struct AnalysisWorkspace<'s> {
 impl AnalysisWorkspace<'_> {
     /// `(hits, misses)` of the lexicon lookup memo.
     pub fn lookup_stats(&self) -> (u64, u64) {
-        self.cache.stats()
+        self.parser.lookup_stats()
+    }
+
+    /// `(category nodes, semantic nodes)` interned by the parser so far —
+    /// growth tracks *distinct* structure, since recycled parses reuse
+    /// existing arena nodes.
+    pub fn parser_arena_sizes(&self) -> (usize, usize) {
+        self.parser.arena_sizes()
     }
 
     /// Number of distinct logical-form nodes interned so far.
@@ -213,7 +222,7 @@ impl Sage {
     /// read-only lexicon.
     pub fn workspace(&self) -> AnalysisWorkspace<'_> {
         AnalysisWorkspace {
-            cache: LookupCache::new(&self.lexicon),
+            parser: ParserWorkspace::new(&self.lexicon),
             arena: LfArena::new(),
             winnower: Winnower::new(),
             config: self.config,
@@ -250,7 +259,7 @@ impl Sage {
         }
         let result = Arc::new(parse_sentence_cached(
             text,
-            &mut ws.cache,
+            &mut ws.parser,
             &self.dictionary,
             self.config.chunker,
             self.config.parser,
@@ -313,7 +322,7 @@ impl Sage {
         }
 
         let parser_lf_count = result.logical_forms.len();
-        let base = overgenerate(&result.logical_forms, self.config.overgen);
+        let base = overgenerate_with(&result.logical_forms, self.config.overgen, &mut ws.arena);
         let trace = ws.winnower.winnow_interned(&base, &mut ws.arena);
         let status = if base.is_empty() {
             SentenceStatus::ZeroLf

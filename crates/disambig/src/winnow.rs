@@ -194,37 +194,42 @@ impl Winnower {
     /// [`Winnower::winnow`] on the interned representation: every set
     /// operation — base deduplication, the distributivity preference's
     /// membership tests, and the associativity stage — compares [`LfId`]s
-    /// (O(1), thanks to hash-consing) instead of re-walking string trees.
+    /// (O(1), thanks to hash-consing) instead of re-walking string trees,
+    /// and the check stages pass index lists around so no logical-form tree
+    /// is cloned until the final survivors are materialized.
     ///
     /// Produces a trace identical to the boxed path; the batch pipeline's
     /// determinism test and the property suite pin that equivalence.
     pub fn winnow_interned(&self, base: &[Lf], arena: &mut LfArena) -> WinnowTrace {
-        // Base deduplication by id.
+        // Base deduplication by id; each row borrows the caller's tree.
         let mut seen: HashSet<LfId> = HashSet::new();
-        let base_forms: Vec<(LfId, Lf)> = base
-            .iter()
-            .filter_map(|lf| {
-                let id = arena.intern_lf(lf);
-                seen.insert(id).then(|| (id, lf.clone()))
-            })
-            .collect();
+        let mut ids: Vec<LfId> = Vec::new();
+        let mut forms: Vec<&Lf> = Vec::new();
+        for lf in base {
+            let id = arena.intern_lf(lf);
+            if seen.insert(id) {
+                ids.push(id);
+                forms.push(lf);
+            }
+        }
         let mut counts = [0usize; 6];
-        counts[0] = base_forms.len();
+        counts[0] = ids.len();
 
-        let family = |checks: &[Check], forms: &[(LfId, Lf)]| -> Vec<(LfId, Lf)> {
-            let kept: Vec<(LfId, Lf)> = forms
+        let family = |checks: &[Check], keep: &[usize]| -> Vec<usize> {
+            let kept: Vec<usize> = keep
                 .iter()
-                .filter(|(_, lf)| checks.iter().all(|c| c.passes(lf)))
-                .cloned()
+                .copied()
+                .filter(|&i| checks.iter().all(|c| c.passes(forms[i])))
                 .collect();
             if kept.is_empty() {
-                forms.to_vec()
+                keep.to_vec()
             } else {
                 kept
             }
         };
 
-        let after_type = family(&self.type_checks, &base_forms);
+        let all: Vec<usize> = (0..ids.len()).collect();
+        let after_type = family(&self.type_checks, &all);
         counts[1] = after_type.len();
 
         let after_arg = family(&self.arg_order_checks, &after_type);
@@ -233,33 +238,46 @@ impl Winnower {
         let after_pred = family(&self.pred_order_checks, &after_arg);
         counts[3] = after_pred.len();
 
-        // Distributivity preference, with id-based membership tests.
-        let mut after_distrib: Vec<(LfId, Lf)> = Vec::new();
+        // Distributivity preference, with id-based membership tests.  A
+        // survivor is either a base form (kept by index) or a *new* grouped
+        // form that only exists in the arena.
+        enum Kept {
+            Base(usize),
+            Grouped(LfId),
+        }
+        let mut after_distrib: Vec<(LfId, Kept)> = Vec::new();
         let mut distrib_ids: HashSet<LfId> = HashSet::new();
-        let pred_ids: HashSet<LfId> = after_pred.iter().map(|(id, _)| *id).collect();
-        for (id, lf) in &after_pred {
-            if let Some(grouped) = distributed_assignment_interned(arena, *id) {
+        let pred_ids: HashSet<LfId> = after_pred.iter().map(|&i| ids[i]).collect();
+        for &i in &after_pred {
+            if let Some(grouped) = distributed_assignment_interned(arena, ids[i]) {
                 if pred_ids.contains(&grouped) || distrib_ids.contains(&grouped) {
                     continue;
                 }
                 distrib_ids.insert(grouped);
-                after_distrib.push((grouped, arena.resolve(grouped)));
-            } else if distrib_ids.insert(*id) {
-                after_distrib.push((*id, lf.clone()));
+                after_distrib.push((grouped, Kept::Grouped(grouped)));
+            } else if distrib_ids.insert(ids[i]) {
+                after_distrib.push((ids[i], Kept::Base(i)));
             }
         }
         if after_distrib.is_empty() {
-            after_distrib = after_pred;
+            after_distrib = after_pred
+                .iter()
+                .map(|&i| (ids[i], Kept::Base(i)))
+                .collect();
         }
         counts[4] = after_distrib.len();
 
-        // Associativity: one representative per canonical id.
+        // Associativity: one representative per canonical id.  Only here are
+        // the surviving trees cloned / resolved.
         let mut canon_seen: HashSet<LfId> = HashSet::new();
         let mut survivors: Vec<Lf> = Vec::new();
-        for (id, lf) in &after_distrib {
+        for (id, kept) in &after_distrib {
             let c = arena.canonical(*id);
             if canon_seen.insert(c) {
-                survivors.push(lf.clone());
+                survivors.push(match kept {
+                    Kept::Base(i) => forms[*i].clone(),
+                    Kept::Grouped(g) => arena.resolve(*g),
+                });
             }
         }
         counts[5] = survivors.len();

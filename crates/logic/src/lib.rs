@@ -14,6 +14,8 @@
 //! assert_eq!(lf.to_string(), "@Is('checksum', @Num(0))");
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod graph;
 pub mod intern;
 pub mod lf;
