@@ -4,7 +4,7 @@
 
 use crate::pipeline::{Sage, SageConfig, SentenceStatus};
 use sage_ccg::ParserConfig;
-use sage_disambig::stats::{all_check_effects, CheckEffect};
+use sage_disambig::stats::{all_check_effects_interned, CheckEffect};
 use sage_disambig::winnow::WinnowStage;
 use sage_logic::parse_lf;
 use sage_netsim::faulty::{
@@ -520,11 +520,15 @@ pub fn figure5(protocol: Protocol) -> Vec<Fig5Point> {
 }
 
 /// Regenerate Figure 6: per-check effects on the ICMP ambiguous sentences.
+/// Runs the id-native statistics path: one arena carries the memoized
+/// verdicts across all four families (the boxed path is pinned equal by the
+/// parity suite).
 pub fn figure6() -> Vec<CheckEffect> {
     let sage = Sage::default();
     let report = sage.analyze_document(&Protocol::Icmp.document());
     let base_sets = report.ambiguous_base_sets();
-    all_check_effects(&base_sets)
+    let mut arena = sage_logic::LfArena::new();
+    all_check_effects_interned(&base_sets, &mut arena)
 }
 
 // ---------------------------------------------------------------------------

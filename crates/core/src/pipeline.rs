@@ -179,6 +179,16 @@ impl AnalysisWorkspace<'_> {
         self.arena.len()
     }
 
+    /// `(hits, misses)` of the per-node check-verdict memo the workspace
+    /// arena carries for the id-native winnower.  Because the arena is
+    /// hash-consed and lives as long as the workspace, a verdict computed
+    /// for a subterm of one sentence is a hit for every later sentence (or
+    /// re-analysis) sharing that subterm — over a corpus, hits should
+    /// dominate.
+    pub fn verdict_stats(&self) -> (u64, u64) {
+        self.arena.verdict_stats()
+    }
+
     /// `(hits, distinct sentences)` of the sentence-level parse memo.  RFC
     /// prose repeats field descriptions verbatim across message sections
     /// (the ICMP checksum paragraph appears once per message type), so hits

@@ -8,8 +8,11 @@
 //! forbidden"), matching the paper's description.
 
 use sage_logic::intern::{LfArena, LfId, LfNode, Symbol};
-use sage_logic::types::{assignable, infer_lf_type, valid_function_name, AtomType};
-use sage_logic::{Lf, PredName};
+use sage_logic::types::{
+    assignable, assignable_interned, infer_lf_type, valid_function_name,
+    valid_function_name_interned, AtomType,
+};
+use sage_logic::{Lf, PredName, PredProperties};
 
 /// The five families of checks (Figure 5's x-axis).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,19 +66,18 @@ impl Check {
 }
 
 /// Helper: true if *no* node matching `pred_name` violates `ok`.
-fn all_nodes_ok(lf: &Lf, pred_name: PredName, ok: impl Fn(&[Lf]) -> bool) -> bool {
+fn all_nodes_ok(lf: &Lf, pred_name: &PredName, ok: impl Fn(&[Lf]) -> bool) -> bool {
     !lf.contains(&|n| match n {
-        Lf::Pred(p, args) if *p == pred_name => !ok(args),
+        Lf::Pred(p, args) if p == pred_name => !ok(args),
         _ => false,
     })
 }
 
 /// Helper: arity check for a predicate.
 fn arity_check(name: &'static str, pred: PredName) -> Check {
+    let props = pred.properties();
     Check::new(name, CheckKind::Type, move |lf| {
-        all_nodes_ok(lf, pred.clone(), |args| {
-            pred.properties().arity_ok(args.len())
-        })
+        all_nodes_ok(lf, &pred, |args| props.arity_ok(args.len()))
     })
 }
 
@@ -108,7 +110,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:action-function-name",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Action, |args| {
+            all_nodes_ok(lf, &PredName::Action, |args| {
                 args.first().is_some_and(valid_function_name)
             })
         },
@@ -120,7 +122,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:action-args-not-effects",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Action, |args| {
+            all_nodes_ok(lf, &PredName::Action, |args| {
                 args.iter().skip(1).all(|a| {
                     a.as_number().is_none()
                         && a.pred_name()
@@ -134,7 +136,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:is-lhs-not-constant",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Is, |args| {
+            all_nodes_ok(lf, &PredName::Is, |args| {
                 args.first().is_some_and(|a| a.as_number().is_none())
             })
         },
@@ -145,7 +147,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:is-lhs-assignable",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Is, |args| {
+            all_nodes_ok(lf, &PredName::Is, |args| {
                 args.first().is_some_and(assignable)
             })
         },
@@ -155,7 +157,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:if-condition-not-constant",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::If, |args| {
+            all_nodes_ok(lf, &PredName::If, |args| {
                 args.first().is_some_and(|c| c.as_number().is_none())
             })
         },
@@ -166,7 +168,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:if-consequence-is-pred",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::If, |args| {
+            all_nodes_ok(lf, &PredName::If, |args| {
                 args.get(1).is_some_and(|c| !c.is_leaf())
             })
         },
@@ -176,7 +178,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:of-args-not-both-constants",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Of, |args| {
+            all_nodes_ok(lf, &PredName::Of, |args| {
                 !(args.len() == 2 && args[0].as_number().is_some() && args[1].as_number().is_some())
             })
         },
@@ -186,14 +188,14 @@ pub fn type_checks() -> Vec<Check> {
         "type:of-whole-not-constant",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Of, |args| {
+            all_nodes_ok(lf, &PredName::Of, |args| {
                 args.get(1).is_some_and(|a| a.as_number().is_none())
             })
         },
     ));
     // 25. @Compare's operator must be a comparison operator.
     v.push(Check::new("type:compare-operator", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Compare, |args| {
+        all_nodes_ok(lf, &PredName::Compare, |args| {
             args.first()
                 .and_then(Lf::as_atom)
                 .is_some_and(|op| matches!(op, ">=" | "<=" | ">" | "<" | "==" | "!="))
@@ -201,7 +203,7 @@ pub fn type_checks() -> Vec<Check> {
     }));
     // 26. @Update's target must be a state variable or field.
     v.push(Check::new("type:update-target", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Update, |args| {
+        all_nodes_ok(lf, &PredName::Update, |args| {
             args.first().is_some_and(|a| {
                 matches!(
                     infer_lf_type(a),
@@ -215,7 +217,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:advbefore-advice-actionable",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            all_nodes_ok(lf, &PredName::AdvBefore, |args| {
                 args.first()
                     .is_some_and(|a| a.pred_name().is_some_and(PredName::is_effect))
             })
@@ -226,7 +228,7 @@ pub fn type_checks() -> Vec<Check> {
         "type:advbefore-body-actionable",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            all_nodes_ok(lf, &PredName::AdvBefore, |args| {
                 args.get(1).is_some_and(|a| {
                     a.pred_name()
                         .is_some_and(|p| p.is_effect() || *p == PredName::If || *p == PredName::And)
@@ -239,27 +241,27 @@ pub fn type_checks() -> Vec<Check> {
         "type:startswith-args-nominal",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::StartsWith, |args| {
+            all_nodes_ok(lf, &PredName::StartsWith, |args| {
                 args.iter().all(|a| a.as_number().is_none())
             })
         },
     ));
     // 30. @Num wraps only numerics.
     v.push(Check::new("type:num-arg-numeric", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Num, |args| {
+        all_nodes_ok(lf, &PredName::Num, |args| {
             args.first().is_some_and(|a| a.as_number().is_some())
         })
     }));
     // 31. @Field arguments must be atoms.
     v.push(Check::new("type:field-args-atoms", CheckKind::Type, |lf| {
-        all_nodes_ok(lf, PredName::Field, |args| args.iter().all(Lf::is_leaf))
+        all_nodes_ok(lf, &PredName::Field, |args| args.iter().all(Lf::is_leaf))
     }));
     // 32. @Not's argument must not be a numeric constant.
     v.push(Check::new(
         "type:not-arg-not-constant",
         CheckKind::Type,
         |lf| {
-            all_nodes_ok(lf, PredName::Not, |args| {
+            all_nodes_ok(lf, &PredName::Not, |args| {
                 args.first().is_some_and(|a| a.as_number().is_none())
             })
         },
@@ -277,7 +279,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:if-condition-first",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::If, |args| {
+            all_nodes_ok(lf, &PredName::If, |args| {
                 args.first().is_some_and(|c| {
                     !c.contains_pred(&PredName::May)
                         && !c.contains_pred(&PredName::Must)
@@ -292,7 +294,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:is-field-lhs",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Is, |args| {
+            all_nodes_ok(lf, &PredName::Is, |args| {
                 if args.len() != 2 {
                     return true;
                 }
@@ -310,7 +312,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:action-function-first",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Action, |args| {
+            all_nodes_ok(lf, &PredName::Action, |args| {
                 if args.len() < 2 {
                     return true;
                 }
@@ -334,7 +336,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:compare-operands",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Compare, |args| {
+            all_nodes_ok(lf, &PredName::Compare, |args| {
                 if args.len() != 3 {
                     return true;
                 }
@@ -347,7 +349,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:advbefore-advice-first",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::AdvBefore, |args| {
+            all_nodes_ok(lf, &PredName::AdvBefore, |args| {
                 if args.len() != 2 {
                     return true;
                 }
@@ -363,7 +365,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:startswith-anchor-second",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::StartsWith, |args| {
+            all_nodes_ok(lf, &PredName::StartsWith, |args| {
                 if args.len() != 2 {
                     return true;
                 }
@@ -380,7 +382,7 @@ pub fn argument_ordering_checks() -> Vec<Check> {
         "arg-order:update-value-second",
         CheckKind::ArgumentOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Update, |args| {
+            all_nodes_ok(lf, &PredName::Update, |args| {
                 if args.len() != 2 {
                     return true;
                 }
@@ -401,7 +403,7 @@ pub fn predicate_ordering_checks() -> Vec<Check> {
         "pred-order:is-not-under-of",
         CheckKind::PredicateOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Of, |args| {
+            all_nodes_ok(lf, &PredName::Of, |args| {
                 args.iter().all(|a| !a.contains_pred(&PredName::Is))
             })
         },
@@ -411,7 +413,7 @@ pub fn predicate_ordering_checks() -> Vec<Check> {
         "pred-order:if-not-under-is",
         CheckKind::PredicateOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Is, |args| {
+            all_nodes_ok(lf, &PredName::Is, |args| {
                 args.iter().all(|a| !a.contains_pred(&PredName::If))
             })
         },
@@ -445,7 +447,7 @@ pub fn predicate_ordering_checks() -> Vec<Check> {
         "pred-order:is-not-under-action",
         CheckKind::PredicateOrdering,
         |lf| {
-            all_nodes_ok(lf, PredName::Action, |args| {
+            all_nodes_ok(lf, &PredName::Action, |args| {
                 args.iter().all(|a| !a.contains_pred(&PredName::Is))
             })
         },
@@ -548,6 +550,458 @@ fn rewrite_interned(
         }
     }
     None
+}
+
+// ---- the id-native memoized check engine ------------------------------------
+
+/// Verdict-plane index for the 32 type checks.
+pub const FAMILY_TYPE: usize = 0;
+/// Verdict-plane index for the 7 argument-ordering checks.
+pub const FAMILY_ARG_ORDER: usize = 1;
+/// Verdict-plane index for the 4 predicate-ordering checks (the three
+/// nesting checks; advice placement is root-relative and evaluated outside
+/// the plane).
+pub const FAMILY_PRED_ORDER: usize = 2;
+/// Verdict-plane index for the distributed-assignment containment flag.
+pub const FAMILY_DISTRIB: usize = 3;
+
+/// The check families compiled down to id-native predicates over
+/// [`LfArena`] nodes.
+///
+/// Every boxed [`Check`] above is of the form "no node of the tree violates
+/// a local condition", so a tree's verdict is the union of per-node
+/// violation bits — which makes it memoizable per *subterm id*: the
+/// violation bitset of a node is its local bits OR-ed with its children's
+/// bitsets, cached in the arena's verdict planes.  Because the arena
+/// hash-conses, one memo entry serves every occurrence of that subtree
+/// across all logical forms, sentences and corpora a worker processes.
+/// The single non-local check (`pred-order:advice-at-root`) is answered
+/// from the memoized predicate-containment masks instead.
+///
+/// The engine itself is stateless with respect to any particular arena:
+/// builtin predicate symbols are identical across arenas (pre-seeded), so
+/// one compiled `IdChecks` serves every arena it is handed.
+#[derive(Debug, Clone)]
+pub struct IdChecks {
+    /// `(head symbol, properties)` for the 16 arity checks, in
+    /// [`type_checks`] order (bits 0..=15 of the type plane).
+    arity: [(Symbol, PredProperties); 16],
+    is_: Symbol,
+    if_: Symbol,
+    of_: Symbol,
+    action: Symbol,
+    advbefore: Symbol,
+    startswith: Symbol,
+    compare: Symbol,
+    update: Symbol,
+    not_: Symbol,
+    must: Symbol,
+    may: Symbol,
+    and_: Symbol,
+    num: Symbol,
+    field: Symbol,
+    /// Mask of effect-predicate head symbols ([`PredName::is_effect`]).
+    effect_mask: u64,
+    /// [`IdChecks::effect_mask`] minus `@Action` (allowed inside actions).
+    effect_not_action_mask: u64,
+    /// Mask of the advice heads `@AdvBefore` / `@AdvAfter`.
+    advice_mask: u64,
+}
+
+impl Default for IdChecks {
+    fn default() -> Self {
+        IdChecks::new()
+    }
+}
+
+fn sym_of(p: PredName) -> Symbol {
+    p.builtin_symbol().expect("builtin predicate")
+}
+
+fn bit_of(p: PredName) -> u64 {
+    1u64 << sym_of(p).index()
+}
+
+impl IdChecks {
+    /// Compile the ICMP check set into id-native form.
+    pub fn new() -> IdChecks {
+        let arity_preds = [
+            PredName::Is,
+            PredName::If,
+            PredName::Of,
+            PredName::Action,
+            PredName::AdvBefore,
+            PredName::AdvComment,
+            PredName::StartsWith,
+            PredName::Compare,
+            PredName::Update,
+            PredName::Not,
+            PredName::Must,
+            PredName::May,
+            PredName::And,
+            PredName::Or,
+            PredName::Field,
+            PredName::From,
+        ];
+        let effect_preds = [
+            PredName::Is,
+            PredName::Action,
+            PredName::Update,
+            PredName::Send,
+            PredName::Discard,
+            PredName::Select,
+            PredName::Cease,
+            PredName::Reverse,
+            PredName::Recompute,
+        ];
+        let effect_mask = effect_preds
+            .iter()
+            .map(|p| bit_of(p.clone()))
+            .fold(0, |a, b| a | b);
+        IdChecks {
+            arity: arity_preds.map(|p| {
+                let props = p.properties();
+                (sym_of(p), props)
+            }),
+            is_: sym_of(PredName::Is),
+            if_: sym_of(PredName::If),
+            of_: sym_of(PredName::Of),
+            action: sym_of(PredName::Action),
+            advbefore: sym_of(PredName::AdvBefore),
+            startswith: sym_of(PredName::StartsWith),
+            compare: sym_of(PredName::Compare),
+            update: sym_of(PredName::Update),
+            not_: sym_of(PredName::Not),
+            must: sym_of(PredName::Must),
+            may: sym_of(PredName::May),
+            and_: sym_of(PredName::And),
+            num: sym_of(PredName::Num),
+            field: sym_of(PredName::Field),
+            effect_mask,
+            effect_not_action_mask: effect_mask & !bit_of(PredName::Action),
+            advice_mask: bit_of(PredName::AdvBefore) | bit_of(PredName::AdvAfter),
+        }
+    }
+
+    /// True when the form passes all 32 type checks — bit-for-bit the same
+    /// verdict as running [`type_checks`] over the resolved tree.
+    pub fn passes_type(&self, arena: &mut LfArena, id: LfId) -> bool {
+        self.family_violations(arena, FAMILY_TYPE, id) == 0
+    }
+
+    /// True when the form passes all 7 argument-ordering checks.
+    pub fn passes_arg_order(&self, arena: &mut LfArena, id: LfId) -> bool {
+        self.family_violations(arena, FAMILY_ARG_ORDER, id) == 0
+    }
+
+    /// True when the form passes all 4 predicate-ordering checks (the three
+    /// memoized nesting checks plus the root-relative advice-placement
+    /// check).
+    pub fn passes_pred_order(&self, arena: &mut LfArena, id: LfId) -> bool {
+        self.family_violations(arena, FAMILY_PRED_ORDER, id) == 0
+            && self.advice_placement_ok(arena, id)
+    }
+
+    /// True when the subtree contains a distributed assignment
+    /// `@And(@Is(a, c), @Is(b, c))` — i.e. [`distributed_assignment`] would
+    /// return `Some`.  Memoized, so the common "no pattern anywhere" answer
+    /// costs one plane probe after the first visit.
+    pub fn contains_distributed(&self, arena: &mut LfArena, id: LfId) -> bool {
+        self.family_violations(arena, FAMILY_DISTRIB, id) != 0
+    }
+
+    /// The violation bitset of one family over the subtree rooted at `id`,
+    /// memoized per node in the arena's verdict plane.
+    fn family_violations(&self, arena: &mut LfArena, family: usize, id: LfId) -> u64 {
+        if let Some(v) = arena.verdict_get(family, id) {
+            return v;
+        }
+        let viol = match arena.node(id) {
+            LfNode::Atom(_) | LfNode::Num(_) => 0,
+            LfNode::Pred(sym, args) => {
+                let (sym, args) = (*sym, args.clone());
+                let mut v = match family {
+                    FAMILY_TYPE => self.type_local(arena, sym, &args),
+                    FAMILY_ARG_ORDER => self.arg_order_local(arena, sym, &args),
+                    FAMILY_PRED_ORDER => self.pred_order_local(arena, sym, &args),
+                    _ => self.distrib_local(arena, sym, &args),
+                };
+                for a in args {
+                    v |= self.family_violations(arena, family, a);
+                }
+                v
+            }
+        };
+        arena.verdict_set(family, id, viol);
+        viol
+    }
+
+    fn is_leaf(arena: &LfArena, id: LfId) -> bool {
+        !matches!(arena.node(id), LfNode::Pred(..))
+    }
+
+    fn head_sym(arena: &LfArena, id: LfId) -> Option<Symbol> {
+        match arena.node(id) {
+            LfNode::Pred(sym, _) => Some(*sym),
+            _ => None,
+        }
+    }
+
+    fn head_bit(arena: &LfArena, id: LfId) -> u64 {
+        match Self::head_sym(arena, id) {
+            Some(sym) if sym.index() < 63 => 1u64 << sym.index(),
+            Some(_) => 1u64 << 63,
+            None => 0,
+        }
+    }
+
+    /// Local (per-node) violation bits for the 32 type checks, mirroring
+    /// [`type_checks`] order.
+    fn type_local(&self, arena: &mut LfArena, sym: Symbol, args: &[LfId]) -> u64 {
+        let mut v = 0u64;
+        // Bits 0..=15: arity checks.
+        for (bit, (target, props)) in self.arity.iter().enumerate() {
+            if sym == *target && !props.arity_ok(args.len()) {
+                v |= 1 << bit;
+            }
+        }
+        if sym == self.action {
+            // 16: the function-name argument must be a valid function name.
+            if !args
+                .first()
+                .is_some_and(|&a| valid_function_name_interned(arena, a))
+            {
+                v |= 1 << 16;
+            }
+            // 17: later arguments are neither numeric constants nor
+            // non-action effects.
+            let ok = args.iter().skip(1).all(|&a| {
+                arena.number_of(a).is_none()
+                    && Self::head_bit(arena, a) & self.effect_not_action_mask == 0
+            });
+            if !ok {
+                v |= 1 << 17;
+            }
+        }
+        if sym == self.is_ {
+            // 18: no constant on the left-hand side.
+            if !args.first().is_some_and(|&a| arena.number_of(a).is_none()) {
+                v |= 1 << 18;
+            }
+            // 19: the left-hand side must be assignable.
+            if !args.first().is_some_and(|&a| assignable_interned(arena, a)) {
+                v |= 1 << 19;
+            }
+        }
+        if sym == self.if_ {
+            // 20: the condition must not be a bare constant.
+            if !args.first().is_some_and(|&a| arena.number_of(a).is_none()) {
+                v |= 1 << 20;
+            }
+            // 21: the consequence must be a predicate, not a leaf.
+            if !args.get(1).is_some_and(|&a| !Self::is_leaf(arena, a)) {
+                v |= 1 << 21;
+            }
+        }
+        if sym == self.of_ {
+            // 22: not two numeric constants.
+            if args.len() == 2
+                && arena.number_of(args[0]).is_some()
+                && arena.number_of(args[1]).is_some()
+            {
+                v |= 1 << 22;
+            }
+            // 23: the "whole" must not be a numeric constant.
+            if !args.get(1).is_some_and(|&a| arena.number_of(a).is_none()) {
+                v |= 1 << 23;
+            }
+        }
+        if sym == self.compare {
+            // 24: the operator must be a comparison operator atom.
+            let ok = args.first().is_some_and(|&a| match arena.node(a) {
+                LfNode::Atom(op) => matches!(
+                    arena.interner().resolve(*op),
+                    ">=" | "<=" | ">" | "<" | "==" | "!="
+                ),
+                _ => false,
+            });
+            if !ok {
+                v |= 1 << 24;
+            }
+        }
+        if sym == self.update {
+            // 25: the target must be a state variable, field or noun phrase.
+            let ok = args.first().is_some_and(|&a| {
+                matches!(
+                    arena.type_of(a),
+                    Some(AtomType::StateVar) | Some(AtomType::Field) | Some(AtomType::Other) | None
+                )
+            });
+            if !ok {
+                v |= 1 << 25;
+            }
+        }
+        if sym == self.advbefore {
+            // 26: the advice must be actionable.
+            let ok = args
+                .first()
+                .is_some_and(|&a| Self::head_bit(arena, a) & self.effect_mask != 0);
+            if !ok {
+                v |= 1 << 26;
+            }
+            // 27: the body must be actionable (an effect, @If or @And).
+            let body_mask =
+                self.effect_mask | (1u64 << self.if_.index()) | (1u64 << self.and_.index());
+            let ok = args
+                .get(1)
+                .is_some_and(|&a| Self::head_bit(arena, a) & body_mask != 0);
+            if !ok {
+                v |= 1 << 27;
+            }
+        }
+        if sym == self.startswith {
+            // 28: both arguments must be nominal (no bare numbers).
+            if !args.iter().all(|&a| arena.number_of(a).is_none()) {
+                v |= 1 << 28;
+            }
+        }
+        if sym == self.num {
+            // 29: @Num wraps only numerics.
+            if !args.first().is_some_and(|&a| arena.number_of(a).is_some()) {
+                v |= 1 << 29;
+            }
+        }
+        if sym == self.field {
+            // 30: @Field arguments must be atoms.
+            if !args.iter().all(|&a| Self::is_leaf(arena, a)) {
+                v |= 1 << 30;
+            }
+        }
+        if sym == self.not_ {
+            // 31: @Not's argument must not be a numeric constant.
+            if !args.first().is_some_and(|&a| arena.number_of(a).is_none()) {
+                v |= 1 << 31;
+            }
+        }
+        v
+    }
+
+    /// Local violation bits for the 7 argument-ordering checks, mirroring
+    /// [`argument_ordering_checks`] order.
+    fn arg_order_local(&self, arena: &mut LfArena, sym: Symbol, args: &[LfId]) -> u64 {
+        let mut v = 0u64;
+        if sym == self.if_ {
+            // 0: the condition must not contain modal or advice predicates.
+            let forbidden = (1u64 << self.may.index())
+                | (1u64 << self.must.index())
+                | (1u64 << self.advbefore.index());
+            let ok = args
+                .first()
+                .is_some_and(|&c| arena.pred_mask(c) & forbidden == 0);
+            if !ok {
+                v |= 1 << 0;
+            }
+        }
+        if sym == self.is_ && args.len() == 2 {
+            // 1: field on the left when relating a field and a constant.
+            let lhs_const = arena.number_of(args[0]).is_some();
+            let rhs_fieldish = matches!(
+                arena.type_of(args[1]),
+                Some(AtomType::Field) | Some(AtomType::StateVar)
+            );
+            if lhs_const && rhs_fieldish {
+                v |= 1 << 1;
+            }
+        }
+        if sym == self.action && args.len() >= 2 {
+            // 2: the function name must be the first argument.
+            let is_fn_atom = |arena: &mut LfArena, a: LfId| {
+                matches!(arena.node(a), LfNode::Atom(_))
+                    && arena.type_of(a) == Some(AtomType::Function)
+            };
+            let first_fn = is_fn_atom(arena, args[0]);
+            let later_fn = args.iter().skip(1).any(|&a| is_fn_atom(arena, a));
+            if !first_fn && later_fn {
+                v |= 1 << 2;
+            }
+        }
+        if sym == self.compare && args.len() == 3 {
+            // 3: the monitored quantity left, the threshold right.
+            if arena.number_of(args[1]).is_some() && arena.number_of(args[2]).is_none() {
+                v |= 1 << 3;
+            }
+        }
+        if sym == self.advbefore && args.len() == 2 {
+            // 4: the advice (not the body) comes first; it may not be a
+            // conditional.
+            if arena.pred_mask(args[0]) & (1u64 << self.if_.index()) != 0 {
+                v |= 1 << 4;
+            }
+        }
+        if sym == self.startswith && args.len() == 2 {
+            // 5: if exactly one side is a leaf field, it must be the second.
+            if Self::is_leaf(arena, args[0]) && !Self::is_leaf(arena, args[1]) {
+                v |= 1 << 5;
+            }
+        }
+        if sym == self.update && args.len() == 2 {
+            // 6: the new value is the second argument.
+            if arena.number_of(args[0]).is_some() && arena.number_of(args[1]).is_none() {
+                v |= 1 << 6;
+            }
+        }
+        v
+    }
+
+    /// Local violation bits for the three memoizable predicate-ordering
+    /// checks (`is-not-under-of`, `if-not-under-is`, `is-not-under-action`).
+    fn pred_order_local(&self, arena: &mut LfArena, sym: Symbol, args: &[LfId]) -> u64 {
+        let mut v = 0u64;
+        let is_bit = 1u64 << self.is_.index();
+        let if_bit = 1u64 << self.if_.index();
+        if sym == self.of_ && args.iter().any(|&a| arena.pred_mask(a) & is_bit != 0) {
+            v |= 1 << 0;
+        }
+        if sym == self.is_ && args.iter().any(|&a| arena.pred_mask(a) & if_bit != 0) {
+            v |= 1 << 1;
+        }
+        if sym == self.action && args.iter().any(|&a| arena.pred_mask(a) & is_bit != 0) {
+            v |= 1 << 2;
+        }
+        v
+    }
+
+    /// One bit: this node is a distributed assignment
+    /// `@And(@Is(a, c), @Is(b, c))` (shared right-hand side = one id
+    /// compare, thanks to hash-consing).
+    fn distrib_local(&self, arena: &mut LfArena, sym: Symbol, args: &[LfId]) -> u64 {
+        if sym != self.and_ || args.len() != 2 {
+            return 0;
+        }
+        let (l, r) = (args[0], args[1]);
+        let (pl, pr) = (Self::head_sym(arena, l), Self::head_sym(arena, r));
+        if pl != Some(self.is_) || pr != Some(self.is_) {
+            return 0;
+        }
+        let (largs, rargs) = (arena.args(l).to_vec(), arena.args(r).to_vec());
+        u64::from(largs.len() == 2 && rargs.len() == 2 && largs[1] == rargs[1])
+    }
+
+    /// The root-relative advice-placement check
+    /// (`pred-order:advice-at-root`): advice predicates may appear only at
+    /// the root of a logical form.  Answered from the memoized containment
+    /// masks.
+    fn advice_placement_ok(&self, arena: &mut LfArena, id: LfId) -> bool {
+        let root_is_advice = Self::head_sym(arena, id)
+            .is_some_and(|sym| sym.index() < 63 && (1u64 << sym.index()) & self.advice_mask != 0);
+        if root_is_advice {
+            let args = arena.args(id).to_vec();
+            args.into_iter()
+                .all(|a| arena.pred_mask(a) & self.advice_mask == 0)
+        } else {
+            arena.pred_mask(id) & self.advice_mask == 0
+        }
+    }
 }
 
 #[cfg(test)]
@@ -719,6 +1173,108 @@ mod tests {
         {
             assert!(c.passes(&lf), "failed {}", c.name);
         }
+    }
+
+    /// A mixed bag of well-formed, ill-typed, swapped and nested forms that
+    /// exercises every family of the id-native engine.
+    fn engine_fixtures() -> Vec<Lf> {
+        [
+            "@AdvBefore(@Action('compute', '0'), @Is(@And('checksum_field', 'checksum'), '0'))",
+            "@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))",
+            "@AdvBefore('0', @Is(@Action('compute', @And('checksum_field', 'checksum')), '0'))",
+            "@AdvBefore('0', @Is(@And('checksum_field', @Action('compute', 'checksum')), '0'))",
+            "@If(@Is('code', @Num(0)), @May(@Is('identifier', @Num(0))))",
+            "@If(@May(@Is('identifier', @Num(0))), @Is('code', @Num(0)))",
+            "@Is(@Num(0), 'checksum')",
+            "@Is(@Num(0), @Num(1))",
+            "@Of('checksum', @Is('header', @Num(0)))",
+            "@Is(@Of('checksum', 'header'), @Num(0))",
+            "@Is('x', @AdvBefore(@Action('compute', 'checksum'), 'y'))",
+            "@And(@Is('source_address', 'reversed'), @Is('destination_address', 'reversed'))",
+            "@Is(@And('source_address', 'destination_address'), 'reversed')",
+            "@Compare('>=', 'peer.timer', 'peer.threshold')",
+            "@Compare('peer.timer', '>=', 'peer.threshold')",
+            "@Compare('>=', @Num(3), 'peer.threshold')",
+            "@Update('bfd.SessionState', 'Up')",
+            "@Update(@Num(3), 'bfd.SessionState')",
+            "@StartsWith(@Is('checksum', @Of('Ones', 'icmp_message')), 'icmp_type')",
+            "@StartsWith('icmp_type', @Is('checksum', @Of('Ones', 'icmp_message')))",
+            "@Num('checksum')",
+            "@Field('icmp', @Is('a', 'b'))",
+            "@Not(@Num(3))",
+            "@If(@Num(1), 'x')",
+            "@Of(@Num(1), @Num(2))",
+            "@Action('0', 'checksum')",
+            "@Action('checksum', 'compute')",
+            "'bare_atom'",
+            "@Num(7)",
+            "@Must(@Is('checksum', @Num(0)))",
+        ]
+        .iter()
+        .map(|t| parse_lf(t).unwrap())
+        .chain([
+            Lf::Pred(PredName::Is, vec![Lf::atom("checksum")]),
+            Lf::Pred(PredName::If, vec![Lf::atom("x")]),
+            Lf::Pred(PredName::And, vec![Lf::atom("only")]),
+        ])
+        .collect()
+    }
+
+    #[test]
+    fn id_native_families_match_boxed_checks_bit_for_bit() {
+        let engine = IdChecks::new();
+        let mut arena = LfArena::new();
+        let type_cs = type_checks();
+        let arg_cs = argument_ordering_checks();
+        let pred_cs = predicate_ordering_checks();
+        let distrib_cs = distributivity_checks();
+        for lf in engine_fixtures() {
+            let id = arena.intern_lf(&lf);
+            assert_eq!(
+                engine.passes_type(&mut arena, id),
+                type_cs.iter().all(|c| c.passes(&lf)),
+                "type family diverged on {lf}"
+            );
+            assert_eq!(
+                engine.passes_arg_order(&mut arena, id),
+                arg_cs.iter().all(|c| c.passes(&lf)),
+                "arg-order family diverged on {lf}"
+            );
+            assert_eq!(
+                engine.passes_pred_order(&mut arena, id),
+                pred_cs.iter().all(|c| c.passes(&lf)),
+                "pred-order family diverged on {lf}"
+            );
+            assert_eq!(
+                engine.contains_distributed(&mut arena, id),
+                distrib_cs.iter().any(|c| !c.passes(&lf)),
+                "distributivity flag diverged on {lf}"
+            );
+            assert_eq!(
+                engine.contains_distributed(&mut arena, id),
+                distributed_assignment(&lf).is_some(),
+                "distributivity flag vs rewrite on {lf}"
+            );
+        }
+    }
+
+    #[test]
+    fn memoized_verdicts_are_stable_and_hit() {
+        let engine = IdChecks::new();
+        let mut arena = LfArena::new();
+        let lf = parse_lf("@AdvBefore(@Action('compute', 'checksum'), @Is('checksum_field', '0'))")
+            .unwrap();
+        let id = arena.intern_lf(&lf);
+        let first = engine.passes_type(&mut arena, id);
+        let (_, misses_after_first) = arena.verdict_stats();
+        let second = engine.passes_type(&mut arena, id);
+        let (hits, misses) = arena.verdict_stats();
+        assert_eq!(first, second);
+        assert_eq!(
+            misses, misses_after_first,
+            "second query must not recompute"
+        );
+        assert!(hits >= 1, "second query must be a memo hit");
     }
 
     #[test]

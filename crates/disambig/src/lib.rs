@@ -27,7 +27,10 @@ pub mod winnow;
 
 pub use checks::{
     argument_ordering_checks, distributed_assignment_interned, distributivity_checks,
-    predicate_ordering_checks, type_checks, Check, CheckKind,
+    predicate_ordering_checks, type_checks, Check, CheckKind, IdChecks,
 };
-pub use stats::{per_check_effect, CheckEffect};
-pub use winnow::{winnow, WinnowStage, WinnowTrace, Winnower};
+pub use stats::{
+    all_check_effects, all_check_effects_interned, apply_single_family,
+    apply_single_family_interned, per_check_effect, per_check_effect_interned, CheckEffect,
+};
+pub use winnow::{winnow, IdWinnowTrace, WinnowStage, WinnowTrace, Winnower};

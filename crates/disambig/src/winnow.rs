@@ -9,7 +9,7 @@
 
 use crate::checks::{
     argument_ordering_checks, distributed_assignment, distributed_assignment_interned,
-    distributivity_checks, predicate_ordering_checks, type_checks, Check,
+    distributivity_checks, predicate_ordering_checks, type_checks, Check, IdChecks,
 };
 use sage_logic::graph::dedup_isomorphic;
 use sage_logic::intern::{LfArena, LfId};
@@ -89,12 +89,27 @@ impl WinnowTrace {
     }
 }
 
-/// The winnower: owns the check families so they are built once.
+/// A [`WinnowTrace`] whose survivors are still arena ids — the output of the
+/// fully id-native [`Winnower::winnow_ids`] path, materialized into boxed
+/// trees only when a caller needs them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdWinnowTrace {
+    /// Number of logical forms surviving after each stage, in
+    /// [`WinnowStage::ALL`] order.
+    pub counts: [usize; 6],
+    /// Ids of the forms remaining at the end, in kept order.
+    pub survivors: Vec<LfId>,
+}
+
+/// The winnower: owns the check families so they are built once — the boxed
+/// closures (the behavioural oracle) and their id-native compilation (the
+/// engine the pipeline runs).
 pub struct Winnower {
     type_checks: Vec<Check>,
     arg_order_checks: Vec<Check>,
     pred_order_checks: Vec<Check>,
     distrib_checks: Vec<Check>,
+    id_checks: IdChecks,
 }
 
 impl Default for Winnower {
@@ -111,6 +126,7 @@ impl Winnower {
             arg_order_checks: argument_ordering_checks(),
             pred_order_checks: predicate_ordering_checks(),
             distrib_checks: distributivity_checks(),
+            id_checks: IdChecks::new(),
         }
     }
 
@@ -133,16 +149,20 @@ impl Winnower {
     /// when its grouped equivalent is also present; if only the distributed
     /// reading exists, it is rewritten to the grouped form.
     fn apply_distributivity(&self, forms: &[Lf]) -> Vec<Lf> {
+        let input: HashSet<&Lf> = forms.iter().collect();
+        let mut emitted: HashSet<Lf> = HashSet::new();
         let mut out: Vec<Lf> = Vec::new();
         for lf in forms {
             if let Some(grouped) = distributed_assignment(lf) {
                 // Prefer the grouped form; skip the distributed one if the
                 // grouped form is (or will be) present.
-                if forms.contains(&grouped) || out.contains(&grouped) {
+                if input.contains(&grouped) || emitted.contains(&grouped) {
                     continue;
                 }
+                emitted.insert(grouped.clone());
                 out.push(grouped);
-            } else if !out.contains(lf) {
+            } else if !emitted.contains(lf) {
+                emitted.insert(lf.clone());
                 out.push(lf.clone());
             }
         }
@@ -159,13 +179,8 @@ impl Winnower {
     /// Winnow a set of logical forms, producing the per-stage trace.
     pub fn winnow(&self, base: &[Lf]) -> WinnowTrace {
         let base_forms: Vec<Lf> = {
-            let mut v = Vec::new();
-            for lf in base {
-                if !v.contains(lf) {
-                    v.push(lf.clone());
-                }
-            }
-            v
+            let mut seen: HashSet<&Lf> = HashSet::new();
+            base.iter().filter(|lf| seen.insert(lf)).cloned().collect()
         };
         let mut counts = [0usize; 6];
         counts[0] = base_forms.len();
@@ -191,35 +206,34 @@ impl Winnower {
         }
     }
 
-    /// [`Winnower::winnow`] on the interned representation: every set
-    /// operation — base deduplication, the distributivity preference's
-    /// membership tests, and the associativity stage — compares [`LfId`]s
-    /// (O(1), thanks to hash-consing) instead of re-walking string trees,
-    /// and the check stages pass index lists around so no logical-form tree
-    /// is cloned until the final survivors are materialized.
+    /// The fully id-native winnow: every stage runs over [`LfId`]s.
     ///
-    /// Produces a trace identical to the boxed path; the batch pipeline's
-    /// determinism test and the property suite pin that equivalence.
-    pub fn winnow_interned(&self, base: &[Lf], arena: &mut LfArena) -> WinnowTrace {
-        // Base deduplication by id; each row borrows the caller's tree.
+    /// The check families are the memoized [`IdChecks`] engine — each
+    /// distinct subterm is judged once per family, ever, with the verdict
+    /// cached in the arena — and every set operation (base deduplication,
+    /// the distributivity preference's membership tests, the associativity
+    /// stage) is an id compare.  No boxed tree is touched, cloned or built;
+    /// survivors come back as ids.
+    ///
+    /// Produces stage counts identical to the boxed [`Winnower::winnow`]
+    /// oracle, and survivor ids that resolve to its survivor trees — pinned
+    /// by `tests/winnow_parity.rs` over all four RFC corpora.
+    pub fn winnow_ids(&self, base: &[LfId], arena: &mut LfArena) -> IdWinnowTrace {
+        // Base deduplication by id, first occurrence kept.
         let mut seen: HashSet<LfId> = HashSet::new();
-        let mut ids: Vec<LfId> = Vec::new();
-        let mut forms: Vec<&Lf> = Vec::new();
-        for lf in base {
-            let id = arena.intern_lf(lf);
-            if seen.insert(id) {
-                ids.push(id);
-                forms.push(lf);
-            }
-        }
+        let ids: Vec<LfId> = base.iter().copied().filter(|&id| seen.insert(id)).collect();
         let mut counts = [0usize; 6];
         counts[0] = ids.len();
 
-        let family = |checks: &[Check], keep: &[usize]| -> Vec<usize> {
-            let kept: Vec<usize> = keep
+        let checks = &self.id_checks;
+        let family = |arena: &mut LfArena,
+                      keep: &[LfId],
+                      passes: &dyn Fn(&mut LfArena, LfId) -> bool|
+         -> Vec<LfId> {
+            let kept: Vec<LfId> = keep
                 .iter()
                 .copied()
-                .filter(|&i| checks.iter().all(|c| c.passes(forms[i])))
+                .filter(|&id| passes(arena, id))
                 .collect();
             if kept.is_empty() {
                 keep.to_vec()
@@ -228,61 +242,71 @@ impl Winnower {
             }
         };
 
-        let all: Vec<usize> = (0..ids.len()).collect();
-        let after_type = family(&self.type_checks, &all);
+        let after_type = family(arena, &ids, &|a, id| checks.passes_type(a, id));
         counts[1] = after_type.len();
 
-        let after_arg = family(&self.arg_order_checks, &after_type);
+        let after_arg = family(arena, &after_type, &|a, id| checks.passes_arg_order(a, id));
         counts[2] = after_arg.len();
 
-        let after_pred = family(&self.pred_order_checks, &after_arg);
+        let after_pred = family(arena, &after_arg, &|a, id| checks.passes_pred_order(a, id));
         counts[3] = after_pred.len();
 
-        // Distributivity preference, with id-based membership tests.  A
-        // survivor is either a base form (kept by index) or a *new* grouped
-        // form that only exists in the arena.
-        enum Kept {
-            Base(usize),
-            Grouped(LfId),
-        }
-        let mut after_distrib: Vec<(LfId, Kept)> = Vec::new();
+        // Distributivity preference with id-set membership: a distributed
+        // reading is dropped when its grouped equivalent is (or will be)
+        // present, rewritten to the grouped form otherwise.  The memoized
+        // containment flag means the common no-pattern case never re-walks
+        // the tree.
+        let mut after_distrib: Vec<LfId> = Vec::new();
         let mut distrib_ids: HashSet<LfId> = HashSet::new();
-        let pred_ids: HashSet<LfId> = after_pred.iter().map(|&i| ids[i]).collect();
-        for &i in &after_pred {
-            if let Some(grouped) = distributed_assignment_interned(arena, ids[i]) {
+        let pred_ids: HashSet<LfId> = after_pred.iter().copied().collect();
+        for &id in &after_pred {
+            if checks.contains_distributed(arena, id) {
+                let grouped = distributed_assignment_interned(arena, id)
+                    .expect("containment flag implies a rewrite");
                 if pred_ids.contains(&grouped) || distrib_ids.contains(&grouped) {
                     continue;
                 }
                 distrib_ids.insert(grouped);
-                after_distrib.push((grouped, Kept::Grouped(grouped)));
-            } else if distrib_ids.insert(ids[i]) {
-                after_distrib.push((ids[i], Kept::Base(i)));
+                after_distrib.push(grouped);
+            } else if distrib_ids.insert(id) {
+                after_distrib.push(id);
             }
         }
         if after_distrib.is_empty() {
-            after_distrib = after_pred
-                .iter()
-                .map(|&i| (ids[i], Kept::Base(i)))
-                .collect();
+            after_distrib = after_pred;
         }
         counts[4] = after_distrib.len();
 
-        // Associativity: one representative per canonical id.  Only here are
-        // the surviving trees cloned / resolved.
+        // Associativity: one representative per canonical id.
         let mut canon_seen: HashSet<LfId> = HashSet::new();
-        let mut survivors: Vec<Lf> = Vec::new();
-        for (id, kept) in &after_distrib {
-            let c = arena.canonical(*id);
+        let mut survivors: Vec<LfId> = Vec::new();
+        for &id in &after_distrib {
+            let c = arena.canonical(id);
             if canon_seen.insert(c) {
-                survivors.push(match kept {
-                    Kept::Base(i) => forms[*i].clone(),
-                    Kept::Grouped(g) => arena.resolve(*g),
-                });
+                survivors.push(id);
             }
         }
         counts[5] = survivors.len();
 
-        WinnowTrace { counts, survivors }
+        IdWinnowTrace { counts, survivors }
+    }
+
+    /// [`Winnower::winnow`] on the interned representation: interns the
+    /// boxed forms, runs the id-native [`Winnower::winnow_ids`] engine, and
+    /// materializes only the survivors.  Produces a trace identical to the
+    /// boxed path; the batch pipeline's determinism test and the parity
+    /// suites pin that equivalence.
+    pub fn winnow_interned(&self, base: &[Lf], arena: &mut LfArena) -> WinnowTrace {
+        let ids: Vec<LfId> = base.iter().map(|lf| arena.intern_lf(lf)).collect();
+        let trace = self.winnow_ids(&ids, arena);
+        WinnowTrace {
+            counts: trace.counts,
+            survivors: trace
+                .survivors
+                .iter()
+                .map(|&id| arena.resolve(id))
+                .collect(),
+        }
     }
 }
 

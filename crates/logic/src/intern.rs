@@ -17,6 +17,7 @@
 
 use crate::lf::Lf;
 use crate::pred::PredName;
+use crate::types::{infer_atom_type, AtomType};
 use std::collections::HashMap;
 
 /// An interned string: a dense id into an [`Interner`].
@@ -27,6 +28,13 @@ impl Symbol {
     /// The raw index (dense, starting at 0, in interning order).
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Build a symbol from a raw index (crate-internal: used by
+    /// [`crate::pred::PredName::builtin_symbol`], whose indices are pinned
+    /// to the arena pre-seeding order by a unit test).
+    pub(crate) fn from_raw(index: u32) -> Symbol {
+        Symbol(index)
     }
 }
 
@@ -107,12 +115,28 @@ pub enum LfNode {
 }
 
 /// Hash-consed arena of logical forms with an embedded string interner.
+///
+/// Beyond storage, the arena carries the **per-node memo tables** of the
+/// memoized check engine: the semantic type and numeric value of leaves
+/// (keyed by [`Symbol`]), the canonical-form id of every node, a subtree
+/// predicate-containment bitmask, and one violation-bitset plane per
+/// disambiguation check family (keyed by [`LfId`]).  All of these are sound
+/// to cache forever because the arena hash-conses: a node is immutable once
+/// inserted, ids are never reused, and equal subtrees share one id — so a
+/// memoized fact about `LfId` holds for every occurrence of that subtree
+/// across all logical forms, sentences and (within one worker) corpora.
 #[derive(Debug, Clone)]
 pub struct LfArena {
     interner: Interner,
     nodes: Vec<LfNode>,
     dedup: HashMap<LfNode, u32>,
     canonical: HashMap<LfId, LfId>,
+    atom_types: HashMap<Symbol, AtomType>,
+    atom_numbers: HashMap<Symbol, Option<i64>>,
+    pred_masks: Vec<Option<u64>>,
+    verdicts: Vec<Vec<Option<u64>>>,
+    verdict_hits: u64,
+    verdict_misses: u64,
 }
 
 impl Default for LfArena {
@@ -135,6 +159,12 @@ impl LfArena {
             nodes: Vec::new(),
             dedup: HashMap::new(),
             canonical: HashMap::new(),
+            atom_types: HashMap::new(),
+            atom_numbers: HashMap::new(),
+            pred_masks: Vec::new(),
+            verdicts: Vec::new(),
+            verdict_hits: 0,
+            verdict_misses: 0,
         }
     }
 
@@ -313,6 +343,129 @@ impl LfArena {
         }
         kept
     }
+
+    // ---- per-node memo tables (the memoized check engine's storage) -------
+
+    /// The semantic type of a node, memoized per leaf symbol: numbers are
+    /// constants, predicates are untyped (`None`), atoms classify through
+    /// [`infer_atom_type`] exactly once per distinct symbol.  The interned
+    /// counterpart of [`crate::types::infer_lf_type`].
+    pub fn type_of(&mut self, id: LfId) -> Option<AtomType> {
+        match &self.nodes[id.index()] {
+            LfNode::Num(_) => Some(AtomType::Constant),
+            LfNode::Pred(..) => None,
+            LfNode::Atom(sym) => {
+                let sym = *sym;
+                if let Some(&t) = self.atom_types.get(&sym) {
+                    return Some(t);
+                }
+                let t = infer_atom_type(self.interner.resolve(sym));
+                self.atom_types.insert(sym, t);
+                Some(t)
+            }
+        }
+    }
+
+    /// The numeric value of a node, memoized per atom symbol — the interned
+    /// counterpart of [`Lf::as_number`]: number leaves directly, atoms whose
+    /// trimmed text parses as `i64`, and unary `@Num(...)` wrappers.
+    pub fn number_of(&mut self, id: LfId) -> Option<i64> {
+        match &self.nodes[id.index()] {
+            LfNode::Num(n) => Some(*n),
+            LfNode::Atom(sym) => {
+                let sym = *sym;
+                if let Some(&n) = self.atom_numbers.get(&sym) {
+                    return n;
+                }
+                let n = self.interner.resolve(sym).trim().parse::<i64>().ok();
+                self.atom_numbers.insert(sym, n);
+                n
+            }
+            LfNode::Pred(sym, args) => {
+                let num_sym = PredName::Num.builtin_symbol().expect("builtin");
+                if *sym == num_sym && args.len() == 1 {
+                    let child = args[0];
+                    self.number_of(child)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Bitmask of the predicate-head symbols occurring anywhere in the
+    /// subtree rooted at `id`, memoized per node.  Symbols with index < 63
+    /// get their own bit (exact — in particular every builtin predicate);
+    /// rarer high-index heads share the overflow bit 63.  This answers the
+    /// `contains_pred` queries of the ordering checks in O(1) after the
+    /// first visit.
+    pub fn pred_mask(&mut self, id: LfId) -> u64 {
+        if let Some(Some(m)) = self.pred_masks.get(id.index()) {
+            return *m;
+        }
+        let mask = match &self.nodes[id.index()] {
+            LfNode::Atom(_) | LfNode::Num(_) => 0,
+            LfNode::Pred(sym, args) => {
+                let (sym, args) = (*sym, args.clone());
+                let mut m = Self::sym_bit(sym);
+                for a in args {
+                    m |= self.pred_mask(a);
+                }
+                m
+            }
+        };
+        if self.pred_masks.len() <= id.index() {
+            self.pred_masks.resize(self.nodes.len(), None);
+        }
+        self.pred_masks[id.index()] = Some(mask);
+        mask
+    }
+
+    fn sym_bit(sym: Symbol) -> u64 {
+        if sym.index() < 63 {
+            1u64 << sym.index()
+        } else {
+            1u64 << 63
+        }
+    }
+
+    /// Read a memoized verdict bitset for `(family, id)`.  Families are
+    /// small dense indices chosen by the check engine; a plane is grown on
+    /// first write.  Returns `None` when the verdict has not been computed
+    /// yet.
+    pub fn verdict_get(&mut self, family: usize, id: LfId) -> Option<u64> {
+        let v = self
+            .verdicts
+            .get(family)
+            .and_then(|plane| plane.get(id.index()))
+            .copied()
+            .flatten();
+        if v.is_some() {
+            self.verdict_hits += 1;
+        }
+        v
+    }
+
+    /// Record the verdict bitset for `(family, id)`.  Sound to keep forever:
+    /// hash-consed nodes are immutable and ids are never reused.
+    pub fn verdict_set(&mut self, family: usize, id: LfId, bits: u64) {
+        if self.verdicts.len() <= family {
+            self.verdicts.resize_with(family + 1, Vec::new);
+        }
+        let plane = &mut self.verdicts[family];
+        if plane.len() <= id.index() {
+            plane.resize(self.nodes.len().max(id.index() + 1), None);
+        }
+        plane[id.index()] = Some(bits);
+        self.verdict_misses += 1;
+    }
+
+    /// `(hits, misses)` of the verdict memo — hits are reads answered from a
+    /// plane, misses are verdicts computed and stored.  Over a corpus with
+    /// repeated sub-structure the hit count should dominate.
+    pub fn verdict_stats(&self) -> (u64, u64) {
+        (self.verdict_hits, self.verdict_misses)
+    }
 }
 
 #[cfg(test)]
@@ -428,6 +581,76 @@ mod tests {
                 "disagreement on ({ta}, {tb})"
             );
         }
+    }
+
+    #[test]
+    fn type_and_number_memos_agree_with_boxed_inference() {
+        use crate::lf::Lf as BoxedLf;
+        use crate::types::infer_lf_type;
+        let mut arena = LfArena::new();
+        for text in [
+            "'checksum'",
+            "'compute'",
+            "'3'",
+            "@Num(-7)",
+            "@Num('8')",
+            "@Is('checksum', @Num(0))",
+            "'bfd.SessionState'",
+        ] {
+            let lf = crate::parse::parse_lf(text).unwrap();
+            let id = arena.intern_lf(&lf);
+            assert_eq!(arena.type_of(id), infer_lf_type(&lf), "type_of({text})");
+            assert_eq!(
+                arena.number_of(id),
+                BoxedLf::as_number(&lf),
+                "number_of({text})"
+            );
+            // Second query answers from the memo and must agree.
+            assert_eq!(arena.type_of(id), infer_lf_type(&lf));
+            assert_eq!(arena.number_of(id), BoxedLf::as_number(&lf));
+        }
+    }
+
+    #[test]
+    fn pred_mask_answers_containment_queries() {
+        let mut arena = LfArena::new();
+        let lf = parse_lf("@If(@Is('code', @Num(0)), @May(@Is('identifier', @Num(0))))").unwrap();
+        let id = arena.intern_lf(&lf);
+        for (pred, expect) in [
+            (PredName::If, true),
+            (PredName::Is, true),
+            (PredName::May, true),
+            (PredName::Must, false),
+            (PredName::AdvBefore, false),
+        ] {
+            let sym = pred.builtin_symbol().unwrap();
+            let contained = arena.pred_mask(id) & (1u64 << sym.index()) != 0;
+            assert_eq!(
+                contained,
+                lf.contains_pred(&pred),
+                "containment of {pred:?}"
+            );
+            assert_eq!(contained, expect);
+        }
+        // A leaf contains no predicates.
+        let leaf = arena.atom("checksum");
+        assert_eq!(arena.pred_mask(leaf), 0);
+    }
+
+    #[test]
+    fn verdict_planes_store_and_count() {
+        let mut arena = LfArena::new();
+        let id = arena.atom("x");
+        assert_eq!(arena.verdict_get(0, id), None);
+        arena.verdict_set(0, id, 0b101);
+        assert_eq!(arena.verdict_get(0, id), Some(0b101));
+        // A different family is an independent plane.
+        assert_eq!(arena.verdict_get(3, id), None);
+        arena.verdict_set(3, id, 0);
+        assert_eq!(arena.verdict_get(3, id), Some(0));
+        let (hits, misses) = arena.verdict_stats();
+        assert_eq!(hits, 2);
+        assert_eq!(misses, 2);
     }
 
     #[test]

@@ -111,6 +111,47 @@ impl PredName {
         interner.intern(self.name())
     }
 
+    /// The [`Symbol`] every [`crate::intern::LfArena`] assigns to a builtin
+    /// predicate, or `None` for [`PredName::Custom`].
+    ///
+    /// Arenas pre-seed their interner with [`PredName::BUILTIN_NAMES`] in
+    /// declaration order, so a builtin's symbol is its position in that list
+    /// — identical across arenas and available without touching one.  The
+    /// id-native check engine leans on this to compare predicate heads with
+    /// plain integer equality.
+    pub fn builtin_symbol(&self) -> Option<Symbol> {
+        let index = match self {
+            PredName::Is => 0,
+            PredName::And => 1,
+            PredName::Or => 2,
+            PredName::Not => 3,
+            PredName::If => 4,
+            PredName::Of => 5,
+            PredName::Action => 6,
+            PredName::Num => 7,
+            PredName::Str => 8,
+            PredName::AdvBefore => 9,
+            PredName::AdvAfter => 10,
+            PredName::AdvComment => 11,
+            PredName::StartsWith => 12,
+            PredName::Compare => 13,
+            PredName::Update => 14,
+            PredName::Seq => 15,
+            PredName::Field => 16,
+            PredName::From => 17,
+            PredName::Must => 18,
+            PredName::May => 19,
+            PredName::Send => 20,
+            PredName::Discard => 21,
+            PredName::Select => 22,
+            PredName::Cease => 23,
+            PredName::Reverse => 24,
+            PredName::Recompute => 25,
+            PredName::Custom(_) => return None,
+        };
+        Some(Symbol::from_raw(index))
+    }
+
     /// Rebuild a predicate name from an interned symbol.
     pub fn from_symbol(sym: Symbol, interner: &Interner) -> PredName {
         PredName::from_name(interner.resolve(sym))
@@ -486,6 +527,20 @@ mod tests {
     fn condition_context_classification() {
         assert!(PredName::If.is_condition_context());
         assert!(!PredName::And.is_condition_context());
+    }
+
+    #[test]
+    fn builtin_symbols_match_arena_preseeding() {
+        let arena = crate::intern::LfArena::new();
+        for name in PredName::BUILTIN_NAMES {
+            let p = PredName::from_name(name);
+            assert_eq!(
+                p.builtin_symbol(),
+                arena.interner().get(name),
+                "builtin_symbol disagrees with the arena interner for {name}"
+            );
+        }
+        assert_eq!(PredName::Custom("X".into()).builtin_symbol(), None);
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! variable, and so on.  The type checks in `sage-disambig` consult these
 //! classifications.
 
-use crate::intern::{Interner, Symbol};
+use crate::intern::{Interner, LfArena, LfId, LfNode, Symbol};
 use crate::lf::Lf;
+use crate::pred::PredName;
 use std::collections::HashMap;
 
 /// Coarse semantic categories for LF leaves.
@@ -299,6 +300,48 @@ pub fn valid_function_name(lf: &Lf) -> bool {
     }
 }
 
+// ---- interned entry points --------------------------------------------------
+//
+// The id-native check engine types arena nodes without materialising boxed
+// trees.  All three functions cache through the arena's per-symbol memo
+// tables (one word-list scan per *distinct* atom, ever) instead of the
+// per-call `HashMap` a fresh `TypeCache` would rebuild.
+
+/// Interned counterpart of [`infer_lf_type`]: classify an arena node,
+/// memoized through the arena ([`LfArena::type_of`]).
+pub fn infer_type_interned(arena: &mut LfArena, id: LfId) -> Option<AtomType> {
+    arena.type_of(id)
+}
+
+/// Interned counterpart of [`assignable`]: fields, state variables and other
+/// noun phrases can head an `@Is`, constants cannot, and `@Of`/`@Field`
+/// references are assignable.
+pub fn assignable_interned(arena: &mut LfArena, id: LfId) -> bool {
+    match arena.type_of(id) {
+        Some(AtomType::Constant) => false,
+        Some(_) => true,
+        None => match arena.node(id) {
+            LfNode::Pred(sym, _) => {
+                let of = PredName::Of.builtin_symbol().expect("builtin");
+                let field = PredName::Field.builtin_symbol().expect("builtin");
+                *sym == of || *sym == field
+            }
+            _ => false,
+        },
+    }
+}
+
+/// Interned counterpart of [`valid_function_name`].
+pub fn valid_function_name_interned(arena: &mut LfArena, id: LfId) -> bool {
+    match arena.node(id) {
+        LfNode::Num(_) | LfNode::Pred(..) => false,
+        LfNode::Atom(_) => matches!(
+            arena.type_of(id),
+            Some(AtomType::Function) | Some(AtomType::Other)
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -365,6 +408,34 @@ mod tests {
             assert_eq!(cache.infer(sym, &interner), infer_atom_type(atom));
         }
         assert_eq!(cache.len(), 6);
+    }
+
+    #[test]
+    fn interned_entry_points_agree_with_boxed_helpers() {
+        let mut arena = LfArena::new();
+        let cases = [
+            Lf::atom("checksum"),
+            Lf::atom("compute"),
+            Lf::atom("3"),
+            Lf::num(0),
+            Lf::atom("bfd.SessionState"),
+            Lf::is(Lf::atom("a"), Lf::atom("b")),
+            Lf::Pred(
+                PredName::Of,
+                vec![Lf::atom("checksum"), Lf::atom("icmp message")],
+            ),
+            Lf::Pred(PredName::Field, vec![Lf::atom("icmp"), Lf::atom("type")]),
+        ];
+        for lf in &cases {
+            let id = arena.intern_lf(lf);
+            assert_eq!(infer_type_interned(&mut arena, id), infer_lf_type(lf));
+            assert_eq!(assignable_interned(&mut arena, id), assignable(lf), "{lf}");
+            assert_eq!(
+                valid_function_name_interned(&mut arena, id),
+                valid_function_name(lf),
+                "{lf}"
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,39 @@ fn mixed_four_protocol_batch_is_byte_identical_across_worker_counts() {
 }
 
 #[test]
+fn oversubscribed_worker_counts_are_capped_and_byte_identical() {
+    // Requesting far more workers than the machine has cores must neither
+    // change the report (merging is by corpus index) nor actually spawn the
+    // requested threads: the effective count is capped at the available
+    // parallelism, which is what fixed the 1-worker-faster-than-8 scaling
+    // regression on single-core containers.
+    let sage = Sage::default();
+    let items = BatchItem::from_document(&Protocol::Icmp.document());
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let baseline = BatchPipeline::new(&sage)
+        .with_workers(1)
+        .run(&items)
+        .render();
+    for requested in [2usize, 8, 64, 1024] {
+        let pipeline = BatchPipeline::new(&sage).with_workers(requested);
+        assert!(
+            pipeline.effective_workers(items.len()) <= avail,
+            "{requested} workers must cap at the {avail} available cores"
+        );
+        assert!(pipeline.effective_workers(items.len()) <= requested);
+        assert_eq!(
+            pipeline.run(&items).render(),
+            baseline,
+            "report at {requested} requested workers diverged from 1 worker"
+        );
+    }
+    // The default construction also respects the cap.
+    assert!(BatchPipeline::new(&sage).effective_workers(items.len()) <= avail);
+}
+
+#[test]
 fn repeated_runs_are_byte_identical() {
     let sage = Sage::default();
     let items = BatchItem::from_sentences(
