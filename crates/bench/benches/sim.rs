@@ -1,0 +1,31 @@
+//! Criterion benchmarks for the discrete-event simulation kernel: every
+//! registered scenario (reference and generated) on every library topology.
+//!
+//! Benchmark ids follow `sim_sweep/<scenario>/<topology>`, matching the
+//! ids `eval-sweep --json` records in `BENCH_sim.json`, so the CI
+//! bench-drift step can diff a fresh run of this bench against the
+//! committed baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_core::sweep::full_registry;
+use sage_netsim::scenario::run_scenario_on;
+use sage_netsim::sim::Topology;
+
+fn bench_sim_sweep(c: &mut Criterion) {
+    let registry = full_registry();
+    let topologies = Topology::library();
+    let mut group = c.benchmark_group("sim_sweep");
+    group.sample_size(20);
+    for scenario in registry.scenarios() {
+        for topology in &topologies {
+            let id = format!("{}/{}", scenario.name(), topology.name);
+            group.bench_function(id.as_str(), |b| {
+                b.iter(|| run_scenario_on(scenario.as_ref(), topology.clone()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_sweep);
+criterion_main!(benches);

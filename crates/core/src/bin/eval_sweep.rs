@@ -1,0 +1,91 @@
+//! `eval-sweep`: run every registered scenario on every library topology.
+//!
+//! ```text
+//! cargo run -p sage-core --release --bin eval-sweep [-- flags]
+//!
+//!   --smoke        quick CI mode: Appendix-A topology only, no timing loop
+//!   --workers N    worker threads (default: available parallelism)
+//!   --json PATH    also write a sage-bench-baseline/v1 document to PATH
+//! ```
+//!
+//! Prints the sweep grid and exits nonzero if any cell fails a check.
+
+use sage_core::sweep::{full_registry, run_sweep};
+use sage_netsim::sim::Topology;
+
+/// Timed repeats per cell when recording a baseline (`--json`); the grid
+/// cells are microsecond-scale, so single-shot timings are all jitter.
+const BASELINE_ITERATIONS: u32 = 64;
+
+fn main() {
+    let mut smoke = false;
+    let mut workers: Option<usize> = None;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse() {
+                    Ok(n) => workers = Some(n),
+                    Err(_) => {
+                        eprintln!("eval-sweep: --workers needs a number, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("eval-sweep: --json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "eval-sweep: unknown flag '{other}' (try --smoke, --workers N, --json PATH)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let registry = full_registry();
+    let topologies = if smoke {
+        vec![Topology::appendix_a()]
+    } else {
+        Topology::library()
+    };
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    let iterations = if smoke { 0 } else { BASELINE_ITERATIONS };
+    let report = run_sweep(&registry, &topologies, workers, iterations);
+    print!("{}", report.render());
+
+    if let Some(path) = json_path {
+        let note = format!(
+            "Discrete-event kernel sweep baseline: {} scenarios x {} topologies, \
+             {} timing iterations/cell; produced by cargo run -p sage-core --release \
+             --bin eval-sweep -- --json {path} (single-CPU container, shim harness).",
+            registry.len(),
+            topologies.len(),
+            iterations,
+        );
+        match std::fs::write(&path, report.to_baseline_json(&note)) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("eval-sweep: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if !report.all_ok() {
+        eprintln!("eval-sweep: {} cell(s) failed", report.failed_cells().len());
+        std::process::exit(1);
+    }
+}

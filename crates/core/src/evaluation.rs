@@ -549,81 +549,48 @@ pub struct EndToEndRow {
     pub packets: usize,
 }
 
-/// Run every protocol's generated program through its end-to-end scenario —
-/// the §6.2 ICMP experiments plus the generality scenarios (§6.3 IGMP and
-/// NTP, §6.4 BFD) — dispatching each program through one shared
-/// [`ResponderRegistry`](sage_interp::ResponderRegistry).
+/// Run every protocol's generated program through its end-to-end scenario
+/// on the discrete-event kernel — the §6.2 ICMP experiments plus the
+/// generality scenarios (§6.3 IGMP and NTP, §6.4 BFD) — dispatching each
+/// program through one shared
+/// [`ResponderRegistry`](sage_interp::ResponderRegistry) and the
+/// [`Scenario`](sage_netsim::Scenario) registry built over it.
 pub fn end_to_end_summary() -> Vec<EndToEndRow> {
     use crate::programs::generate_program;
-    use sage_interp::ResponderRegistry;
-    use sage_netsim::headers::{bfd, ntp};
-    use sage_netsim::tools::{bfd_session, igmp as igmp_tool, ntp_exchange};
+    use sage_interp::{generated_scenarios, ResponderRegistry};
+    use sage_netsim::scenario::run_scenario;
 
     let mut registry = ResponderRegistry::new();
     for protocol in Protocol::all() {
         registry.register(protocol.name(), generate_program(protocol));
     }
     let mut rows = Vec::new();
-
-    // ICMP: ping / traceroute / tcpdump (§6.2).
-    let icmp_result = crate::icmp::icmp_end_to_end(registry.program("ICMP").expect("registered"));
-    rows.push(EndToEndRow {
-        protocol: "ICMP",
-        scenario: "ping/traceroute/tcpdump (Appendix A)",
-        ok: icmp_result.all_ok(),
-        packets: icmp_result.packets_checked,
-    });
-
-    // IGMP: membership query/report (§6.3).
-    let group = ipv4::addr(224, 0, 0, 251);
-    let mut igmp_host = registry.igmp_responder(group).expect("registered");
-    let igmp_report = igmp_tool::membership_exchange(&Network::appendix_a(), &mut igmp_host, group);
-    rows.push(EndToEndRow {
-        protocol: "IGMP",
-        scenario: "membership query/report",
-        ok: igmp_report.all_ok() && igmp_host.errors.is_empty(),
-        packets: igmp_report.packets.len(),
-    });
-
-    // NTP: the Table 11 timeout rule driving a client/server exchange (§6.3).
-    let mut policy = registry.ntp_timeout_policy().expect("registered");
-    let mut server = registry.ntp_server(2, 0x8000_0000).expect("registered");
-    let peer = ntp::PeerVariables {
-        timer: 64,
-        threshold: 64,
-        mode: ntp::mode::CLIENT,
-    };
-    let ntp_report = ntp_exchange::client_server_exchange(
-        &mut Network::appendix_a(),
-        &mut policy,
-        &mut server,
-        &peer,
-        0xDEAD_BEEF,
-    );
-    rows.push(EndToEndRow {
-        protocol: "NTP",
-        scenario: "timeout-triggered client/server exchange",
-        ok: ntp_report.all_ok() && policy.errors.is_empty() && server.errors.is_empty(),
-        packets: ntp_report.packets.len(),
-    });
-
-    // BFD: session bring-up, Down -> Init -> Up (§6.4).
-    let mut a = registry.bfd_endpoint(7, 9).expect("registered");
-    let mut b = registry.bfd_endpoint(9, 7).expect("registered");
-    let bfd_report = bfd_session::session_bring_up(&mut a, &mut b, 4);
-    let handshake_ok = bfd_report.b_state_path()
-        == vec![
-            bfd::SessionState::Down,
-            bfd::SessionState::Init,
-            bfd::SessionState::Up,
-        ];
-    rows.push(EndToEndRow {
-        protocol: "BFD",
-        scenario: "session bring-up (Down -> Init -> Up)",
-        ok: bfd_report.all_ok() && handshake_ok && a.errors.is_empty() && b.errors.is_empty(),
-        packets: bfd_report.packets.len(),
-    });
-
+    for scenario in generated_scenarios(&registry).scenarios() {
+        let run = run_scenario(scenario.as_ref());
+        let (protocol, label, extra_ok) = match run.protocol.as_str() {
+            // ICMP keeps the full §6.2 battery (traceroute, tcpdump,
+            // error stimuli) alongside the kernel echo exchange.
+            "icmp" => {
+                let result =
+                    crate::icmp::icmp_end_to_end(registry.program("ICMP").expect("registered"));
+                (
+                    "ICMP",
+                    "ping on the event kernel + traceroute",
+                    result.all_ok(),
+                )
+            }
+            "igmp" => ("IGMP", "membership query/report on the kernel", true),
+            "ntp" => ("NTP", "timeout-triggered exchange on the kernel", true),
+            "bfd" => ("BFD", "session bring-up (Down -> Init -> Up)", true),
+            _ => ("?", "unknown scenario", false),
+        };
+        rows.push(EndToEndRow {
+            protocol,
+            scenario: label,
+            ok: run.ok() && extra_ok,
+            packets: run.originated(),
+        });
+    }
     rows
 }
 

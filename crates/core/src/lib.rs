@@ -21,6 +21,7 @@ pub mod evaluation;
 pub mod icmp;
 pub mod pipeline;
 pub mod programs;
+pub mod sweep;
 
 pub use batch::{BatchItem, BatchPipeline, BatchReport, StageReport};
 pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
@@ -30,3 +31,4 @@ pub use pipeline::{
 pub use programs::{
     generate_bfd_program, generate_igmp_program, generate_ntp_program, generate_program,
 };
+pub use sweep::{full_registry, run_sweep, SweepCell, SweepReport};

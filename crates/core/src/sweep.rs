@@ -1,0 +1,386 @@
+//! The evaluation sweep: every registered scenario run on every library
+//! topology, in parallel, with per-cell metrics.
+//!
+//! This is the §6 evaluation harness generalised from "one driver per
+//! protocol on the Appendix-A network" to a grid: the [`Scenario`]
+//! registry (reference responders plus the four generated programs)
+//! crossed with [`Topology::library()`].  Each cell boots a fresh
+//! discrete-event [`Sim`](sage_netsim::Sim), so cells are independent and
+//! the grid is embarrassingly parallel; the worker pool reuses the
+//! chunked-atomic-cursor idiom of [`BatchPipeline`](crate::BatchPipeline)
+//! (claim a small run of adjacent cells, write results into per-index
+//! slots, merge by index) so the report is byte-identical at every worker
+//! count.
+//!
+//! [`Scenario`]: sage_netsim::Scenario
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sage_interp::{generated_scenarios, ResponderRegistry};
+use sage_netsim::scenario::{reference_scenarios, run_scenario_on, ScenarioRegistry};
+use sage_netsim::sim::Topology;
+use sage_spec::corpus::Protocol;
+
+use crate::programs::generate_program;
+
+/// The full scenario registry the sweep runs: the four reference scenarios
+/// (hand-written responders, the interoperation oracle of §6.2) plus the
+/// four generated ones (SAGE-produced programs for ICMP, IGMP, NTP, BFD).
+pub fn full_registry() -> ScenarioRegistry {
+    let mut responders = ResponderRegistry::new();
+    for protocol in Protocol::all() {
+        responders.register(protocol.name(), generate_program(protocol));
+    }
+    let mut registry = reference_scenarios();
+    for scenario in generated_scenarios(&responders).scenarios() {
+        registry.register(scenario.clone());
+    }
+    registry
+}
+
+/// One scenario × topology cell of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Scenario name, e.g. `ping/reference`.
+    pub scenario: String,
+    /// Protocol the scenario exercises (`icmp`, `igmp`, `ntp`, `bfd`).
+    pub protocol: String,
+    /// Topology name, e.g. `mesh10`.
+    pub topology: String,
+    /// Every scenario check passed.
+    pub ok: bool,
+    /// Names of the checks that failed (empty when `ok`).
+    pub failures: Vec<&'static str>,
+    /// Events the kernel processed.
+    pub events: usize,
+    /// Packets delivered to a node's handler.
+    pub delivered: usize,
+    /// Packets originated by endpoint handlers (the on-the-wire exchange).
+    pub originated: usize,
+    /// Virtual duration of the run in nanoseconds.
+    pub virtual_ns: u64,
+    /// FNV-1a digest of the rendered event trace; equal digests mean
+    /// byte-identical traces, which is how the determinism tests compare
+    /// sweeps across worker counts without keeping every trace alive.
+    pub trace_digest: u64,
+    /// Wall-clock nanoseconds per simulation of this cell (averaged over
+    /// [`SweepReport::iterations`] repeats).  The only non-deterministic
+    /// field.
+    pub wall_ns_per_iter: f64,
+}
+
+impl SweepCell {
+    /// The cell's benchmark id, `sim_sweep/<scenario>/<topology>`.
+    pub fn bench_id(&self) -> String {
+        format!("sim_sweep/{}/{}", self.scenario, self.topology)
+    }
+
+    /// The deterministic portion of the cell — everything except the
+    /// wall-clock timing.  Two sweeps agree iff these agree cell-by-cell.
+    pub fn deterministic_view(&self) -> (&str, &str, bool, usize, usize, usize, u64, u64) {
+        (
+            self.scenario.as_str(),
+            self.topology.as_str(),
+            self.ok,
+            self.events,
+            self.delivered,
+            self.originated,
+            self.virtual_ns,
+            self.trace_digest,
+        )
+    }
+}
+
+/// Result of a sweep: cells in scenario-major, topology-minor order —
+/// the enumeration order, never the completion order.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One cell per scenario × topology pair, in grid order.
+    pub cells: Vec<SweepCell>,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Timed repeats behind each cell's `wall_ns_per_iter`.
+    pub iterations: u32,
+}
+
+impl SweepReport {
+    /// True when every cell passed all its checks.
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.ok)
+    }
+
+    /// The cells that failed at least one check.
+    pub fn failed_cells(&self) -> Vec<&SweepCell> {
+        self.cells.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// Render the grid as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:<11} {:>3}  {:>6} {:>9} {:>10} {:>12} {:>12}\n",
+            "scenario",
+            "topology",
+            "ok",
+            "events",
+            "delivered",
+            "originated",
+            "virtual_ns",
+            "wall_ns"
+        ));
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "{:<16} {:<11} {:>3}  {:>6} {:>9} {:>10} {:>12} {:>12.0}\n",
+                cell.scenario,
+                cell.topology,
+                if cell.ok { "ok" } else { "FAIL" },
+                cell.events,
+                cell.delivered,
+                cell.originated,
+                cell.virtual_ns,
+                cell.wall_ns_per_iter,
+            ));
+            for failure in &cell.failures {
+                out.push_str(&format!("    failed check: {failure}\n"));
+            }
+        }
+        let failed = self.cells.iter().filter(|c| !c.ok).count();
+        out.push_str(&format!(
+            "{} cells, {} passed, {} failed ({} workers, {} timing iterations/cell)\n",
+            self.cells.len(),
+            self.cells.len() - failed,
+            failed,
+            self.workers,
+            self.iterations,
+        ));
+        out
+    }
+
+    /// Serialise the sweep as a `sage-bench-baseline/v1` document, the same
+    /// schema as the committed `BENCH_*.json` files, so the CI bench-drift
+    /// step can diff a fresh `--bench sim` run against it.
+    pub fn to_baseline_json(&self, note: &str) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"sage-bench-baseline/v1\",\n");
+        out.push_str(&format!("  \"note\": \"{}\",\n", json_escape(note)));
+        out.push_str("  \"benchmarks\": {\n    \"sim_sweep\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            let total_ns = cell.wall_ns_per_iter * f64::from(self.iterations);
+            out.push_str(&format!(
+                "      {{\n        \"id\": \"{}\",\n        \"iterations\": {},\n        \"total_ns\": {:.0},\n        \"ns_per_iter\": {:.1}\n      }}{}\n",
+                json_escape(&cell.bench_id()),
+                self.iterations,
+                total_ns,
+                cell.wall_ns_per_iter,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// FNV-1a over a byte string; a stable digest (unlike `DefaultHasher`,
+/// whose algorithm the standard library does not pin across releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The machine's available parallelism (1 when unknown).
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// How many cells a worker claims per atomic-cursor increment (same
+/// contention argument as the batch pipeline's `claim_chunk`).
+fn claim_chunk(items: usize, workers: usize) -> usize {
+    (items / (workers * 8).max(1)).clamp(1, 16)
+}
+
+/// Run one cell: simulate once for the metrics and trace, then time
+/// `iterations` further runs for the wall-clock figure.
+fn run_cell(
+    scenario: &dyn sage_netsim::Scenario,
+    topology: &Topology,
+    iterations: u32,
+) -> SweepCell {
+    let run = run_scenario_on(scenario, topology.clone());
+    let start = Instant::now();
+    for _ in 0..iterations {
+        std::hint::black_box(run_scenario_on(scenario, topology.clone()));
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    SweepCell {
+        scenario: run.scenario.clone(),
+        protocol: run.protocol.clone(),
+        topology: run.topology.clone(),
+        ok: run.ok(),
+        failures: run.outcome.failures(),
+        events: run.event_count(),
+        delivered: run.delivered(),
+        originated: run.originated(),
+        virtual_ns: run.duration_ns(),
+        trace_digest: fnv1a(run.trace.render().as_bytes()),
+        wall_ns_per_iter: elapsed / f64::from(iterations.max(1)),
+    }
+}
+
+/// Run every scenario in `registry` on every topology in `topologies`,
+/// sharing the grid across `workers` threads.
+///
+/// Each worker claims chunks of adjacent cells off an atomic cursor and
+/// writes finished cells into per-index slots; the report merges slots in
+/// grid order, so the output is independent of worker count and
+/// scheduling.  A single worker runs inline without spawning.
+pub fn run_sweep(
+    registry: &ScenarioRegistry,
+    topologies: &[Topology],
+    workers: usize,
+    iterations: u32,
+) -> SweepReport {
+    let grid: Vec<(usize, usize)> = (0..registry.len())
+        .flat_map(|s| (0..topologies.len()).map(move |t| (s, t)))
+        .collect();
+    let workers = workers.min(available_workers()).min(grid.len()).max(1);
+    let scenarios = registry.scenarios();
+    if workers == 1 {
+        let cells = grid
+            .iter()
+            .map(|&(s, t)| run_cell(scenarios[s].as_ref(), &topologies[t], iterations))
+            .collect();
+        return SweepReport {
+            cells,
+            workers: 1,
+            iterations,
+        };
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<SweepCell>>> = grid.iter().map(|_| Mutex::new(None)).collect();
+    let chunk = claim_chunk(grid.len(), workers);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let (cursor, slots, grid) = (&cursor, &slots, &grid);
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= grid.len() {
+                    break;
+                }
+                for i in start..grid.len().min(start + chunk) {
+                    let (s, t) = grid[i];
+                    let cell = run_cell(scenarios[s].as_ref(), &topologies[t], iterations);
+                    *slots[i].lock().expect("sweep slot lock") = Some(cell);
+                }
+            });
+        }
+    });
+    let cells = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot lock")
+                .expect("every cell simulated")
+        })
+        .collect();
+    SweepReport {
+        cells,
+        workers,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_holds_reference_and_generated_scenarios() {
+        let registry = full_registry();
+        assert_eq!(registry.len(), 8);
+        for name in [
+            "ping/reference",
+            "igmp/reference",
+            "ntp/reference",
+            "bfd/reference",
+            "ping/generated",
+            "igmp/generated",
+            "ntp/generated",
+            "bfd/generated",
+        ] {
+            assert!(registry.find(name).is_some(), "missing scenario {name}");
+        }
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_every_cell_passes() {
+        let registry = full_registry();
+        let topologies = Topology::library();
+        let report = run_sweep(&registry, &topologies, 4, 1);
+        assert_eq!(report.cells.len(), registry.len() * topologies.len());
+        assert!(report.cells.len() >= 20, "acceptance floor: >= 20 cells");
+        for cell in &report.cells {
+            assert!(
+                cell.ok,
+                "{}/{} failed: {:?}",
+                cell.scenario, cell.topology, cell.failures
+            );
+            assert!(
+                cell.originated >= 1,
+                "{} originated no packets",
+                cell.bench_id()
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_invariant_under_worker_count() {
+        let registry = full_registry();
+        let topologies = vec![Topology::appendix_a(), Topology::line(3)];
+        let one = run_sweep(&registry, &topologies, 1, 0);
+        let many = run_sweep(&registry, &topologies, 8, 0);
+        let det = |r: &SweepReport| {
+            r.cells
+                .iter()
+                .map(|c| {
+                    let (sc, topo, ok, ev, de, or, vn, dig) = c.deterministic_view();
+                    (sc.to_string(), topo.to_string(), ok, ev, de, or, vn, dig)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(det(&one), det(&many));
+    }
+
+    #[test]
+    fn baseline_json_lists_every_cell_once() {
+        let registry = full_registry();
+        let topologies = vec![Topology::appendix_a()];
+        let report = run_sweep(&registry, &topologies, 1, 1);
+        let json = report.to_baseline_json("test note");
+        assert!(json.contains("\"schema\": \"sage-bench-baseline/v1\""));
+        assert_eq!(json.matches("sim_sweep/").count(), report.cells.len());
+        assert!(json.contains("sim_sweep/ping/reference/appendix_a"));
+    }
+}

@@ -27,6 +27,6 @@ pub mod responder;
 pub use env::Env;
 pub use exec::{eval_expr, exec_function, exec_stmt, ExecError};
 pub use responder::{
-    BfdGeneratedReceiver, GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer,
-    GeneratedNtpTimeoutPolicy, GeneratedResponder, ResponderRegistry,
+    generated_scenarios, BfdGeneratedReceiver, GeneratedBfdEndpoint, GeneratedIgmpResponder,
+    GeneratedNtpServer, GeneratedNtpTimeoutPolicy, GeneratedResponder, ResponderRegistry,
 };

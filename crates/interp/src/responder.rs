@@ -14,6 +14,7 @@ use sage_codegen::ir::{Function, Program};
 use sage_netsim::buffer::PacketBuf;
 use sage_netsim::headers::{bfd, ntp};
 use sage_netsim::net::{IcmpEvent, IcmpResponder};
+use sage_netsim::scenario::{self, ScenarioRegistry};
 use sage_netsim::tools::bfd_session::BfdEndpoint;
 use sage_netsim::tools::igmp::IgmpResponder as IgmpResponderTrait;
 use sage_netsim::tools::ntp_exchange::{NtpServer, NtpTimeoutPolicy};
@@ -492,7 +493,62 @@ impl ResponderRegistry {
     }
 }
 
+/// Build kernel scenarios wired to this registry's generated programs: one
+/// per registered protocol, named `<protocol>/generated`, each exercising
+/// the same exchange as its `<protocol>/reference` counterpart but with the
+/// SAGE-generated code in the pluggable role.
+pub fn generated_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
+    use std::sync::Arc;
+    let mut scenarios = ScenarioRegistry::new();
+    if registry.program("icmp").is_some() {
+        let reg = registry.clone();
+        scenarios.register(Arc::new(scenario::PingScenario::new(
+            "ping/generated",
+            Arc::new(move || Box::new(reg.icmp_responder().expect("icmp program"))),
+        )));
+    }
+    if registry.program("igmp").is_some() {
+        let reg = registry.clone();
+        let group = sage_netsim::headers::ipv4::addr(224, 0, 0, 251);
+        scenarios.register(Arc::new(scenario::IgmpScenario::new(
+            "igmp/generated",
+            group,
+            Arc::new(move || Box::new(reg.igmp_responder(group).expect("igmp program"))),
+        )));
+    }
+    if registry.program("ntp").is_some() {
+        let policy_reg = registry.clone();
+        let server_reg = registry.clone();
+        scenarios.register(Arc::new(scenario::NtpScenario::new(
+            "ntp/generated",
+            Arc::new(move || Box::new(policy_reg.ntp_timeout_policy().expect("ntp program"))),
+            Arc::new(move || Box::new(server_reg.ntp_server(2, 0x1000).expect("ntp program"))),
+            ntp::PeerVariables {
+                timer: 64,
+                threshold: 64,
+                mode: ntp::mode::CLIENT,
+            },
+            0xDEAD_BEEF,
+        )));
+    }
+    if registry.program("bfd").is_some() {
+        let reg = registry.clone();
+        let factory: scenario::BfdFactory = Arc::new(move |local, remote| {
+            Box::new(reg.bfd_endpoint(local, remote).expect("bfd program"))
+        });
+        scenarios.register(Arc::new(scenario::BfdScenario::new(
+            "bfd/generated",
+            factory.clone(),
+            factory,
+            (7, 9),
+            (9, 7),
+        )));
+    }
+    scenarios
+}
+
 #[cfg(test)]
+#[allow(deprecated)] // the legacy driver stays as the oracle these adapters are tested against
 mod tests {
     use super::*;
     use sage_codegen::ir::{Expr, Stmt};

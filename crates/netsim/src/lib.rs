@@ -29,6 +29,8 @@ pub mod faulty;
 pub mod headers;
 pub mod net;
 pub mod pcap;
+pub mod scenario;
+pub mod sim;
 pub mod tcpdump;
 pub mod tools;
 
@@ -36,4 +38,12 @@ pub use buffer::{FieldSpec, PacketBuf};
 pub use checksum::{incremental_update, ones_complement_checksum, ones_complement_sum};
 pub use headers::{bfd, icmp, igmp, ipv4, ntp, udp};
 pub use net::{Host, Interface, Network, RouterConfig};
+pub use scenario::{
+    reference_scenarios, run_scenario, run_scenario_on, Scenario, ScenarioOutcome,
+    ScenarioRegistry, ScenarioRun,
+};
+pub use sim::{
+    EventTrace, LinkDelivery, LinkModel, Node, NodeId, RouterNode, Sim, SimBuilder, SimTime,
+    Topology,
+};
 pub use tcpdump::{decode_packet, Decoded, Warning};

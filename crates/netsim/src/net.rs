@@ -38,8 +38,15 @@ impl Interface {
     }
 
     /// True if `addr` is inside this interface's subnet.
+    ///
+    /// A prefix length of zero is the default route and matches everything;
+    /// lengths beyond 32 are clamped to a host route.
     pub fn contains(&self, addr: u32) -> bool {
-        let shift = 32 - u32::from(self.prefix_len);
+        let prefix = u32::from(self.prefix_len).min(32);
+        if prefix == 0 {
+            return true;
+        }
+        let shift = 32 - prefix;
         (self.addr >> shift) == (addr >> shift)
     }
 
@@ -376,6 +383,23 @@ mod tests {
         let iface = Interface::new(ipv4::addr(10, 0, 1, 1), 24);
         assert!(iface.contains(ipv4::addr(10, 0, 1, 200)));
         assert!(!iface.contains(ipv4::addr(10, 0, 2, 200)));
+    }
+
+    #[test]
+    fn default_route_interface_contains_everything() {
+        // prefix_len == 0 used to shift by 32 (debug overflow); a default
+        // route matches every address.
+        let iface = Interface::new(ipv4::addr(10, 0, 1, 1), 0);
+        assert!(iface.contains(ipv4::addr(8, 8, 8, 8)));
+        assert!(iface.contains(0));
+        assert!(iface.contains(u32::MAX));
+    }
+
+    #[test]
+    fn oversized_prefix_clamps_to_host_route() {
+        let iface = Interface::new(ipv4::addr(10, 0, 1, 1), 40);
+        assert!(iface.contains(ipv4::addr(10, 0, 1, 1)));
+        assert!(!iface.contains(ipv4::addr(10, 0, 1, 2)));
     }
 
     #[test]

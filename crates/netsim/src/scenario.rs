@@ -1,0 +1,1018 @@
+//! The unified `Scenario` API over the discrete-event kernel.
+//!
+//! This replaces the four ad-hoc driver entry points
+//! (`tools::ping::ping_once`, `tools::igmp::membership_exchange`,
+//! `tools::ntp_exchange::client_server_exchange`,
+//! `tools::bfd_session::session_bring_up`) with one trait: a [`Scenario`]
+//! names a protocol exercise, binds event handlers onto any [`Topology`],
+//! and asserts over the resulting [`EventTrace`].  The sweep binary and the
+//! test suites iterate a [`ScenarioRegistry`] instead of hard-coding driver
+//! calls, so the same exercise runs unchanged on the Appendix-A network, a
+//! line, a star, a ring or a mesh.
+//!
+//! # Contract
+//!
+//! * `bind` must be pure over `&self`: each call creates fresh handler state
+//!   (protocol endpoints come from factory closures), so one scenario value
+//!   can run on many topologies, possibly concurrently.
+//! * `bind` locates nodes structurally — first router, first host, last
+//!   host — never by topology-specific names.
+//! * `assert` judges only the trace (originated packets and notes), which
+//!   keeps verdicts replayable from a rendered trace alone.
+//!
+//! On the Appendix-A topology the originated packets of each scenario are
+//! byte-identical to the exchanges the legacy synchronous drivers produced;
+//! `tests/scenario_parity.rs` pins that equivalence.
+
+use crate::buffer::PacketBuf;
+use crate::headers::{bfd, icmp, igmp, ipv4, ntp, udp};
+use crate::net::{IcmpResponder, ReferenceResponder};
+use crate::sim::{Ctx, EventTrace, Node, NodeId, RouterNode, SimBuilder, Topology, TraceEventKind};
+use crate::tcpdump::decode_packet;
+use crate::tools::bfd_session::{BfdEndpoint, ReferenceBfdEndpoint, BFD_CONTROL_PORT};
+use crate::tools::igmp::{IgmpResponder, ReferenceIgmpResponder};
+use crate::tools::ntp_exchange::{
+    NtpServer, NtpTimeoutPolicy, ReferenceNtpServer, ReferenceTimeoutPolicy,
+};
+use crate::tools::ping::{validate_reply, PingOutcome};
+use std::sync::Arc;
+
+/// Factory for the router-side ICMP responder under test.
+pub type IcmpFactory = Arc<dyn Fn() -> Box<dyn IcmpResponder> + Send + Sync>;
+/// Factory for the IGMP host responder under test.
+pub type IgmpFactory = Arc<dyn Fn() -> Box<dyn IgmpResponder> + Send + Sync>;
+/// Factory for the NTP client timeout policy under test.
+pub type NtpPolicyFactory = Arc<dyn Fn() -> Box<dyn NtpTimeoutPolicy> + Send + Sync>;
+/// Factory for the NTP server under test.
+pub type NtpServerFactory = Arc<dyn Fn() -> Box<dyn NtpServer> + Send + Sync>;
+/// Factory for a BFD endpoint under test, given `(local, remote)`
+/// discriminators.
+pub type BfdFactory = Arc<dyn Fn(u32, u32) -> Box<dyn BfdEndpoint> + Send + Sync>;
+
+/// The named pass/fail checks a scenario computed from a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// `(check name, passed)` in evaluation order.
+    pub checks: Vec<(&'static str, bool)>,
+}
+
+impl ScenarioOutcome {
+    /// True if every check passed.
+    pub fn all_ok(&self) -> bool {
+        self.checks.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The names of the failed checks.
+    pub fn failures(&self) -> Vec<&'static str> {
+        self.checks
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(name, _)| *name)
+            .collect()
+    }
+}
+
+/// One protocol exercise that can run on any topology of the library.
+pub trait Scenario: Send + Sync {
+    /// Unique scenario name (used in sweep reports and bench ids).
+    fn name(&self) -> &str;
+
+    /// The protocol exercised (`icmp` / `igmp` / `ntp` / `bfd`).
+    fn protocol(&self) -> &'static str;
+
+    /// The scenario's preferred topology (the sweep overrides this to run
+    /// the same scenario everywhere).
+    fn topology(&self) -> Topology {
+        Topology::appendix_a()
+    }
+
+    /// Bind fresh event handlers onto the builder's topology.
+    fn bind(&self, sim: &mut SimBuilder);
+
+    /// Judge a finished run from its trace.
+    fn assert(&self, trace: &EventTrace) -> ScenarioOutcome;
+}
+
+/// The result of running one scenario on one topology.
+#[derive(Debug, Clone)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub scenario: String,
+    /// Protocol name.
+    pub protocol: String,
+    /// Topology name.
+    pub topology: String,
+    /// The scenario's verdicts.
+    pub outcome: ScenarioOutcome,
+    /// The full event trace of the run.
+    pub trace: EventTrace,
+}
+
+impl ScenarioRun {
+    /// True if every check passed.
+    pub fn ok(&self) -> bool {
+        self.outcome.all_ok()
+    }
+
+    /// Number of processed trace events.
+    pub fn event_count(&self) -> usize {
+        self.trace.events.len()
+    }
+
+    /// Number of packets delivered across links.
+    pub fn delivered(&self) -> usize {
+        self.trace.delivered_count()
+    }
+
+    /// Number of packets originated by endpoints.
+    pub fn originated(&self) -> usize {
+        self.trace.originated_packets().len()
+    }
+
+    /// Virtual duration of the run in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.trace.duration().0
+    }
+}
+
+/// Run a scenario on its preferred topology.
+pub fn run_scenario(scenario: &dyn Scenario) -> ScenarioRun {
+    run_scenario_on(scenario, scenario.topology())
+}
+
+/// Run a scenario on an explicit topology.
+pub fn run_scenario_on(scenario: &dyn Scenario, topology: Topology) -> ScenarioRun {
+    let topology_name = topology.name.clone();
+    let mut sim = SimBuilder::new(topology);
+    scenario.bind(&mut sim);
+    let trace = sim.build().run();
+    let outcome = scenario.assert(&trace);
+    ScenarioRun {
+        scenario: scenario.name().to_string(),
+        protocol: scenario.protocol().to_string(),
+        topology: topology_name,
+        outcome,
+        trace,
+    }
+}
+
+/// An ordered collection of scenarios the sweep binary and tests iterate.
+#[derive(Default, Clone)]
+pub struct ScenarioRegistry {
+    scenarios: Vec<Arc<dyn Scenario>>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry.
+    pub fn new() -> ScenarioRegistry {
+        ScenarioRegistry::default()
+    }
+
+    /// Add a scenario.
+    pub fn register(&mut self, scenario: Arc<dyn Scenario>) {
+        self.scenarios.push(scenario);
+    }
+
+    /// The registered scenarios, in registration order.
+    pub fn scenarios(&self) -> &[Arc<dyn Scenario>] {
+        &self.scenarios
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// True if no scenario is registered.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Look a scenario up by name.
+    pub fn find(&self, name: &str) -> Option<&Arc<dyn Scenario>> {
+        self.scenarios.iter().find(|s| s.name() == name)
+    }
+
+    /// Run every scenario on its preferred topology.
+    pub fn run_all(&self) -> Vec<ScenarioRun> {
+        self.scenarios
+            .iter()
+            .map(|s| run_scenario(s.as_ref()))
+            .collect()
+    }
+}
+
+/// The four protocol scenarios wired to the hand-written references.
+pub fn reference_scenarios() -> ScenarioRegistry {
+    let mut reg = ScenarioRegistry::new();
+    reg.register(Arc::new(PingScenario::reference()));
+    reg.register(Arc::new(IgmpScenario::reference()));
+    reg.register(Arc::new(NtpScenario::reference()));
+    reg.register(Arc::new(BfdScenario::reference()));
+    reg
+}
+
+/// Bind reference [`RouterNode`]s on every router except `skip` — the
+/// forwarding fabric every scenario shares.
+fn bind_infrastructure_routers(sim: &mut SimBuilder, skip: Option<NodeId>) {
+    for r in sim.topology().routers() {
+        if Some(r) == skip {
+            continue;
+        }
+        let cfg = sim.topology().router_config(r);
+        sim.bind(
+            r,
+            Box::new(RouterNode::new(cfg, Box::new(ReferenceResponder))),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ICMP ping
+// ---------------------------------------------------------------------------
+
+/// The ping exercise: the first host echoes against the first router, whose
+/// ICMP behaviour comes from the scenario's responder factory.
+pub struct PingScenario {
+    name: String,
+    responder: IcmpFactory,
+}
+
+/// The echo identifier every ping scenario uses.
+const PING_IDENT: u16 = 0x77;
+/// The echo sequence number every ping scenario uses.
+const PING_SEQ: u16 = 1;
+/// The echo payload every ping scenario uses (the classic 16-byte pattern).
+const PING_PAYLOAD: &[u8] = b"0123456789abcdef";
+
+impl PingScenario {
+    /// A ping scenario with a custom name and router responder.
+    pub fn new(name: &str, responder: IcmpFactory) -> PingScenario {
+        PingScenario {
+            name: name.to_string(),
+            responder,
+        }
+    }
+
+    /// The reference-responder ping scenario.
+    pub fn reference() -> PingScenario {
+        PingScenario::new("ping/reference", Arc::new(|| Box::new(ReferenceResponder)))
+    }
+}
+
+struct PingClientNode {
+    src: u32,
+    dst: u32,
+}
+
+impl Node for PingClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let echo = icmp::build_echo(false, PING_IDENT, PING_SEQ, PING_PAYLOAD);
+        ctx.send(ipv4::build_packet(
+            self.src,
+            self.dst,
+            ipv4::PROTO_ICMP,
+            64,
+            echo.as_bytes(),
+        ));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        match validate_reply(packet, self.src, PING_IDENT, PING_SEQ, PING_PAYLOAD) {
+            PingOutcome::Reply { .. } => ctx.note("ping=ok"),
+            PingOutcome::Error(e) => ctx.note(format!("ping=error:{e}")),
+            PingOutcome::Rejected(r) => ctx.note(format!("ping=rejected:{r}")),
+            PingOutcome::NoReply => ctx.note("ping=no-reply"),
+        }
+    }
+}
+
+impl Scenario for PingScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn protocol(&self) -> &'static str {
+        "icmp"
+    }
+
+    fn bind(&self, sim: &mut SimBuilder) {
+        let router = sim.topology().routers()[0];
+        let cfg = sim.topology().router_config(router);
+        let client = sim.topology().hosts()[0];
+        let src = sim.topology().addr_of(client);
+        let dst = sim.topology().addr_of(router);
+        sim.bind(router, Box::new(RouterNode::new(cfg, (self.responder)())));
+        bind_infrastructure_routers(sim, Some(router));
+        sim.bind(client, Box::new(PingClientNode { src, dst }));
+    }
+
+    fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
+        let notes = trace.notes();
+        ScenarioOutcome {
+            checks: vec![
+                ("request_sent", !trace.originated_packets().is_empty()),
+                (
+                    "reply_valid",
+                    notes.iter().any(|(_, text)| *text == "ping=ok"),
+                ),
+            ],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IGMP membership
+// ---------------------------------------------------------------------------
+
+/// The IGMP exercise: the first router queries the all-hosts group, the
+/// first host reports membership through the scenario's responder factory.
+pub struct IgmpScenario {
+    name: String,
+    group: u32,
+    responder: IgmpFactory,
+}
+
+impl IgmpScenario {
+    /// An IGMP scenario for `group` with a custom host responder.
+    pub fn new(name: &str, group: u32, responder: IgmpFactory) -> IgmpScenario {
+        IgmpScenario {
+            name: name.to_string(),
+            group,
+            responder,
+        }
+    }
+
+    /// The reference-responder IGMP scenario (group 224.0.0.251).
+    pub fn reference() -> IgmpScenario {
+        let group = ipv4::addr(224, 0, 0, 251);
+        IgmpScenario::new(
+            "igmp/reference",
+            group,
+            Arc::new(move || Box::new(ReferenceIgmpResponder { group })),
+        )
+    }
+}
+
+/// The querier side: sends one Host Membership Query at start, consumes
+/// whatever multicast comes back (the report is judged from the trace).
+struct IgmpQuerierNode {
+    router_addr: u32,
+}
+
+impl Node for IgmpQuerierNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let query = igmp::build_message(igmp::msg_type::MEMBERSHIP_QUERY, 0);
+        let all_hosts = ipv4::addr(224, 0, 0, 1);
+        ctx.send(ipv4::build_packet(
+            self.router_addr,
+            all_hosts,
+            ipv4::PROTO_IGMP,
+            1,
+            query.as_bytes(),
+        ));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _packet: &PacketBuf) {
+        ctx.deliver_local();
+    }
+}
+
+/// The host side: answers membership queries through the pluggable
+/// responder.
+struct IgmpHostNode {
+    host_addr: u32,
+    group: u32,
+    responder: Box<dyn IgmpResponder>,
+}
+
+impl Node for IgmpHostNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_IGMP {
+            ctx.deliver_local();
+            return;
+        }
+        let delivered = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        match self.responder.respond(&delivered) {
+            Some(msg) => ctx.send(ipv4::build_packet(
+                self.host_addr,
+                self.group,
+                ipv4::PROTO_IGMP,
+                1,
+                msg.as_bytes(),
+            )),
+            None => ctx.note("igmp=silent"),
+        }
+    }
+}
+
+impl Scenario for IgmpScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn protocol(&self) -> &'static str {
+        "igmp"
+    }
+
+    fn bind(&self, sim: &mut SimBuilder) {
+        let querier = sim.topology().routers()[0];
+        let host = sim.topology().hosts()[0];
+        let router_addr = sim.topology().addr_of(querier);
+        let host_addr = sim.topology().addr_of(host);
+        sim.bind(querier, Box::new(IgmpQuerierNode { router_addr }));
+        bind_infrastructure_routers(sim, Some(querier));
+        sim.bind(
+            host,
+            Box::new(IgmpHostNode {
+                host_addr,
+                group: self.group,
+                responder: (self.responder)(),
+            }),
+        );
+    }
+
+    fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
+        let packets = trace.originated_packets();
+        let query_clean = packets
+            .first()
+            .is_some_and(|bytes| decode_packet(bytes).clean());
+        let report = packets.get(1);
+        let (report_type_ok, group_echoed, checksum_ok, report_clean) = match report {
+            Some(bytes) => {
+                let ip = PacketBuf::from_bytes(bytes.clone());
+                let msg = PacketBuf::from_bytes(ipv4::payload(&ip).to_vec());
+                (
+                    msg.get_field(igmp::FIELDS, "type").ok()
+                        == Some(u64::from(igmp::msg_type::MEMBERSHIP_REPORT)),
+                    msg.get_field(igmp::FIELDS, "group_address").ok()
+                        == Some(u64::from(self.group)),
+                    igmp::checksum_ok(&msg),
+                    decode_packet(bytes).clean(),
+                )
+            }
+            None => (false, false, false, false),
+        };
+        ScenarioOutcome {
+            checks: vec![
+                ("query_clean", query_clean),
+                ("report_sent", report.is_some()),
+                ("report_type_ok", report_type_ok),
+                ("group_echoed", group_echoed),
+                ("checksum_ok", checksum_ok),
+                ("report_clean", report_clean),
+            ],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NTP client/server
+// ---------------------------------------------------------------------------
+
+/// The NTP exercise: the first host's timeout policy decides whether to poll
+/// the second host's server over UDP port 123.
+pub struct NtpScenario {
+    name: String,
+    policy: NtpPolicyFactory,
+    server: NtpServerFactory,
+    peer: ntp::PeerVariables,
+    transmit_timestamp: u64,
+    expect_exchange: bool,
+}
+
+/// The ephemeral client port every NTP scenario uses.
+const NTP_CLIENT_PORT: u16 = 45123;
+
+impl NtpScenario {
+    /// An NTP scenario expecting a full request/reply exchange.
+    pub fn new(
+        name: &str,
+        policy: NtpPolicyFactory,
+        server: NtpServerFactory,
+        peer: ntp::PeerVariables,
+        transmit_timestamp: u64,
+    ) -> NtpScenario {
+        NtpScenario {
+            name: name.to_string(),
+            policy,
+            server,
+            peer,
+            transmit_timestamp,
+            expect_exchange: true,
+        }
+    }
+
+    /// An NTP scenario expecting the client to stay quiet (the timeout
+    /// procedure must not fire for `peer`).
+    pub fn quiet(
+        name: &str,
+        policy: NtpPolicyFactory,
+        server: NtpServerFactory,
+        peer: ntp::PeerVariables,
+    ) -> NtpScenario {
+        NtpScenario {
+            name: name.to_string(),
+            policy,
+            server,
+            peer,
+            transmit_timestamp: 0,
+            expect_exchange: false,
+        }
+    }
+
+    /// The reference policy/server scenario (due peer, stratum-2 server).
+    pub fn reference() -> NtpScenario {
+        NtpScenario::new(
+            "ntp/reference",
+            Arc::new(|| Box::new(ReferenceTimeoutPolicy)),
+            Arc::new(|| {
+                Box::new(ReferenceNtpServer {
+                    stratum: 2,
+                    clock: 0x1000,
+                })
+            }),
+            ntp::PeerVariables {
+                timer: 64,
+                threshold: 64,
+                mode: ntp::mode::CLIENT,
+            },
+            0xDEAD_BEEF,
+        )
+    }
+}
+
+struct NtpClientNode {
+    client_addr: u32,
+    server_addr: u32,
+    policy: Box<dyn NtpTimeoutPolicy>,
+    peer: ntp::PeerVariables,
+    transmit_timestamp: u64,
+}
+
+impl Node for NtpClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.policy.timeout_due(&self.peer) {
+            ctx.note("ntp=timeout-not-due");
+            return;
+        }
+        ctx.note("ntp=timeout-fired");
+        let request = ntp::build_packet(0, 1, ntp::mode::CLIENT, 0, self.transmit_timestamp);
+        let datagram = ntp::encapsulate_in_udp(
+            self.client_addr,
+            self.server_addr,
+            NTP_CLIENT_PORT,
+            &request,
+        );
+        ctx.send(ipv4::build_packet(
+            self.client_addr,
+            self.server_addr,
+            ipv4::PROTO_UDP,
+            64,
+            datagram.as_bytes(),
+        ));
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _packet: &PacketBuf) {
+        ctx.note("ntp=reply-received");
+    }
+}
+
+struct NtpServerNode {
+    server_addr: u32,
+    server: Box<dyn NtpServer>,
+}
+
+impl Node for NtpServerNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_UDP {
+            ctx.deliver_local();
+            return;
+        }
+        let datagram = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        let dst_port = datagram
+            .get_field(udp::FIELDS, "destination_port")
+            .unwrap_or(0) as u16;
+        if dst_port != udp::NTP_PORT {
+            ctx.deliver_local();
+            return;
+        }
+        let src_addr = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let src_port = datagram.get_field(udp::FIELDS, "source_port").unwrap_or(0) as u16;
+        let request = PacketBuf::from_bytes(udp::payload(&datagram).to_vec());
+        let Some(reply) = self.server.respond(&request) else {
+            ctx.note("ntp=server-silent");
+            return;
+        };
+        // Appendix A: the reply's destination port is copied from the
+        // request's source port.
+        let reply_udp = udp::build_datagram(
+            self.server_addr,
+            src_addr,
+            udp::NTP_PORT,
+            src_port,
+            reply.as_bytes(),
+        );
+        ctx.send(ipv4::build_packet(
+            self.server_addr,
+            src_addr,
+            ipv4::PROTO_UDP,
+            64,
+            reply_udp.as_bytes(),
+        ));
+    }
+}
+
+impl Scenario for NtpScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn protocol(&self) -> &'static str {
+        "ntp"
+    }
+
+    fn bind(&self, sim: &mut SimBuilder) {
+        let hosts = sim.topology().hosts();
+        let client = hosts[0];
+        let server = hosts[1];
+        let client_addr = sim.topology().addr_of(client);
+        let server_addr = sim.topology().addr_of(server);
+        bind_infrastructure_routers(sim, None);
+        sim.bind(
+            client,
+            Box::new(NtpClientNode {
+                client_addr,
+                server_addr,
+                policy: (self.policy)(),
+                peer: self.peer,
+                transmit_timestamp: self.transmit_timestamp,
+            }),
+        );
+        sim.bind(
+            server,
+            Box::new(NtpServerNode {
+                server_addr,
+                server: (self.server)(),
+            }),
+        );
+    }
+
+    fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
+        let notes = trace.notes();
+        let fired = notes.iter().any(|(_, t)| *t == "ntp=timeout-fired");
+        let packets = trace.originated_packets();
+        if !self.expect_exchange {
+            return ScenarioOutcome {
+                checks: vec![
+                    ("timeout_quiet", !fired),
+                    ("no_packets", packets.is_empty()),
+                ],
+            };
+        }
+        let forwarded = trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceEventKind::Forward(_)));
+        let reply = packets.get(1).map(|bytes| {
+            let ip = PacketBuf::from_bytes(bytes.clone());
+            PacketBuf::from_bytes(ipv4::payload(&ip).to_vec())
+        });
+        let (reply_mode_ok, originate_echoed) = match &reply {
+            Some(datagram) => {
+                let msg = PacketBuf::from_bytes(udp::payload(datagram).to_vec());
+                (
+                    msg.get_field(ntp::FIELDS, "mode").ok() == Some(u64::from(ntp::mode::SERVER)),
+                    msg.get_field(ntp::FIELDS, "originate_timestamp").ok()
+                        == Some(self.transmit_timestamp),
+                )
+            }
+            None => (false, false),
+        };
+        let udp_checksums_ok = packets.len() == 2 && {
+            let check = |bytes: &[u8]| {
+                let ip = PacketBuf::from_bytes(bytes.to_vec());
+                let src = ip.get_field(ipv4::FIELDS, "source_address").unwrap_or(0) as u32;
+                let dst = ip
+                    .get_field(ipv4::FIELDS, "destination_address")
+                    .unwrap_or(0) as u32;
+                let datagram = PacketBuf::from_bytes(ipv4::payload(&ip).to_vec());
+                udp::checksum_ok(src, dst, &datagram)
+            };
+            check(&packets[0]) && check(&packets[1])
+        };
+        let decoded_clean = notes.iter().any(|(_, t)| *t == "ntp=reply-received")
+            && !packets.is_empty()
+            && packets.iter().all(|bytes| decode_packet(bytes).clean());
+        ScenarioOutcome {
+            checks: vec![
+                ("timeout_fired", fired),
+                ("request_forwarded", forwarded),
+                ("reply_sent", packets.len() >= 2),
+                ("reply_mode_ok", reply_mode_ok),
+                ("originate_echoed", originate_echoed),
+                ("udp_checksums_ok", udp_checksums_ok),
+                ("decoded_clean", decoded_clean),
+            ],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BFD bring-up
+// ---------------------------------------------------------------------------
+
+/// The BFD exercise: the first and last host run pluggable endpoints and
+/// exchange control packets until both report Up (or the transmission
+/// budget runs out).
+pub struct BfdScenario {
+    name: String,
+    endpoint_a: BfdFactory,
+    endpoint_b: BfdFactory,
+    discr_a: (u32, u32),
+    discr_b: (u32, u32),
+    max_rounds: usize,
+    expect_path: Vec<bfd::SessionState>,
+}
+
+impl BfdScenario {
+    /// A BFD scenario with custom endpoint factories and discriminators.
+    pub fn new(
+        name: &str,
+        endpoint_a: BfdFactory,
+        endpoint_b: BfdFactory,
+        discr_a: (u32, u32),
+        discr_b: (u32, u32),
+    ) -> BfdScenario {
+        BfdScenario {
+            name: name.to_string(),
+            endpoint_a,
+            endpoint_b,
+            discr_a,
+            discr_b,
+            max_rounds: 4,
+            expect_path: vec![
+                bfd::SessionState::Down,
+                bfd::SessionState::Init,
+                bfd::SessionState::Up,
+            ],
+        }
+    }
+
+    /// Override the expected state path of endpoint b (the classic
+    /// handshake is Down → Init → Up).
+    pub fn with_expected_path(mut self, path: Vec<bfd::SessionState>) -> BfdScenario {
+        self.expect_path = path;
+        self
+    }
+
+    /// The reference-endpoint scenario with discriminators 7/9.
+    pub fn reference() -> BfdScenario {
+        let factory: BfdFactory =
+            Arc::new(|local, remote| Box::new(ReferenceBfdEndpoint::new(local, remote)));
+        BfdScenario::new("bfd/reference", factory.clone(), factory, (7, 9), (9, 7))
+    }
+}
+
+/// One BFD endpoint as an event handler.  Transmission is receive-driven:
+/// the initiator transmits at start, and every endpoint transmits after a
+/// reception unless both it and the received packet already report Up —
+/// which reproduces exactly the alternating a→b / b→a schedule (and packet
+/// sequence) of the legacy synchronous driver.  A per-node transmission
+/// budget guarantees termination for endpoints that never come up.
+struct BfdEndpointNode {
+    endpoint: Box<dyn BfdEndpoint>,
+    local_addr: u32,
+    peer_addr: u32,
+    initiator: bool,
+    budget: usize,
+}
+
+impl BfdEndpointNode {
+    fn transmit(&mut self, ctx: &mut Ctx<'_>) {
+        if self.budget == 0 {
+            return;
+        }
+        self.budget -= 1;
+        let control = self.endpoint.control_packet();
+        let datagram = udp::build_datagram(
+            self.local_addr,
+            self.peer_addr,
+            49152,
+            BFD_CONTROL_PORT,
+            control.as_bytes(),
+        );
+        ctx.send(ipv4::build_packet(
+            self.local_addr,
+            self.peer_addr,
+            ipv4::PROTO_UDP,
+            255,
+            datagram.as_bytes(),
+        ));
+    }
+}
+
+impl Node for BfdEndpointNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.initiator {
+            self.transmit(ctx);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_UDP {
+            ctx.deliver_local();
+            return;
+        }
+        let datagram = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        let dst_port = datagram
+            .get_field(udp::FIELDS, "destination_port")
+            .unwrap_or(0) as u16;
+        if dst_port != BFD_CONTROL_PORT {
+            ctx.deliver_local();
+            return;
+        }
+        let control = PacketBuf::from_bytes(udp::payload(&datagram).to_vec());
+        self.endpoint.receive(&control);
+        ctx.note(format!("bfd_state={:?}", self.endpoint.state()));
+        let received_up = control.get_field(bfd::FIELDS, "state").unwrap_or(0)
+            == u64::from(bfd::SessionState::Up.code());
+        if !(self.endpoint.state() == bfd::SessionState::Up && received_up) {
+            self.transmit(ctx);
+        }
+    }
+}
+
+impl Scenario for BfdScenario {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn protocol(&self) -> &'static str {
+        "bfd"
+    }
+
+    fn bind(&self, sim: &mut SimBuilder) {
+        let hosts = sim.topology().hosts();
+        let a = hosts[0];
+        let b = *hosts.last().expect("at least one host");
+        let addr_a = sim.topology().addr_of(a);
+        let addr_b = sim.topology().addr_of(b);
+        bind_infrastructure_routers(sim, None);
+        sim.bind(
+            a,
+            Box::new(BfdEndpointNode {
+                endpoint: (self.endpoint_a)(self.discr_a.0, self.discr_a.1),
+                local_addr: addr_a,
+                peer_addr: addr_b,
+                initiator: true,
+                budget: self.max_rounds,
+            }),
+        );
+        sim.bind(
+            b,
+            Box::new(BfdEndpointNode {
+                endpoint: (self.endpoint_b)(self.discr_b.0, self.discr_b.1),
+                local_addr: addr_b,
+                peer_addr: addr_a,
+                initiator: false,
+                budget: self.max_rounds,
+            }),
+        );
+    }
+
+    fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
+        // Endpoint a is the node that originated the first packet; its
+        // per-receive state notes and the peer's judge the handshake.
+        let a_name = trace
+            .events
+            .iter()
+            .find(|e| matches!(e.kind, TraceEventKind::Originate(_)))
+            .map(|e| e.node_name.clone())
+            .unwrap_or_default();
+        let state_notes: Vec<(&str, &str)> = trace
+            .notes()
+            .into_iter()
+            .filter(|(_, t)| t.starts_with("bfd_state="))
+            .collect();
+        let last_state = |name_matches: &dyn Fn(&str) -> bool| {
+            state_notes
+                .iter()
+                .rev()
+                .find(|(n, _)| name_matches(n))
+                .map(|(_, t)| t.trim_start_matches("bfd_state=").to_string())
+        };
+        let a_up = last_state(&|n: &str| n == a_name).as_deref() == Some("Up");
+        let b_up = last_state(&|n: &str| n != a_name).as_deref() == Some("Up");
+        let mut b_path = vec![format!("{:?}", bfd::SessionState::Down)];
+        for (n, t) in &state_notes {
+            if *n != a_name {
+                let s = t.trim_start_matches("bfd_state=").to_string();
+                if b_path.last() != Some(&s) {
+                    b_path.push(s);
+                }
+            }
+        }
+        let expected: Vec<String> = self.expect_path.iter().map(|s| format!("{s:?}")).collect();
+        let packets = trace.originated_packets();
+        ScenarioOutcome {
+            checks: vec![
+                ("came_up", a_up && b_up),
+                ("handshake_path", b_path == expected),
+                (
+                    "decoded_clean",
+                    !packets.is_empty() && packets.iter().all(|bytes| decode_packet(bytes).clean()),
+                ),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_scenarios_pass_on_their_preferred_topology() {
+        for run in reference_scenarios().run_all() {
+            assert!(
+                run.ok(),
+                "{}/{} failed {:?}\n{}",
+                run.scenario,
+                run.topology,
+                run.outcome.failures(),
+                run.trace.render()
+            );
+        }
+    }
+
+    #[test]
+    fn reference_scenarios_pass_on_every_library_topology() {
+        let registry = reference_scenarios();
+        for topo in Topology::library() {
+            for scenario in registry.scenarios() {
+                let run = run_scenario_on(scenario.as_ref(), topo.clone());
+                assert!(
+                    run.ok(),
+                    "{}/{} failed {:?}\n{}",
+                    run.scenario,
+                    run.topology,
+                    run.outcome.failures(),
+                    run.trace.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registry_finds_scenarios_by_name() {
+        let registry = reference_scenarios();
+        assert_eq!(registry.len(), 4);
+        assert!(registry.find("bfd/reference").is_some());
+        assert!(registry.find("nope").is_none());
+    }
+
+    #[test]
+    fn quiet_ntp_scenario_stays_quiet() {
+        let scenario = NtpScenario::quiet(
+            "ntp/quiet",
+            Arc::new(|| Box::new(ReferenceTimeoutPolicy)),
+            Arc::new(|| {
+                Box::new(ReferenceNtpServer {
+                    stratum: 2,
+                    clock: 1,
+                })
+            }),
+            ntp::PeerVariables {
+                timer: 10,
+                threshold: 64,
+                mode: ntp::mode::CLIENT,
+            },
+        );
+        let run = run_scenario(&scenario);
+        assert!(run.ok(), "{:?}", run.outcome);
+        assert_eq!(run.originated(), 0);
+    }
+
+    #[test]
+    fn misconfigured_bfd_discriminator_still_comes_up() {
+        let factory: BfdFactory =
+            Arc::new(|local, remote| Box::new(ReferenceBfdEndpoint::new(local, remote)));
+        let scenario = BfdScenario::new(
+            "bfd/misconfigured",
+            factory.clone(),
+            factory,
+            (7, 999),
+            (9, 7),
+        )
+        .with_expected_path(vec![bfd::SessionState::Down, bfd::SessionState::Up]);
+        let run = run_scenario(&scenario);
+        assert!(run.ok(), "{:?}\n{}", run.outcome, run.trace.render());
+        assert_eq!(run.originated(), 4);
+    }
+}

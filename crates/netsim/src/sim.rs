@@ -1,0 +1,1390 @@
+//! The deterministic discrete-event simulation kernel.
+//!
+//! This is the multi-node generalisation of [`crate::net`]: instead of one
+//! router driven synchronously by a scenario function, an N-node
+//! [`Topology`] (hosts and routers joined by links with per-link delay,
+//! bandwidth and fault models) runs under a virtual clock.  Everything a
+//! node does happens inside an event handler — the [`Node`] trait — so any
+//! responder (the hand-written references, SAGE-generated adapters from
+//! `sage-interp`, or deliberately faulty student models) can be bound to any
+//! node and replayed exactly.
+//!
+//! # Event ordering and determinism
+//!
+//! The kernel is a binary-heap event queue ordered by `(time, seq)`: virtual
+//! nanoseconds first, then a monotonically assigned sequence number that
+//! breaks ties in scheduling order.  Every source of ordering is therefore
+//! deterministic:
+//!
+//! * handlers run one at a time and their emitted actions are processed in
+//!   emission order;
+//! * simultaneous events fire in the order they were scheduled;
+//! * fan-out (multicast) schedules arrivals in ascending link order;
+//! * randomness only enters through explicitly seeded [`LinkModel`]s.
+//!
+//! The same topology, bindings and seeds always produce a byte-identical
+//! [`EventTrace`] — `tests/sim_kernel.rs` pins this across repeated runs and
+//! across sweep worker counts.
+
+use crate::buffer::PacketBuf;
+use crate::headers::ipv4;
+use crate::net::{IcmpResponder, Interface, Network, RouterAction, RouterConfig};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A duration of `us` microseconds.
+    pub fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// A duration of `ms` milliseconds.
+    pub fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Saturating addition of a nanosecond delta.
+    pub fn offset(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0.saturating_add(delta_ns))
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// Index of a node in its [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a link in its [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+/// Whether a node is an end host or a packet-forwarding router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An end host with (normally) one address.
+    Host,
+    /// A router with one interface address per attached subnet.
+    Router,
+}
+
+/// One node of a topology: a name, a kind and its interface addresses.
+#[derive(Debug, Clone)]
+pub struct NodeSpec {
+    /// Node name, used in traces and for binding handlers.
+    pub name: String,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// `(address, prefix_len)` per interface.
+    pub addrs: Vec<(u32, u8)>,
+}
+
+/// One point-to-point link between two nodes.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Propagation delay in nanoseconds.
+    pub delay_ns: u64,
+    /// Bandwidth in bits per second; `None` means serialization is free.
+    pub bandwidth_bps: Option<u64>,
+}
+
+impl LinkSpec {
+    /// The endpoint opposite `n`, if `n` is on this link.
+    pub fn peer_of(&self, n: NodeId) -> Option<NodeId> {
+        if self.a == n {
+            Some(self.b)
+        } else if self.b == n {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Nanoseconds to serialize `bytes` onto the wire at this link's
+    /// bandwidth (0 when unbounded).
+    pub fn serialization_ns(&self, bytes: usize) -> u64 {
+        match self.bandwidth_bps {
+            Some(bps) if bps > 0 => (bytes as u64 * 8).saturating_mul(1_000_000_000) / bps,
+            _ => 0,
+        }
+    }
+}
+
+/// A multi-node network: nodes joined by point-to-point links, with static
+/// shortest-path routes computed when a [`Sim`] is built.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Topology name, used in sweep reports.
+    pub name: String,
+    /// Nodes, indexed by [`NodeId`].
+    pub nodes: Vec<NodeSpec>,
+    /// Links, indexed by [`LinkId`].
+    pub links: Vec<LinkSpec>,
+}
+
+impl Topology {
+    /// An empty topology with a name.
+    pub fn named(name: &str) -> Topology {
+        Topology {
+            name: name.to_string(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Add an end host with one address.
+    pub fn host(&mut self, name: &str, addr: u32, prefix_len: u8) -> NodeId {
+        self.nodes.push(NodeSpec {
+            name: name.to_string(),
+            kind: NodeKind::Host,
+            addrs: vec![(addr, prefix_len)],
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a router with one interface per attached subnet.
+    pub fn router(&mut self, name: &str, ifaces: &[(u32, u8)]) -> NodeId {
+        self.nodes.push(NodeSpec {
+            name: name.to_string(),
+            kind: NodeKind::Router,
+            addrs: ifaces.to_vec(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Join two nodes with a link of the given propagation delay.
+    pub fn link(&mut self, a: NodeId, b: NodeId, delay_ns: u64) -> LinkId {
+        self.link_with(a, b, delay_ns, None)
+    }
+
+    /// Join two nodes with a delay and a bandwidth cap.
+    pub fn link_with(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay_ns: u64,
+        bandwidth_bps: Option<u64>,
+    ) -> LinkId {
+        self.links.push(LinkSpec {
+            a,
+            b,
+            delay_ns,
+            bandwidth_bps,
+        });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// The node that owns `addr` on one of its interfaces.
+    pub fn owner_of(&self, addr: u32) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.addrs.iter().any(|(a, _)| *a == addr))
+            .map(NodeId)
+    }
+
+    /// The node named `name`.
+    pub fn node_named(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// All hosts, in declaration order.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|i| self.nodes[*i].kind == NodeKind::Host)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// All routers, in declaration order.
+    pub fn routers(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|i| self.nodes[*i].kind == NodeKind::Router)
+            .map(NodeId)
+            .collect()
+    }
+
+    /// The primary address of a node (its first interface).
+    pub fn addr_of(&self, n: NodeId) -> u32 {
+        self.nodes[n.0].addrs.first().map(|(a, _)| *a).unwrap_or(0)
+    }
+
+    /// Links incident to `n`, in ascending link order.
+    pub fn links_of(&self, n: NodeId) -> Vec<LinkId> {
+        (0..self.links.len())
+            .filter(|i| self.links[*i].peer_of(n).is_some())
+            .map(LinkId)
+            .collect()
+    }
+
+    /// A [`RouterConfig`] for node `n` built from its interfaces — how
+    /// [`RouterNode`] reuses the Appendix-A decision ladder verbatim.
+    pub fn router_config(&self, n: NodeId) -> RouterConfig {
+        RouterConfig {
+            interfaces: self.nodes[n.0]
+                .addrs
+                .iter()
+                .map(|(addr, prefix)| Interface::new(*addr, *prefix))
+                .collect(),
+            supported_tos: 0,
+            full_buffers: Vec::new(),
+        }
+    }
+
+    // -- the topology library ------------------------------------------------
+
+    /// The Appendix-A network of the paper: one router serving three /24
+    /// subnets, a client and BFD peer on the first, servers on the other
+    /// two.  The client and peer share a subnet, so their link is direct
+    /// (BFD single-hop traffic never crosses the router).
+    pub fn appendix_a() -> Topology {
+        let mut t = Topology::named("appendix_a");
+        let router = t.router(
+            "router",
+            &[
+                (ipv4::addr(10, 0, 1, 1), 24),
+                (ipv4::addr(192, 168, 2, 1), 24),
+                (ipv4::addr(172, 64, 3, 1), 24),
+            ],
+        );
+        let client = t.host("client", ipv4::addr(10, 0, 1, 100), 24);
+        let server1 = t.host("server1", ipv4::addr(192, 168, 2, 100), 24);
+        let server2 = t.host("server2", ipv4::addr(172, 64, 3, 100), 24);
+        let peer = t.host("peer", ipv4::addr(10, 0, 1, 200), 24);
+        t.link(router, client, 1_000_000);
+        t.link(router, server1, 1_000_000);
+        t.link(router, server2, 1_000_000);
+        t.link(client, peer, 500_000);
+        t
+    }
+
+    /// A chain of `n` routers between a client and a server: subnet `i+1`
+    /// joins router `i` and router `i+1`.
+    pub fn line(n: usize) -> Topology {
+        let n = n.max(1);
+        let mut t = Topology::named("line");
+        t.name = format!("line{n}");
+        let routers: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let left = ipv4::addr(10, 0, (i + 1) as u8, 1);
+                let right = ipv4::addr(10, 0, (i + 2) as u8, 1);
+                t.router(&format!("r{}", i + 1), &[(left, 24), (right, 24)])
+            })
+            .collect();
+        let client = t.host("client", ipv4::addr(10, 0, 1, 100), 24);
+        let server = t.host("server", ipv4::addr(10, 0, (n + 1) as u8, 100), 24);
+        t.link(routers[0], client, 1_000_000);
+        for w in routers.windows(2) {
+            t.link(w[0], w[1], 2_000_000);
+        }
+        t.link(routers[n - 1], server, 1_000_000);
+        t
+    }
+
+    /// A star: one central router with `k` hosts, one subnet each.
+    pub fn star(k: usize) -> Topology {
+        let k = k.max(2);
+        let mut t = Topology::named("star");
+        t.name = format!("star{k}");
+        let ifaces: Vec<(u32, u8)> = (0..k)
+            .map(|i| (ipv4::addr(10, 0, (i + 1) as u8, 1), 24))
+            .collect();
+        let hub = t.router("hub", &ifaces);
+        for i in 0..k {
+            let h = t.host(
+                &format!("h{}", i + 1),
+                ipv4::addr(10, 0, (i + 1) as u8, 100),
+                24,
+            );
+            t.link(hub, h, 1_000_000);
+        }
+        t
+    }
+
+    /// A ring of `k` routers, one host each; router-to-router links use
+    /// 172.16.x.0/24 transit subnets.
+    pub fn ring(k: usize) -> Topology {
+        let k = k.max(3);
+        let mut t = Topology::named("ring");
+        t.name = format!("ring{k}");
+        let mut routers = Vec::new();
+        for i in 0..k {
+            // Host-facing interface plus two transit interfaces: to the
+            // previous ring link (i) and the next (i+1, wrapping).
+            let host_if = (ipv4::addr(10, 0, (i + 1) as u8, 1), 24);
+            let prev_link = i; // link (i-1, i) carries subnet 172.16.i.0/24
+            let next_link = (i + 1) % k;
+            let ifaces = vec![
+                host_if,
+                (ipv4::addr(172, 16, prev_link as u8, 2), 24),
+                (ipv4::addr(172, 16, next_link as u8, 1), 24),
+            ];
+            routers.push(t.router(&format!("r{}", i + 1), &ifaces));
+        }
+        for (i, &router) in routers.iter().enumerate() {
+            let h = t.host(
+                &format!("h{}", i + 1),
+                ipv4::addr(10, 0, (i + 1) as u8, 100),
+                24,
+            );
+            t.link(router, h, 1_000_000);
+        }
+        for i in 0..k {
+            t.link(routers[i], routers[(i + 1) % k], 2_000_000);
+        }
+        t
+    }
+
+    /// A ~10-node mesh: four fully-meshed routers with six hosts spread
+    /// across them.
+    pub fn mesh10() -> Topology {
+        let mut t = Topology::named("mesh10");
+        // Host subnets 10.0.1-6.0/24; transit subnets 172.16.n.0/24 per
+        // router pair (n = 0..6 in pair order).
+        let host_subnets: [&[u8]; 4] = [&[1, 2], &[3, 4], &[5], &[6]];
+        let pairs = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let mut ifaces: Vec<Vec<(u32, u8)>> = host_subnets
+            .iter()
+            .map(|subnets| {
+                subnets
+                    .iter()
+                    .map(|s| (ipv4::addr(10, 0, *s, 1), 24))
+                    .collect()
+            })
+            .collect();
+        for (n, (a, b)) in pairs.iter().enumerate() {
+            ifaces[*a].push((ipv4::addr(172, 16, n as u8, 1), 24));
+            ifaces[*b].push((ipv4::addr(172, 16, n as u8, 2), 24));
+        }
+        let routers: Vec<NodeId> = ifaces
+            .iter()
+            .enumerate()
+            .map(|(i, ifs)| t.router(&format!("r{}", i + 1), ifs))
+            .collect();
+        for (r, subnets) in routers.iter().zip(host_subnets.iter()) {
+            for s in *subnets {
+                let h = t.host(&format!("h{s}"), ipv4::addr(10, 0, *s, 100), 24);
+                t.link(*r, h, 1_000_000);
+            }
+        }
+        for (a, b) in pairs {
+            t.link(routers[a], routers[b], 3_000_000);
+        }
+        t
+    }
+
+    /// Every topology of the library, in sweep order.
+    pub fn library() -> Vec<Topology> {
+        vec![
+            Topology::appendix_a(),
+            Topology::line(3),
+            Topology::star(4),
+            Topology::ring(4),
+            Topology::mesh10(),
+        ]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
+
+/// Static next-hop tables: `next_hop[src][dst]` is the link a packet leaves
+/// `src` on towards `dst`, computed by Dijkstra over link delays with
+/// deterministic `(distance, node index)` tie-breaking.
+#[derive(Debug, Clone)]
+pub struct Routes {
+    next_hop: Vec<Vec<Option<LinkId>>>,
+}
+
+impl Routes {
+    /// Compute shortest-path routes for a topology.
+    pub fn compute(topo: &Topology) -> Routes {
+        let n = topo.nodes.len();
+        let mut next_hop = vec![vec![None; n]; n];
+        for src in 0..n {
+            // Dijkstra from src; `via[d]` is the first link on the path.
+            let mut dist = vec![u64::MAX; n];
+            let mut via: Vec<Option<LinkId>> = vec![None; n];
+            let mut done = vec![false; n];
+            dist[src] = 0;
+            for _ in 0..n {
+                // Deterministic extract-min: smallest (dist, index).
+                let Some(u) = (0..n)
+                    .filter(|i| !done[*i] && dist[*i] != u64::MAX)
+                    .min_by_key(|i| (dist[*i], *i))
+                else {
+                    break;
+                };
+                done[u] = true;
+                for (li, link) in topo.links.iter().enumerate() {
+                    let Some(peer) = link.peer_of(NodeId(u)) else {
+                        continue;
+                    };
+                    let v = peer.0;
+                    let nd = dist[u].saturating_add(link.delay_ns.max(1));
+                    let better = nd < dist[v]
+                        || (nd == dist[v]
+                            && via[v].map(|l| l.0).unwrap_or(usize::MAX) > li
+                            && via[u].is_none());
+                    if better {
+                        dist[v] = nd;
+                        via[v] = if u == src { Some(LinkId(li)) } else { via[u] };
+                    }
+                }
+            }
+            next_hop[src] = via;
+        }
+        Routes { next_hop }
+    }
+
+    /// The link a packet leaves `src` on towards `dst` (None if unreachable
+    /// or `src == dst`).
+    pub fn link_towards(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.next_hop[src.0][dst.0]
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link models
+// ---------------------------------------------------------------------------
+
+/// One packet's fate on a link: the (possibly mutated) bytes plus any extra
+/// queueing delay the model imposes.
+#[derive(Debug, Clone)]
+pub struct LinkDelivery {
+    /// The packet that arrives (possibly corrupted by the model).
+    pub packet: PacketBuf,
+    /// Extra delay on top of propagation + serialization, in nanoseconds.
+    pub extra_delay_ns: u64,
+}
+
+impl LinkDelivery {
+    /// An unmodified, undelayed delivery.
+    pub fn intact(packet: PacketBuf) -> LinkDelivery {
+        LinkDelivery {
+            packet,
+            extra_delay_ns: 0,
+        }
+    }
+}
+
+/// A per-link behaviour hook: loss, duplication, corruption and jitter are
+/// expressed by returning zero, one or many [`LinkDelivery`]s per transmit.
+/// Implementations must be deterministic for a fixed seed —
+/// [`crate::faulty::FaultyLink`] is the seeded reference implementation.
+pub trait LinkModel: Send {
+    /// Decide what arrives when `packet` is transmitted on this link.
+    fn transmit(&mut self, packet: &PacketBuf) -> Vec<LinkDelivery>;
+}
+
+// ---------------------------------------------------------------------------
+// Nodes and the handler context
+// ---------------------------------------------------------------------------
+
+/// A behaviour bound to a topology node: every protocol role — router,
+/// ping client, IGMP querier/host, NTP client/server, BFD endpoint — is an
+/// event handler implementing this trait.
+pub trait Node {
+    /// Called once at virtual time zero, in node order, before any events
+    /// are pumped.  The place to originate initial traffic or set timers.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// Called when an IP packet arrives at this node.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+}
+
+/// An action emitted by a handler, applied by the kernel in emission order.
+#[derive(Debug)]
+enum Action {
+    Originate(PacketBuf),
+    Forward(PacketBuf),
+    Timer { delay_ns: u64, token: u64 },
+    Note(String),
+    DeliverLocal,
+    Drop(&'static str),
+}
+
+/// The handler-side view of the kernel: the current virtual time, routing
+/// queries, and the action buffer handlers emit into.
+pub struct Ctx<'a> {
+    now: SimTime,
+    node: NodeId,
+    arrival_from: Option<NodeId>,
+    topology: &'a Topology,
+    routes: &'a Routes,
+    actions: Vec<Action>,
+}
+
+impl Ctx<'_> {
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this handler is bound to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The neighbour a packet arrived from (None for timers/start).
+    pub fn arrival_from(&self) -> Option<NodeId> {
+        self.arrival_from
+    }
+
+    /// The interface addresses of a node.
+    pub fn node_addrs(&self, n: NodeId) -> &[(u32, u8)] {
+        &self.topology.nodes[n.0].addrs
+    }
+
+    /// True if the kernel can route a packet from this node to `dst` (some
+    /// node owns the address and a path exists).
+    pub fn has_route(&self, dst: u32) -> bool {
+        match self.topology.owner_of(dst) {
+            Some(owner) if owner == self.node => true,
+            Some(owner) => self.routes.link_towards(self.node, owner).is_some(),
+            None => false,
+        }
+    }
+
+    /// Originate a new packet from this node (traced as `Originate`).
+    pub fn send(&mut self, packet: PacketBuf) {
+        self.actions.push(Action::Originate(packet));
+    }
+
+    /// Forward a transit packet (traced as `Forward`, excluded from
+    /// [`EventTrace::originated_packets`]).
+    pub fn forward(&mut self, packet: PacketBuf) {
+        self.actions.push(Action::Forward(packet));
+    }
+
+    /// Schedule [`Node::on_timer`] after `delay_ns` virtual nanoseconds.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.actions.push(Action::Timer { delay_ns, token });
+    }
+
+    /// Record a free-form trace note (scenario assertions read these).
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.actions.push(Action::Note(text.into()));
+    }
+
+    /// Record local delivery (the packet terminated here on purpose).
+    pub fn deliver_local(&mut self) {
+        self.actions.push(Action::DeliverLocal);
+    }
+
+    /// Record an intentional drop.
+    pub fn drop_packet(&mut self, reason: &'static str) {
+        self.actions.push(Action::Drop(reason));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The event trace
+// ---------------------------------------------------------------------------
+
+/// What happened at one trace point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEventKind {
+    /// A node originated a new packet.
+    Originate(Vec<u8>),
+    /// A router forwarded a transit packet.
+    Forward(Vec<u8>),
+    /// A packet arrived at a node.
+    Deliver(Vec<u8>),
+    /// A packet terminated locally on purpose.
+    DeliverLocal,
+    /// A packet was dropped.
+    Drop(&'static str),
+    /// A timer fired.
+    Timer(u64),
+    /// A handler note.
+    Note(String),
+}
+
+/// One trace record: when, where, what.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// The node the event happened at.
+    pub node: NodeId,
+    /// The node's name (denormalised for rendering).
+    pub node_name: String,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The replayable record of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTrace {
+    /// Events in processing order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl EventTrace {
+    /// Every originated packet, in order — the kernel analogue of the
+    /// legacy drivers' `report.packets` (forwarded transit copies are
+    /// excluded, as the legacy drivers captured pre-forward bytes).
+    pub fn originated_packets(&self) -> Vec<Vec<u8>> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Originate(bytes) => Some(bytes.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Packets delivered to the named node, in order.
+    pub fn delivered_to(&self, node_name: &str) -> Vec<Vec<u8>> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Deliver(bytes) if e.node_name == node_name => Some(bytes.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(node_name, text)` for every note, in order.
+    pub fn notes(&self) -> Vec<(&str, &str)> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Note(text) => Some((e.node_name.as_str(), text.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of `Deliver` events.
+    pub fn delivered_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceEventKind::Deliver(_)))
+            .count()
+    }
+
+    /// The virtual time of the last event (the run's virtual duration).
+    pub fn duration(&self) -> SimTime {
+        self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Render the trace deterministically, one line per event with full
+    /// packet hex — the byte-identical artifact the determinism tests pin.
+    pub fn render(&self) -> String {
+        fn hex(bytes: &[u8]) -> String {
+            bytes.iter().map(|b| format!("{b:02x}")).collect()
+        }
+        let mut out = String::new();
+        for e in &self.events {
+            let body = match &e.kind {
+                TraceEventKind::Originate(b) => format!("originate {}", hex(b)),
+                TraceEventKind::Forward(b) => format!("forward {}", hex(b)),
+                TraceEventKind::Deliver(b) => format!("deliver {}", hex(b)),
+                TraceEventKind::DeliverLocal => "deliver-local".to_string(),
+                TraceEventKind::Drop(r) => format!("drop {r}"),
+                TraceEventKind::Timer(t) => format!("timer {t}"),
+                TraceEventKind::Note(n) => format!("note {n}"),
+            };
+            out.push_str(&format!("[{:>12}] {:<8} {}\n", e.time, e.node_name, body));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The kernel
+// ---------------------------------------------------------------------------
+
+/// A queued future event.
+#[derive(Debug)]
+enum QueuedKind {
+    Arrival {
+        node: NodeId,
+        from: NodeId,
+        packet: PacketBuf,
+    },
+    TimerFire {
+        node: NodeId,
+        token: u64,
+    },
+}
+
+#[derive(Debug)]
+struct QueuedEvent {
+    time: SimTime,
+    seq: u64,
+    kind: QueuedKind,
+}
+
+impl PartialEq for QueuedEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for QueuedEvent {}
+impl PartialOrd for QueuedEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedEvent {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Builds a [`Sim`]: a topology plus per-node handlers and per-link models.
+pub struct SimBuilder {
+    topology: Topology,
+    handlers: Vec<Option<Box<dyn Node>>>,
+    link_models: Vec<Option<Box<dyn LinkModel>>>,
+    max_events: usize,
+}
+
+impl SimBuilder {
+    /// Start building over a topology.
+    pub fn new(topology: Topology) -> SimBuilder {
+        let nodes = topology.nodes.len();
+        let links = topology.links.len();
+        SimBuilder {
+            topology,
+            handlers: (0..nodes).map(|_| None).collect(),
+            link_models: (0..links).map(|_| None).collect(),
+            max_events: 100_000,
+        }
+    }
+
+    /// The topology being bound (scenarios read addresses from here).
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Bind a handler to a node by id.
+    pub fn bind(&mut self, node: NodeId, handler: Box<dyn Node>) -> &mut Self {
+        self.handlers[node.0] = Some(handler);
+        self
+    }
+
+    /// Bind a handler to a node by name; panics if the name is unknown
+    /// (a scenario/topology mismatch is a programming error).
+    pub fn bind_named(&mut self, name: &str, handler: Box<dyn Node>) -> &mut Self {
+        let node = self
+            .topology
+            .node_named(name)
+            .unwrap_or_else(|| panic!("no node named {name:?}"));
+        self.bind(node, handler)
+    }
+
+    /// Attach a fault/delay model to a link.
+    pub fn bind_link_model(&mut self, link: LinkId, model: Box<dyn LinkModel>) -> &mut Self {
+        self.link_models[link.0] = Some(model);
+        self
+    }
+
+    /// Cap the total number of processed events (runaway-loop backstop).
+    pub fn max_events(&mut self, cap: usize) -> &mut Self {
+        self.max_events = cap;
+        self
+    }
+
+    /// Compute routes and produce a runnable [`Sim`].
+    pub fn build(self) -> Sim {
+        let routes = Routes::compute(&self.topology);
+        Sim {
+            topology: self.topology,
+            routes,
+            handlers: self.handlers,
+            link_models: self.link_models,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            trace: EventTrace::default(),
+            max_events: self.max_events,
+        }
+    }
+}
+
+/// The discrete-event simulator: pumps the queue to completion, producing an
+/// [`EventTrace`].
+pub struct Sim {
+    topology: Topology,
+    routes: Routes,
+    handlers: Vec<Option<Box<dyn Node>>>,
+    link_models: Vec<Option<Box<dyn LinkModel>>>,
+    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    next_seq: u64,
+    trace: EventTrace,
+    max_events: usize,
+}
+
+impl Sim {
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Run to completion: start handlers fire at time zero in node order,
+    /// then events are pumped in `(time, seq)` order until the queue drains
+    /// or the event cap is hit.
+    pub fn run(mut self) -> EventTrace {
+        for i in 0..self.handlers.len() {
+            if let Some(mut handler) = self.handlers[i].take() {
+                let mut ctx = self.ctx(SimTime::ZERO, NodeId(i), None);
+                handler.on_start(&mut ctx);
+                let actions = ctx.actions;
+                self.apply_actions(SimTime::ZERO, NodeId(i), actions);
+                self.handlers[i] = Some(handler);
+            }
+        }
+        let mut processed = 0usize;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if processed >= self.max_events {
+                self.trace_event(event.time, NodeId(0), TraceEventKind::Drop("event cap hit"));
+                break;
+            }
+            processed += 1;
+            match event.kind {
+                QueuedKind::Arrival { node, from, packet } => {
+                    self.trace_event(
+                        event.time,
+                        node,
+                        TraceEventKind::Deliver(packet.as_bytes().to_vec()),
+                    );
+                    if let Some(mut handler) = self.handlers[node.0].take() {
+                        let mut ctx = self.ctx(event.time, node, Some(from));
+                        handler.on_packet(&mut ctx, &packet);
+                        let actions = ctx.actions;
+                        self.apply_actions(event.time, node, actions);
+                        self.handlers[node.0] = Some(handler);
+                    }
+                }
+                QueuedKind::TimerFire { node, token } => {
+                    self.trace_event(event.time, node, TraceEventKind::Timer(token));
+                    if let Some(mut handler) = self.handlers[node.0].take() {
+                        let mut ctx = self.ctx(event.time, node, None);
+                        handler.on_timer(&mut ctx, token);
+                        let actions = ctx.actions;
+                        self.apply_actions(event.time, node, actions);
+                        self.handlers[node.0] = Some(handler);
+                    }
+                }
+            }
+        }
+        self.trace
+    }
+
+    fn ctx(&self, now: SimTime, node: NodeId, arrival_from: Option<NodeId>) -> Ctx<'_> {
+        Ctx {
+            now,
+            node,
+            arrival_from,
+            topology: &self.topology,
+            routes: &self.routes,
+            actions: Vec::new(),
+        }
+    }
+
+    fn trace_event(&mut self, time: SimTime, node: NodeId, kind: TraceEventKind) {
+        let node_name = self
+            .topology
+            .nodes
+            .get(node.0)
+            .map(|n| n.name.clone())
+            .unwrap_or_default();
+        self.trace.events.push(TraceEvent {
+            time,
+            node,
+            node_name,
+            kind,
+        });
+    }
+
+    fn apply_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Originate(packet) => {
+                    self.trace_event(
+                        now,
+                        node,
+                        TraceEventKind::Originate(packet.as_bytes().to_vec()),
+                    );
+                    self.route_packet(now, node, packet);
+                }
+                Action::Forward(packet) => {
+                    self.trace_event(
+                        now,
+                        node,
+                        TraceEventKind::Forward(packet.as_bytes().to_vec()),
+                    );
+                    self.route_packet(now, node, packet);
+                }
+                Action::Timer { delay_ns, token } => {
+                    let seq = self.bump_seq();
+                    self.queue.push(Reverse(QueuedEvent {
+                        time: now.offset(delay_ns),
+                        seq,
+                        kind: QueuedKind::TimerFire { node, token },
+                    }));
+                }
+                Action::Note(text) => self.trace_event(now, node, TraceEventKind::Note(text)),
+                Action::DeliverLocal => self.trace_event(now, node, TraceEventKind::DeliverLocal),
+                Action::Drop(reason) => self.trace_event(now, node, TraceEventKind::Drop(reason)),
+            }
+        }
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Route one outgoing packet from `node` by destination address:
+    /// multicast fans out over every incident link; unicast follows the
+    /// static next-hop table.
+    fn route_packet(&mut self, now: SimTime, node: NodeId, packet: PacketBuf) {
+        let Ok(dst) = packet.get_field(ipv4::FIELDS, "destination_address") else {
+            self.trace_event(now, node, TraceEventKind::Drop("truncated header"));
+            return;
+        };
+        let dst = dst as u32;
+        if is_multicast(dst) {
+            for link in self.topology.links_of(node) {
+                self.transmit(now, node, link, &packet);
+            }
+            return;
+        }
+        if self
+            .topology
+            .nodes
+            .get(node.0)
+            .is_some_and(|n| n.addrs.iter().any(|(a, _)| *a == dst))
+        {
+            // Addressed to the sender itself: terminate without a wire trip.
+            self.trace_event(now, node, TraceEventKind::DeliverLocal);
+            return;
+        }
+        let Some(owner) = self.topology.owner_of(dst) else {
+            self.trace_event(now, node, TraceEventKind::Drop("no route to destination"));
+            return;
+        };
+        let Some(link) = self.routes.link_towards(node, owner) else {
+            self.trace_event(now, node, TraceEventKind::Drop("destination unreachable"));
+            return;
+        };
+        self.transmit(now, node, link, &packet);
+    }
+
+    /// Put one packet on a link: apply the link model (loss, duplication,
+    /// corruption, jitter), then schedule arrivals after propagation +
+    /// serialization + model-imposed delay.
+    fn transmit(&mut self, now: SimTime, from: NodeId, link: LinkId, packet: &PacketBuf) {
+        let spec = self.topology.links[link.0].clone();
+        let Some(to) = spec.peer_of(from) else {
+            return;
+        };
+        let deliveries = match self.link_models[link.0].as_mut() {
+            Some(model) => model.transmit(packet),
+            None => vec![LinkDelivery::intact(packet.clone())],
+        };
+        if deliveries.is_empty() {
+            self.trace_event(now, from, TraceEventKind::Drop("lost on link"));
+            return;
+        }
+        for d in deliveries {
+            let latency = spec
+                .delay_ns
+                .saturating_add(spec.serialization_ns(d.packet.as_bytes().len()))
+                .saturating_add(d.extra_delay_ns);
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(QueuedEvent {
+                time: now.offset(latency),
+                seq,
+                kind: QueuedKind::Arrival {
+                    node: to,
+                    from,
+                    packet: d.packet,
+                },
+            }));
+        }
+    }
+}
+
+/// True for IPv4 multicast destinations (224.0.0.0/4).
+pub fn is_multicast(addr: u32) -> bool {
+    (0xE000_0000..0xF000_0000).contains(&addr)
+}
+
+// ---------------------------------------------------------------------------
+// The router as an event handler
+// ---------------------------------------------------------------------------
+
+/// The Appendix-A router ported onto the kernel: wraps
+/// [`Network::router_process`] verbatim (so every ICMP decision — parameter
+/// problem, echo, TTL expiry, unreachable, redirect, source quench —
+/// byte-matches the synchronous router), and adds kernel-routed transit
+/// forwarding for destinations in subnets the router is not directly
+/// attached to (multi-hop topologies).
+pub struct RouterNode {
+    net: Network,
+    responder: Box<dyn IcmpResponder>,
+}
+
+impl RouterNode {
+    /// A router over `config` answering ICMP events through `responder`.
+    pub fn new(config: RouterConfig, responder: Box<dyn IcmpResponder>) -> RouterNode {
+        RouterNode {
+            net: Network {
+                router: config,
+                hosts: Vec::new(),
+            },
+            responder,
+        }
+    }
+
+    /// Infer the ingress interface: the interface whose subnet contains an
+    /// address of the neighbour the packet arrived from, falling back to
+    /// the interface containing the packet source, then to 0.
+    fn ingress_iface(&self, ctx: &Ctx<'_>, src: u32) -> usize {
+        if let Some(from) = ctx.arrival_from() {
+            for (addr, _) in ctx.node_addrs(from) {
+                if let Some(i) = self
+                    .net
+                    .router
+                    .interfaces
+                    .iter()
+                    .position(|iface| iface.contains(*addr))
+                {
+                    return i;
+                }
+            }
+        }
+        self.net
+            .router
+            .interfaces
+            .iter()
+            .position(|iface| iface.contains(src))
+            .unwrap_or(0)
+    }
+}
+
+impl Node for RouterNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        let dst = packet
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
+        let src = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let tos = packet
+            .get_field(ipv4::FIELDS, "type_of_service")
+            .unwrap_or(0) as u8;
+        let ttl = packet.get_field(ipv4::FIELDS, "ttl").unwrap_or(0) as u8;
+
+        // Link-local / group traffic is consumed silently: routers do not
+        // forward 224.0.0.0/4 here and must not answer it with ICMP errors.
+        if is_multicast(dst) {
+            ctx.deliver_local();
+            return;
+        }
+
+        // Transit forwarding: the destination is in no directly-attached
+        // subnet, but the kernel routes it (multi-hop topologies).  Checked
+        // in ladder order — TOS, local delivery and TTL still go through
+        // `router_process` below so those ICMP paths stay byte-identical.
+        let locally_attached = self
+            .net
+            .router
+            .interfaces
+            .iter()
+            .any(|iface| iface.contains(dst));
+        if tos == self.net.router.supported_tos
+            && !self.net.is_router_address(dst)
+            && ttl > 1
+            && !locally_attached
+            && ctx.has_route(dst)
+        {
+            let mut fwd = packet.clone();
+            fwd.set_field(ipv4::FIELDS, "ttl", u64::from(ttl - 1))
+                .expect("field");
+            ipv4::refresh_checksum(&mut fwd);
+            ctx.forward(fwd);
+            return;
+        }
+
+        let ingress = self.ingress_iface(ctx, src);
+        match self
+            .net
+            .router_process(packet, ingress, self.responder.as_mut())
+        {
+            RouterAction::IcmpReply(reply) => ctx.send(reply),
+            RouterAction::Forwarded(egress) => {
+                // `router_process` queued the TTL-decremented copy on the
+                // egress interface; hand it to the kernel.
+                if let Some(fwd) = self.net.router.interfaces[egress].queue.pop() {
+                    ctx.forward(fwd);
+                }
+            }
+            RouterAction::DeliveredLocally => ctx.deliver_local(),
+            RouterAction::Dropped(reason) => ctx.drop_packet(reason),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::icmp;
+    use crate::net::ReferenceResponder;
+
+    /// A host that notes every packet it receives.
+    struct Probe;
+    impl Node for Probe {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+            let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0);
+            ctx.note(format!("got proto={proto}"));
+        }
+    }
+
+    /// A host that sends one echo request at start.
+    struct Pinger {
+        src: u32,
+        dst: u32,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            let echo = icmp::build_echo(false, 7, 1, b"kernel");
+            ctx.send(ipv4::build_packet(
+                self.src,
+                self.dst,
+                ipv4::PROTO_ICMP,
+                64,
+                echo.as_bytes(),
+            ));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+            let outcome = crate::tools::ping::validate_reply(packet, self.src, 7, 1, b"kernel");
+            ctx.note(format!("outcome={outcome:?}"));
+        }
+    }
+
+    #[test]
+    fn echo_to_router_comes_back_over_the_kernel() {
+        let topo = Topology::appendix_a();
+        let client = topo.addr_of(topo.node_named("client").unwrap());
+        let router_addr = topo.addr_of(topo.node_named("router").unwrap());
+        let mut sim = SimBuilder::new(topo);
+        sim.bind_named(
+            "router",
+            Box::new(RouterNode::new(
+                RouterConfig::appendix_a(),
+                Box::new(ReferenceResponder),
+            )),
+        );
+        sim.bind_named(
+            "client",
+            Box::new(Pinger {
+                src: client,
+                dst: router_addr,
+            }),
+        );
+        let trace = sim.build().run();
+        let notes = trace.notes();
+        assert_eq!(notes.len(), 1, "{}", trace.render());
+        assert!(notes[0].1.contains("Reply"), "{}", trace.render());
+        // Two wire trips at 1ms each.
+        assert_eq!(trace.duration(), SimTime::from_millis(2));
+    }
+
+    #[test]
+    fn transit_forwarding_crosses_a_line_of_routers() {
+        let topo = Topology::line(3);
+        let client = topo.addr_of(topo.node_named("client").unwrap());
+        let server = topo.addr_of(topo.node_named("server").unwrap());
+        let mut sim = SimBuilder::new(topo.clone());
+        for r in topo.routers() {
+            let cfg = topo.router_config(r);
+            sim.bind(
+                r,
+                Box::new(RouterNode::new(cfg, Box::new(ReferenceResponder))),
+            );
+        }
+        sim.bind_named(
+            "client",
+            Box::new(Pinger {
+                src: client,
+                dst: server,
+            }),
+        );
+        sim.bind_named("server", Box::new(Probe));
+        let trace = sim.build().run();
+        let notes = trace.notes();
+        assert_eq!(notes.len(), 1, "{}", trace.render());
+        assert_eq!(notes[0], ("server", "got proto=1"));
+        // TTL decremented once per router.
+        let delivered = trace.delivered_to("server");
+        assert_eq!(delivered.len(), 1);
+        let p = PacketBuf::from_bytes(delivered[0].clone());
+        assert_eq!(p.get_field(ipv4::FIELDS, "ttl").unwrap(), 61);
+        assert!(ipv4::checksum_ok(&p));
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        // Two packets scheduled at the same instant arrive in schedule order.
+        let mut topo = Topology::named("pair");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let b = topo.host("b", ipv4::addr(10, 0, 1, 2), 24);
+        topo.link(a, b, 1_000);
+        struct TwoSends;
+        impl Node for TwoSends {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for seq in [1u16, 2] {
+                    let echo = icmp::build_echo(false, 1, seq, b"x");
+                    ctx.send(ipv4::build_packet(
+                        ipv4::addr(10, 0, 1, 1),
+                        ipv4::addr(10, 0, 1, 2),
+                        ipv4::PROTO_ICMP,
+                        64,
+                        echo.as_bytes(),
+                    ));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(a, Box::new(TwoSends));
+        let trace = sim.build().run();
+        let delivered = trace.delivered_to("b");
+        assert_eq!(delivered.len(), 2);
+        let seq_of = |bytes: &[u8]| {
+            let p = PacketBuf::from_bytes(
+                ipv4::payload(&PacketBuf::from_bytes(bytes.to_vec())).to_vec(),
+            );
+            p.get_field(icmp::FIELDS, "sequence_number").unwrap()
+        };
+        assert_eq!(seq_of(&delivered[0]), 1);
+        assert_eq!(seq_of(&delivered[1]), 2);
+    }
+
+    #[test]
+    fn timers_fire_at_their_virtual_time() {
+        let mut topo = Topology::named("solo");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        struct TimerNode;
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(5_000, 42);
+                ctx.set_timer(1_000, 7);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                ctx.note(format!("fired {token}"));
+            }
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(a, Box::new(TimerNode));
+        let trace = sim.build().run();
+        let notes: Vec<&str> = trace.notes().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(notes, vec!["fired 7", "fired 42"]);
+        assert_eq!(trace.duration(), SimTime(5_000));
+    }
+
+    #[test]
+    fn routes_cross_every_library_topology() {
+        for topo in Topology::library() {
+            let routes = Routes::compute(&topo);
+            let hosts = topo.hosts();
+            for &h1 in &hosts {
+                for &h2 in &hosts {
+                    if h1 != h2 {
+                        assert!(
+                            routes.link_towards(h1, h2).is_some(),
+                            "{}: no route {:?} -> {:?}",
+                            topo.name,
+                            topo.nodes[h1.0].name,
+                            topo.nodes[h2.0].name
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_adds_serialization_delay() {
+        let mut topo = Topology::named("slow");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let b = topo.host("b", ipv4::addr(10, 0, 1, 2), 24);
+        // 8 Mbit/s: 1 byte costs 1000ns on the wire.
+        topo.link_with(a, b, 1_000, Some(8_000_000));
+        struct OneSend;
+        impl Node for OneSend {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let echo = icmp::build_echo(false, 1, 1, &[0u8; 12]);
+                ctx.send(ipv4::build_packet(
+                    ipv4::addr(10, 0, 1, 1),
+                    ipv4::addr(10, 0, 1, 2),
+                    ipv4::PROTO_ICMP,
+                    64,
+                    echo.as_bytes(),
+                ));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(a, Box::new(OneSend));
+        let trace = sim.build().run();
+        // IP(20) + ICMP(8) + 12 payload = 40 bytes -> 40_000ns + 1_000ns.
+        assert_eq!(trace.duration(), SimTime(41_000));
+    }
+
+    #[test]
+    fn multicast_fans_out_to_all_neighbours() {
+        let topo = Topology::star(4);
+        let hub_addr = topo.addr_of(topo.node_named("hub").unwrap());
+        struct Caster {
+            src: u32,
+        }
+        impl Node for Caster {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let msg = crate::headers::igmp::build_message(
+                    crate::headers::igmp::msg_type::MEMBERSHIP_QUERY,
+                    0,
+                );
+                ctx.send(ipv4::build_packet(
+                    self.src,
+                    ipv4::addr(224, 0, 0, 1),
+                    ipv4::PROTO_IGMP,
+                    1,
+                    msg.as_bytes(),
+                ));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind_named("hub", Box::new(Caster { src: hub_addr }));
+        let trace = sim.build().run();
+        assert_eq!(trace.delivered_count(), 4, "{}", trace.render());
+        assert_eq!(trace.originated_packets().len(), 1);
+    }
+}

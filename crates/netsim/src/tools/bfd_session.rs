@@ -148,6 +148,9 @@ impl BringUpReport {
 /// out): each round, `a` transmits and `b` receives, then `b` transmits and
 /// `a` receives.  Control packets are captured UDP/IP-encapsulated on the
 /// BFD control port, between the first two hosts' addresses.
+#[deprecated(
+    note = "use scenario::BfdScenario on the event kernel instead; this synchronous driver is kept as the parity oracle"
+)]
 pub fn session_bring_up(
     a: &mut dyn BfdEndpoint,
     b: &mut dyn BfdEndpoint,
@@ -200,6 +203,7 @@ pub fn session_bring_up(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the legacy drivers is the point of these tests
 mod tests {
     use super::*;
     use bfd::SessionState::{Down, Init, Up};

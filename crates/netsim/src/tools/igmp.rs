@@ -72,6 +72,9 @@ impl IgmpExchangeReport {
 /// router queries the all-hosts group, the first host answers through
 /// `responder` for `group`.  IGMP is link-local (TTL 1), so the packets do
 /// not traverse the router — the topology only supplies the addresses.
+#[deprecated(
+    note = "use scenario::IgmpScenario on the event kernel instead; this synchronous driver is kept as the parity oracle"
+)]
 pub fn membership_exchange(
     net: &Network,
     responder: &mut dyn IgmpResponder,
@@ -139,6 +142,7 @@ pub fn membership_exchange(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the legacy drivers is the point of these tests
 mod tests {
     use super::*;
 

@@ -10,17 +10,30 @@
 //! triggered by the Table 11 timeout rule) and [`bfd_session`] (§6.4
 //! session bring-up, Down → Init → Up).
 
+//!
+//! The synchronous drivers (`ping_once`, `membership_exchange`,
+//! `client_server_exchange`, `session_bring_up`) are deprecated in favour of
+//! the [`crate::scenario`] API over the event kernel; they remain as
+//! independent oracles for the trace-parity tests.
+
 pub mod bfd_session;
 pub mod igmp;
 pub mod ntp_exchange;
 pub mod ping;
 pub mod traceroute;
 
-pub use bfd_session::{session_bring_up, BfdEndpoint, BringUpReport, ReferenceBfdEndpoint};
-pub use igmp::{membership_exchange, IgmpExchangeReport, IgmpResponder, ReferenceIgmpResponder};
+#[allow(deprecated)]
+pub use bfd_session::session_bring_up;
+pub use bfd_session::{BfdEndpoint, BringUpReport, ReferenceBfdEndpoint};
+#[allow(deprecated)]
+pub use igmp::membership_exchange;
+pub use igmp::{IgmpExchangeReport, IgmpResponder, ReferenceIgmpResponder};
+#[allow(deprecated)]
+pub use ntp_exchange::client_server_exchange;
 pub use ntp_exchange::{
-    client_server_exchange, NtpExchangeReport, NtpServer, NtpTimeoutPolicy, ReferenceNtpServer,
-    ReferenceTimeoutPolicy,
+    NtpExchangeReport, NtpServer, NtpTimeoutPolicy, ReferenceNtpServer, ReferenceTimeoutPolicy,
 };
-pub use ping::{ping_once, PingOutcome};
+#[allow(deprecated)]
+pub use ping::ping_once;
+pub use ping::PingOutcome;
 pub use traceroute::{traceroute, Hop, TracerouteReport};

@@ -114,6 +114,9 @@ impl NtpExchangeReport {
 /// waits for its peer timer, then sends a client-mode message over UDP port
 /// 123 through the router to the server (second host); the server answers
 /// through `server`.
+#[deprecated(
+    note = "use scenario::NtpScenario on the event kernel instead; this synchronous driver is kept as the parity oracle"
+)]
 pub fn client_server_exchange(
     net: &mut Network,
     policy: &mut dyn NtpTimeoutPolicy,
@@ -214,6 +217,7 @@ pub fn client_server_exchange(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the legacy drivers is the point of these tests
 mod tests {
     use super::*;
 

@@ -34,6 +34,9 @@ impl PingOutcome {
 
 /// Send one echo request from `src` to `dst` through the network, having the
 /// router answer with `responder`, and validate the reply.
+#[deprecated(
+    note = "use scenario::PingScenario on the event kernel instead; this synchronous driver is kept as the parity oracle"
+)]
 pub fn ping_once(
     net: &mut Network,
     responder: &mut dyn IcmpResponder,
@@ -108,6 +111,7 @@ pub fn validate_reply(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercising the legacy drivers is the point of these tests
 mod tests {
     use super::*;
     use crate::headers::ipv4::addr;

@@ -7,6 +7,10 @@
 //! cargo run --example bfd_session
 //! ```
 
+// Deliberately runs the deprecated synchronous driver: it is the oracle the
+// kernel `Scenario` traces are pinned against (tests/scenario_parity.rs).
+#![allow(deprecated)]
+
 use sage_repro::core::programs::generate_bfd_program;
 use sage_repro::interp::GeneratedBfdEndpoint;
 use sage_repro::netsim::tools::bfd_session::{session_bring_up, ReferenceBfdEndpoint};

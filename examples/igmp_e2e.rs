@@ -6,6 +6,10 @@
 //! cargo run --example igmp_e2e
 //! ```
 
+// Deliberately runs the deprecated synchronous driver: it is the oracle the
+// kernel `Scenario` traces are pinned against (tests/scenario_parity.rs).
+#![allow(deprecated)]
+
 use sage_repro::core::programs::generate_igmp_program;
 use sage_repro::interp::GeneratedIgmpResponder;
 use sage_repro::netsim::headers::ipv4;

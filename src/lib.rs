@@ -8,15 +8,15 @@
 //!
 //! Every corpus the paper evaluates — ICMP, IGMP, NTP and BFD — generates an
 //! executable program; the [`interp::ResponderRegistry`] hosts them side by
-//! side and hands out the scenario adapter for each protocol.  This is the
-//! README quickstart snippet, kept honest as a doctest:
+//! side and hands out the scenario adapter for each protocol.  Generated
+//! programs run as event handlers on the discrete-event kernel via the
+//! [`netsim::Scenario`] registry.  This is the README quickstart snippet,
+//! kept honest as a doctest:
 //!
 //! ```
 //! use sage_repro::core::programs::generate_program;
-//! use sage_repro::interp::ResponderRegistry;
-//! use sage_repro::netsim::headers::ipv4;
-//! use sage_repro::netsim::net::Network;
-//! use sage_repro::netsim::tools::igmp::membership_exchange;
+//! use sage_repro::interp::{generated_scenarios, ResponderRegistry};
+//! use sage_repro::netsim::scenario::run_scenario;
 //! use sage_repro::spec::corpus::Protocol;
 //!
 //! // Analyze a corpus, generate its program, register it.  (All four
@@ -24,12 +24,11 @@
 //! let mut registry = ResponderRegistry::new();
 //! registry.register(Protocol::Igmp.name(), generate_program(Protocol::Igmp));
 //!
-//! // Plug the generated IGMP host into the virtual network: a multicast
-//! // router's membership query comes back answered, packets decoded clean.
-//! let group = ipv4::addr(224, 0, 0, 251);
-//! let mut host = registry.igmp_responder(group).expect("IGMP registered");
-//! let report = membership_exchange(&Network::appendix_a(), &mut host, group);
-//! assert!(report.all_ok() && host.errors.is_empty());
+//! // Run the generated IGMP host on the event kernel: a multicast router's
+//! // membership query comes back answered, every check green.
+//! let scenarios = generated_scenarios(&registry);
+//! let run = run_scenario(scenarios.find("igmp/generated").unwrap().as_ref());
+//! assert!(run.ok() && run.originated() == 2);
 //! ```
 pub use sage_ccg as ccg;
 pub use sage_codegen as codegen;

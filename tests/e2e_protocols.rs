@@ -1,15 +1,18 @@
 //! End-to-end generated-code execution for the three generality protocols:
-//! pipeline → program → interpreter → virtual network, with every captured
-//! packet decoded clean (the §6.3/§6.4 analogue of `tests/e2e_icmp.rs`).
+//! pipeline → program → interpreter → discrete-event kernel, with every
+//! originated packet decoded clean (the §6.3/§6.4 analogue of
+//! `tests/e2e_icmp.rs`, run as [`Scenario`]s on the simulation kernel).
+//!
+//! [`Scenario`]: sage_repro::netsim::Scenario
 
 use sage_repro::core::evaluation;
 use sage_repro::core::programs::generate_program;
-use sage_repro::interp::ResponderRegistry;
-use sage_repro::netsim::headers::{bfd, ipv4, ntp};
-use sage_repro::netsim::net::Network;
+use sage_repro::interp::{generated_scenarios, ResponderRegistry};
+use sage_repro::netsim::headers::ntp;
+use sage_repro::netsim::scenario::{run_scenario, NtpScenario, ScenarioRun};
 use sage_repro::netsim::tcpdump::decode_packet;
-use sage_repro::netsim::tools::{bfd_session, igmp as igmp_tool, ntp_exchange};
 use sage_repro::spec::corpus::Protocol;
+use std::sync::Arc;
 
 fn registry() -> ResponderRegistry {
     let mut registry = ResponderRegistry::new();
@@ -17,6 +20,39 @@ fn registry() -> ResponderRegistry {
         registry.register(protocol.name(), generate_program(protocol));
     }
     registry
+}
+
+/// Run the named generated-program scenario on the kernel, asserting every
+/// check passed, and return the run for further inspection.
+fn run_generated(name: &str) -> ScenarioRun {
+    let scenarios = generated_scenarios(&registry());
+    let scenario = scenarios
+        .find(name)
+        .unwrap_or_else(|| panic!("scenario {name} not registered"));
+    let run = run_scenario(scenario.as_ref());
+    assert!(run.ok(), "{name} failed: {:?}", run.outcome.failures());
+    run
+}
+
+/// Every packet the scenario put on the wire decodes clean in the tcpdump
+/// substitute and mentions `expect` in its summary line.
+fn assert_packets_clean(run: &ScenarioRun, expect: &str) {
+    let packets = run.trace.originated_packets();
+    assert!(!packets.is_empty(), "{} originated nothing", run.scenario);
+    for packet in &packets {
+        let decoded = decode_packet(packet);
+        assert!(
+            decoded.clean(),
+            "{}: {:?}",
+            decoded.summary,
+            decoded.warnings
+        );
+        assert!(
+            decoded.summary.contains(expect),
+            "summary {:?} lacks {expect}",
+            decoded.summary
+        );
+    }
 }
 
 #[test]
@@ -31,107 +67,70 @@ fn registry_holds_all_four_generated_programs() {
 
 #[test]
 fn generated_igmp_host_answers_queries_end_to_end() {
-    let group = ipv4::addr(224, 0, 0, 251);
-    let mut host = registry().igmp_responder(group).expect("IGMP registered");
-    let report = igmp_tool::membership_exchange(&Network::appendix_a(), &mut host, group);
-    assert!(report.all_ok(), "{report:#?}");
-    assert!(host.errors.is_empty(), "{:?}", host.errors);
-    for packet in &report.packets {
-        let decoded = decode_packet(packet);
-        assert!(
-            decoded.clean(),
-            "{}: {:?}",
-            decoded.summary,
-            decoded.warnings
-        );
-        assert!(decoded.summary.contains("IGMP"));
-    }
+    let run = run_generated("igmp/generated");
+    assert_packets_clean(&run, "IGMP");
 }
 
 #[test]
 fn generated_ntp_code_drives_the_timeout_exchange_end_to_end() {
-    let registry = registry();
-    let mut policy = registry.ntp_timeout_policy().expect("NTP registered");
-    let mut server = registry.ntp_server(2, 0x8000_0000).expect("NTP registered");
-    let peer = ntp::PeerVariables {
-        timer: 64,
-        threshold: 64,
-        mode: ntp::mode::CLIENT,
-    };
-    let report = ntp_exchange::client_server_exchange(
-        &mut Network::appendix_a(),
-        &mut policy,
-        &mut server,
-        &peer,
-        0xDEAD_BEEF,
-    );
-    assert!(report.all_ok(), "{report:#?}");
-    assert!(policy.errors.is_empty() && server.errors.is_empty());
-    for packet in &report.packets {
-        let decoded = decode_packet(packet);
-        assert!(
-            decoded.clean(),
-            "{}: {:?}",
-            decoded.summary,
-            decoded.warnings
-        );
-        assert!(decoded.summary.contains("UDP"));
-    }
+    let run = run_generated("ntp/generated");
+    assert_packets_clean(&run, "UDP");
 
     // Below the threshold — or in server mode — the generated Table 11 rule
-    // must not fire.
-    for peer in [
-        ntp::PeerVariables {
-            timer: 10,
-            threshold: 64,
-            mode: ntp::mode::CLIENT,
-        },
-        ntp::PeerVariables {
-            timer: 64,
-            threshold: 64,
-            mode: ntp::mode::SERVER,
-        },
+    // must not fire: the client scenario stays quiet on the kernel too.
+    let registry = registry();
+    for (case, peer) in [
+        (
+            "timer below threshold",
+            ntp::PeerVariables {
+                timer: 10,
+                threshold: 64,
+                mode: ntp::mode::CLIENT,
+            },
+        ),
+        (
+            "server mode",
+            ntp::PeerVariables {
+                timer: 64,
+                threshold: 64,
+                mode: ntp::mode::SERVER,
+            },
+        ),
     ] {
-        let quiet = ntp_exchange::client_server_exchange(
-            &mut Network::appendix_a(),
-            &mut policy,
-            &mut server,
-            &peer,
-            1,
+        let policy_reg = registry.clone();
+        let server_reg = registry.clone();
+        let quiet = NtpScenario::quiet(
+            "ntp/generated-quiet",
+            Arc::new(move || Box::new(policy_reg.ntp_timeout_policy().expect("ntp program"))),
+            Arc::new(move || Box::new(server_reg.ntp_server(2, 0x1000).expect("ntp program"))),
+            peer,
         );
-        assert!(!quiet.timeout_fired, "{peer:?}");
-        assert!(quiet.packets.is_empty());
+        let run = run_scenario(&quiet);
+        assert!(run.ok(), "{case}: {:?}", run.outcome.failures());
+        assert_eq!(run.originated(), 0, "{case}: client must stay silent");
     }
 }
 
 #[test]
 fn generated_bfd_code_brings_the_session_up_end_to_end() {
-    let registry = registry();
-    let mut a = registry.bfd_endpoint(7, 9).expect("BFD registered");
-    let mut b = registry.bfd_endpoint(9, 7).expect("BFD registered");
-    let report = bfd_session::session_bring_up(&mut a, &mut b, 4);
-    assert!(report.all_ok(), "{report:#?}");
+    let run = run_generated("bfd/generated");
+    assert_packets_clean(&run, "UDP");
+
+    // The responder endpoint (bound on the last host, "peer") walks the
+    // three-way handshake: Down on creation, then Init and Up as the
+    // initiator's packets arrive.
+    let peer_states: Vec<&str> = run
+        .trace
+        .notes()
+        .into_iter()
+        .filter(|(node, text)| *node == "peer" && text.starts_with("bfd_state="))
+        .map(|(_, text)| text)
+        .collect();
     assert_eq!(
-        report.b_state_path(),
-        vec![
-            bfd::SessionState::Down,
-            bfd::SessionState::Init,
-            bfd::SessionState::Up
-        ],
-        "b must walk the three-way handshake"
+        peer_states,
+        vec!["bfd_state=Init", "bfd_state=Up"],
+        "peer must walk the three-way handshake"
     );
-    assert!(a.errors.is_empty() && b.errors.is_empty());
-    assert_eq!(a.session.remote_discr, 9);
-    assert_eq!(b.session.remote_discr, 7);
-    for packet in &report.packets {
-        let decoded = decode_packet(packet);
-        assert!(
-            decoded.clean(),
-            "{}: {:?}",
-            decoded.summary,
-            decoded.warnings
-        );
-    }
 }
 
 #[test]

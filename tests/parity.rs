@@ -337,23 +337,34 @@ fn bfd_cases() -> Vec<ParityCase> {
         });
     }
 
-    // Full bring-up trace parity.
-    let trace = |report: sage_repro::netsim::tools::bfd_session::BringUpReport| {
-        format!("{:?} up={}", report.states, report.came_up)
-    };
-    let mut ga = GeneratedBfdEndpoint::new(program.clone(), 7, 9);
-    let mut gb = GeneratedBfdEndpoint::new(program.clone(), 9, 7);
-    let mut ra = ReferenceBfdEndpoint::new(7, 9);
-    let mut rb = ReferenceBfdEndpoint::new(9, 7);
+    // Full bring-up parity, observed on the event kernel: the generated
+    // endpoints and the reference endpoints must leave byte-identical event
+    // traces (same packets, same delivery times, same state notes).
+    use sage_repro::netsim::scenario::{run_scenario, BfdFactory, BfdScenario};
+    use std::sync::Arc;
+    let gen_program = program.clone();
+    let generated_factory: BfdFactory = Arc::new(move |local, remote| {
+        Box::new(GeneratedBfdEndpoint::new(
+            gen_program.clone(),
+            local,
+            remote,
+        ))
+    });
+    let generated_run = run_scenario(&BfdScenario::new(
+        "bfd/parity-generated",
+        generated_factory.clone(),
+        generated_factory,
+        (7, 9),
+        (9, 7),
+    ));
+    let reference_run = run_scenario(&BfdScenario::reference());
+    assert!(generated_run.ok(), "{:?}", generated_run.outcome.failures());
+    assert!(reference_run.ok(), "{:?}", reference_run.outcome.failures());
     cases.push(ParityCase {
         protocol: "BFD",
-        case: "session bring-up trace".into(),
-        generated: trace(sage_repro::netsim::tools::bfd_session::session_bring_up(
-            &mut ga, &mut gb, 4,
-        )),
-        reference: trace(sage_repro::netsim::tools::bfd_session::session_bring_up(
-            &mut ra, &mut rb, 4,
-        )),
+        case: "session bring-up kernel trace".into(),
+        generated: generated_run.trace.render(),
+        reference: reference_run.trace.render(),
     });
     cases
 }

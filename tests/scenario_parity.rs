@@ -1,0 +1,153 @@
+//! Kernel-vs-legacy trace parity: for every protocol, the packets the
+//! discrete-event kernel scenarios originate on the Appendix-A topology are
+//! pinned byte-for-byte to the exchanges the synchronous drivers (the
+//! deprecated `tools::*` entry points, kept as oracles) produce.
+#![allow(deprecated)]
+
+use sage_repro::core::programs::generate_program;
+use sage_repro::interp::{generated_scenarios, ResponderRegistry};
+use sage_repro::netsim::headers::{icmp, ipv4, ntp};
+use sage_repro::netsim::net::{Network, RouterAction};
+use sage_repro::netsim::scenario::{reference_scenarios, run_scenario, ScenarioRegistry};
+use sage_repro::netsim::tools::bfd_session::{self, ReferenceBfdEndpoint};
+use sage_repro::netsim::tools::igmp as igmp_tool;
+use sage_repro::netsim::tools::ntp_exchange::{self, ReferenceNtpServer, ReferenceTimeoutPolicy};
+use sage_repro::spec::corpus::Protocol;
+
+fn registry() -> ResponderRegistry {
+    let mut registry = ResponderRegistry::new();
+    for protocol in Protocol::all() {
+        registry.register(protocol.name(), generate_program(protocol));
+    }
+    registry
+}
+
+/// Run the named kernel scenario and return its originated packets.
+fn kernel_packets(scenarios: &ScenarioRegistry, name: &str) -> Vec<Vec<u8>> {
+    let scenario = scenarios
+        .find(name)
+        .unwrap_or_else(|| panic!("scenario {name} not registered"));
+    let run = run_scenario(scenario.as_ref());
+    assert!(run.ok(), "{name} failed: {:?}", run.outcome.failures());
+    run.trace.originated_packets()
+}
+
+/// The legacy ping exchange as on-the-wire bytes: the request the driver
+/// builds plus the reply the router produces.
+fn legacy_ping_packets(responder: &mut dyn sage_repro::netsim::net::IcmpResponder) -> Vec<Vec<u8>> {
+    let client = ipv4::addr(10, 0, 1, 100);
+    let router = ipv4::addr(10, 0, 1, 1);
+    let echo = icmp::build_echo(false, 0x77, 1, b"0123456789abcdef");
+    let request = ipv4::build_packet(client, router, ipv4::PROTO_ICMP, 64, echo.as_bytes());
+    let mut net = Network::appendix_a();
+    let RouterAction::IcmpReply(reply) = net.router_process(&request, 0, responder) else {
+        panic!("router did not reply to the echo request");
+    };
+    vec![request.as_bytes().to_vec(), reply.as_bytes().to_vec()]
+}
+
+#[test]
+fn ping_kernel_trace_matches_the_legacy_exchange() {
+    use sage_repro::netsim::net::ReferenceResponder;
+    let reference = kernel_packets(&reference_scenarios(), "ping/reference");
+    assert_eq!(reference, legacy_ping_packets(&mut ReferenceResponder));
+
+    let registry = registry();
+    let generated = kernel_packets(&generated_scenarios(&registry), "ping/generated");
+    let mut responder = registry.icmp_responder().expect("icmp program");
+    assert_eq!(generated, legacy_ping_packets(&mut responder));
+
+    // The generated and reference exchanges are themselves identical (the
+    // §6.2 interoperation claim restated at the trace level).
+    assert_eq!(reference, generated);
+}
+
+#[test]
+fn igmp_kernel_trace_matches_the_legacy_exchange() {
+    let group = ipv4::addr(224, 0, 0, 251);
+    let registry = registry();
+
+    let mut host = registry.igmp_responder(group).expect("igmp program");
+    let legacy = igmp_tool::membership_exchange(&Network::appendix_a(), &mut host, group);
+    assert!(legacy.all_ok());
+    let generated = kernel_packets(&generated_scenarios(&registry), "igmp/generated");
+    assert_eq!(generated, legacy.packets);
+
+    let reference = kernel_packets(&reference_scenarios(), "igmp/reference");
+    assert_eq!(reference, generated);
+}
+
+#[test]
+fn ntp_kernel_trace_matches_the_legacy_exchange() {
+    let peer = ntp::PeerVariables {
+        timer: 64,
+        threshold: 64,
+        mode: ntp::mode::CLIENT,
+    };
+    let registry = registry();
+
+    let mut policy = registry.ntp_timeout_policy().expect("ntp program");
+    let mut server = registry.ntp_server(2, 0x1000).expect("ntp program");
+    let legacy = ntp_exchange::client_server_exchange(
+        &mut Network::appendix_a(),
+        &mut policy,
+        &mut server,
+        &peer,
+        0xDEAD_BEEF,
+    );
+    assert!(legacy.all_ok());
+    let generated = kernel_packets(&generated_scenarios(&registry), "ntp/generated");
+    assert_eq!(generated, legacy.packets);
+
+    let mut reference_policy = ReferenceTimeoutPolicy;
+    let mut reference_server = ReferenceNtpServer {
+        stratum: 2,
+        clock: 0x1000,
+    };
+    let legacy_reference = ntp_exchange::client_server_exchange(
+        &mut Network::appendix_a(),
+        &mut reference_policy,
+        &mut reference_server,
+        &peer,
+        0xDEAD_BEEF,
+    );
+    let reference = kernel_packets(&reference_scenarios(), "ntp/reference");
+    assert_eq!(reference, legacy_reference.packets);
+}
+
+#[test]
+fn bfd_kernel_trace_matches_the_legacy_bring_up() {
+    let registry = registry();
+
+    let mut a = registry.bfd_endpoint(7, 9).expect("bfd program");
+    let mut b = registry.bfd_endpoint(9, 7).expect("bfd program");
+    let legacy = bfd_session::session_bring_up(&mut a, &mut b, 4);
+    assert!(legacy.all_ok());
+    let generated = kernel_packets(&generated_scenarios(&registry), "bfd/generated");
+    assert_eq!(generated, legacy.packets);
+
+    let mut ra = ReferenceBfdEndpoint::new(7, 9);
+    let mut rb = ReferenceBfdEndpoint::new(9, 7);
+    let legacy_reference = bfd_session::session_bring_up(&mut ra, &mut rb, 4);
+    let reference = kernel_packets(&reference_scenarios(), "bfd/reference");
+    assert_eq!(reference, legacy_reference.packets);
+}
+
+#[test]
+fn ping_outcome_parity_between_kernel_and_legacy_driver() {
+    use sage_repro::netsim::net::ReferenceResponder;
+    use sage_repro::netsim::tools::ping::ping_once;
+    let mut net = Network::appendix_a();
+    let legacy = ping_once(
+        &mut net,
+        &mut ReferenceResponder,
+        ipv4::addr(10, 0, 1, 100),
+        ipv4::addr(10, 0, 1, 1),
+        0x77,
+        1,
+        b"0123456789abcdef",
+    );
+    let scenarios = reference_scenarios();
+    let run = run_scenario(scenarios.find("ping/reference").unwrap().as_ref());
+    assert_eq!(legacy.success(), run.ok());
+}
