@@ -1,0 +1,89 @@
+//! Criterion benchmarks for generated-program execution: the register
+//! bytecode VM against the tree-walking interpreter, per protocol, one
+//! packet per iteration through the same adapter entry points the kernel
+//! scenarios use.
+//!
+//! Benchmark ids follow `interp/<protocol>/<engine>` so the committed
+//! `BENCH_interp.json` baseline and the CI bench-drift step can diff the
+//! two engines run-over-run.  The VM-over-tree speedup claimed in the
+//! baseline's note is `ns_per_iter(tree) / ns_per_iter(vm)` per protocol.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sage_core::programs::generate_program;
+use sage_interp::{
+    ExecMode, GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer, GeneratedResponder,
+};
+use sage_netsim::headers::{bfd, icmp, igmp, ipv4, ntp};
+use sage_netsim::net::{IcmpEvent, IcmpResponder};
+use sage_netsim::tools::bfd_session::BfdEndpoint;
+use sage_netsim::tools::igmp::IgmpResponder as IgmpResponderTrait;
+use sage_netsim::tools::ntp_exchange::NtpServer;
+use sage_spec::corpus::Protocol;
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group.sample_size(50);
+
+    // ICMP: echo request -> echo reply through the router event adapter.
+    let icmp_program = generate_program(Protocol::Icmp);
+    let echo = icmp::build_echo(false, 0xBE, 1, b"0123456789abcdef");
+    let request = ipv4::build_packet(
+        ipv4::addr(10, 0, 1, 100),
+        ipv4::addr(10, 0, 1, 1),
+        ipv4::PROTO_ICMP,
+        64,
+        echo.as_bytes(),
+    );
+    for (engine, mode) in [("vm", ExecMode::Vm), ("tree", ExecMode::TreeWalk)] {
+        let mut responder = GeneratedResponder::new(icmp_program.clone()).with_mode(mode);
+        group.bench_function(format!("icmp/{engine}").as_str(), |b| {
+            b.iter(|| {
+                responder
+                    .respond(IcmpEvent::EchoRequest, &request)
+                    .expect("echo reply")
+            })
+        });
+        assert!(responder.errors.is_empty());
+    }
+
+    // IGMP: membership query -> report.
+    let igmp_program = generate_program(Protocol::Igmp);
+    let group_addr = ipv4::addr(224, 0, 0, 251);
+    let query = igmp::build_message(igmp::msg_type::MEMBERSHIP_QUERY, 0);
+    for (engine, mode) in [("vm", ExecMode::Vm), ("tree", ExecMode::TreeWalk)] {
+        let mut host =
+            GeneratedIgmpResponder::new(igmp_program.clone(), group_addr).with_mode(mode);
+        group.bench_function(format!("igmp/{engine}").as_str(), |b| {
+            b.iter(|| host.respond(&query).expect("membership report"))
+        });
+        assert!(host.errors.is_empty());
+    }
+
+    // NTP: client request -> server-mode reply.
+    let ntp_program = generate_program(Protocol::Ntp);
+    let ntp_request = ntp::build_packet(0, 1, ntp::mode::CLIENT, 0, 0xDEAD_BEEF_0000_0001);
+    for (engine, mode) in [("vm", ExecMode::Vm), ("tree", ExecMode::TreeWalk)] {
+        let mut server =
+            GeneratedNtpServer::new(ntp_program.clone(), 2, 0x1234_5678).with_mode(mode);
+        group.bench_function(format!("ntp/{engine}").as_str(), |b| {
+            b.iter(|| server.respond(&ntp_request).expect("server reply"))
+        });
+        assert!(server.errors.is_empty());
+    }
+
+    // BFD: control-packet reception through the session state machine.
+    let bfd_program = generate_program(Protocol::Bfd);
+    let control = bfd::build_control_packet(bfd::SessionState::Init, 7, 9, 3, false);
+    for (engine, mode) in [("vm", ExecMode::Vm), ("tree", ExecMode::TreeWalk)] {
+        let mut endpoint = GeneratedBfdEndpoint::new(bfd_program.clone(), 9, 7).with_mode(mode);
+        group.bench_function(format!("bfd/{engine}").as_str(), |b| {
+            b.iter(|| endpoint.receive(&control))
+        });
+        assert!(endpoint.errors.is_empty());
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

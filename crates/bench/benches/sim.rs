@@ -20,7 +20,7 @@ fn bench_sim_sweep(c: &mut Criterion) {
         for topology in &topologies {
             let id = format!("{}/{}", scenario.name(), topology.name);
             group.bench_function(id.as_str(), |b| {
-                b.iter(|| run_scenario_on(scenario.as_ref(), topology.clone()))
+                b.iter(|| run_scenario_on(scenario.as_ref(), topology.clone()).expect("bind"))
             });
         }
     }

@@ -566,7 +566,19 @@ pub fn end_to_end_summary() -> Vec<EndToEndRow> {
     }
     let mut rows = Vec::new();
     for scenario in generated_scenarios(&registry).scenarios() {
-        let run = run_scenario(scenario.as_ref());
+        let run = match run_scenario(scenario.as_ref()) {
+            Ok(run) => run,
+            Err(err) => {
+                rows.push(EndToEndRow {
+                    protocol: "?",
+                    scenario: "scenario failed to bind",
+                    ok: false,
+                    packets: 0,
+                });
+                eprintln!("scenario bind failed: {err}");
+                continue;
+            }
+        };
         let (protocol, label, extra_ok) = match run.protocol.as_str() {
             // ICMP keeps the full §6.2 battery (traceroute, tcpdump,
             // error stimuli) alongside the kernel echo exchange.

@@ -30,5 +30,6 @@ pub use pipeline::{
 };
 pub use programs::{
     generate_bfd_program, generate_igmp_program, generate_ntp_program, generate_program,
+    lowering_summary, LoweringSummary,
 };
 pub use sweep::{full_registry, run_sweep, SweepCell, SweepReport};

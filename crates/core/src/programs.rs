@@ -384,6 +384,45 @@ pub fn generate_program(protocol: Protocol) -> Program {
     }
 }
 
+/// How a generated program lowers to the register bytecode VM: the
+/// metadata the builders emit alongside the program so callers (and the
+/// evaluation tables) can see the fast path is actually taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoweringSummary {
+    /// The corpus the program was generated from.
+    pub protocol: Protocol,
+    /// Number of generated functions lowered.
+    pub functions: usize,
+    /// Total bytecode instructions across all functions.
+    pub instructions: usize,
+    /// Number of state-variable slots the program uses.
+    pub slots: usize,
+    /// Widest register window any one function needs.
+    pub max_regs: usize,
+}
+
+/// Generate `protocol`'s program and lower it to bytecode, reporting the
+/// [`LoweringSummary`].  An error is a lowering *refusal* — the program
+/// fell outside the subset the VM reproduces bit-for-bit, and adapters
+/// would run it on the tree-walking interpreter instead.
+pub fn lowering_summary(protocol: Protocol) -> Result<LoweringSummary, sage_interp::ExecError> {
+    let program = generate_program(protocol);
+    let tag = protocol.name().to_ascii_lowercase();
+    let compiled = sage_interp::lower_program(&program, &tag, &[])?;
+    Ok(LoweringSummary {
+        protocol,
+        functions: compiled.functions.len(),
+        instructions: compiled.functions.iter().map(|f| f.code.len()).sum(),
+        slots: compiled.num_slots(),
+        max_regs: compiled
+            .functions
+            .iter()
+            .map(|f| f.num_regs)
+            .max()
+            .unwrap_or(0),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +491,23 @@ mod tests {
         assert!(c.contains("select_session"));
         assert!(c.contains("cease_periodic_transmission"));
         assert!(c.contains("bfd.SessionState = init;"));
+    }
+
+    #[test]
+    fn every_generated_program_lowers_to_bytecode() {
+        // The VM fast path only pays off if the real generated programs
+        // are inside the lowerable subset: pin that they all compile and
+        // produce a nonempty instruction stream.
+        for protocol in Protocol::all() {
+            let summary = lowering_summary(protocol)
+                .unwrap_or_else(|e| panic!("{} refused to lower: {e}", protocol.name()));
+            assert!(summary.functions > 0, "{summary:?}");
+            assert!(
+                summary.instructions > summary.functions,
+                "suspiciously empty bytecode: {summary:?}"
+            );
+            assert!(summary.max_regs >= 1, "{summary:?}");
+        }
     }
 
     #[test]

@@ -53,6 +53,9 @@ pub struct SweepCell {
     pub ok: bool,
     /// Names of the checks that failed (empty when `ok`).
     pub failures: Vec<&'static str>,
+    /// The topology diagnostic when the scenario could not even bind to
+    /// the topology (`None` for cells that simulated).
+    pub bind_error: Option<String>,
     /// Events the kernel processed.
     pub events: usize,
     /// Packets delivered to a node's handler.
@@ -145,6 +148,9 @@ impl SweepReport {
             for failure in &cell.failures {
                 out.push_str(&format!("    failed check: {failure}\n"));
             }
+            if let Some(diag) = &cell.bind_error {
+                out.push_str(&format!("    bind error: {diag}\n"));
+            }
         }
         let failed = self.cells.iter().filter(|c| !c.ok).count();
         out.push_str(&format!(
@@ -228,10 +234,30 @@ fn run_cell(
     topology: &Topology,
     iterations: u32,
 ) -> SweepCell {
-    let run = run_scenario_on(scenario, topology.clone());
+    let run = match run_scenario_on(scenario, topology.clone()) {
+        Ok(run) => run,
+        Err(err) => {
+            // A scenario/topology mismatch is a failed cell with a
+            // diagnostic, not a panic that kills the whole sweep.
+            return SweepCell {
+                scenario: scenario.name().to_string(),
+                protocol: scenario.protocol().to_string(),
+                topology: topology.name.clone(),
+                ok: false,
+                failures: vec!["bind"],
+                bind_error: Some(err.to_string()),
+                events: 0,
+                delivered: 0,
+                originated: 0,
+                virtual_ns: 0,
+                trace_digest: 0,
+                wall_ns_per_iter: 0.0,
+            };
+        }
+    };
     let start = Instant::now();
     for _ in 0..iterations {
-        std::hint::black_box(run_scenario_on(scenario, topology.clone()));
+        let _ = std::hint::black_box(run_scenario_on(scenario, topology.clone()));
     }
     let elapsed = start.elapsed().as_nanos() as f64;
     SweepCell {
@@ -240,6 +266,7 @@ fn run_cell(
         topology: run.topology.clone(),
         ok: run.ok(),
         failures: run.outcome.failures(),
+        bind_error: None,
         events: run.event_count(),
         delivered: run.delivered(),
         originated: run.originated(),
@@ -353,6 +380,25 @@ mod tests {
                 cell.bench_id()
             );
         }
+    }
+
+    #[test]
+    fn bind_failures_become_failed_cells_with_diagnostics() {
+        // A topology too small for the scenarios: cells fail with the
+        // topology diagnostic instead of panicking the sweep.
+        let mut tiny = Topology::named("tiny");
+        tiny.host("only", sage_netsim::headers::ipv4::addr(10, 0, 1, 1), 24);
+        let report = run_sweep(&reference_scenarios(), &[tiny], 1, 0);
+        assert!(!report.all_ok());
+        let ntp = report
+            .cells
+            .iter()
+            .find(|c| c.scenario == "ntp/reference")
+            .unwrap();
+        assert_eq!(ntp.failures, vec!["bind"]);
+        let diag = ntp.bind_error.as_deref().unwrap();
+        assert!(diag.contains("2 host"), "{diag}");
+        assert!(report.render().contains("bind error:"));
     }
 
     #[test]

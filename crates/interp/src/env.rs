@@ -37,23 +37,7 @@ impl Env {
     /// copy of the received ICMP message; error messages start from a fresh
     /// header followed by the quoted original datagram.
     pub fn for_event(event: IcmpEvent, request_ip: &PacketBuf) -> Env {
-        let icmp_payload = ipv4::payload(request_ip);
-        let reply = match event {
-            IcmpEvent::EchoRequest | IcmpEvent::TimestampRequest | IcmpEvent::InfoRequest => {
-                PacketBuf::from_bytes(icmp_payload.to_vec())
-            }
-            _ => {
-                let mut m = PacketBuf::zeroed(icmp::HEADER_LEN);
-                m.extend_from_slice(&icmp::quoted_payload(request_ip.as_bytes()));
-                m
-            }
-        };
-        let src = request_ip
-            .get_field(ipv4::FIELDS, "source_address")
-            .unwrap_or(0) as u32;
-        let dst = request_ip
-            .get_field(ipv4::FIELDS, "destination_address")
-            .unwrap_or(0) as u32;
+        let (reply, src, dst) = reply_scaffold(event, request_ip);
         let mut vars = HashMap::new();
         if let IcmpEvent::Redirect(gateway) = event {
             vars.insert("next_gateway".to_string(), i64::from(gateway));
@@ -105,7 +89,10 @@ impl Env {
     /// case-normalised: the RFC prose writes `bfd.RemoteDiscr` but the
     /// pipeline's tokeniser lowercases sentence text, so generated code
     /// refers to `bfd.remotediscr` — both must hit the same slot.
-    fn var_key(name: &str) -> String {
+    ///
+    /// The bytecode lowering pass applies the same canonicalisation once,
+    /// at compile time, when assigning variable slots.
+    pub fn var_key(name: &str) -> String {
         if name.contains('.') {
             name.to_ascii_lowercase()
         } else {
@@ -113,15 +100,55 @@ impl Env {
         }
     }
 
+    /// True when `name` needs case folding before it can index `vars`
+    /// directly — the already-canonical spelling (no dot, or all-lowercase)
+    /// is the common case on the per-packet path and must not allocate.
+    fn needs_folding(name: &str) -> bool {
+        name.contains('.') && name.bytes().any(|b| b.is_ascii_uppercase())
+    }
+
     /// Read a state variable (0 if unset).
     pub fn var(&self, name: &str) -> i64 {
-        self.vars.get(&Env::var_key(name)).copied().unwrap_or(0)
+        let slot = if Env::needs_folding(name) {
+            self.vars.get(&name.to_ascii_lowercase())
+        } else {
+            self.vars.get(name)
+        };
+        slot.copied().unwrap_or(0)
     }
 
     /// Set a state variable.
     pub fn set_var(&mut self, name: &str, value: i64) {
-        self.vars.insert(Env::var_key(name), value);
+        if Env::needs_folding(name) {
+            self.vars.insert(name.to_ascii_lowercase(), value);
+        } else if let Some(slot) = self.vars.get_mut(name) {
+            *slot = value;
+        } else {
+            self.vars.insert(name.to_string(), value);
+        }
     }
+}
+
+/// The static framework's reply scaffolding for an ICMP router event
+/// (§5.1): the initial reply message buffer plus the reply source and
+/// destination addresses, before generated code runs.  Shared by
+/// [`Env::for_event`] (the tree-walking interpreter) and the bytecode VM's
+/// state constructor so both paths start from byte-identical state.
+pub fn reply_scaffold(event: IcmpEvent, request_ip: &PacketBuf) -> (PacketBuf, u32, u32) {
+    let icmp_payload = ipv4::payload(request_ip);
+    let reply = match event {
+        IcmpEvent::EchoRequest | IcmpEvent::TimestampRequest | IcmpEvent::InfoRequest => {
+            PacketBuf::from_bytes(icmp_payload.to_vec())
+        }
+        _ => {
+            let mut m = PacketBuf::zeroed(icmp::HEADER_LEN);
+            m.extend_from_slice(&icmp::quoted_payload(request_ip.as_bytes()));
+            m
+        }
+    };
+    let src = ipv4::source_address(request_ip);
+    let dst = ipv4::destination_address(request_ip);
+    (reply, src, dst)
 }
 
 #[cfg(test)]

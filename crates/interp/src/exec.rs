@@ -2,7 +2,7 @@
 
 use crate::env::Env;
 use sage_codegen::ir::{Expr, Function, Stmt};
-use sage_netsim::checksum::checksum_with_zeroed_field;
+use sage_netsim::checksum::checksum_omitting_field;
 use sage_netsim::headers::{self, ipv4};
 use std::fmt;
 
@@ -15,6 +15,11 @@ pub enum ExecError {
     UnknownFunction(String),
     /// An assignment target is not assignable.
     BadAssignment(String),
+    /// `compute_checksum` ran for a protocol whose header has no checksum
+    /// field and which is not a known checksum-free protocol.  Protocols
+    /// that delegate the checksum to a lower layer (NTP-over-UDP, BFD) opt
+    /// out explicitly instead of being silently skipped.
+    NoChecksumField(String),
 }
 
 impl fmt::Display for ExecError {
@@ -23,11 +28,22 @@ impl fmt::Display for ExecError {
             ExecError::UnknownField(s) => write!(f, "unknown field {s}"),
             ExecError::UnknownFunction(s) => write!(f, "unknown framework function {s}"),
             ExecError::BadAssignment(s) => write!(f, "cannot assign to {s}"),
+            ExecError::NoChecksumField(s) => {
+                write!(f, "protocol {s} has no checksum field to compute")
+            }
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+/// Protocols whose messages carry no checksum of their own because a lower
+/// layer provides one: NTP rides UDP, and BFD likewise (RFC 5880 §4).  For
+/// these, `compute_checksum` is a deliberate no-op; for every other
+/// protocol a missing checksum field is an error, not a silent skip.
+pub fn checksum_delegated(protocol: &str) -> bool {
+    protocol.eq_ignore_ascii_case("ntp") || protocol.eq_ignore_ascii_case("bfd")
+}
 
 fn read_field(env: &Env, protocol: &str, field: &str) -> Result<i64, ExecError> {
     let table = headers::field_table(protocol)
@@ -126,16 +142,25 @@ fn call_framework(env: &mut Env, name: &str, args: &[Expr]) -> Result<i64, ExecE
         "compute_checksum" => {
             // Protocol-generic: locate the checksum field of the protocol
             // the reply buffer holds (ICMP and IGMP both keep it at byte 2;
-            // protocols without one, like NTP-over-UDP and BFD, leave the
-            // checksum to the lower layers and the call is a no-op).
-            let proto = env.reply_proto.clone();
-            let table = headers::field_table(&proto)
+            // NTP-over-UDP and BFD delegate the checksum to lower layers
+            // and opt out via `checksum_delegated`).
+            let proto = env.reply_proto.as_str();
+            let table = headers::field_table(proto)
                 .ok_or_else(|| ExecError::UnknownField(format!("{proto}.checksum")))?;
-            let Some(spec) = table.iter().find(|f| f.name == "checksum") else {
-                return Ok(0);
+            let Some(spec) = table.iter().find(|f| f.name == "checksum").copied() else {
+                if checksum_delegated(proto) {
+                    return Ok(0);
+                }
+                return Err(ExecError::NoChecksumField(proto.to_string()));
             };
-            let ck = checksum_with_zeroed_field(env.reply.as_bytes(), spec.byte_range().0);
-            write_field(env, &proto, "checksum", i64::from(ck))?;
+            // The checksum field never aliases the `ip` address special
+            // case, so write straight into the reply buffer — no protocol
+            // string clone, no second table lookup, no zeroed copy of the
+            // frame.
+            let ck = checksum_omitting_field(env.reply.as_bytes(), spec.byte_range().0);
+            env.reply
+                .set_bits(&spec, u64::from(ck))
+                .map_err(|_| ExecError::UnknownField(format!("{}.checksum", env.reply_proto)))?;
             Ok(i64::from(ck))
         }
         "reverse_source_and_destination" => {
@@ -247,6 +272,7 @@ pub fn encapsulate_reply(env: &Env) -> sage_netsim::buffer::PacketBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sage_netsim::checksum::checksum_with_zeroed_field;
     use sage_netsim::headers::icmp;
     use sage_netsim::headers::ipv4::addr;
     use sage_netsim::net::IcmpEvent;
@@ -398,6 +424,49 @@ mod tests {
         exec_function(&mut env, &f).unwrap();
         assert!(env.discarded);
         assert_eq!(env.var("after"), 0);
+    }
+
+    #[test]
+    fn checksum_without_a_field_is_a_typed_error() {
+        // IPv4 has a checksum field, ICMP/IGMP do — but a protocol whose
+        // header lacks one must raise NoChecksumField instead of silently
+        // doing nothing.  `udp` has a checksum; fake the gap by tagging the
+        // reply with a protocol that resolves but has no such field: none
+        // of the real tables lack one except ntp/bfd, which are delegated.
+        let req = {
+            let echo = icmp::build_echo(false, 1, 1, b"x");
+            ipv4::build_packet(
+                addr(10, 0, 1, 100),
+                addr(10, 0, 1, 1),
+                ipv4::PROTO_ICMP,
+                64,
+                echo.as_bytes(),
+            )
+        };
+        // Delegated protocols no-op...
+        for proto in ["ntp", "bfd"] {
+            let mut env = Env::for_event(IcmpEvent::EchoRequest, &req).with_protocol(proto);
+            assert_eq!(
+                call_framework(&mut env, "compute_checksum", &[]).unwrap(),
+                0,
+                "{proto} delegates its checksum to a lower layer"
+            );
+        }
+        // ...and the delegation list is exactly ntp + bfd.
+        assert!(checksum_delegated("NTP") && checksum_delegated("bfd"));
+        assert!(!checksum_delegated("icmp") && !checksum_delegated("udp"));
+        // An unknown protocol still reports the field lookup failure.
+        let mut env = Env::for_event(IcmpEvent::EchoRequest, &req).with_protocol("quic");
+        assert_eq!(
+            call_framework(&mut env, "compute_checksum", &[]),
+            Err(ExecError::UnknownField("quic.checksum".into()))
+        );
+        // The typed error renders an actionable message.
+        let err = ExecError::NoChecksumField("tcpish".into());
+        assert_eq!(
+            err.to_string(),
+            "protocol tcpish has no checksum field to compute"
+        );
     }
 
     #[test]

@@ -11,22 +11,35 @@
 //!
 //! * [`mod@env`] — the execution environment: the received packet, the reply
 //!   under construction, state variables and framework services;
-//! * [`exec`] — the statement/expression interpreter;
+//! * [`exec`] — the statement/expression tree-walking interpreter (the
+//!   semantic oracle);
+//! * [`lower`] — the one-time lowering pass from generated IR to register
+//!   bytecode: slot-indexed variables, pre-resolved header-field offsets,
+//!   constant-folded operands;
+//! * [`vm`] — the register bytecode VM the lowered programs run on (the
+//!   per-packet fast path);
 //! * [`responder`] — adapters that plug generated programs into the virtual
 //!   network as [`sage_netsim::net::IcmpResponder`]s, into the per-protocol
 //!   scenario drivers of `sage_netsim::tools`, and into the BFD session
 //!   machinery; [`ResponderRegistry`] holds one generated program per
-//!   protocol and dispatches to the right adapter.
+//!   protocol and dispatches to the right adapter.  Adapters execute on
+//!   the VM by default and fall back to the tree-walker whenever a program
+//!   is outside the lowerable subset.
 
 #![deny(missing_docs)]
 
 pub mod env;
 pub mod exec;
+pub mod lower;
 pub mod responder;
+pub mod vm;
 
 pub use env::Env;
-pub use exec::{eval_expr, exec_function, exec_stmt, ExecError};
+pub use exec::{checksum_delegated, eval_expr, exec_function, exec_stmt, ExecError};
+pub use lower::lower_program;
 pub use responder::{
-    generated_scenarios, BfdGeneratedReceiver, GeneratedBfdEndpoint, GeneratedIgmpResponder,
-    GeneratedNtpServer, GeneratedNtpTimeoutPolicy, GeneratedResponder, ResponderRegistry,
+    generated_scenarios, generated_scenarios_in_mode, BfdGeneratedReceiver, ExecMode,
+    GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer, GeneratedNtpTimeoutPolicy,
+    GeneratedResponder, ResponderRegistry,
 };
+pub use vm::{CompiledFunction, CompiledProgram, VmScratch, VmState};

@@ -1,0 +1,768 @@
+//! Lowering generated IR to the register bytecode of [`crate::vm`].
+//!
+//! The pass resolves, once per program, everything the tree-walking
+//! interpreter re-resolves per packet:
+//!
+//! * state-variable names → slot indices (with the dotted-name case
+//!   folding of [`crate::env::Env::var_key`] applied at compile time);
+//! * `protocol.field` references → [`FieldSpec`]s from the header tables,
+//!   including the `ip.source_address`/`ip.destination_address` address
+//!   special case and the request-vs-reply buffer split;
+//! * framework calls → dedicated instructions or slot stores;
+//! * constant subexpressions → folded [`Instr::Const`] operands.
+//!
+//! **Lowering safety**: the pass is conservative.  Anything it cannot
+//! prove it can reproduce bit-for-bit — an unknown framework function, an
+//! unknown field, an assignment into the request buffer, a
+//! `compute_checksum` for a protocol with no checksum field that is not on
+//! the delegation list — is a lowering *error*, and the adapters keep
+//! executing that program on the tree-walker.  A lowered program therefore
+//! never changes observable behaviour; it only changes cost.  The
+//! differential suite (`tests/vm_differential.rs`) checks the two engines
+//! agree on replies, variables and flags for randomized programs.
+
+use crate::env::Env;
+use crate::exec::{checksum_delegated, ExecError};
+use crate::vm::{Buf, CompiledFunction, CompiledProgram, Instr, OpCode};
+use sage_codegen::ir::{Expr, Function, Program, Stmt};
+use sage_netsim::buffer::FieldSpec;
+use sage_netsim::headers;
+use std::collections::HashMap;
+
+/// Where an assignment target lands.
+enum StoreTarget {
+    Field { spec: FieldSpec, name: u16 },
+    ReplySrc,
+    ReplyDst,
+}
+
+struct Lowerer {
+    /// The protocol tag the reply buffer will carry at run time
+    /// (`Env::reply_proto`); `compute_checksum` resolves against it.
+    protocol: String,
+    slot_names: Vec<String>,
+    slot_index: HashMap<String, u16>,
+    field_names: Vec<String>,
+    field_index: HashMap<String, u16>,
+    max_reg: usize,
+}
+
+impl Lowerer {
+    fn new(protocol: &str, external_vars: &[&str]) -> Lowerer {
+        let mut lowerer = Lowerer {
+            protocol: protocol.to_ascii_lowercase(),
+            slot_names: Vec::new(),
+            slot_index: HashMap::new(),
+            field_names: Vec::new(),
+            field_index: HashMap::new(),
+            max_reg: 0,
+        };
+        for name in external_vars {
+            lowerer.slot(name);
+        }
+        lowerer
+    }
+
+    /// Slot for a state variable, canonicalised exactly like the
+    /// tree-walker's environment keys.
+    fn slot(&mut self, name: &str) -> u16 {
+        let key = Env::var_key(name);
+        if let Some(&slot) = self.slot_index.get(&key) {
+            return slot;
+        }
+        let slot = self.slot_names.len() as u16;
+        self.slot_names.push(key.clone());
+        self.slot_index.insert(key, slot);
+        slot
+    }
+
+    /// Index into the error-message name table for `protocol.field`.
+    fn field_name(&mut self, protocol: &str, field: &str) -> u16 {
+        let key = format!("{protocol}.{field}");
+        if let Some(&idx) = self.field_index.get(&key) {
+            return idx;
+        }
+        let idx = self.field_names.len() as u16;
+        self.field_names.push(key.clone());
+        self.field_index.insert(key, idx);
+        idx
+    }
+
+    /// Resolve a field reference for reading: the buffer it lives in and
+    /// its pre-resolved spec — or the reply-address special case.
+    fn resolve_load(&mut self, protocol: &str, field: &str) -> Result<Instr, ExecError> {
+        // Mirror `exec::read_field`: only the literal "ip" protocol maps
+        // the address fields onto the reply addresses.
+        if protocol == "ip" {
+            if field == "source_address" {
+                return Ok(Instr::LoadReplySrc { dst: 0 });
+            }
+            if field == "destination_address" {
+                return Ok(Instr::LoadReplyDst { dst: 0 });
+            }
+        }
+        let spec = self.field_spec(protocol, field)?;
+        let buf = if protocol == "ip" || protocol == "ipv4" {
+            Buf::Request
+        } else {
+            Buf::Reply
+        };
+        let name = self.field_name(protocol, field);
+        Ok(Instr::LoadField {
+            dst: 0,
+            buf,
+            spec,
+            name,
+        })
+    }
+
+    /// Resolve a field reference for writing.
+    fn resolve_store(&mut self, protocol: &str, field: &str) -> Result<StoreTarget, ExecError> {
+        if protocol == "ip" {
+            if field == "source_address" {
+                return Ok(StoreTarget::ReplySrc);
+            }
+            if field == "destination_address" {
+                return Ok(StoreTarget::ReplyDst);
+            }
+        }
+        if protocol == "ip" || protocol == "ipv4" {
+            // The tree-walker writes these into its cloned request buffer;
+            // the VM's request view is read-only.  No generated program
+            // does this, but if one did, it must run on the tree-walker.
+            return Err(ExecError::BadAssignment(format!(
+                "{protocol}.{field} (request buffer is read-only in the VM)"
+            )));
+        }
+        let spec = self.field_spec(protocol, field)?;
+        let name = self.field_name(protocol, field);
+        Ok(StoreTarget::Field { spec, name })
+    }
+
+    fn field_spec(&mut self, protocol: &str, field: &str) -> Result<FieldSpec, ExecError> {
+        let table = headers::field_table(protocol)
+            .ok_or_else(|| ExecError::UnknownField(format!("{protocol}.{field}")))?;
+        table
+            .iter()
+            .find(|f| f.name == field)
+            .copied()
+            .ok_or_else(|| ExecError::UnknownField(format!("{protocol}.{field}")))
+    }
+
+    fn reg(&mut self, dst: usize) -> Result<u8, ExecError> {
+        if dst >= crate::vm::MAX_REGS {
+            return Err(ExecError::BadAssignment(
+                "expression too deep to lower".to_string(),
+            ));
+        }
+        if dst + 1 > self.max_reg {
+            self.max_reg = dst + 1;
+        }
+        Ok(dst as u8)
+    }
+
+    /// Constant-fold a side-effect-free expression.
+    fn const_eval(expr: &Expr) -> Option<i64> {
+        match expr {
+            Expr::Num(n) => Some(*n),
+            Expr::Str(_) => Some(0),
+            Expr::Not(e) => Some(i64::from(Lowerer::const_eval(e)? == 0)),
+            Expr::BinOp { op, lhs, rhs } => {
+                let op = opcode(op)?;
+                Some(op.apply(Lowerer::const_eval(lhs)?, Lowerer::const_eval(rhs)?))
+            }
+            _ => None,
+        }
+    }
+
+    /// Lower an expression into register `dst`, using `dst+1…` as
+    /// scratch for subexpressions (expression-depth allocation).
+    fn lower_expr(
+        &mut self,
+        expr: &Expr,
+        dst: usize,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), ExecError> {
+        let d = self.reg(dst)?;
+        if let Some(value) = Lowerer::const_eval(expr) {
+            code.push(Instr::Const { dst: d, value });
+            return Ok(());
+        }
+        match expr {
+            Expr::Num(_) | Expr::Str(_) => unreachable!("constants fold above"),
+            Expr::Var(name) => {
+                let slot = self.slot(name);
+                code.push(Instr::LoadSlot { dst: d, slot });
+            }
+            Expr::Field { protocol, field } => {
+                let instr = match self.resolve_load(protocol, field)? {
+                    Instr::LoadReplySrc { .. } => Instr::LoadReplySrc { dst: d },
+                    Instr::LoadReplyDst { .. } => Instr::LoadReplyDst { dst: d },
+                    Instr::LoadField {
+                        buf, spec, name, ..
+                    } => Instr::LoadField {
+                        dst: d,
+                        buf,
+                        spec,
+                        name,
+                    },
+                    _ => unreachable!("resolve_load yields loads only"),
+                };
+                code.push(instr);
+            }
+            Expr::Not(inner) => {
+                self.lower_expr(inner, dst, code)?;
+                code.push(Instr::Not { dst: d, src: d });
+            }
+            Expr::BinOp { op, lhs, rhs } => {
+                let opcode = opcode(op)
+                    .ok_or_else(|| ExecError::UnknownFunction(format!("operator {op}")))?;
+                // Constant and slot operands are side-effect-free, so the
+                // fused forms below keep the tree-walker's strict
+                // left-then-right evaluation observable-equivalent.
+                // (Both-constant expressions already folded at the top of
+                // `lower_expr`.)
+                if let (Expr::Var(l), Expr::Var(r)) = (lhs.as_ref(), rhs.as_ref()) {
+                    let (l, r) = (self.slot(l), self.slot(r));
+                    code.push(Instr::BinOpSlots {
+                        op: opcode,
+                        dst: d,
+                        lhs: l,
+                        rhs: r,
+                    });
+                    return Ok(());
+                }
+                if let Some(imm) = Lowerer::const_eval(rhs) {
+                    if let Expr::Var(l) = lhs.as_ref() {
+                        let l = self.slot(l);
+                        code.push(Instr::BinOpSlotImm {
+                            op: opcode,
+                            dst: d,
+                            lhs: l,
+                            imm,
+                        });
+                        return Ok(());
+                    }
+                    self.lower_expr(lhs, dst, code)?;
+                    code.push(Instr::BinOpImm {
+                        op: opcode,
+                        dst: d,
+                        lhs: d,
+                        imm,
+                    });
+                    return Ok(());
+                }
+                if let (Some(imm), Some(mirrored)) = (Lowerer::const_eval(lhs), mirror(opcode)) {
+                    if let Expr::Var(r) = rhs.as_ref() {
+                        let r = self.slot(r);
+                        code.push(Instr::BinOpSlotImm {
+                            op: mirrored,
+                            dst: d,
+                            lhs: r,
+                            imm,
+                        });
+                        return Ok(());
+                    }
+                    self.lower_expr(rhs, dst, code)?;
+                    code.push(Instr::BinOpImm {
+                        op: mirrored,
+                        dst: d,
+                        lhs: d,
+                        imm,
+                    });
+                    return Ok(());
+                }
+                // Strict evaluation, left then right — same order and same
+                // side effects as the tree-walker.
+                self.lower_expr(lhs, dst, code)?;
+                self.lower_expr(rhs, dst + 1, code)?;
+                let r = self.reg(dst + 1)?;
+                code.push(Instr::BinOp {
+                    op: opcode,
+                    dst: d,
+                    lhs: d,
+                    rhs: r,
+                });
+            }
+            Expr::Call { name, args } => self.lower_call(name, args, dst, code)?,
+        }
+        Ok(())
+    }
+
+    /// Lower a framework call, leaving its result in register `dst`.
+    fn lower_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        dst: usize,
+        code: &mut Vec<Instr>,
+    ) -> Result<(), ExecError> {
+        let d = self.reg(dst)?;
+        match name {
+            "ones_complement_sum" => code.push(Instr::OnesComplementSum { dst: d }),
+            "ones_complement" => {
+                if let Some(arg) = args.first() {
+                    self.lower_expr(arg, dst, code)?;
+                } else {
+                    code.push(Instr::Const { dst: d, value: 0 });
+                }
+                code.push(Instr::Not16 { dst: d, src: d });
+            }
+            "compute_checksum" => {
+                let proto = self.protocol.clone();
+                let table = headers::field_table(&proto)
+                    .ok_or_else(|| ExecError::UnknownField(format!("{proto}.checksum")))?;
+                match table.iter().find(|f| f.name == "checksum").copied() {
+                    Some(spec) => {
+                        let name = self.field_name(&proto, "checksum");
+                        code.push(Instr::ComputeChecksum { dst: d, spec, name });
+                    }
+                    None if checksum_delegated(&proto) => {
+                        code.push(Instr::Const { dst: d, value: 0 });
+                    }
+                    None => return Err(ExecError::NoChecksumField(proto)),
+                }
+            }
+            "reverse_source_and_destination" => code.push(Instr::ReverseAddrs { dst: d }),
+            "copy_data_to_reply" | "construct_message" | "ip_source_and_destination" => {
+                code.push(Instr::Const { dst: d, value: 0 });
+            }
+            "send_packet" => code.push(Instr::Send { dst: d }),
+            "discard_packet" => code.push(Instr::Discard { dst: d }),
+            "cease_periodic_transmission" => {
+                let active_slot = self.slot("periodic_transmission_active");
+                code.push(Instr::Cease {
+                    dst: d,
+                    active_slot,
+                });
+            }
+            "select_session" | "find_session" => {
+                let discr_spec = self.field_spec("bfd", "your_discriminator")?;
+                let found_slot = self.slot("session_found");
+                let selected_slot = self.slot("selected_session");
+                code.push(Instr::SelectSession {
+                    dst: d,
+                    found_slot,
+                    selected_slot,
+                    discr_spec,
+                });
+            }
+            "zero_field" => {
+                code.push(Instr::Const { dst: d, value: 0 });
+                if let Some(Expr::Field { protocol, field }) = args.first() {
+                    match self.resolve_store(protocol, field)? {
+                        StoreTarget::Field { spec, name } => {
+                            code.push(Instr::StoreField { spec, src: d, name });
+                        }
+                        StoreTarget::ReplySrc => code.push(Instr::StoreReplySrc { src: d }),
+                        StoreTarget::ReplyDst => code.push(Instr::StoreReplyDst { src: d }),
+                    }
+                }
+            }
+            "identify_octet" => {
+                let slot = self.slot("error_octet");
+                code.push(Instr::LoadSlot { dst: d, slot });
+            }
+            "timeout_procedure" => {
+                code.push(Instr::Const { dst: d, value: 1 });
+                let slot = self.slot("timeout_procedure_called");
+                code.push(Instr::StoreSlot { slot, src: d });
+                code.push(Instr::Const { dst: d, value: 0 });
+            }
+            "terminate_poll_sequence" => {
+                code.push(Instr::Const { dst: d, value: 0 });
+                let slot = self.slot("poll_sequence_active");
+                code.push(Instr::StoreSlot { slot, src: d });
+            }
+            "interface_address" | "os_interface_address" => {
+                code.push(Instr::LoadReplyDst { dst: d });
+            }
+            "os_timestamp" | "timestamp" => {
+                let slot = self.slot("framework_time");
+                code.push(Instr::LoadSlot { dst: d, slot });
+            }
+            "outbound_buffer" => {
+                let slot = self.slot("outbound_buffer_space");
+                code.push(Instr::LoadSlot { dst: d, slot });
+            }
+            other => return Err(ExecError::UnknownFunction(other.to_string())),
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, code: &mut Vec<Instr>) -> Result<(), ExecError> {
+        match stmt {
+            Stmt::Comment(_) => Ok(()),
+            Stmt::Assign { target, value } => {
+                if let (Expr::Var(t), Expr::Var(v)) = (target, value) {
+                    let (dst, src) = (self.slot(t), self.slot(v));
+                    code.push(Instr::CopySlot { dst, src });
+                    return Ok(());
+                }
+                self.lower_expr(value, 0, code)?;
+                match target {
+                    Expr::Var(name) => {
+                        let slot = self.slot(name);
+                        code.push(Instr::StoreSlot { slot, src: 0 });
+                    }
+                    Expr::Field { protocol, field } => {
+                        match self.resolve_store(protocol, field)? {
+                            StoreTarget::Field { spec, name } => {
+                                code.push(Instr::StoreField { spec, src: 0, name });
+                            }
+                            StoreTarget::ReplySrc => code.push(Instr::StoreReplySrc { src: 0 }),
+                            StoreTarget::ReplyDst => code.push(Instr::StoreReplyDst { src: 0 }),
+                        }
+                    }
+                    other => return Err(ExecError::BadAssignment(other.to_c())),
+                }
+                Ok(())
+            }
+            Stmt::Call { name, args } => self.lower_call(name, args, 0, code),
+            Stmt::If { cond, then, els } => {
+                self.lower_expr(cond, 0, code)?;
+                let branch_jump = code.len();
+                code.push(Instr::JumpIfZero { src: 0, target: 0 });
+                for s in then {
+                    self.lower_stmt(s, code)?;
+                }
+                if els.is_empty() {
+                    let after = code.len() as u32;
+                    code[branch_jump] = Instr::JumpIfZero {
+                        src: 0,
+                        target: after,
+                    };
+                } else {
+                    let exit_jump = code.len();
+                    code.push(Instr::Jump { target: 0 });
+                    let else_start = code.len() as u32;
+                    code[branch_jump] = Instr::JumpIfZero {
+                        src: 0,
+                        target: else_start,
+                    };
+                    for s in els {
+                        self.lower_stmt(s, code)?;
+                    }
+                    let after = code.len() as u32;
+                    code[exit_jump] = Instr::Jump { target: after };
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn lower_function(&mut self, function: &Function) -> Result<CompiledFunction, ExecError> {
+        self.max_reg = 0;
+        let mut code = Vec::new();
+        for stmt in &function.body {
+            self.lower_stmt(stmt, &mut code)?;
+            // The tree-walker stops at top-level statement boundaries once
+            // the packet is discarded; inner branch statements keep going.
+            code.push(Instr::HaltIfDiscarded);
+        }
+        Ok(CompiledFunction {
+            name: function.name.clone(),
+            role: function.role.clone(),
+            code,
+            num_regs: self.max_reg.max(1),
+        })
+    }
+}
+
+/// The operator computing `op(l, r)` as `mirrored(r, l)`, used to fuse a
+/// constant *left* operand into [`Instr::BinOpImm`].  `Sub` has no mirror.
+fn mirror(op: OpCode) -> Option<OpCode> {
+    match op {
+        OpCode::Eq => Some(OpCode::Eq),
+        OpCode::Ne => Some(OpCode::Ne),
+        OpCode::Gt => Some(OpCode::Lt),
+        OpCode::Lt => Some(OpCode::Gt),
+        OpCode::Ge => Some(OpCode::Le),
+        OpCode::Le => Some(OpCode::Ge),
+        OpCode::And => Some(OpCode::And),
+        OpCode::Or => Some(OpCode::Or),
+        OpCode::Add => Some(OpCode::Add),
+        OpCode::Sub => None,
+    }
+}
+
+fn opcode(op: &str) -> Option<OpCode> {
+    match op {
+        "==" => Some(OpCode::Eq),
+        "!=" => Some(OpCode::Ne),
+        ">=" => Some(OpCode::Ge),
+        "<=" => Some(OpCode::Le),
+        ">" => Some(OpCode::Gt),
+        "<" => Some(OpCode::Lt),
+        "&&" => Some(OpCode::And),
+        "||" => Some(OpCode::Or),
+        "+" => Some(OpCode::Add),
+        "-" => Some(OpCode::Sub),
+        _ => None,
+    }
+}
+
+/// Lower a whole program for a reply buffer tagged `protocol`, pre-
+/// allocating slots for `external_vars` — the variables the hosting
+/// adapter seeds before execution and reads back afterwards (so they
+/// resolve even when the program itself never mentions them).
+///
+/// Errors are *lowering refusals*: the program is outside the subset the
+/// VM reproduces bit-for-bit, and the caller must keep using the
+/// tree-walker for it.
+pub fn lower_program(
+    program: &Program,
+    protocol: &str,
+    external_vars: &[&str],
+) -> Result<CompiledProgram, ExecError> {
+    let mut lowerer = Lowerer::new(protocol, external_vars);
+    let mut functions = Vec::with_capacity(program.functions.len());
+    for function in &program.functions {
+        functions.push(lowerer.lower_function(function)?);
+    }
+    Ok(CompiledProgram {
+        functions,
+        slot_names: lowerer.slot_names,
+        field_names: lowerer.field_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm;
+    use sage_netsim::buffer::PacketBuf;
+
+    fn lower_one(body: Vec<Stmt>, protocol: &str) -> Result<CompiledProgram, ExecError> {
+        lower_program(
+            &Program {
+                structs: vec![],
+                functions: vec![Function {
+                    name: "f".into(),
+                    role: String::new(),
+                    body,
+                }],
+            },
+            protocol,
+            &[],
+        )
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_a_single_const() {
+        let compiled = lower_one(
+            vec![Stmt::Assign {
+                target: Expr::Var("x".into()),
+                value: Expr::binop(
+                    "+",
+                    Expr::Num(2),
+                    Expr::binop("-", Expr::Num(7), Expr::Num(4)),
+                ),
+            }],
+            "icmp",
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.functions[0].code,
+            vec![
+                Instr::Const { dst: 0, value: 5 },
+                Instr::StoreSlot { slot: 0, src: 0 },
+                Instr::HaltIfDiscarded,
+            ]
+        );
+    }
+
+    #[test]
+    fn constant_operands_fuse_into_immediates() {
+        let compiled = lower_one(
+            vec![
+                Stmt::Assign {
+                    target: Expr::Var("x".into()),
+                    value: Expr::binop("==", Expr::Var("mode".into()), Expr::Num(3)),
+                },
+                Stmt::Assign {
+                    target: Expr::Var("y".into()),
+                    value: Expr::binop(">", Expr::Num(5), Expr::Var("mode".into())),
+                },
+            ],
+            "ntp",
+        )
+        .unwrap();
+        let code = &compiled.functions[0].code;
+        // `mode == 3` fuses slot-vs-immediate; `5 > mode` mirrors to
+        // `mode < 5`.
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Instr::BinOpSlotImm {
+                op: OpCode::Eq,
+                imm: 3,
+                ..
+            }
+        )));
+        assert!(code.iter().any(|i| matches!(
+            i,
+            Instr::BinOpSlotImm {
+                op: OpCode::Lt,
+                imm: 5,
+                ..
+            }
+        )));
+        assert!(!code.iter().any(|i| matches!(i, Instr::BinOp { .. })));
+        assert!(!code.iter().any(|i| matches!(i, Instr::LoadSlot { .. })));
+        // Neither expression needs a second scratch register any more.
+        assert_eq!(compiled.functions[0].num_regs, 1);
+    }
+
+    #[test]
+    fn variable_comparisons_and_copies_fuse_to_slot_forms() {
+        let compiled = lower_one(
+            vec![
+                Stmt::Assign {
+                    target: Expr::Var("x".into()),
+                    value: Expr::binop("==", Expr::Var("a".into()), Expr::Var("b".into())),
+                },
+                Stmt::Assign {
+                    target: Expr::Var("y".into()),
+                    value: Expr::Var("x".into()),
+                },
+            ],
+            "bfd",
+        )
+        .unwrap();
+        let code = &compiled.functions[0].code;
+        assert!(code
+            .iter()
+            .any(|i| matches!(i, Instr::BinOpSlots { op: OpCode::Eq, .. })));
+        assert!(code.iter().any(|i| matches!(i, Instr::CopySlot { .. })));
+        assert!(!code.iter().any(|i| matches!(i, Instr::LoadSlot { .. })));
+    }
+
+    #[test]
+    fn dotted_variables_share_a_case_folded_slot() {
+        let compiled = lower_one(
+            vec![
+                Stmt::Assign {
+                    target: Expr::Var("bfd.RemoteDiscr".into()),
+                    value: Expr::Num(1),
+                },
+                Stmt::Assign {
+                    target: Expr::Var("bfd.remotediscr".into()),
+                    value: Expr::Num(2),
+                },
+                Stmt::Assign {
+                    target: Expr::Var("Up".into()),
+                    value: Expr::Num(3),
+                },
+                Stmt::Assign {
+                    target: Expr::Var("up".into()),
+                    value: Expr::Num(4),
+                },
+            ],
+            "bfd",
+        )
+        .unwrap();
+        // Two spellings of the dotted name → one slot; the plain names
+        // stay case-sensitive → two slots.
+        assert_eq!(
+            compiled.slot_names,
+            vec!["bfd.remotediscr".to_string(), "Up".into(), "up".into()]
+        );
+        assert_eq!(compiled.slot("bfd.REMOTEDISCR"), Some(0));
+        assert_eq!(compiled.slot("Up"), Some(1));
+    }
+
+    #[test]
+    fn unknown_functions_and_fields_refuse_to_lower() {
+        assert_eq!(
+            lower_one(
+                vec![Stmt::Call {
+                    name: "warp_drive".into(),
+                    args: vec![],
+                }],
+                "icmp",
+            ),
+            Err(ExecError::UnknownFunction("warp_drive".into()))
+        );
+        assert_eq!(
+            lower_one(
+                vec![Stmt::Assign {
+                    target: Expr::field("icmp", "nonexistent"),
+                    value: Expr::Num(0),
+                }],
+                "icmp",
+            ),
+            Err(ExecError::UnknownField("icmp.nonexistent".into()))
+        );
+        // Writes into the request buffer stay on the tree-walker.
+        assert!(matches!(
+            lower_one(
+                vec![Stmt::Assign {
+                    target: Expr::field("ipv4", "ttl"),
+                    value: Expr::Num(0),
+                }],
+                "icmp",
+            ),
+            Err(ExecError::BadAssignment(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_lowering_respects_the_delegation_list() {
+        let call = |proto: &str| {
+            lower_one(
+                vec![Stmt::Call {
+                    name: "compute_checksum".into(),
+                    args: vec![],
+                }],
+                proto,
+            )
+        };
+        // ICMP/IGMP have a checksum field: a real instruction.
+        for proto in ["icmp", "igmp"] {
+            let compiled = call(proto).unwrap();
+            assert!(matches!(
+                compiled.functions[0].code[0],
+                Instr::ComputeChecksum { .. }
+            ));
+        }
+        // NTP/BFD delegate to lower layers: an explicit no-op.
+        for proto in ["ntp", "bfd"] {
+            let compiled = call(proto).unwrap();
+            assert_eq!(
+                compiled.functions[0].code[0],
+                Instr::Const { dst: 0, value: 0 }
+            );
+        }
+        // An unknown protocol refuses to lower.
+        assert_eq!(
+            call("quic"),
+            Err(ExecError::UnknownField("quic.checksum".into()))
+        );
+    }
+
+    #[test]
+    fn if_else_control_flow_executes_the_right_branch() {
+        let body = vec![Stmt::If {
+            cond: Expr::binop("==", Expr::Var("mode".into()), Expr::Num(3)),
+            then: vec![Stmt::Assign {
+                target: Expr::Var("took".into()),
+                value: Expr::Num(1),
+            }],
+            els: vec![Stmt::Assign {
+                target: Expr::Var("took".into()),
+                value: Expr::Num(2),
+            }],
+        }];
+        let compiled = lower_one(body, "ntp").unwrap();
+        let mode = compiled.slot("mode").unwrap() as usize;
+        let took = compiled.slot("took").unwrap() as usize;
+        for (mode_value, expected) in [(3i64, 1i64), (0, 2)] {
+            let mut scratch = vm::VmScratch::default();
+            scratch.reset(&compiled);
+            scratch.slots[mode] = mode_value;
+            let mut st = vm::VmState::new(&mut scratch, &[], PacketBuf::new(), 0, 0, &[]);
+            vm::run(&compiled.functions[0], &compiled, &mut st).unwrap();
+            assert_eq!(st.scratch.slots[took], expected, "mode={mode_value}");
+        }
+    }
+}

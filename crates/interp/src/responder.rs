@@ -8,8 +8,10 @@
 //! generated programs side by side and hands out the right adapter per
 //! protocol.
 
-use crate::env::Env;
+use crate::env::{self, Env};
 use crate::exec::{exec_function, ExecError};
+use crate::lower::lower_program;
+use crate::vm::{self, CompiledProgram, VmScratch, VmState};
 use sage_codegen::ir::{Function, Program};
 use sage_netsim::buffer::PacketBuf;
 use sage_netsim::headers::{bfd, ntp};
@@ -20,63 +22,178 @@ use sage_netsim::tools::igmp::IgmpResponder as IgmpResponderTrait;
 use sage_netsim::tools::ntp_exchange::{NtpServer, NtpTimeoutPolicy};
 use std::collections::BTreeMap;
 
-/// The message-name fragment a router event corresponds to, used to select
-/// the generated function (function names are derived from section titles).
-fn event_fragment(event: IcmpEvent) -> &'static str {
+/// Which engine an adapter executes its generated program on.
+///
+/// Every adapter lowers its program to bytecode at construction and runs
+/// the VM by default; the tree-walking interpreter remains available as
+/// the semantic oracle (parity suites run both and compare bit-for-bit).
+/// A program outside the lowerable subset silently stays on the
+/// tree-walker regardless of the requested mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Run the compiled register bytecode (the per-packet fast path).
+    #[default]
+    Vm,
+    /// Run the tree-walking interpreter (the oracle path).
+    TreeWalk,
+}
+
+/// The message-name fragments router events correspond to, indexed by
+/// [`event_kind`]; function names are derived from section titles.
+const EVENT_FRAGMENTS: [&str; 8] = [
+    "echo",
+    "timestamp",
+    "information",
+    "destination_unreachable",
+    "time_exceeded",
+    "parameter_problem",
+    "source_quench",
+    "redirect",
+];
+
+/// Dense index of an event's kind into [`EVENT_FRAGMENTS`] and the
+/// per-adapter function-index cache (payload-carrying variants share a
+/// kind regardless of payload).
+fn event_kind(event: IcmpEvent) -> usize {
     match event {
-        IcmpEvent::EchoRequest => "echo",
-        IcmpEvent::TimestampRequest => "timestamp",
-        IcmpEvent::InfoRequest => "information",
-        IcmpEvent::DestinationUnreachable => "destination_unreachable",
-        IcmpEvent::TimeExceeded => "time_exceeded",
-        IcmpEvent::ParameterProblem(_) => "parameter_problem",
-        IcmpEvent::SourceQuench => "source_quench",
-        IcmpEvent::Redirect(_) => "redirect",
+        IcmpEvent::EchoRequest => 0,
+        IcmpEvent::TimestampRequest => 1,
+        IcmpEvent::InfoRequest => 2,
+        IcmpEvent::DestinationUnreachable => 3,
+        IcmpEvent::TimeExceeded => 4,
+        IcmpEvent::ParameterProblem(_) => 5,
+        IcmpEvent::SourceQuench => 6,
+        IcmpEvent::Redirect(_) => 7,
     }
 }
 
 /// An [`IcmpResponder`] backed by a SAGE-generated program: the role the
 /// generated code plays in the §6.2 end-to-end experiments.
+///
+/// The program is lowered to bytecode once here; mutating `program` after
+/// construction does not recompile (rebuild the adapter instead).
 #[derive(Debug, Clone)]
 pub struct GeneratedResponder {
     /// The generated program.
     pub program: Program,
     /// Execution errors encountered (should stay empty for a good program).
     pub errors: Vec<ExecError>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    next_gateway_slot: Option<u16>,
+    error_octet_slot: Option<u16>,
+    fn_index: [Option<usize>; 8],
+}
+
+/// Resolve the function index for one event fragment: prefer the
+/// receiver-side function for the matching message, falling back to the
+/// first role-less match.
+fn resolve_fragment(functions: &[Function], fragment: &str) -> Option<usize> {
+    let mut first = None;
+    for (i, f) in functions.iter().enumerate() {
+        if f.name.contains(fragment) {
+            if f.role == "receiver" {
+                return Some(i);
+            }
+            if first.is_none() {
+                first = Some(i);
+            }
+        }
+    }
+    first
 }
 
 impl GeneratedResponder {
-    /// Wrap a generated program.
+    /// Wrap a generated program, lowering it to bytecode.
     pub fn new(program: Program) -> GeneratedResponder {
+        let compiled = lower_program(&program, "icmp", &["next_gateway", "error_octet"]).ok();
+        let (next_gateway_slot, error_octet_slot) = match &compiled {
+            Some(c) => (c.slot("next_gateway"), c.slot("error_octet")),
+            None => (None, None),
+        };
+        let mut fn_index = [None; 8];
+        for (kind, fragment) in EVENT_FRAGMENTS.iter().enumerate() {
+            fn_index[kind] = resolve_fragment(&program.functions, fragment);
+        }
         GeneratedResponder {
             program,
             errors: Vec::new(),
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            next_gateway_slot,
+            error_octet_slot,
+            fn_index,
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> GeneratedResponder {
+        self.mode = mode;
+        self
+    }
+
+    /// The engine packets actually execute on.
+    pub fn engine(&self) -> ExecMode {
+        match (&self.compiled, self.mode) {
+            (Some(_), ExecMode::Vm) => ExecMode::Vm,
+            _ => ExecMode::TreeWalk,
+        }
+    }
+
+    /// The compiled bytecode, when the program lowered.
+    pub fn compiled(&self) -> Option<&CompiledProgram> {
+        self.compiled.as_ref()
+    }
+
+    fn function_index_for(&self, event: IcmpEvent) -> Option<usize> {
+        self.fn_index[event_kind(event)]
     }
 
     /// Select the function for an event: prefer the receiver-side function
     /// for the matching message, falling back to the role-less one.
     pub fn function_for(&self, event: IcmpEvent) -> Option<&Function> {
-        let fragment = event_fragment(event);
-        let candidates: Vec<&Function> = self
-            .program
-            .functions
-            .iter()
-            .filter(|f| f.name.contains(fragment))
-            .collect();
-        candidates
-            .iter()
-            .find(|f| f.role == "receiver")
-            .copied()
-            .or_else(|| candidates.first().copied())
+        self.function_index_for(event)
+            .map(|i| &self.program.functions[i])
     }
 }
 
 impl IcmpResponder for GeneratedResponder {
     fn respond(&mut self, event: IcmpEvent, original: &PacketBuf) -> Option<PacketBuf> {
-        let function = self.function_for(event)?.clone();
+        let idx = self.function_index_for(event)?;
+        if self.mode == ExecMode::Vm {
+            if let Some(compiled) = &self.compiled {
+                let (reply, src, dst) = env::reply_scaffold(event, original);
+                self.scratch.reset(compiled);
+                match event {
+                    IcmpEvent::Redirect(gateway) => {
+                        VmState::seed(
+                            &mut self.scratch,
+                            self.next_gateway_slot,
+                            i64::from(gateway),
+                        );
+                    }
+                    IcmpEvent::ParameterProblem(pointer) => {
+                        VmState::seed(&mut self.scratch, self.error_octet_slot, i64::from(pointer));
+                    }
+                    _ => {}
+                }
+                let mut st =
+                    VmState::new(&mut self.scratch, original.as_bytes(), reply, src, dst, &[]);
+                return match vm::run(&compiled.functions[idx], compiled, &mut st) {
+                    Ok(()) if st.discarded => None,
+                    Ok(()) => Some(st.reply),
+                    Err(e) => {
+                        self.errors.push(e);
+                        None
+                    }
+                };
+            }
+        }
         let mut env = Env::for_event(event, original);
-        if let Err(e) = exec_function(&mut env, &function) {
+        if let Err(e) = exec_function(&mut env, &self.program.functions[idx]) {
             self.errors.push(e);
             return None;
         }
@@ -101,7 +218,64 @@ pub struct BfdOutcome {
     pub remote_demand_mode: i64,
 }
 
+/// Variable slots a BFD adapter seeds before a VM run and reads back
+/// afterwards, resolved once at construction.
+#[derive(Debug, Clone, Copy, Default)]
+struct BfdSlots {
+    session_state: Option<u16>,
+    remote_session_state: Option<u16>,
+    remote_discr: Option<u16>,
+    remote_demand_mode: Option<u16>,
+    periodic_active: Option<u16>,
+    admindown: Option<u16>,
+    down: Option<u16>,
+    init: Option<u16>,
+    up: Option<u16>,
+    up_titlecase: Option<u16>,
+    nonzero: Option<u16>,
+    session_found: Option<u16>,
+}
+
+/// The state-variable names the BFD adapters exchange with generated code;
+/// pre-allocated as lowering externals so each gets a slot even when a
+/// program never mentions it.
+const BFD_EXTERNALS: &[&str] = &[
+    "bfd.SessionState",
+    "bfd.RemoteSessionState",
+    "bfd.RemoteDiscr",
+    "bfd.RemoteDemandMode",
+    "periodic_transmission_active",
+    "admindown",
+    "down",
+    "init",
+    "up",
+    "Up",
+    "nonzero",
+    "session_found",
+];
+
+impl BfdSlots {
+    fn resolve(compiled: &CompiledProgram) -> BfdSlots {
+        BfdSlots {
+            session_state: compiled.slot("bfd.SessionState"),
+            remote_session_state: compiled.slot("bfd.RemoteSessionState"),
+            remote_discr: compiled.slot("bfd.RemoteDiscr"),
+            remote_demand_mode: compiled.slot("bfd.RemoteDemandMode"),
+            periodic_active: compiled.slot("periodic_transmission_active"),
+            admindown: compiled.slot("admindown"),
+            down: compiled.slot("down"),
+            init: compiled.slot("init"),
+            up: compiled.slot("up"),
+            up_titlecase: compiled.slot("Up"),
+            nonzero: compiled.slot("nonzero"),
+            session_found: compiled.slot("session_found"),
+        }
+    }
+}
+
 /// A BFD receiver driven by generated state-management code (§6.4).
+///
+/// The program is lowered to bytecode once at construction.
 #[derive(Debug, Clone)]
 pub struct BfdGeneratedReceiver {
     /// The generated program (functions from the "Reception of BFD Control
@@ -111,6 +285,13 @@ pub struct BfdGeneratedReceiver {
     pub session_state: bfd::SessionState,
     /// Discriminators of sessions that exist locally.
     pub known_sessions: Vec<u32>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    slots: BfdSlots,
+    reception_indices: Vec<usize>,
+    reply_buf: PacketBuf,
+    sessions_scratch: Vec<i64>,
 }
 
 impl BfdGeneratedReceiver {
@@ -120,16 +301,104 @@ impl BfdGeneratedReceiver {
         session_state: bfd::SessionState,
         known_sessions: Vec<u32>,
     ) -> Self {
+        let compiled = lower_program(&program, "bfd", BFD_EXTERNALS).ok();
+        let slots = compiled.as_ref().map(BfdSlots::resolve).unwrap_or_default();
+        let reception_indices = program
+            .functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name.contains("reception") || f.name.contains("bfd"))
+            .map(|(i, _)| i)
+            .collect();
         BfdGeneratedReceiver {
             program,
             session_state,
             known_sessions,
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            slots,
+            reception_indices,
+            reply_buf: PacketBuf::new(),
+            sessions_scratch: Vec::new(),
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    fn receive_vm(&mut self, packet: &PacketBuf) -> Option<Result<BfdOutcome, ExecError>> {
+        if self.mode != ExecMode::Vm {
+            return None;
+        }
+        let compiled = self.compiled.as_ref()?;
+        self.scratch.reset(compiled);
+        let slots = self.slots;
+        let scratch = &mut self.scratch;
+        VmState::seed(
+            scratch,
+            slots.session_state,
+            i64::from(self.session_state.code()),
+        );
+        VmState::seed(
+            scratch,
+            slots.remote_session_state,
+            packet.get_field(bfd::FIELDS, "state").unwrap_or(0) as i64,
+        );
+        VmState::seed(scratch, slots.periodic_active, 1);
+        let up_code = i64::from(bfd::SessionState::Up.code());
+        VmState::seed(scratch, slots.up, up_code);
+        VmState::seed(scratch, slots.up_titlecase, up_code);
+        VmState::seed(
+            scratch,
+            slots.down,
+            i64::from(bfd::SessionState::Down.code()),
+        );
+        let your_discr = packet
+            .get_field(bfd::FIELDS, "your_discriminator")
+            .unwrap_or(0) as i64;
+        VmState::seed(scratch, slots.nonzero, i64::from(your_discr != 0));
+        VmState::seed(
+            scratch,
+            slots.session_found,
+            i64::from(self.known_sessions.contains(&(your_discr as u32))),
+        );
+        self.sessions_scratch.clear();
+        self.sessions_scratch
+            .extend(self.known_sessions.iter().map(|&d| i64::from(d)));
+        let mut reply = std::mem::take(&mut self.reply_buf);
+        reply.copy_from(packet.as_bytes());
+        let mut st = VmState::new(scratch, &[], reply, 0, 0, &self.sessions_scratch);
+        for &i in &self.reception_indices {
+            if let Err(e) = vm::run(&compiled.functions[i], compiled, &mut st) {
+                self.reply_buf = st.reply;
+                return Some(Err(e));
+            }
+            if st.discarded {
+                break;
+            }
+        }
+        let outcome = BfdOutcome {
+            discarded: st.discarded,
+            ceased_transmission: st.transmission_ceased
+                || st.slot_or(slots.periodic_active, 1) == 0,
+            remote_discr: st.slot_or(slots.remote_discr, 0),
+            remote_demand_mode: st.slot_or(slots.remote_demand_mode, 0),
+        };
+        self.reply_buf = st.reply;
+        Some(Ok(outcome))
     }
 
     /// Process a received control packet with the generated code and report
     /// the observable outcome.
     pub fn receive(&mut self, packet: &PacketBuf) -> Result<BfdOutcome, ExecError> {
+        if let Some(outcome) = self.receive_vm(packet) {
+            return outcome;
+        }
         let mut env = Env::for_received_message(packet);
         // Seed the state variables the generated code reads.
         env.set_var("bfd.SessionState", i64::from(self.session_state.code()));
@@ -156,15 +425,8 @@ impl BfdGeneratedReceiver {
             i64::from(self.known_sessions.contains(&(your_discr as u32))),
         );
 
-        let functions: Vec<Function> = self
-            .program
-            .functions
-            .iter()
-            .filter(|f| f.name.contains("reception") || f.name.contains("bfd"))
-            .cloned()
-            .collect();
-        for f in &functions {
-            exec_function(&mut env, f)?;
+        for &i in &self.reception_indices {
+            exec_function(&mut env, &self.program.functions[i])?;
             if env.discarded {
                 break;
             }
@@ -181,6 +443,8 @@ impl BfdGeneratedReceiver {
 
 /// An IGMP host backed by a SAGE-generated program: answers Host Membership
 /// Queries with reports for the group it belongs to (§6.3).
+///
+/// The program is lowered to bytecode once at construction.
 #[derive(Debug, Clone)]
 pub struct GeneratedIgmpResponder {
     /// The generated program.
@@ -189,30 +453,67 @@ pub struct GeneratedIgmpResponder {
     pub group: u32,
     /// Execution errors encountered (should stay empty for a good program).
     pub errors: Vec<ExecError>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    reported_group_slot: Option<u16>,
+    fn_idx: Option<usize>,
 }
 
 impl GeneratedIgmpResponder {
     /// Wrap a generated program for a host in `group`.
     pub fn new(program: Program, group: u32) -> GeneratedIgmpResponder {
+        let compiled = lower_program(&program, "igmp", &["reported_group"]).ok();
+        let reported_group_slot = compiled.as_ref().and_then(|c| c.slot("reported_group"));
+        let fn_idx = program
+            .functions
+            .iter()
+            .position(|f| f.name.starts_with("igmp"));
         GeneratedIgmpResponder {
             program,
             group,
             errors: Vec::new(),
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            reported_group_slot,
+            fn_idx,
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
 impl IgmpResponderTrait for GeneratedIgmpResponder {
     fn respond(&mut self, query: &PacketBuf) -> Option<PacketBuf> {
-        let function = self
-            .program
-            .functions
-            .iter()
-            .find(|f| f.name.starts_with("igmp"))?
-            .clone();
+        let idx = self.fn_idx?;
+        if self.mode == ExecMode::Vm {
+            if let Some(compiled) = &self.compiled {
+                self.scratch.reset(compiled);
+                VmState::seed(
+                    &mut self.scratch,
+                    self.reported_group_slot,
+                    i64::from(self.group),
+                );
+                let mut st = VmState::new(&mut self.scratch, &[], query.clone(), 0, 0, &[]);
+                return match vm::run(&compiled.functions[idx], compiled, &mut st) {
+                    Ok(()) if st.discarded => None,
+                    Ok(()) => Some(st.reply),
+                    Err(e) => {
+                        self.errors.push(e);
+                        None
+                    }
+                };
+            }
+        }
         let mut env = Env::for_received_message(query).with_protocol("igmp");
         env.set_var("reported_group", i64::from(self.group));
-        if let Err(e) = exec_function(&mut env, &function) {
+        if let Err(e) = exec_function(&mut env, &self.program.functions[idx]) {
             self.errors.push(e);
             return None;
         }
@@ -224,47 +525,105 @@ impl IgmpResponderTrait for GeneratedIgmpResponder {
 }
 
 /// The Table 11 timeout decision made by SAGE-generated code (§6.3).
+///
+/// The program is lowered to bytecode once at construction.
 #[derive(Debug, Clone)]
 pub struct GeneratedNtpTimeoutPolicy {
     /// The generated program.
     pub program: Program,
     /// Execution errors encountered (should stay empty for a good program).
     pub errors: Vec<ExecError>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    timer_slot: Option<u16>,
+    threshold_slot: Option<u16>,
+    client_mode_slot: Option<u16>,
+    symmetric_mode_slot: Option<u16>,
+    timeout_called_slot: Option<u16>,
+    fn_idx: Option<usize>,
 }
 
 impl GeneratedNtpTimeoutPolicy {
     /// Wrap a generated program.
     pub fn new(program: Program) -> GeneratedNtpTimeoutPolicy {
+        let compiled = lower_program(
+            &program,
+            "ntp",
+            &[
+                "peer.timer",
+                "peer.threshold",
+                "client_mode",
+                "symmetric_mode",
+                "timeout_procedure_called",
+            ],
+        )
+        .ok();
+        let slot = |name: &str| compiled.as_ref().and_then(|c| c.slot(name));
+        let (timer_slot, threshold_slot) = (slot("peer.timer"), slot("peer.threshold"));
+        let (client_mode_slot, symmetric_mode_slot) = (slot("client_mode"), slot("symmetric_mode"));
+        let timeout_called_slot = slot("timeout_procedure_called");
+        let fn_idx = program
+            .functions
+            .iter()
+            .position(|f| f.name.contains("timeout"));
         GeneratedNtpTimeoutPolicy {
             program,
             errors: Vec::new(),
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            timer_slot,
+            threshold_slot,
+            client_mode_slot,
+            symmetric_mode_slot,
+            timeout_called_slot,
+            fn_idx,
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
 impl NtpTimeoutPolicy for GeneratedNtpTimeoutPolicy {
     fn timeout_due(&mut self, peer: &ntp::PeerVariables) -> bool {
-        let Some(function) = self
-            .program
-            .functions
-            .iter()
-            .find(|f| f.name.contains("timeout"))
-            .cloned()
-        else {
+        let Some(idx) = self.fn_idx else {
             return false;
         };
+        let client_mode = i64::from(peer.mode == ntp::mode::CLIENT);
+        let symmetric_mode = i64::from(matches!(
+            peer.mode,
+            ntp::mode::SYMMETRIC_ACTIVE | ntp::mode::SYMMETRIC_PASSIVE
+        ));
+        if self.mode == ExecMode::Vm {
+            if let Some(compiled) = &self.compiled {
+                self.scratch.reset(compiled);
+                let scratch = &mut self.scratch;
+                VmState::seed(scratch, self.timer_slot, peer.timer as i64);
+                VmState::seed(scratch, self.threshold_slot, peer.threshold as i64);
+                VmState::seed(scratch, self.client_mode_slot, client_mode);
+                VmState::seed(scratch, self.symmetric_mode_slot, symmetric_mode);
+                let mut st = VmState::new(scratch, &[], PacketBuf::new(), 0, 0, &[]);
+                return match vm::run(&compiled.functions[idx], compiled, &mut st) {
+                    Ok(()) => st.slot_or(self.timeout_called_slot, 0) != 0,
+                    Err(e) => {
+                        self.errors.push(e);
+                        false
+                    }
+                };
+            }
+        }
         let mut env = Env::for_received_message(&PacketBuf::new()).with_protocol("ntp");
         env.set_var("peer.timer", peer.timer as i64);
         env.set_var("peer.threshold", peer.threshold as i64);
-        env.set_var("client_mode", i64::from(peer.mode == ntp::mode::CLIENT));
-        env.set_var(
-            "symmetric_mode",
-            i64::from(matches!(
-                peer.mode,
-                ntp::mode::SYMMETRIC_ACTIVE | ntp::mode::SYMMETRIC_PASSIVE
-            )),
-        );
-        if let Err(e) = exec_function(&mut env, &function) {
+        env.set_var("client_mode", client_mode);
+        env.set_var("symmetric_mode", symmetric_mode);
+        if let Err(e) = exec_function(&mut env, &self.program.functions[idx]) {
             self.errors.push(e);
             return false;
         }
@@ -274,6 +633,8 @@ impl NtpTimeoutPolicy for GeneratedNtpTimeoutPolicy {
 
 /// An NTP server backed by a SAGE-generated program: forms the server-mode
 /// reply to a client request (§6.3).
+///
+/// The program is lowered to bytecode once at construction.
 #[derive(Debug, Clone)]
 pub struct GeneratedNtpServer {
     /// The generated program.
@@ -284,32 +645,75 @@ pub struct GeneratedNtpServer {
     pub clock: u64,
     /// Execution errors encountered (should stay empty for a good program).
     pub errors: Vec<ExecError>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    stratum_slot: Option<u16>,
+    clock_slot: Option<u16>,
+    fn_idx: Option<usize>,
 }
 
 impl GeneratedNtpServer {
     /// Wrap a generated program for a server at `stratum` with `clock`.
     pub fn new(program: Program, stratum: u8, clock: u64) -> GeneratedNtpServer {
+        let compiled = lower_program(&program, "ntp", &["server_stratum", "server_clock"]).ok();
+        let (stratum_slot, clock_slot) = match &compiled {
+            Some(c) => (c.slot("server_stratum"), c.slot("server_clock")),
+            None => (None, None),
+        };
+        let fn_idx = program
+            .functions
+            .iter()
+            .position(|f| f.name.contains("data_format"));
         GeneratedNtpServer {
             program,
             stratum,
             clock,
             errors: Vec::new(),
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            stratum_slot,
+            clock_slot,
+            fn_idx,
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
 impl NtpServer for GeneratedNtpServer {
     fn respond(&mut self, request: &PacketBuf) -> Option<PacketBuf> {
-        let function = self
-            .program
-            .functions
-            .iter()
-            .find(|f| f.name.contains("data_format"))?
-            .clone();
+        let idx = self.fn_idx?;
+        if self.mode == ExecMode::Vm {
+            if let Some(compiled) = &self.compiled {
+                self.scratch.reset(compiled);
+                VmState::seed(
+                    &mut self.scratch,
+                    self.stratum_slot,
+                    i64::from(self.stratum),
+                );
+                VmState::seed(&mut self.scratch, self.clock_slot, self.clock as i64);
+                let mut st = VmState::new(&mut self.scratch, &[], request.clone(), 0, 0, &[]);
+                return match vm::run(&compiled.functions[idx], compiled, &mut st) {
+                    Ok(()) if st.discarded => None,
+                    Ok(()) => Some(st.reply),
+                    Err(e) => {
+                        self.errors.push(e);
+                        None
+                    }
+                };
+            }
+        }
         let mut env = Env::for_received_message(request).with_protocol("ntp");
         env.set_var("server_stratum", i64::from(self.stratum));
         env.set_var("server_clock", self.clock as i64);
-        if let Err(e) = exec_function(&mut env, &function) {
+        if let Err(e) = exec_function(&mut env, &self.program.functions[idx]) {
             self.errors.push(e);
             return None;
         }
@@ -322,6 +726,8 @@ impl NtpServer for GeneratedNtpServer {
 
 /// One side of a BFD session driven by SAGE-generated state-management code
 /// (§6.4): plugs into [`sage_netsim::tools::bfd_session::session_bring_up`].
+///
+/// The program is lowered to bytecode once at construction.
 #[derive(Debug, Clone)]
 pub struct GeneratedBfdEndpoint {
     /// The generated program (the "Reception of BFD Control Packets"
@@ -331,11 +737,26 @@ pub struct GeneratedBfdEndpoint {
     pub session: bfd::SessionVariables,
     /// Execution errors encountered (should stay empty for a good program).
     pub errors: Vec<ExecError>,
+    compiled: Option<CompiledProgram>,
+    mode: ExecMode,
+    scratch: VmScratch,
+    slots: BfdSlots,
+    reception_indices: Vec<usize>,
+    reply_buf: PacketBuf,
 }
 
 impl GeneratedBfdEndpoint {
     /// A Down session with the given local/remote discriminator pair.
     pub fn new(program: Program, local_discr: u32, remote_discr: u32) -> GeneratedBfdEndpoint {
+        let compiled = lower_program(&program, "bfd", BFD_EXTERNALS).ok();
+        let slots = compiled.as_ref().map(BfdSlots::resolve).unwrap_or_default();
+        let reception_indices = program
+            .functions
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name.contains("reception"))
+            .map(|(i, _)| i)
+            .collect();
         GeneratedBfdEndpoint {
             program,
             session: bfd::SessionVariables {
@@ -344,7 +765,87 @@ impl GeneratedBfdEndpoint {
                 ..bfd::SessionVariables::default()
             },
             errors: Vec::new(),
+            compiled,
+            mode: ExecMode::default(),
+            scratch: VmScratch::default(),
+            slots,
+            reception_indices,
+            reply_buf: PacketBuf::new(),
         }
+    }
+
+    /// Select the execution engine; [`ExecMode::Vm`] silently falls back
+    /// to the tree-walker when the program did not lower.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Run the reception functions on the VM; `true` when the VM handled
+    /// the packet (the caller then skips the tree-walker).
+    fn receive_vm(&mut self, packet: &PacketBuf) -> bool {
+        if self.mode != ExecMode::Vm {
+            return false;
+        }
+        let Some(compiled) = self.compiled.as_ref() else {
+            return false;
+        };
+        self.scratch.reset(compiled);
+        let slots = self.slots;
+        let seeded_state = i64::from(self.session.session_state.code());
+        let seeded_remote_state = i64::from(self.session.remote_session_state.code());
+        let seeded_periodic = i64::from(self.session.periodic_transmission_active);
+        let scratch = &mut self.scratch;
+        VmState::seed(scratch, slots.session_state, seeded_state);
+        VmState::seed(scratch, slots.remote_session_state, seeded_remote_state);
+        VmState::seed(
+            scratch,
+            slots.remote_discr,
+            i64::from(self.session.remote_discr),
+        );
+        VmState::seed(
+            scratch,
+            slots.remote_demand_mode,
+            i64::from(self.session.remote_demand_mode),
+        );
+        VmState::seed(scratch, slots.periodic_active, seeded_periodic);
+        for (slot, state) in [
+            (slots.admindown, bfd::SessionState::AdminDown),
+            (slots.down, bfd::SessionState::Down),
+            (slots.init, bfd::SessionState::Init),
+            (slots.up, bfd::SessionState::Up),
+        ] {
+            VmState::seed(scratch, slot, i64::from(state.code()));
+        }
+        let sessions = [i64::from(self.session.local_discr)];
+        let mut reply = std::mem::take(&mut self.reply_buf);
+        reply.copy_from(packet.as_bytes());
+        let mut st = VmState::new(scratch, &[], reply, 0, 0, &sessions);
+        for &i in &self.reception_indices {
+            if let Err(e) = vm::run(&compiled.functions[i], compiled, &mut st) {
+                self.reply_buf = st.reply;
+                self.errors.push(e);
+                return true;
+            }
+            if st.discarded {
+                self.reply_buf = st.reply;
+                return true;
+            }
+        }
+        // Read the updated session variables back out of the slots.
+        self.session.session_state =
+            bfd::SessionState::from_code(st.slot_or(slots.session_state, seeded_state) as u8)
+                .unwrap_or(self.session.session_state);
+        self.session.remote_session_state = bfd::SessionState::from_code(
+            st.slot_or(slots.remote_session_state, seeded_remote_state) as u8,
+        )
+        .unwrap_or(self.session.remote_session_state);
+        self.session.remote_discr = st.slot_or(slots.remote_discr, 0) as u32;
+        self.session.remote_demand_mode = st.slot_or(slots.remote_demand_mode, 0) != 0;
+        self.session.periodic_transmission_active =
+            st.slot_or(slots.periodic_active, seeded_periodic) != 0 && !st.transmission_ceased;
+        self.reply_buf = st.reply;
+        true
     }
 }
 
@@ -354,13 +855,9 @@ impl BfdEndpoint for GeneratedBfdEndpoint {
     }
 
     fn receive(&mut self, packet: &PacketBuf) {
-        let functions: Vec<Function> = self
-            .program
-            .functions
-            .iter()
-            .filter(|f| f.name.contains("reception"))
-            .cloned()
-            .collect();
+        if self.receive_vm(packet) {
+            return;
+        }
         let mut env = Env::for_received_message(packet).with_protocol("bfd");
         // Seed the session variables and state-name constants the generated
         // code reads.
@@ -390,8 +887,9 @@ impl BfdEndpoint for GeneratedBfdEndpoint {
         ] {
             env.set_var(name, i64::from(state.code()));
         }
-        for f in &functions {
-            if let Err(e) = exec_function(&mut env, f) {
+        for i in 0..self.reception_indices.len() {
+            let idx = self.reception_indices[i];
+            if let Err(e) = exec_function(&mut env, &self.program.functions[idx]) {
                 self.errors.push(e);
                 return;
             }
@@ -496,15 +994,26 @@ impl ResponderRegistry {
 /// Build kernel scenarios wired to this registry's generated programs: one
 /// per registered protocol, named `<protocol>/generated`, each exercising
 /// the same exchange as its `<protocol>/reference` counterpart but with the
-/// SAGE-generated code in the pluggable role.
+/// SAGE-generated code in the pluggable role.  Adapters run on the bytecode
+/// VM (the default [`ExecMode`]).
 pub fn generated_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
+    generated_scenarios_in_mode(registry, ExecMode::Vm)
+}
+
+/// [`generated_scenarios`] with every adapter pinned to `mode`: parity
+/// suites build one registry per engine and compare kernel traces
+/// bit-for-bit.
+pub fn generated_scenarios_in_mode(
+    registry: &ResponderRegistry,
+    mode: ExecMode,
+) -> ScenarioRegistry {
     use std::sync::Arc;
     let mut scenarios = ScenarioRegistry::new();
     if registry.program("icmp").is_some() {
         let reg = registry.clone();
         scenarios.register(Arc::new(scenario::PingScenario::new(
             "ping/generated",
-            Arc::new(move || Box::new(reg.icmp_responder().expect("icmp program"))),
+            Arc::new(move || Box::new(reg.icmp_responder().expect("icmp program").with_mode(mode))),
         )));
     }
     if registry.program("igmp").is_some() {
@@ -513,7 +1022,13 @@ pub fn generated_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
         scenarios.register(Arc::new(scenario::IgmpScenario::new(
             "igmp/generated",
             group,
-            Arc::new(move || Box::new(reg.igmp_responder(group).expect("igmp program"))),
+            Arc::new(move || {
+                Box::new(
+                    reg.igmp_responder(group)
+                        .expect("igmp program")
+                        .with_mode(mode),
+                )
+            }),
         )));
     }
     if registry.program("ntp").is_some() {
@@ -521,8 +1036,22 @@ pub fn generated_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
         let server_reg = registry.clone();
         scenarios.register(Arc::new(scenario::NtpScenario::new(
             "ntp/generated",
-            Arc::new(move || Box::new(policy_reg.ntp_timeout_policy().expect("ntp program"))),
-            Arc::new(move || Box::new(server_reg.ntp_server(2, 0x1000).expect("ntp program"))),
+            Arc::new(move || {
+                Box::new(
+                    policy_reg
+                        .ntp_timeout_policy()
+                        .expect("ntp program")
+                        .with_mode(mode),
+                )
+            }),
+            Arc::new(move || {
+                Box::new(
+                    server_reg
+                        .ntp_server(2, 0x1000)
+                        .expect("ntp program")
+                        .with_mode(mode),
+                )
+            }),
             ntp::PeerVariables {
                 timer: 64,
                 threshold: 64,
@@ -534,7 +1063,11 @@ pub fn generated_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
     if registry.program("bfd").is_some() {
         let reg = registry.clone();
         let factory: scenario::BfdFactory = Arc::new(move |local, remote| {
-            Box::new(reg.bfd_endpoint(local, remote).expect("bfd program"))
+            Box::new(
+                reg.bfd_endpoint(local, remote)
+                    .expect("bfd program")
+                    .with_mode(mode),
+            )
         });
         scenarios.register(Arc::new(scenario::BfdScenario::new(
             "bfd/generated",

@@ -82,6 +82,140 @@ impl fmt::Display for FieldError {
 
 impl std::error::Error for FieldError {}
 
+/// Read a big-endian bit-field out of a borrowed byte slice (the core
+/// primitive behind [`PacketBuf::get_bits`] and [`FieldView`]; public so
+/// the bytecode VM can read request headers without copying them into a
+/// buffer).
+///
+/// Fields spanning at most eight bytes — every field in the shipped
+/// header tables — are read as one big-endian word assembly + shift +
+/// mask instead of a per-bit loop; wider misaligned fields fall back to
+/// the bit loop.
+pub fn read_bits(bytes: &[u8], spec: &FieldSpec) -> Result<u64, FieldError> {
+    let (start, end) = spec.byte_range();
+    if end > bytes.len() {
+        return Err(FieldError::OutOfBounds {
+            field: spec.name.to_string(),
+            needed: end,
+            len: bytes.len(),
+        });
+    }
+    let span = end - start;
+    if span <= 8 {
+        let mut word: u64 = 0;
+        for &b in &bytes[start..end] {
+            word = (word << 8) | u64::from(b);
+        }
+        let shift = span * 8 - (spec.offset_bits - start * 8) - spec.width_bits;
+        return Ok((word >> shift) & width_mask(spec.width_bits));
+    }
+    let mut value: u64 = 0;
+    for i in 0..spec.width_bits {
+        let bit_index = spec.offset_bits + i;
+        let byte = bytes[bit_index / 8];
+        let bit = (byte >> (7 - (bit_index % 8))) & 1;
+        value = (value << 1) | u64::from(bit);
+    }
+    Ok(value)
+}
+
+/// All-ones mask of `width_bits` (≤ 64) low bits.
+fn width_mask(width_bits: usize) -> u64 {
+    if width_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width_bits) - 1
+    }
+}
+
+/// Write a big-endian bit-field into a mutable byte slice — the mirror of
+/// [`read_bits`], with the same eight-byte-span word fast path.
+fn write_bits(bytes: &mut [u8], spec: &FieldSpec, value: u64) -> Result<(), FieldError> {
+    if spec.width_bits < 64 && value >= (1u64 << spec.width_bits) {
+        return Err(FieldError::ValueTooLarge {
+            field: spec.name.to_string(),
+            width_bits: spec.width_bits,
+            value,
+        });
+    }
+    let (start, end) = spec.byte_range();
+    if end > bytes.len() {
+        return Err(FieldError::OutOfBounds {
+            field: spec.name.to_string(),
+            needed: end,
+            len: bytes.len(),
+        });
+    }
+    let span = end - start;
+    if span <= 8 {
+        let mut word: u64 = 0;
+        for &b in &bytes[start..end] {
+            word = (word << 8) | u64::from(b);
+        }
+        let shift = span * 8 - (spec.offset_bits - start * 8) - spec.width_bits;
+        let mask = width_mask(spec.width_bits);
+        word = (word & !(mask << shift)) | ((value & mask) << shift);
+        for i in (0..span).rev() {
+            bytes[start + i] = word as u8;
+            word >>= 8;
+        }
+        return Ok(());
+    }
+    for i in 0..spec.width_bits {
+        let bit_index = spec.offset_bits + i;
+        let bit_value = (value >> (spec.width_bits - 1 - i)) & 1;
+        let byte = &mut bytes[bit_index / 8];
+        let mask = 1u8 << (7 - (bit_index % 8));
+        if bit_value == 1 {
+            *byte |= mask;
+        } else {
+            *byte &= !mask;
+        }
+    }
+    Ok(())
+}
+
+/// A zero-copy, read-only view of a header held in a borrowed byte slice:
+/// the same big-endian bit-field reads as [`PacketBuf`] without owning (or
+/// copying) the bytes.  The bytecode VM reads request and reply headers
+/// through these.
+#[derive(Debug, Clone, Copy)]
+pub struct FieldView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> FieldView<'a> {
+    /// View a borrowed byte slice.
+    pub fn new(bytes: &'a [u8]) -> FieldView<'a> {
+        FieldView { bytes }
+    }
+
+    /// The viewed bytes.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// View length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Read a field given its spec directly.
+    pub fn get_bits(&self, spec: &FieldSpec) -> Result<u64, FieldError> {
+        read_bits(self.bytes, spec)
+    }
+
+    /// Read a named field (big-endian / network byte order).
+    pub fn get_field(&self, table: &[FieldSpec], name: &str) -> Result<u64, FieldError> {
+        self.get_bits(PacketBuf::find(table, name)?)
+    }
+}
+
 /// A growable packet buffer with bit-field accessors.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PacketBuf {
@@ -138,6 +272,11 @@ impl PacketBuf {
             .ok_or_else(|| FieldError::UnknownField(name.to_string()))
     }
 
+    /// A zero-copy read-only view over this buffer's bytes.
+    pub fn view(&self) -> FieldView<'_> {
+        FieldView::new(&self.bytes)
+    }
+
     /// Read a named field (big-endian / network byte order).
     pub fn get_field(&self, table: &[FieldSpec], name: &str) -> Result<u64, FieldError> {
         let spec = Self::find(table, name)?;
@@ -157,53 +296,20 @@ impl PacketBuf {
 
     /// Read a field given its spec directly.
     pub fn get_bits(&self, spec: &FieldSpec) -> Result<u64, FieldError> {
-        let (_, end) = spec.byte_range();
-        if end > self.bytes.len() {
-            return Err(FieldError::OutOfBounds {
-                field: spec.name.to_string(),
-                needed: end,
-                len: self.bytes.len(),
-            });
-        }
-        let mut value: u64 = 0;
-        for i in 0..spec.width_bits {
-            let bit_index = spec.offset_bits + i;
-            let byte = self.bytes[bit_index / 8];
-            let bit = (byte >> (7 - (bit_index % 8))) & 1;
-            value = (value << 1) | u64::from(bit);
-        }
-        Ok(value)
+        read_bits(&self.bytes, spec)
     }
 
     /// Write a field given its spec directly.
     pub fn set_bits(&mut self, spec: &FieldSpec, value: u64) -> Result<(), FieldError> {
-        if spec.width_bits < 64 && value >= (1u64 << spec.width_bits) {
-            return Err(FieldError::ValueTooLarge {
-                field: spec.name.to_string(),
-                width_bits: spec.width_bits,
-                value,
-            });
-        }
-        let (_, end) = spec.byte_range();
-        if end > self.bytes.len() {
-            return Err(FieldError::OutOfBounds {
-                field: spec.name.to_string(),
-                needed: end,
-                len: self.bytes.len(),
-            });
-        }
-        for i in 0..spec.width_bits {
-            let bit_index = spec.offset_bits + i;
-            let bit_value = (value >> (spec.width_bits - 1 - i)) & 1;
-            let byte = &mut self.bytes[bit_index / 8];
-            let mask = 1u8 << (7 - (bit_index % 8));
-            if bit_value == 1 {
-                *byte |= mask;
-            } else {
-                *byte &= !mask;
-            }
-        }
-        Ok(())
+        write_bits(&mut self.bytes, spec, value)
+    }
+
+    /// Replace the contents with a copy of `data`, reusing the existing
+    /// allocation — the steady-state form of `PacketBuf::from_bytes(
+    /// data.to_vec())` for per-packet hot paths.
+    pub fn copy_from(&mut self, data: &[u8]) {
+        self.bytes.clear();
+        self.bytes.extend_from_slice(data);
     }
 }
 
@@ -292,11 +398,85 @@ mod tests {
     }
 
     #[test]
+    fn word_fast_path_agrees_with_the_bit_loop_everywhere() {
+        // Exhaustive (offset, width) sweep over a patterned buffer: the
+        // word-assembly fast path must read exactly what a naive per-bit
+        // walk reads, and a set/get round trip must preserve the value.
+        let mut bytes = [0u8; 12];
+        let mut x: u8 = 0x3C;
+        for b in &mut bytes {
+            x = x.wrapping_mul(167).wrapping_add(13);
+            *b = x;
+        }
+        let naive = |offset: usize, width: usize| -> u64 {
+            let mut v = 0u64;
+            for i in 0..width {
+                let bit = (bytes[(offset + i) / 8] >> (7 - ((offset + i) % 8))) & 1;
+                v = (v << 1) | u64::from(bit);
+            }
+            v
+        };
+        let buf = PacketBuf::from_bytes(bytes.to_vec());
+        for offset in 0..(12 * 8) {
+            for width in 1..=64usize {
+                if offset + width > 12 * 8 {
+                    continue;
+                }
+                let spec = FieldSpec::new("sweep", offset, width);
+                assert_eq!(
+                    buf.get_bits(&spec).unwrap(),
+                    naive(offset, width),
+                    "offset={offset} width={width}"
+                );
+                let mut copy = buf.clone();
+                let value = naive(offset, width) ^ (width_mask(width) & 0x5555_5555_5555_5555);
+                copy.set_bits(&spec, value).unwrap();
+                assert_eq!(
+                    copy.get_bits(&spec).unwrap(),
+                    value,
+                    "round trip offset={offset} width={width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copy_from_reuses_the_buffer() {
+        let mut buf = PacketBuf::from_bytes(vec![1, 2, 3, 4]);
+        buf.copy_from(&[9, 8]);
+        assert_eq!(buf.as_bytes(), &[9, 8]);
+        buf.copy_from(&[5, 5, 5]);
+        assert_eq!(buf.as_bytes(), &[5, 5, 5]);
+    }
+
+    #[test]
     fn field_spec_byte_range() {
         assert_eq!(FieldSpec::new("x", 0, 8).byte_range(), (0, 1));
         assert_eq!(FieldSpec::new("x", 16, 16).byte_range(), (2, 4));
         assert_eq!(FieldSpec::new("x", 36, 4).byte_range(), (4, 5));
         assert_eq!(FieldSpec::new("x", 40, 32).byte_range(), (5, 9));
+    }
+
+    #[test]
+    fn views_read_the_same_bits_as_the_buffer() {
+        let mut buf = PacketBuf::zeroed(16);
+        buf.set_field(TABLE, "version", 4).unwrap();
+        buf.set_field(TABLE, "checksum", 0xBEEF).unwrap();
+        let view = buf.view();
+        assert_eq!(view.get_field(TABLE, "checksum").unwrap(), 0xBEEF);
+        assert_eq!(view.get_field(TABLE, "version").unwrap(), 4);
+        assert_eq!(view.len(), buf.len());
+        assert!(matches!(
+            view.get_field(TABLE, "banana"),
+            Err(FieldError::UnknownField(_))
+        ));
+        let short = FieldView::new(&buf.as_bytes()[..2]);
+        assert!(matches!(
+            short.get_field(TABLE, "checksum"),
+            Err(FieldError::OutOfBounds { .. })
+        ));
+        assert!(!short.is_empty());
+        assert_eq!(short.as_bytes().len(), 2);
     }
 
     #[test]

@@ -54,6 +54,60 @@ pub fn checksum_with_zeroed_field(data: &[u8], checksum_offset: usize) -> u16 {
     ones_complement_checksum(&copy)
 }
 
+/// Zero-copy form of [`checksum_with_zeroed_field`]: one pass over `data`
+/// substituting zero for the two checksum bytes instead of summing a
+/// zeroed clone.  Bit-identical to the cloning form — substitution keeps
+/// the exact RFC 1071 word sequence, where a ones-complement *subtraction*
+/// of the field could land on the other representative of zero (0xFFFF vs
+/// 0x0000) and break byte-for-byte reply parity.
+pub fn checksum_omitting_field(data: &[u8], checksum_offset: usize) -> u16 {
+    let omit = checksum_offset + 2 <= data.len();
+    // Word-aligned field (every shipped header table): sum the whole
+    // buffer with the plain word loop, then subtract the checksum word's
+    // contribution.  The subtraction happens on the unfolded u32
+    // accumulator, where it is exact integer arithmetic — not the
+    // post-fold ones-complement subtraction whose zero has two
+    // representatives (0x0000 vs 0xFFFF).
+    if omit && checksum_offset % 2 == 0 {
+        let mut sum: u32 = 0;
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+        sum -= u32::from(u16::from_be_bytes([
+            data[checksum_offset],
+            data[checksum_offset + 1],
+        ]));
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        return !(sum as u16);
+    }
+    let byte_at = |i: usize| -> u8 {
+        if omit && (i == checksum_offset || i == checksum_offset + 1) {
+            0
+        } else {
+            data[i]
+        }
+    };
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i + 1 < data.len() {
+        sum += u32::from(u16::from_be_bytes([byte_at(i), byte_at(i + 1)]));
+        i += 2;
+    }
+    if i < data.len() {
+        sum += u32::from(u16::from_be_bytes([byte_at(i), 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,6 +173,29 @@ mod tests {
             checksum_with_zeroed_field(&a, 2),
             ones_complement_checksum(&a)
         );
+    }
+
+    #[test]
+    fn omitting_form_matches_cloning_form() {
+        // Varied lengths (odd and even), offsets (in range, at the tail,
+        // past the end) and prefilled checksum bytes: the zero-copy pass
+        // must be bit-identical to the cloning reference.
+        let mut data = Vec::new();
+        let mut x: u8 = 7;
+        for len in 0..40usize {
+            data.truncate(0);
+            for _ in 0..len {
+                x = x.wrapping_mul(31).wrapping_add(11);
+                data.push(x);
+            }
+            for offset in 0..(len + 3) {
+                assert_eq!(
+                    checksum_omitting_field(&data, offset),
+                    checksum_with_zeroed_field(&data, offset),
+                    "len={len} offset={offset}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,26 @@ pub fn checksum_ok(packet: &PacketBuf) -> bool {
     crate::checksum::ones_complement_sum(&packet.as_bytes()[..HEADER_LEN]) == 0xFFFF
 }
 
+/// The source address, read at its fixed offset (0 when the buffer is
+/// shorter than a header).  Per-packet paths use this instead of a
+/// string-keyed [`FIELDS`] scan.
+pub fn source_address(packet: &PacketBuf) -> u32 {
+    let b = packet.as_bytes();
+    match b.get(12..16) {
+        Some(w) => u32::from_be_bytes([w[0], w[1], w[2], w[3]]),
+        None => 0,
+    }
+}
+
+/// The destination address at its fixed offset (0 when too short).
+pub fn destination_address(packet: &PacketBuf) -> u32 {
+    let b = packet.as_bytes();
+    match b.get(16..20) {
+        Some(w) => u32::from_be_bytes([w[0], w[1], w[2], w[3]]),
+        None => 0,
+    }
+}
+
 /// The payload (everything after the fixed header).
 pub fn payload(packet: &PacketBuf) -> &[u8] {
     if packet.len() <= HEADER_LEN {
@@ -94,6 +114,21 @@ pub fn payload(packet: &PacketBuf) -> &[u8] {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fixed_offset_address_reads_match_the_field_table() {
+        let p = build_packet(addr(10, 0, 1, 100), addr(10, 0, 1, 1), PROTO_ICMP, 64, b"x");
+        assert_eq!(
+            u64::from(source_address(&p)),
+            p.get_field(FIELDS, "source_address").unwrap()
+        );
+        assert_eq!(
+            u64::from(destination_address(&p)),
+            p.get_field(FIELDS, "destination_address").unwrap()
+        );
+        assert_eq!(source_address(&PacketBuf::new()), 0);
+        assert_eq!(destination_address(&PacketBuf::new()), 0);
+    }
 
     #[test]
     fn build_produces_valid_header() {

@@ -20,14 +20,23 @@ pub mod udp;
 /// "ntp", "bfd").  Generated code resolves `hdr->field` references through
 /// this function.
 pub fn field_table(protocol: &str) -> Option<&'static [crate::buffer::FieldSpec]> {
-    match protocol.to_ascii_lowercase().as_str() {
-        "ip" | "ipv4" => Some(ipv4::FIELDS),
-        "icmp" => Some(icmp::FIELDS),
-        "udp" => Some(udp::FIELDS),
-        "igmp" => Some(igmp::FIELDS),
-        "ntp" => Some(ntp::FIELDS),
-        "bfd" => Some(bfd::FIELDS),
-        _ => None,
+    // Case-insensitive without allocating: this sits on the per-packet
+    // field-access path of the interpreter.
+    let p = protocol;
+    if p.eq_ignore_ascii_case("ip") || p.eq_ignore_ascii_case("ipv4") {
+        Some(ipv4::FIELDS)
+    } else if p.eq_ignore_ascii_case("icmp") {
+        Some(icmp::FIELDS)
+    } else if p.eq_ignore_ascii_case("udp") {
+        Some(udp::FIELDS)
+    } else if p.eq_ignore_ascii_case("igmp") {
+        Some(igmp::FIELDS)
+    } else if p.eq_ignore_ascii_case("ntp") {
+        Some(ntp::FIELDS)
+    } else if p.eq_ignore_ascii_case("bfd") {
+        Some(bfd::FIELDS)
+    } else {
+        None
     }
 }
 

@@ -34,8 +34,10 @@ pub mod sim;
 pub mod tcpdump;
 pub mod tools;
 
-pub use buffer::{FieldSpec, PacketBuf};
-pub use checksum::{incremental_update, ones_complement_checksum, ones_complement_sum};
+pub use buffer::{FieldSpec, FieldView, PacketBuf};
+pub use checksum::{
+    checksum_omitting_field, incremental_update, ones_complement_checksum, ones_complement_sum,
+};
 pub use headers::{bfd, icmp, igmp, ipv4, ntp, udp};
 pub use net::{Host, Interface, Network, RouterConfig};
 pub use scenario::{
@@ -44,6 +46,6 @@ pub use scenario::{
 };
 pub use sim::{
     EventTrace, LinkDelivery, LinkModel, Node, NodeId, RouterNode, Sim, SimBuilder, SimTime,
-    Topology,
+    Topology, TopologyError,
 };
 pub use tcpdump::{decode_packet, Decoded, Warning};

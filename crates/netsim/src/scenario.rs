@@ -27,7 +27,9 @@
 use crate::buffer::PacketBuf;
 use crate::headers::{bfd, icmp, igmp, ipv4, ntp, udp};
 use crate::net::{IcmpResponder, ReferenceResponder};
-use crate::sim::{Ctx, EventTrace, Node, NodeId, RouterNode, SimBuilder, Topology, TraceEventKind};
+use crate::sim::{
+    Ctx, EventTrace, Node, NodeId, RouterNode, SimBuilder, Topology, TopologyError, TraceEventKind,
+};
 use crate::tcpdump::decode_packet;
 use crate::tools::bfd_session::{BfdEndpoint, ReferenceBfdEndpoint, BFD_CONTROL_PORT};
 use crate::tools::igmp::{IgmpResponder, ReferenceIgmpResponder};
@@ -86,8 +88,10 @@ pub trait Scenario: Send + Sync {
         Topology::appendix_a()
     }
 
-    /// Bind fresh event handlers onto the builder's topology.
-    fn bind(&self, sim: &mut SimBuilder);
+    /// Bind fresh event handlers onto the builder's topology.  A
+    /// scenario/topology mismatch (missing node, too few hosts) comes back
+    /// as a [`TopologyError`] diagnostic instead of a panic.
+    fn bind(&self, sim: &mut SimBuilder) -> Result<(), TopologyError>;
 
     /// Judge a finished run from its trace.
     fn assert(&self, trace: &EventTrace) -> ScenarioOutcome;
@@ -136,24 +140,28 @@ impl ScenarioRun {
 }
 
 /// Run a scenario on its preferred topology.
-pub fn run_scenario(scenario: &dyn Scenario) -> ScenarioRun {
+pub fn run_scenario(scenario: &dyn Scenario) -> Result<ScenarioRun, TopologyError> {
     run_scenario_on(scenario, scenario.topology())
 }
 
-/// Run a scenario on an explicit topology.
-pub fn run_scenario_on(scenario: &dyn Scenario, topology: Topology) -> ScenarioRun {
+/// Run a scenario on an explicit topology.  A misconfigured pairing fails
+/// with a [`TopologyError`] diagnostic before any event is pumped.
+pub fn run_scenario_on(
+    scenario: &dyn Scenario,
+    topology: Topology,
+) -> Result<ScenarioRun, TopologyError> {
     let topology_name = topology.name.clone();
     let mut sim = SimBuilder::new(topology);
-    scenario.bind(&mut sim);
+    scenario.bind(&mut sim)?;
     let trace = sim.build().run();
     let outcome = scenario.assert(&trace);
-    ScenarioRun {
+    Ok(ScenarioRun {
         scenario: scenario.name().to_string(),
         protocol: scenario.protocol().to_string(),
         topology: topology_name,
         outcome,
         trace,
-    }
+    })
 }
 
 /// An ordered collection of scenarios the sweep binary and tests iterate.
@@ -194,7 +202,7 @@ impl ScenarioRegistry {
     }
 
     /// Run every scenario on its preferred topology.
-    pub fn run_all(&self) -> Vec<ScenarioRun> {
+    pub fn run_all(&self) -> Result<Vec<ScenarioRun>, TopologyError> {
         self.scenarios
             .iter()
             .map(|s| run_scenario(s.as_ref()))
@@ -296,15 +304,16 @@ impl Scenario for PingScenario {
         "icmp"
     }
 
-    fn bind(&self, sim: &mut SimBuilder) {
-        let router = sim.topology().routers()[0];
+    fn bind(&self, sim: &mut SimBuilder) -> Result<(), TopologyError> {
+        let router = sim.topology().router_at(0)?;
         let cfg = sim.topology().router_config(router);
-        let client = sim.topology().hosts()[0];
+        let client = sim.topology().host_at(0)?;
         let src = sim.topology().addr_of(client);
         let dst = sim.topology().addr_of(router);
         sim.bind(router, Box::new(RouterNode::new(cfg, (self.responder)())));
         bind_infrastructure_routers(sim, Some(router));
         sim.bind(client, Box::new(PingClientNode { src, dst }));
+        Ok(())
     }
 
     fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
@@ -416,9 +425,9 @@ impl Scenario for IgmpScenario {
         "igmp"
     }
 
-    fn bind(&self, sim: &mut SimBuilder) {
-        let querier = sim.topology().routers()[0];
-        let host = sim.topology().hosts()[0];
+    fn bind(&self, sim: &mut SimBuilder) -> Result<(), TopologyError> {
+        let querier = sim.topology().router_at(0)?;
+        let host = sim.topology().host_at(0)?;
         let router_addr = sim.topology().addr_of(querier);
         let host_addr = sim.topology().addr_of(host);
         sim.bind(querier, Box::new(IgmpQuerierNode { router_addr }));
@@ -431,6 +440,7 @@ impl Scenario for IgmpScenario {
                 responder: (self.responder)(),
             }),
         );
+        Ok(())
     }
 
     fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
@@ -636,10 +646,9 @@ impl Scenario for NtpScenario {
         "ntp"
     }
 
-    fn bind(&self, sim: &mut SimBuilder) {
-        let hosts = sim.topology().hosts();
-        let client = hosts[0];
-        let server = hosts[1];
+    fn bind(&self, sim: &mut SimBuilder) -> Result<(), TopologyError> {
+        let client = sim.topology().host_at(0)?;
+        let server = sim.topology().host_at(1)?;
         let client_addr = sim.topology().addr_of(client);
         let server_addr = sim.topology().addr_of(server);
         bind_infrastructure_routers(sim, None);
@@ -660,6 +669,7 @@ impl Scenario for NtpScenario {
                 server: (self.server)(),
             }),
         );
+        Ok(())
     }
 
     fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
@@ -857,10 +867,9 @@ impl Scenario for BfdScenario {
         "bfd"
     }
 
-    fn bind(&self, sim: &mut SimBuilder) {
-        let hosts = sim.topology().hosts();
-        let a = hosts[0];
-        let b = *hosts.last().expect("at least one host");
+    fn bind(&self, sim: &mut SimBuilder) -> Result<(), TopologyError> {
+        let a = sim.topology().host_at(0)?;
+        let b = sim.topology().last_host()?;
         let addr_a = sim.topology().addr_of(a);
         let addr_b = sim.topology().addr_of(b);
         bind_infrastructure_routers(sim, None);
@@ -884,6 +893,7 @@ impl Scenario for BfdScenario {
                 budget: self.max_rounds,
             }),
         );
+        Ok(())
     }
 
     fn assert(&self, trace: &EventTrace) -> ScenarioOutcome {
@@ -939,7 +949,7 @@ mod tests {
 
     #[test]
     fn reference_scenarios_pass_on_their_preferred_topology() {
-        for run in reference_scenarios().run_all() {
+        for run in reference_scenarios().run_all().unwrap() {
             assert!(
                 run.ok(),
                 "{}/{} failed {:?}\n{}",
@@ -956,7 +966,7 @@ mod tests {
         let registry = reference_scenarios();
         for topo in Topology::library() {
             for scenario in registry.scenarios() {
-                let run = run_scenario_on(scenario.as_ref(), topo.clone());
+                let run = run_scenario_on(scenario.as_ref(), topo.clone()).unwrap();
                 assert!(
                     run.ok(),
                     "{}/{} failed {:?}\n{}",
@@ -978,6 +988,26 @@ mod tests {
     }
 
     #[test]
+    fn misconfigured_topology_fails_with_a_diagnostic() {
+        // One host, no routers: NTP needs two hosts, ping needs a router.
+        let mut topo = Topology::named("tiny");
+        topo.host("only", ipv4::addr(10, 0, 1, 1), 24);
+        let err = run_scenario_on(&NtpScenario::reference(), topo.clone()).unwrap_err();
+        assert_eq!(
+            err,
+            TopologyError::NotEnoughHosts {
+                needed: 2,
+                available: 1
+            }
+        );
+        let err = run_scenario_on(&PingScenario::reference(), topo).unwrap_err();
+        assert!(
+            matches!(err, TopologyError::NotEnoughRouters { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
     fn quiet_ntp_scenario_stays_quiet() {
         let scenario = NtpScenario::quiet(
             "ntp/quiet",
@@ -994,7 +1024,7 @@ mod tests {
                 mode: ntp::mode::CLIENT,
             },
         );
-        let run = run_scenario(&scenario);
+        let run = run_scenario(&scenario).unwrap();
         assert!(run.ok(), "{:?}", run.outcome);
         assert_eq!(run.originated(), 0);
     }
@@ -1011,7 +1041,7 @@ mod tests {
             (9, 7),
         )
         .with_expected_path(vec![bfd::SessionState::Down, bfd::SessionState::Up]);
-        let run = run_scenario(&scenario);
+        let run = run_scenario(&scenario).unwrap();
         assert!(run.ok(), "{:?}\n{}", run.outcome, run.trace.render());
         assert_eq!(run.originated(), 4);
     }

@@ -70,6 +70,57 @@ pub struct NodeId(pub usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(pub usize);
 
+/// A diagnosable topology/scenario binding failure: what was asked for,
+/// and what the topology actually offers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// No node with the requested name; lists the names that exist.
+    NoSuchNode {
+        /// The name that was looked up.
+        name: String,
+        /// Every node name the topology has, in declaration order.
+        available: Vec<String>,
+    },
+    /// The topology has fewer hosts than the scenario needs.
+    NotEnoughHosts {
+        /// Hosts the scenario needs.
+        needed: usize,
+        /// Hosts the topology has.
+        available: usize,
+    },
+    /// The topology has fewer routers than the scenario needs.
+    NotEnoughRouters {
+        /// Routers the scenario needs.
+        needed: usize,
+        /// Routers the topology has.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoSuchNode { name, available } => {
+                write!(f, "no node named {name:?}; available: {available:?}")
+            }
+            TopologyError::NotEnoughHosts { needed, available } => {
+                write!(
+                    f,
+                    "scenario needs {needed} host(s), topology has {available}"
+                )
+            }
+            TopologyError::NotEnoughRouters { needed, available } => {
+                write!(
+                    f,
+                    "scenario needs {needed} router(s), topology has {available}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
 /// Whether a node is an end host or a packet-forwarding router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
@@ -197,9 +248,50 @@ impl Topology {
             .map(NodeId)
     }
 
-    /// The node named `name`.
-    pub fn node_named(&self, name: &str) -> Option<NodeId> {
-        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    /// The node named `name`, or a [`TopologyError::NoSuchNode`] listing
+    /// the names that do exist.
+    pub fn node_named(&self, name: &str) -> Result<NodeId, TopologyError> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId)
+            .ok_or_else(|| TopologyError::NoSuchNode {
+                name: name.to_string(),
+                available: self.nodes.iter().map(|n| n.name.clone()).collect(),
+            })
+    }
+
+    /// The `index`-th host (declaration order), or a diagnostic error.
+    pub fn host_at(&self, index: usize) -> Result<NodeId, TopologyError> {
+        let hosts = self.hosts();
+        hosts
+            .get(index)
+            .copied()
+            .ok_or(TopologyError::NotEnoughHosts {
+                needed: index + 1,
+                available: hosts.len(),
+            })
+    }
+
+    /// The last host (declaration order), or a diagnostic error.
+    pub fn last_host(&self) -> Result<NodeId, TopologyError> {
+        let hosts = self.hosts();
+        hosts.last().copied().ok_or(TopologyError::NotEnoughHosts {
+            needed: 1,
+            available: 0,
+        })
+    }
+
+    /// The `index`-th router (declaration order), or a diagnostic error.
+    pub fn router_at(&self, index: usize) -> Result<NodeId, TopologyError> {
+        let routers = self.routers();
+        routers
+            .get(index)
+            .copied()
+            .ok_or(TopologyError::NotEnoughRouters {
+                needed: index + 1,
+                available: routers.len(),
+            })
     }
 
     /// All hosts, in declaration order.
@@ -785,14 +877,16 @@ impl SimBuilder {
         self
     }
 
-    /// Bind a handler to a node by name; panics if the name is unknown
-    /// (a scenario/topology mismatch is a programming error).
-    pub fn bind_named(&mut self, name: &str, handler: Box<dyn Node>) -> &mut Self {
-        let node = self
-            .topology
-            .node_named(name)
-            .unwrap_or_else(|| panic!("no node named {name:?}"));
-        self.bind(node, handler)
+    /// Bind a handler to a node by name.  A scenario/topology mismatch
+    /// comes back as a [`TopologyError`] naming the nodes that do exist,
+    /// instead of a panic.
+    pub fn bind_named(
+        &mut self,
+        name: &str,
+        handler: Box<dyn Node>,
+    ) -> Result<&mut Self, TopologyError> {
+        let node = self.topology.node_named(name)?;
+        Ok(self.bind(node, handler))
     }
 
     /// Attach a fault/delay model to a link.
@@ -1124,8 +1218,13 @@ impl Node for RouterNode {
             && ctx.has_route(dst)
         {
             let mut fwd = packet.clone();
-            fwd.set_field(ipv4::FIELDS, "ttl", u64::from(ttl - 1))
-                .expect("field");
+            if fwd
+                .set_field(ipv4::FIELDS, "ttl", u64::from(ttl - 1))
+                .is_err()
+            {
+                ctx.drop_packet("truncated header");
+                return;
+            }
             ipv4::refresh_checksum(&mut fwd);
             ctx.forward(fwd);
             return;
@@ -1199,14 +1298,16 @@ mod tests {
                 RouterConfig::appendix_a(),
                 Box::new(ReferenceResponder),
             )),
-        );
+        )
+        .unwrap();
         sim.bind_named(
             "client",
             Box::new(Pinger {
                 src: client,
                 dst: router_addr,
             }),
-        );
+        )
+        .unwrap();
         let trace = sim.build().run();
         let notes = trace.notes();
         assert_eq!(notes.len(), 1, "{}", trace.render());
@@ -1234,8 +1335,9 @@ mod tests {
                 src: client,
                 dst: server,
             }),
-        );
-        sim.bind_named("server", Box::new(Probe));
+        )
+        .unwrap();
+        sim.bind_named("server", Box::new(Probe)).unwrap();
         let trace = sim.build().run();
         let notes = trace.notes();
         assert_eq!(notes.len(), 1, "{}", trace.render());
@@ -1246,6 +1348,57 @@ mod tests {
         let p = PacketBuf::from_bytes(delivered[0].clone());
         assert_eq!(p.get_field(ipv4::FIELDS, "ttl").unwrap(), 61);
         assert!(ipv4::checksum_ok(&p));
+    }
+
+    #[test]
+    fn unknown_node_names_report_available_nodes() {
+        let topo = Topology::appendix_a();
+        let err = topo.node_named("nope").unwrap_err();
+        match &err {
+            TopologyError::NoSuchNode { name, available } => {
+                assert_eq!(name, "nope");
+                assert!(available.contains(&"router".to_string()));
+                assert!(available.contains(&"client".to_string()));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("client"), "{err}");
+        let mut sim = SimBuilder::new(topo);
+        assert!(sim.bind_named("nope", Box::new(Probe)).is_err());
+    }
+
+    #[test]
+    fn structural_accessors_diagnose_missing_nodes() {
+        let empty = Topology::named("empty");
+        assert_eq!(
+            empty.host_at(0),
+            Err(TopologyError::NotEnoughHosts {
+                needed: 1,
+                available: 0
+            })
+        );
+        assert!(matches!(
+            empty.last_host(),
+            Err(TopologyError::NotEnoughHosts { .. })
+        ));
+        assert!(matches!(
+            empty.router_at(0),
+            Err(TopologyError::NotEnoughRouters { .. })
+        ));
+        let appendix = Topology::appendix_a();
+        assert_eq!(appendix.host_at(0).unwrap(), appendix.hosts()[0]);
+        assert_eq!(
+            appendix.last_host().unwrap(),
+            *appendix.hosts().last().unwrap()
+        );
+        assert_eq!(appendix.router_at(0).unwrap(), appendix.routers()[0]);
+        assert!(matches!(
+            appendix.host_at(99),
+            Err(TopologyError::NotEnoughHosts {
+                needed: 100,
+                available: 4
+            })
+        ));
     }
 
     #[test]
@@ -1382,7 +1535,8 @@ mod tests {
             fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
         }
         let mut sim = SimBuilder::new(topo);
-        sim.bind_named("hub", Box::new(Caster { src: hub_addr }));
+        sim.bind_named("hub", Box::new(Caster { src: hub_addr }))
+            .unwrap();
         let trace = sim.build().run();
         assert_eq!(trace.delivered_count(), 4, "{}", trace.render());
         assert_eq!(trace.originated_packets().len(), 1);

@@ -27,7 +27,7 @@
 //! // Run the generated IGMP host on the event kernel: a multicast router's
 //! // membership query comes back answered, every check green.
 //! let scenarios = generated_scenarios(&registry);
-//! let run = run_scenario(scenarios.find("igmp/generated").unwrap().as_ref());
+//! let run = run_scenario(scenarios.find("igmp/generated").unwrap().as_ref()).unwrap();
 //! assert!(run.ok() && run.originated() == 2);
 //! ```
 pub use sage_ccg as ccg;

@@ -29,7 +29,7 @@ fn run_generated(name: &str) -> ScenarioRun {
     let scenario = scenarios
         .find(name)
         .unwrap_or_else(|| panic!("scenario {name} not registered"));
-    let run = run_scenario(scenario.as_ref());
+    let run = run_scenario(scenario.as_ref()).expect("scenario binds");
     assert!(run.ok(), "{name} failed: {:?}", run.outcome.failures());
     run
 }
@@ -105,7 +105,7 @@ fn generated_ntp_code_drives_the_timeout_exchange_end_to_end() {
             Arc::new(move || Box::new(server_reg.ntp_server(2, 0x1000).expect("ntp program"))),
             peer,
         );
-        let run = run_scenario(&quiet);
+        let run = run_scenario(&quiet).unwrap();
         assert!(run.ok(), "{case}: {:?}", run.outcome.failures());
         assert_eq!(run.originated(), 0, "{case}: client must stay silent");
     }

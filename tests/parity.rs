@@ -8,8 +8,8 @@
 
 use sage_repro::core::programs::generate_program;
 use sage_repro::interp::{
-    GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer, GeneratedNtpTimeoutPolicy,
-    GeneratedResponder,
+    ExecMode, GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer,
+    GeneratedNtpTimeoutPolicy, GeneratedResponder,
 };
 use sage_repro::netsim::buffer::PacketBuf;
 use sage_repro::netsim::headers::{bfd, icmp, igmp, ipv4, ntp};
@@ -356,8 +356,9 @@ fn bfd_cases() -> Vec<ParityCase> {
         generated_factory,
         (7, 9),
         (9, 7),
-    ));
-    let reference_run = run_scenario(&BfdScenario::reference());
+    ))
+    .expect("scenario binds");
+    let reference_run = run_scenario(&BfdScenario::reference()).expect("scenario binds");
     assert!(generated_run.ok(), "{:?}", generated_run.outcome.failures());
     assert!(reference_run.ok(), "{:?}", reference_run.outcome.failures());
     cases.push(ParityCase {
@@ -367,6 +368,132 @@ fn bfd_cases() -> Vec<ParityCase> {
         reference: reference_run.trace.render(),
     });
     cases
+}
+
+/// Run one generated adapter battery in a fixed [`ExecMode`] and render
+/// every observable to one comparable transcript.
+fn engine_transcript(mode: ExecMode) -> String {
+    let mut out = Vec::new();
+
+    // ICMP: full reply packets (header + payload) through the router.
+    let icmp_program = generate_program(Protocol::Icmp);
+    let client = ipv4::addr(10, 0, 1, 100);
+    for (case, dst, ttl) in [
+        ("echo", ipv4::addr(10, 0, 1, 1), 64u8),
+        ("unreachable", ipv4::addr(8, 8, 8, 8), 64),
+        ("ttl-expiry", ipv4::addr(192, 168, 2, 100), 1),
+    ] {
+        let request = ipv4::build_packet(
+            client,
+            dst,
+            ipv4::PROTO_ICMP,
+            ttl,
+            icmp::build_echo(false, 0xE1, 9, b"engine-parity").as_bytes(),
+        );
+        let mut net = Network::appendix_a();
+        let mut responder = GeneratedResponder::new(icmp_program.clone()).with_mode(mode);
+        let rendered = match net.router_process(&request, 0, &mut responder) {
+            RouterAction::IcmpReply(reply) => hex(reply.as_bytes()),
+            other => format!("{other:?}"),
+        };
+        assert!(
+            responder.errors.is_empty(),
+            "{case}: {:?}",
+            responder.errors
+        );
+        out.push(format!("icmp/{case}: {rendered}"));
+    }
+
+    // IGMP: report bytes for a query, silence for a report.
+    let igmp_program = generate_program(Protocol::Igmp);
+    let group = ipv4::addr(224, 0, 0, 251);
+    for (case, query) in [
+        (
+            "query",
+            igmp::build_message(igmp::msg_type::MEMBERSHIP_QUERY, 0),
+        ),
+        (
+            "report",
+            igmp::build_message(igmp::msg_type::MEMBERSHIP_REPORT, group),
+        ),
+    ] {
+        let mut host = GeneratedIgmpResponder::new(igmp_program.clone(), group).with_mode(mode);
+        let rendered = match host.respond(&query) {
+            Some(msg) => hex(msg.as_bytes()),
+            None => "silent".to_string(),
+        };
+        assert!(host.errors.is_empty(), "{case}: {:?}", host.errors);
+        out.push(format!("igmp/{case}: {rendered}"));
+    }
+
+    // NTP: the timeout grid and the server reply bytes.
+    let ntp_program = generate_program(Protocol::Ntp);
+    for mode_code in [
+        ntp::mode::CLIENT,
+        ntp::mode::SERVER,
+        ntp::mode::SYMMETRIC_ACTIVE,
+    ] {
+        for (timer, threshold) in [(64u64, 64u64), (63, 64)] {
+            let peer = ntp::PeerVariables {
+                timer,
+                threshold,
+                mode: mode_code,
+            };
+            let mut policy = GeneratedNtpTimeoutPolicy::new(ntp_program.clone()).with_mode(mode);
+            out.push(format!(
+                "ntp/timeout m={mode_code} t={timer}: {}",
+                policy.timeout_due(&peer)
+            ));
+            assert!(policy.errors.is_empty());
+        }
+    }
+    let request = ntp::build_packet(0, 1, ntp::mode::CLIENT, 0, 0xDEAD_BEEF_0000_0001);
+    let mut server = GeneratedNtpServer::new(ntp_program.clone(), 2, 0x1234_5678).with_mode(mode);
+    out.push(format!(
+        "ntp/server: {}",
+        match server.respond(&request) {
+            Some(msg) => hex(msg.as_bytes()),
+            None => "silent".to_string(),
+        }
+    ));
+    assert!(server.errors.is_empty());
+
+    // BFD: the endpoint state machine over a packet battery.
+    let bfd_program = generate_program(Protocol::Bfd);
+    use bfd::SessionState::{Down, Init, Up};
+    for (case, packet) in [
+        ("down", bfd::build_control_packet(Down, 41, 9, 3, false)),
+        ("init", bfd::build_control_packet(Init, 42, 9, 3, false)),
+        ("up-demand", bfd::build_control_packet(Up, 44, 9, 3, true)),
+        ("unknown", bfd::build_control_packet(Up, 45, 999, 3, false)),
+        ("zero-mult", bfd::build_control_packet(Up, 46, 9, 0, false)),
+    ] {
+        let mut ep = GeneratedBfdEndpoint::new(bfd_program.clone(), 9, 41).with_mode(mode);
+        ep.receive(&packet);
+        assert!(ep.errors.is_empty(), "{case}: {:?}", ep.errors);
+        out.push(format!(
+            "bfd/{case}: {}",
+            render_bfd_endpoint(ep.state(), &ep.session)
+        ));
+    }
+
+    out.join("\n")
+}
+
+#[test]
+fn vm_replies_match_tree_walker_replies_bit_for_bit() {
+    // The tentpole guarantee: the bytecode VM is observationally identical
+    // to the tree-walking oracle on every real generated program — full
+    // reply packets, decisions, and session state, compared as one
+    // transcript so a divergence shows exactly which stimulus split.
+    //
+    // The VM fast path must actually be taken (not silently fall back).
+    let responder = GeneratedResponder::new(generate_program(Protocol::Icmp));
+    assert_eq!(responder.engine(), ExecMode::Vm, "icmp program must lower");
+    assert_eq!(
+        engine_transcript(ExecMode::Vm),
+        engine_transcript(ExecMode::TreeWalk)
+    );
 }
 
 #[test]

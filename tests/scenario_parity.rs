@@ -5,7 +5,9 @@
 #![allow(deprecated)]
 
 use sage_repro::core::programs::generate_program;
-use sage_repro::interp::{generated_scenarios, ResponderRegistry};
+use sage_repro::interp::{
+    generated_scenarios, generated_scenarios_in_mode, ExecMode, ResponderRegistry,
+};
 use sage_repro::netsim::headers::{icmp, ipv4, ntp};
 use sage_repro::netsim::net::{Network, RouterAction};
 use sage_repro::netsim::scenario::{reference_scenarios, run_scenario, ScenarioRegistry};
@@ -27,7 +29,7 @@ fn kernel_packets(scenarios: &ScenarioRegistry, name: &str) -> Vec<Vec<u8>> {
     let scenario = scenarios
         .find(name)
         .unwrap_or_else(|| panic!("scenario {name} not registered"));
-    let run = run_scenario(scenario.as_ref());
+    let run = run_scenario(scenario.as_ref()).expect("scenario binds");
     assert!(run.ok(), "{name} failed: {:?}", run.outcome.failures());
     run.trace.originated_packets()
 }
@@ -134,6 +136,43 @@ fn bfd_kernel_trace_matches_the_legacy_bring_up() {
 }
 
 #[test]
+fn kernel_traces_are_identical_on_both_execution_engines() {
+    // The generated scenarios run on the bytecode VM by default; pinning
+    // the full kernel trace (packets, delivery times, state notes) against
+    // a tree-walker registry proves the engine swap is invisible to the
+    // discrete-event kernel for every protocol.
+    let registry = registry();
+    let vm = generated_scenarios_in_mode(&registry, ExecMode::Vm);
+    let tree = generated_scenarios_in_mode(&registry, ExecMode::TreeWalk);
+    let mut compared = 0;
+    for scenario in vm.scenarios() {
+        let name = scenario.name();
+        let vm_run = run_scenario(scenario.as_ref()).expect("scenario binds");
+        let tree_scenario = tree.find(name).expect("same scenario set");
+        let tree_run = run_scenario(tree_scenario.as_ref()).expect("scenario binds");
+        assert!(vm_run.ok(), "{name} failed on the VM");
+        assert_eq!(
+            vm_run.trace.render(),
+            tree_run.trace.render(),
+            "{name} trace diverged between engines"
+        );
+        compared += 1;
+    }
+    assert_eq!(compared, 4, "one scenario per protocol");
+
+    // And the default registry is the VM one.
+    let default_run = run_scenario(
+        generated_scenarios(&registry)
+            .find("ping/generated")
+            .unwrap()
+            .as_ref(),
+    )
+    .unwrap();
+    let vm_run = run_scenario(vm.find("ping/generated").unwrap().as_ref()).unwrap();
+    assert_eq!(default_run.trace.render(), vm_run.trace.render());
+}
+
+#[test]
 fn ping_outcome_parity_between_kernel_and_legacy_driver() {
     use sage_repro::netsim::net::ReferenceResponder;
     use sage_repro::netsim::tools::ping::ping_once;
@@ -148,6 +187,6 @@ fn ping_outcome_parity_between_kernel_and_legacy_driver() {
         b"0123456789abcdef",
     );
     let scenarios = reference_scenarios();
-    let run = run_scenario(scenarios.find("ping/reference").unwrap().as_ref());
+    let run = run_scenario(scenarios.find("ping/reference").unwrap().as_ref()).unwrap();
     assert_eq!(legacy.success(), run.ok());
 }

@@ -15,8 +15,8 @@ fn every_reference_scenario_replays_byte_identically_on_every_topology() {
     let registry = reference_scenarios();
     for scenario in registry.scenarios() {
         for topology in Topology::library() {
-            let first = run_scenario_on(scenario.as_ref(), topology.clone());
-            let second = run_scenario_on(scenario.as_ref(), topology.clone());
+            let first = run_scenario_on(scenario.as_ref(), topology.clone()).unwrap();
+            let second = run_scenario_on(scenario.as_ref(), topology.clone()).unwrap();
             assert_eq!(
                 first.trace.render(),
                 second.trace.render(),

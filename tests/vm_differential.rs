@@ -1,0 +1,262 @@
+//! Differential testing of the bytecode VM against the tree-walking
+//! interpreter: random programs drawn from the lowerable IR subset must
+//! produce bit-identical observable outcomes — reply bytes, reply
+//! addresses, control flags, state variables, and errors — on both
+//! engines.  Plus unit tests for the typed error paths this PR introduced
+//! (`ExecError::NoChecksumField` delegation, `TopologyError::NoSuchNode`).
+
+use proptest::prelude::*;
+use sage_repro::codegen::ir::{Expr, Function, Program, Stmt};
+use sage_repro::interp::{
+    checksum_delegated, exec_function, lower_program, vm, Env, VmScratch, VmState,
+};
+use sage_repro::netsim::buffer::PacketBuf;
+use sage_repro::netsim::headers::icmp;
+use sage_repro::netsim::sim::{Topology, TopologyError};
+
+/// The adapter-seeded variables every run starts from, tree and VM alike.
+const SEEDS: &[(&str, i64)] = &[("x", 3), ("y", 10), ("bfd.RemoteDiscr", 7)];
+
+/// Everything the two engines can observably disagree on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Outcome {
+    error: Option<String>,
+    reply: Vec<u8>,
+    reply_src: u32,
+    reply_dst: u32,
+    discarded: bool,
+    sent: bool,
+    ceased: bool,
+    vars: Vec<(String, i64)>,
+}
+
+/// Run `program` on the tree-walker, reporting the variables named in
+/// `slot_names` (the compiled program's slot inventory, so both engines
+/// enumerate the same state).
+fn run_tree(program: &Program, packet: &PacketBuf, slot_names: &[String]) -> Outcome {
+    let mut env = Env::for_received_message(packet);
+    for (name, value) in SEEDS {
+        env.set_var(name, *value);
+    }
+    let mut error = None;
+    for f in &program.functions {
+        if let Err(e) = exec_function(&mut env, f) {
+            error = Some(e.to_string());
+            break;
+        }
+        if env.discarded {
+            break;
+        }
+    }
+    Outcome {
+        error,
+        reply: env.reply.as_bytes().to_vec(),
+        reply_src: env.reply_src,
+        reply_dst: env.reply_dst,
+        discarded: env.discarded,
+        sent: env.sent,
+        ceased: env.transmission_ceased,
+        vars: slot_names.iter().map(|n| (n.clone(), env.var(n))).collect(),
+    }
+}
+
+/// Lower `program` and run it on the VM.  `None` when lowering refuses —
+/// the generator below only emits lowerable constructs, so a refusal is a
+/// test failure at the call site.
+fn run_vm(program: &Program, packet: &PacketBuf) -> Option<Outcome> {
+    let external: Vec<&str> = SEEDS.iter().map(|(n, _)| *n).collect();
+    let compiled = lower_program(program, "icmp", &external).ok()?;
+    let mut scratch = VmScratch::default();
+    scratch.reset(&compiled);
+    for (name, value) in SEEDS {
+        VmState::seed(&mut scratch, compiled.slot(name), *value);
+    }
+    let mut st = VmState::new(&mut scratch, &[], packet.clone(), 0, 0, &[]);
+    let mut error = None;
+    for f in &compiled.functions {
+        if let Err(e) = vm::run(f, &compiled, &mut st) {
+            error = Some(e.to_string());
+            break;
+        }
+        if st.discarded {
+            break;
+        }
+    }
+    Some(Outcome {
+        error,
+        reply: st.reply.as_bytes().to_vec(),
+        reply_src: st.reply_src,
+        reply_dst: st.reply_dst,
+        discarded: st.discarded,
+        sent: st.sent,
+        ceased: st.transmission_ceased,
+        vars: compiled
+            .slot_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), st.scratch.slots[i]))
+            .collect(),
+    })
+}
+
+/// Random expressions over the lowerable subset: constants, the seeded
+/// variables, in-range ICMP header fields, `!`, the ten binary operators,
+/// and the one's-complement framework call.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i64..300).prop_map(Expr::Num),
+        prop_oneof![Just("x"), Just("y"), Just("bfd.RemoteDiscr")]
+            .prop_map(|v| Expr::Var(v.to_string())),
+        prop_oneof![
+            Just("type"),
+            Just("code"),
+            Just("checksum"),
+            Just("identifier"),
+            Just("sequence_number"),
+        ]
+        .prop_map(|f| Expr::field("icmp", f)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        let op = prop_oneof![
+            Just("=="),
+            Just("!="),
+            Just(">="),
+            Just("<="),
+            Just(">"),
+            Just("<"),
+            Just("&&"),
+            Just("||"),
+            Just("+"),
+            Just("-"),
+        ];
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (op, inner.clone(), inner.clone()).prop_map(|(o, l, r)| Expr::binop(o, l, r)),
+            inner
+                .clone()
+                .prop_map(|e| Expr::call("ones_complement", vec![e])),
+        ]
+    })
+}
+
+/// Random statements: variable and field assignments, framework calls
+/// (including the discard/send/checksum control surface), and nested
+/// two-way conditionals.
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (
+            prop_oneof![Just("x"), Just("y"), Just("bfd.RemoteDiscr"), Just("z")],
+            arb_expr()
+        )
+            .prop_map(|(v, e)| Stmt::Assign {
+                target: Expr::Var(v.to_string()),
+                value: e,
+            }),
+        (
+            prop_oneof![Just("code"), Just("identifier"), Just("sequence_number")],
+            arb_expr()
+        )
+            .prop_map(|(f, e)| Stmt::Assign {
+                target: Expr::field("icmp", f),
+                value: e,
+            }),
+        prop_oneof![
+            Just("compute_checksum"),
+            Just("reverse_source_and_destination"),
+            Just("send_packet"),
+            Just("discard_packet"),
+        ]
+        .prop_map(|name| Stmt::Call {
+            name: name.to_string(),
+            args: vec![],
+        }),
+    ];
+    leaf.prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            inner.clone().boxed(),
+            (
+                arb_expr(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner, 0..2)
+            )
+                .prop_map(|(cond, then, els)| Stmt::If { cond, then, els }),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(), 1..8).prop_map(|body| Program {
+        structs: vec![],
+        functions: vec![Function {
+            name: "icmp_differential_receiver".to_string(),
+            role: "receiver".to_string(),
+            body,
+        }],
+    })
+}
+
+proptest! {
+    /// The tentpole invariant: for every lowerable program, the VM and the
+    /// tree-walker agree on every observable — reply bytes, addresses,
+    /// discard/send/cease flags, the full variable store, and errors.
+    #[test]
+    fn vm_and_tree_walker_agree_on_random_programs(program in arb_program()) {
+        let echo = icmp::build_echo(false, 0x12, 7, b"differential");
+        let vm_outcome = run_vm(&program, &echo)
+            .expect("generator only emits lowerable programs");
+        let tree_outcome = run_tree(
+            &program,
+            &echo,
+            &vm_outcome.vars.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(vm_outcome, tree_outcome);
+    }
+}
+
+#[test]
+fn checksum_delegation_is_engine_independent() {
+    // NTP and BFD carry no checksum field (UDP/RFC 5880 own it); the
+    // generated `compute_checksum` must be a typed no-op on both engines
+    // rather than a silent no-op or a crash.
+    let program = Program {
+        structs: vec![],
+        functions: vec![Function {
+            name: "ntp_data_format_receiver".to_string(),
+            role: "receiver".to_string(),
+            body: vec![Stmt::Call {
+                name: "compute_checksum".to_string(),
+                args: vec![],
+            }],
+        }],
+    };
+    for proto in ["ntp", "bfd"] {
+        assert!(checksum_delegated(proto), "{proto} must be delegated");
+        let packet = PacketBuf::zeroed(48);
+        // Tree-walker: executes as a no-op.
+        let mut env = Env::for_received_message(&packet).with_protocol(proto);
+        exec_function(&mut env, &program.functions[0]).expect("delegated checksum is a no-op");
+        assert_eq!(env.reply.as_bytes(), packet.as_bytes());
+        // VM: lowers to a no-op (not a refusal), runs to the same bytes.
+        let compiled = lower_program(&program, proto, &[]).expect("delegated checksum lowers");
+        let mut scratch = VmScratch::default();
+        scratch.reset(&compiled);
+        let mut st = VmState::new(&mut scratch, &[], packet.clone(), 0, 0, &[]);
+        vm::run(&compiled.functions[0], &compiled, &mut st).expect("vm no-op");
+        assert_eq!(st.reply.as_bytes(), packet.as_bytes());
+    }
+    // An unknown protocol is an error on both engines, not a silent no-op.
+    let mut env = Env::for_received_message(&PacketBuf::zeroed(8)).with_protocol("quic");
+    assert!(exec_function(&mut env, &program.functions[0]).is_err());
+    assert!(lower_program(&program, "quic", &[]).is_err());
+}
+
+#[test]
+fn unknown_topology_nodes_are_typed_errors() {
+    let mut topo = Topology::named("error-paths");
+    topo.host("alice", 0x0A00_0101, 24);
+    assert!(topo.node_named("alice").is_ok());
+    match topo.node_named("mallory") {
+        Err(TopologyError::NoSuchNode { name, .. }) => assert_eq!(name, "mallory"),
+        other => panic!("expected NoSuchNode, got {other:?}"),
+    }
+}
