@@ -6,11 +6,16 @@
 //!   --smoke        quick CI mode: Appendix-A topology only, no timing loop
 //!   --workers N    worker threads (default: available parallelism)
 //!   --json PATH    also write a sage-bench-baseline/v1 document to PATH
+//!   --fuzz         also sweep fuzzed cells: every scenario under a seeded
+//!                  fault schedule (PROPTEST_SEED), judged by the per-step
+//!                  state-machine properties
 //! ```
 //!
 //! Prints the sweep grid and exits nonzero if any cell fails a check.
 
+use sage_core::fuzz::fuzzed_scenarios;
 use sage_core::sweep::{full_registry, run_sweep};
+use sage_netsim::fuzz::seed_from_env;
 use sage_netsim::sim::Topology;
 
 /// Timed repeats per cell when recording a baseline (`--json`); the grid
@@ -19,12 +24,14 @@ const BASELINE_ITERATIONS: u32 = 64;
 
 fn main() {
     let mut smoke = false;
+    let mut fuzz = false;
     let mut workers: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--fuzz" => fuzz = true,
             "--workers" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
@@ -44,14 +51,22 @@ fn main() {
             },
             other => {
                 eprintln!(
-                    "eval-sweep: unknown flag '{other}' (try --smoke, --workers N, --json PATH)"
+                    "eval-sweep: unknown flag '{other}' \
+                     (try --smoke, --fuzz, --workers N, --json PATH)"
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let registry = full_registry();
+    let mut registry = full_registry();
+    if fuzz {
+        let seed = seed_from_env();
+        for scenario in fuzzed_scenarios(&registry, seed, 1).scenarios() {
+            registry.register(scenario.clone());
+        }
+        println!("fuzzed cells appended (seed=0x{seed:x})");
+    }
     let topologies = if smoke {
         vec![Topology::appendix_a()]
     } else {

@@ -1,0 +1,439 @@
+//! The fuzz campaign runner: seeded adversarial schedules swept over
+//! every generated protocol on the tri-engine differential harness.
+//!
+//! A campaign is a grid of protocol × iteration cells.  Each cell derives
+//! a schedule seed from the campaign seed, generates a
+//! [`FaultSchedule`], runs the exchange on all three engines
+//! ([`sage_interp::harness::tri_run`]) and judges the traces.  Anything
+//! the judge flags — an engine mismatch (VM vs tree-walker, always a
+//! bug), a reference divergence (generated code behaving unlike the
+//! hand-written responder), or a per-step property violation — is shrunk
+//! to a minimal replayable schedule and reported with a self-contained
+//! repro snippet.  The whole campaign is a pure function of its
+//! [`FuzzConfig`], so one `PROPTEST_SEED` pins every cell, finding and
+//! shrunk schedule byte-for-byte.
+//!
+//! [`fuzzed_scenarios`] additionally exposes fuzzed cells to the
+//! evaluation sweep: every sweep scenario wrapped under a seeded
+//! schedule, judged by the state-machine properties (which hold under any
+//! schedule) instead of the happy-path checks (which loss legitimately
+//! breaks).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use sage_interp::harness::{canary_diverges, judge, repro_snippet, tri_run, TriVerdict};
+use sage_interp::{shrink_tri_failure, ResponderRegistry};
+use sage_netsim::faulty::FaultRng;
+use sage_netsim::fuzz::{
+    seed_from_env, shrink_schedule, FaultSchedule, FuzzedScenario, SchedulePlan,
+};
+use sage_netsim::scenario::ScenarioRegistry;
+use sage_netsim::sim::Topology;
+use sage_spec::corpus::Protocol;
+
+use crate::programs::generate_program;
+
+/// The protocols a campaign exercises, in grid order.
+pub const FUZZ_PROTOCOLS: [&str; 4] = ["icmp", "igmp", "ntp", "bfd"];
+
+/// One generated program per protocol — the registry the tri-engine
+/// harness draws its VM and tree-walker scenarios from.
+pub fn generated_responders() -> ResponderRegistry {
+    let mut responders = ResponderRegistry::new();
+    for protocol in Protocol::all() {
+        responders.register(protocol.name(), generate_program(protocol));
+    }
+    responders
+}
+
+/// Campaign bounds; the default is the bounded smoke configuration CI
+/// runs (fixed seed, capped iterations).
+#[derive(Debug, Clone)]
+pub struct FuzzConfig {
+    /// Campaign seed; defaults to [`seed_from_env`] (`PROPTEST_SEED` or
+    /// the shim default).
+    pub seed: u64,
+    /// Schedules per protocol.
+    pub iterations: u32,
+    /// Random-schedule bounds.
+    pub plan: SchedulePlan,
+    /// Worker threads for the cell grid.
+    pub workers: usize,
+    /// Also self-test the fuzzer against the seeded canary responder:
+    /// search for a schedule that exposes it, shrink, and report it as a
+    /// [`FindingKind::CanaryDivergence`].  Off by default — the canary is
+    /// intentionally broken code and only campaign code that opts in ever
+    /// binds it.
+    pub include_canary: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            seed: seed_from_env(),
+            iterations: 8,
+            plan: SchedulePlan::default(),
+            workers: 1,
+            include_canary: false,
+        }
+    }
+}
+
+/// What kind of failure a finding records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FindingKind {
+    /// VM and tree-walker traces diverged — an engine bug.
+    EngineMismatch,
+    /// Generated code's trace diverged from the reference responder's.
+    ReferenceDivergence,
+    /// A per-step state-machine property was violated.
+    PropertyViolation,
+    /// The seeded canary responder was exposed (fuzzer self-test).
+    CanaryDivergence,
+}
+
+impl std::fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FindingKind::EngineMismatch => "engine-mismatch",
+            FindingKind::ReferenceDivergence => "reference-divergence",
+            FindingKind::PropertyViolation => "property-violation",
+            FindingKind::CanaryDivergence => "canary-divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One shrunk, replayable failure.
+#[derive(Debug, Clone)]
+pub struct FuzzFinding {
+    /// Protocol of the fuzzed exchange.
+    pub protocol: String,
+    /// Topology the exchange ran on.
+    pub topology: String,
+    /// What the judge flagged.
+    pub kind: FindingKind,
+    /// The minimal schedule that still fails.
+    pub schedule: FaultSchedule,
+    /// Evidence (first divergent trace line or the violated property).
+    pub detail: String,
+    /// Self-contained repro snippet.
+    pub repro: String,
+}
+
+/// One protocol × iteration cell of the campaign grid.
+#[derive(Debug, Clone)]
+pub struct FuzzCell {
+    /// Protocol of the fuzzed exchange.
+    pub protocol: String,
+    /// Iteration index within the protocol.
+    pub iteration: u32,
+    /// The derived schedule seed.
+    pub schedule_seed: u64,
+    /// Entries in the generated schedule.
+    pub entries: usize,
+    /// VM and tree-walker traces were byte-identical.
+    pub engines_agree: bool,
+    /// Generated trace matched the reference trace.
+    pub matches_reference: bool,
+    /// No per-step property was violated on any engine.
+    pub properties_hold: bool,
+    /// Findings this cell produced (shrunk), in detection order.
+    pub findings: Vec<FuzzFinding>,
+}
+
+/// The campaign's result: cells in grid order plus every shrunk finding.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// One cell per protocol × iteration, in grid order.
+    pub cells: Vec<FuzzCell>,
+    /// Every finding across all cells, in grid order.
+    pub findings: Vec<FuzzFinding>,
+}
+
+impl FuzzReport {
+    /// True when no cell produced an engine mismatch or property
+    /// violation.  Reference divergences under corrupting schedules are
+    /// behavioural findings, not campaign failures.
+    pub fn sound(&self) -> bool {
+        self.findings.iter().all(|f| {
+            !matches!(
+                f.kind,
+                FindingKind::EngineMismatch | FindingKind::PropertyViolation
+            )
+        })
+    }
+
+    /// Render the campaign for humans: a grid summary plus each finding's
+    /// repro snippet.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fuzz campaign seed=0x{:x}: {} cells, {} findings\n",
+            self.seed,
+            self.cells.len(),
+            self.findings.len()
+        );
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "  {:<5} #{:<2} seed=0x{:016x} entries={} engines={} reference={} properties={}\n",
+                cell.protocol,
+                cell.iteration,
+                cell.schedule_seed,
+                cell.entries,
+                if cell.engines_agree { "ok" } else { "SPLIT" },
+                if cell.matches_reference { "ok" } else { "DIFF" },
+                if cell.properties_hold { "ok" } else { "FAIL" },
+            ));
+        }
+        for finding in &self.findings {
+            out.push_str(&format!(
+                "finding [{}] {} on {}: {}\n{}\n",
+                finding.kind, finding.protocol, finding.topology, finding.detail, finding.repro
+            ));
+        }
+        out
+    }
+}
+
+/// Derive a cell's schedule seed from the campaign seed and its grid
+/// coordinates — one SplitMix64 draw, so adjacent cells get well-mixed,
+/// order-independent streams.
+fn cell_seed(campaign: u64, protocol_index: usize, iteration: u32) -> u64 {
+    FaultRng::new(
+        campaign
+            .wrapping_add((protocol_index as u64) << 32)
+            .wrapping_add(u64::from(iteration)),
+    )
+    .next_u64()
+}
+
+/// Run one campaign cell: generate, run tri-engine, judge, shrink.
+fn run_fuzz_cell(
+    responders: &ResponderRegistry,
+    config: &FuzzConfig,
+    protocol_index: usize,
+    iteration: u32,
+) -> FuzzCell {
+    let protocol = FUZZ_PROTOCOLS[protocol_index];
+    let topology = Topology::appendix_a();
+    let schedule_seed = cell_seed(config.seed, protocol_index, iteration);
+    let schedule = FaultSchedule::generate(schedule_seed, &config.plan);
+    let traces = tri_run(responders, protocol, topology.clone(), &schedule)
+        .expect("appendix A fits every scenario");
+    let verdict = judge(&traces);
+    let mut findings = Vec::new();
+    let mut report = |kind: FindingKind, detail: String, fails: &dyn Fn(&TriVerdict) -> bool| {
+        let shrunk = shrink_tri_failure(responders, protocol, &topology, &schedule, |v| fails(v));
+        let repro = repro_snippet(&format!("{protocol} tri-engine"), &topology.name, &shrunk);
+        findings.push(FuzzFinding {
+            protocol: protocol.to_string(),
+            topology: topology.name.clone(),
+            kind,
+            schedule: shrunk,
+            detail,
+            repro,
+        });
+    };
+    if let Some(d) = &verdict.vm_tree_divergence {
+        report(FindingKind::EngineMismatch, d.to_string(), &|v| {
+            !v.engines_agree()
+        });
+    }
+    if !verdict.properties_hold() {
+        let detail = verdict
+            .property_violations
+            .iter()
+            .map(|(engine, v)| format!("{engine}: {} ({})", v.property, v.detail))
+            .collect::<Vec<_>>()
+            .join("; ");
+        report(FindingKind::PropertyViolation, detail, &|v| {
+            !v.properties_hold()
+        });
+    }
+    if let Some(d) = &verdict.reference_divergence {
+        report(FindingKind::ReferenceDivergence, d.to_string(), &|v| {
+            !v.matches_reference()
+        });
+    }
+    FuzzCell {
+        protocol: protocol.to_string(),
+        iteration,
+        schedule_seed,
+        entries: schedule.entries.len(),
+        engines_agree: verdict.engines_agree(),
+        matches_reference: verdict.matches_reference(),
+        properties_hold: verdict.properties_hold(),
+        findings,
+    }
+}
+
+/// Search for a schedule exposing the canary responder and shrink it —
+/// the fuzzer's self-test.  Returns `None` if no divergence shows within
+/// `attempts` seeds (which would itself be a campaign failure).
+pub fn find_canary_finding(seed: u64, attempts: u32) -> Option<FuzzFinding> {
+    let topology = Topology::appendix_a();
+    let plan = SchedulePlan::default();
+    for attempt in 0..attempts {
+        let schedule_seed = cell_seed(seed, FUZZ_PROTOCOLS.len(), attempt);
+        let schedule = FaultSchedule::generate(schedule_seed, &plan);
+        if !canary_diverges(&schedule, &topology) {
+            continue;
+        }
+        let shrunk = shrink_schedule(&schedule, |s| canary_diverges(s, &topology));
+        let repro = repro_snippet("ping/canary", &topology.name, &shrunk);
+        return Some(FuzzFinding {
+            protocol: "icmp".to_string(),
+            topology: topology.name.clone(),
+            kind: FindingKind::CanaryDivergence,
+            schedule: shrunk,
+            detail: format!("canary exposed at attempt {attempt}, seed 0x{schedule_seed:x}"),
+            repro,
+        });
+    }
+    None
+}
+
+/// Run a full campaign: the protocol × iteration grid shared across
+/// `config.workers` threads with the same chunked atomic-cursor idiom as
+/// the evaluation sweep, so the report is byte-identical at every worker
+/// count.
+pub fn run_campaign(config: &FuzzConfig) -> FuzzReport {
+    let responders = generated_responders();
+    let grid: Vec<(usize, u32)> = (0..FUZZ_PROTOCOLS.len())
+        .flat_map(|p| (0..config.iterations).map(move |i| (p, i)))
+        .collect();
+    let workers = config
+        .workers
+        .min(available_workers())
+        .min(grid.len().max(1))
+        .max(1);
+    let cells: Vec<FuzzCell> = if workers == 1 {
+        grid.iter()
+            .map(|&(p, i)| run_fuzz_cell(&responders, config, p, i))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<FuzzCell>>> = grid.iter().map(|_| Mutex::new(None)).collect();
+        let chunk = (grid.len() / (workers * 4).max(1)).clamp(1, 8);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (cursor, slots, grid, responders) = (&cursor, &slots, &grid, &responders);
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= grid.len() {
+                        break;
+                    }
+                    for index in start..grid.len().min(start + chunk) {
+                        let (p, i) = grid[index];
+                        let cell = run_fuzz_cell(responders, config, p, i);
+                        *slots[index].lock().expect("fuzz slot lock") = Some(cell);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("fuzz slot lock")
+                    .expect("every cell fuzzed")
+            })
+            .collect()
+    };
+    let mut findings: Vec<FuzzFinding> = cells
+        .iter()
+        .flat_map(|cell| cell.findings.iter().cloned())
+        .collect();
+    if config.include_canary {
+        if let Some(finding) = find_canary_finding(config.seed, 512) {
+            findings.push(finding);
+        }
+    }
+    FuzzReport {
+        seed: config.seed,
+        cells,
+        findings,
+    }
+}
+
+/// Wrap every scenario in `base` under `per_scenario` seeded schedules —
+/// the fuzzed cells `eval-sweep --fuzz` appends to its grid.  The
+/// wrappers judge runs by the per-step properties, which hold under any
+/// schedule, so fuzzed cells stay meaningful on every topology.
+pub fn fuzzed_scenarios(base: &ScenarioRegistry, seed: u64, per_scenario: u32) -> ScenarioRegistry {
+    let mut registry = ScenarioRegistry::new();
+    for (index, scenario) in base.scenarios().iter().enumerate() {
+        for variant in 0..per_scenario {
+            let schedule_seed = cell_seed(seed, index, variant);
+            let schedule = FaultSchedule::generate(schedule_seed, &SchedulePlan::default());
+            registry.register(std::sync::Arc::new(FuzzedScenario::named(
+                format!("{}+fuzz{}", scenario.name(), variant),
+                scenario.clone(),
+                schedule,
+            )));
+        }
+    }
+    registry
+}
+
+/// The machine's available parallelism (1 when unknown).
+fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::full_registry;
+
+    #[test]
+    fn campaign_is_a_pure_function_of_its_seed() {
+        let config = FuzzConfig {
+            seed: 0xFEED,
+            iterations: 2,
+            workers: 1,
+            ..FuzzConfig::default()
+        };
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert_eq!(a.render(), b.render(), "campaigns replay byte-for-byte");
+        assert_eq!(a.cells.len(), FUZZ_PROTOCOLS.len() * 2);
+        assert!(a.sound(), "engine or property failure:\n{}", a.render());
+    }
+
+    #[test]
+    fn campaign_is_invariant_under_worker_count() {
+        let one = run_campaign(&FuzzConfig {
+            seed: 0xFACE,
+            iterations: 2,
+            workers: 1,
+            ..FuzzConfig::default()
+        });
+        let many = run_campaign(&FuzzConfig {
+            seed: 0xFACE,
+            iterations: 2,
+            workers: 8,
+            ..FuzzConfig::default()
+        });
+        assert_eq!(one.render(), many.render());
+    }
+
+    #[test]
+    fn fuzzed_sweep_cells_run_green_on_the_library() {
+        let fuzzed = fuzzed_scenarios(&full_registry(), 0x5A6E, 1);
+        assert_eq!(fuzzed.len(), full_registry().len());
+        let report = crate::sweep::run_sweep(&fuzzed, &[Topology::appendix_a()], 2, 0);
+        for cell in &report.cells {
+            assert!(
+                cell.ok,
+                "{}/{} violated a property: {:?}",
+                cell.scenario, cell.topology, cell.failures
+            );
+        }
+    }
+}

@@ -18,12 +18,17 @@
 
 pub mod batch;
 pub mod evaluation;
+pub mod fuzz;
 pub mod icmp;
 pub mod pipeline;
 pub mod programs;
 pub mod sweep;
 
 pub use batch::{BatchItem, BatchPipeline, BatchReport, StageReport};
+pub use fuzz::{
+    fuzzed_scenarios, generated_responders, run_campaign, FindingKind, FuzzCell, FuzzConfig,
+    FuzzFinding, FuzzReport,
+};
 pub use icmp::{generate_icmp_program, icmp_end_to_end, IcmpEndToEnd};
 pub use pipeline::{
     AnalysisWorkspace, PipelineReport, Sage, SageConfig, SentenceAnalysis, SentenceStatus,

@@ -24,18 +24,27 @@
 //!   machinery; [`ResponderRegistry`] holds one generated program per
 //!   protocol and dispatches to the right adapter.  Adapters execute on
 //!   the VM by default and fall back to the tree-walker whenever a program
-//!   is outside the lowerable subset.
+//!   is outside the lowerable subset;
+//! * [`harness`] — the tri-engine differential harness: one fuzzed
+//!   exchange run on the VM, the tree-walker and the hand-written
+//!   reference, traces diffed line-for-line and failures shrunk to
+//!   minimal replayable fault schedules.
 
 #![deny(missing_docs)]
 
 pub mod env;
 pub mod exec;
+pub mod harness;
 pub mod lower;
 pub mod responder;
 pub mod vm;
 
 pub use env::Env;
 pub use exec::{checksum_delegated, eval_expr, exec_function, exec_stmt, ExecError};
+pub use harness::{
+    canary_diverges, canary_ping_scenario, judge, repro_snippet, shrink_tri_failure, tri_run,
+    CanaryResponder, TriTraces, TriVerdict,
+};
 pub use lower::lower_program;
 pub use responder::{
     generated_scenarios, generated_scenarios_in_mode, BfdGeneratedReceiver, ExecMode,

@@ -397,20 +397,11 @@ impl FaultRng {
     }
 
     /// A stream seeded from `PROPTEST_SEED` (decimal or `0x`-prefixed hex),
-    /// falling back to the same default the proptest shim uses.
+    /// falling back to the same default the proptest shim uses.  The
+    /// parsing and precedence live in [`crate::fuzz::seed_from_env`], the
+    /// one seed source every suite shares.
     pub fn from_env() -> FaultRng {
-        let seed = std::env::var("PROPTEST_SEED")
-            .ok()
-            .and_then(|v| {
-                let v = v.trim();
-                if let Some(hex) = v.strip_prefix("0x") {
-                    u64::from_str_radix(hex, 16).ok()
-                } else {
-                    v.parse::<u64>().ok()
-                }
-            })
-            .unwrap_or(0x5A6E);
-        FaultRng::new(seed)
+        FaultRng::new(crate::fuzz::seed_from_env())
     }
 
     /// Next raw 64-bit value.

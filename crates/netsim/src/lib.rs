@@ -21,11 +21,15 @@
 //! * [`tools`] — `ping` and `traceroute` clients driven against the virtual
 //!   network;
 //! * [`faulty`] — the student-implementation fault model used to regenerate
-//!   Tables 2 and 3.
+//!   Tables 2 and 3;
+//! * [`fuzz`] — seeded adversarial fault schedules, per-step state-machine
+//!   property checkers, and minimal-schedule shrinking for differential
+//!   fuzzing of the generated responders.
 
 pub mod buffer;
 pub mod checksum;
 pub mod faulty;
+pub mod fuzz;
 pub mod headers;
 pub mod net;
 pub mod pcap;
@@ -37,6 +41,11 @@ pub mod tools;
 pub use buffer::{FieldSpec, FieldView, PacketBuf};
 pub use checksum::{
     checksum_omitting_field, incremental_update, ones_complement_checksum, ones_complement_sum,
+};
+pub use fuzz::{
+    check_properties, diff_traces, resolve_seed, seed_from_env, shrink_schedule, FaultAction,
+    FaultSchedule, FuzzedScenario, PropertyViolation, ScheduleEntry, SchedulePlan, ScheduledLink,
+    TraceDivergence,
 };
 pub use headers::{bfd, icmp, igmp, ipv4, ntp, udp};
 pub use net::{Host, Interface, Network, RouterConfig};

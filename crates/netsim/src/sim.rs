@@ -745,6 +745,18 @@ impl EventTrace {
             .collect()
     }
 
+    /// Packets originated by the named node, in order — the per-node view
+    /// the fuzz property checkers budget against.
+    pub fn originated_by(&self, node_name: &str) -> Vec<Vec<u8>> {
+        self.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TraceEventKind::Originate(bytes) if e.node_name == node_name => Some(bytes.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Packets delivered to the named node, in order.
     pub fn delivered_to(&self, node_name: &str) -> Vec<Vec<u8>> {
         self.events

@@ -211,6 +211,92 @@ proptest! {
         );
         prop_assert_eq!(vm_outcome, tree_outcome);
     }
+
+    /// The error-path invariant: corrupted and truncated headers — the
+    /// packets the adversarial fuzzer forges on the wire — produce
+    /// bit-identical outcomes too, *including* the `ExecError` strings
+    /// when a field read or write falls off the end of the packet.
+    #[test]
+    fn vm_and_tree_walker_agree_on_corrupted_headers(
+        program in arb_program(),
+        corrupt_at in 0usize..20,
+        xor in 1u8..=255u8,
+        keep in 0usize..21,
+    ) {
+        let echo = icmp::build_echo(false, 0x12, 7, b"differential");
+        let mut bytes = echo.as_bytes().to_vec();
+        let at = corrupt_at % bytes.len();
+        bytes[at] ^= xor;
+        bytes.truncate(keep);
+        let packet = PacketBuf::from_bytes(bytes);
+        let vm_outcome = run_vm(&program, &packet)
+            .expect("generator only emits lowerable programs");
+        let tree_outcome = run_tree(
+            &program,
+            &packet,
+            &vm_outcome.vars.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(vm_outcome, tree_outcome);
+    }
+}
+
+#[test]
+fn truncated_header_reads_error_identically_on_both_engines() {
+    // A two-byte packet holds `type` and `code` but not
+    // `sequence_number`; reading past the end must be the same typed
+    // error (same string) on the VM and the tree-walker, not a silent
+    // zero on one of them.
+    let program = Program {
+        structs: vec![],
+        functions: vec![Function {
+            name: "icmp_truncated_receiver".to_string(),
+            role: "receiver".to_string(),
+            body: vec![Stmt::Assign {
+                target: Expr::Var("x".to_string()),
+                value: Expr::field("icmp", "sequence_number"),
+            }],
+        }],
+    };
+    let packet = PacketBuf::from_bytes(vec![icmp::msg_type::ECHO, 0]);
+    let vm_outcome = run_vm(&program, &packet).expect("lowerable");
+    let tree_outcome = run_tree(
+        &program,
+        &packet,
+        &vm_outcome
+            .vars
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>(),
+    );
+    assert!(
+        vm_outcome.error.is_some(),
+        "reading a field past the packet end must error"
+    );
+    assert_eq!(vm_outcome, tree_outcome);
+
+    // Writing past the end is pinned equal too.
+    let writer = Program {
+        structs: vec![],
+        functions: vec![Function {
+            name: "icmp_truncated_writer".to_string(),
+            role: "receiver".to_string(),
+            body: vec![Stmt::Assign {
+                target: Expr::field("icmp", "sequence_number"),
+                value: Expr::Num(7),
+            }],
+        }],
+    };
+    let vm_outcome = run_vm(&writer, &packet).expect("lowerable");
+    let tree_outcome = run_tree(
+        &writer,
+        &packet,
+        &vm_outcome
+            .vars
+            .iter()
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>(),
+    );
+    assert_eq!(vm_outcome, tree_outcome);
 }
 
 #[test]
