@@ -9,11 +9,16 @@
 //!   --fuzz         also sweep fuzzed cells: every scenario under a seeded
 //!                  fault schedule (PROPTEST_SEED), judged by the per-step
 //!                  state-machine properties
+//!   --chaos        run the chaos recovery campaign instead of the sweep:
+//!                  4 protocols x 2 engines x 5 topologies under seeded
+//!                  crash/restart/flap schedules, judged by safety plus
+//!                  liveness; with --json, writes the recovery-time
+//!                  baseline (BENCH_chaos.json)
 //! ```
 //!
 //! Prints the sweep grid and exits nonzero if any cell fails a check.
 
-use sage_core::fuzz::fuzzed_scenarios;
+use sage_core::fuzz::{fuzzed_scenarios, run_chaos_campaign, ChaosConfig};
 use sage_core::sweep::{full_registry, run_sweep};
 use sage_netsim::fuzz::seed_from_env;
 use sage_netsim::sim::Topology;
@@ -25,6 +30,7 @@ const BASELINE_ITERATIONS: u32 = 64;
 fn main() {
     let mut smoke = false;
     let mut fuzz = false;
+    let mut chaos = false;
     let mut workers: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -32,6 +38,7 @@ fn main() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             "--fuzz" => fuzz = true,
+            "--chaos" => chaos = true,
             "--workers" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
@@ -52,11 +59,52 @@ fn main() {
             other => {
                 eprintln!(
                     "eval-sweep: unknown flag '{other}' \
-                     (try --smoke, --fuzz, --workers N, --json PATH)"
+                     (try --smoke, --fuzz, --chaos, --workers N, --json PATH)"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    let workers_or_default = |w: Option<usize>| {
+        w.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    };
+
+    if chaos {
+        let config = ChaosConfig {
+            workers: workers_or_default(workers),
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos_campaign(&config);
+        print!("{}", report.render());
+        if let Some(path) = json_path {
+            let note = format!(
+                "Chaos recovery baseline: 4 protocols x 2 engines x 5 topologies under \
+                 seeded crash/restart/flap schedules (seed 0x{:x}); all figures are virtual \
+                 recovery nanoseconds, so the file is machine-independent; produced by \
+                 cargo run -p sage-core --release --bin eval-sweep -- --chaos --json {path}.",
+                config.seed,
+            );
+            match std::fs::write(&path, report.to_baseline_json(&note)) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("eval-sweep: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if !report.all_ok() {
+            eprintln!(
+                "eval-sweep: {} chaos cell(s) violated a property",
+                report.failed_cells().len()
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let mut registry = full_registry();
@@ -72,11 +120,7 @@ fn main() {
     } else {
         Topology::library()
     };
-    let workers = workers.unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    });
+    let workers = workers_or_default(workers);
     let iterations = if smoke { 0 } else { BASELINE_ITERATIONS };
     let report = run_sweep(&registry, &topologies, workers, iterations);
     print!("{}", report.render());

@@ -18,18 +18,30 @@
 //! schedule, judged by the state-machine properties (which hold under any
 //! schedule) instead of the happy-path checks (which loss legitimately
 //! breaks).
+//!
+//! [`run_chaos_campaign`] is the lifecycle-fault counterpart: the four
+//! chaos recovery scenarios (reference and generated engines) swept over
+//! the topology library under seeded crash/restart/flap schedules, judged
+//! by the safety properties *plus* the per-protocol liveness checkers
+//! ("after the last fault clears, the protocol re-converges within a
+//! bounded virtual time").  Recovery times are virtual nanoseconds, so
+//! the campaign's `BENCH_chaos.json` serialisation is byte-identical on
+//! every machine and sits in the bench-drift delta table alongside the
+//! wall-clock baselines.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use sage_interp::harness::{canary_diverges, judge, repro_snippet, tri_run, TriVerdict};
-use sage_interp::{shrink_tri_failure, ResponderRegistry};
+use sage_interp::{generated_chaos_scenarios, shrink_tri_failure, ResponderRegistry};
 use sage_netsim::faulty::FaultRng;
 use sage_netsim::fuzz::{
-    seed_from_env, shrink_schedule, FaultSchedule, FuzzedScenario, SchedulePlan,
+    check_liveness, check_properties, recovery_time_ns, seed_from_env, shrink_schedule, ChaosPlan,
+    FaultSchedule, FuzzedScenario, SchedulePlan,
 };
-use sage_netsim::scenario::ScenarioRegistry;
-use sage_netsim::sim::Topology;
+use sage_netsim::scenario::{run_scenario_on, Scenario, ScenarioRegistry};
+use sage_netsim::sim::{SimTime, Topology};
+use sage_netsim::tools::{chaos_reference_scenario, CHAOS_RECOVERY_BOUND_NS};
 use sage_spec::corpus::Protocol;
 
 use crate::programs::generate_program;
@@ -377,6 +389,400 @@ pub fn fuzzed_scenarios(base: &ScenarioRegistry, seed: u64, per_scenario: u32) -
         }
     }
     registry
+}
+
+// ---------------------------------------------------------------------------
+// Chaos campaign
+// ---------------------------------------------------------------------------
+
+/// The execution engines a chaos cell runs on, in grid order: the
+/// hand-written reference responders and the SAGE-generated programs on
+/// the bytecode VM.
+pub const CHAOS_ENGINES: [&str; 2] = ["reference", "generated"];
+
+/// Chaos campaign bounds; the default is the fixed-seed configuration CI
+/// smokes and `BENCH_chaos.json` is recorded at.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Campaign seed; defaults to [`seed_from_env`].
+    pub seed: u64,
+    /// Packet-fault bounds (the lifecycle bounds come from
+    /// [`ChaosPlan::for_topology`] per cell).
+    pub plan: SchedulePlan,
+    /// Worker threads for the cell grid.
+    pub workers: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: seed_from_env(),
+            plan: SchedulePlan::default(),
+            workers: 1,
+        }
+    }
+}
+
+/// One protocol × engine × topology cell of the chaos grid.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// Protocol of the chaos scenario.
+    pub protocol: String,
+    /// `reference` or `generated`.
+    pub engine: &'static str,
+    /// Topology the cell ran on.
+    pub topology: String,
+    /// The derived schedule seed (shared by the reference and generated
+    /// cells of the same protocol × topology pair).
+    pub schedule_seed: u64,
+    /// Packet entries plus lifecycle entries in the schedule.
+    pub faults: usize,
+    /// Virtual time the last lifecycle fault cleared.
+    pub last_fault_ns: u64,
+    /// No per-step safety property was violated.
+    pub safety_ok: bool,
+    /// The protocol recovered within [`CHAOS_RECOVERY_BOUND_NS`] of the
+    /// last fault clearing.
+    pub liveness_ok: bool,
+    /// Virtual nanoseconds from the last fault clearing to the recovery
+    /// evidence (`None` when the trace never recovered).
+    pub recovery_ns: Option<u64>,
+    /// Rendered property violations (safety then liveness; empty when ok).
+    pub violations: Vec<String>,
+    /// Self-contained repro snippet for the shrunk failing schedule
+    /// (`None` when the cell passed).
+    pub repro: Option<String>,
+}
+
+impl ChaosCell {
+    /// True when the cell held both safety and liveness.
+    pub fn ok(&self) -> bool {
+        self.safety_ok && self.liveness_ok
+    }
+
+    /// The cell's benchmark id, `chaos/<protocol>/<engine>/<topology>`.
+    pub fn bench_id(&self) -> String {
+        format!("chaos/{}/{}/{}", self.protocol, self.engine, self.topology)
+    }
+}
+
+/// The chaos campaign's result: cells in protocol-major, engine-middle,
+/// topology-minor grid order.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// One cell per protocol × engine × topology, in grid order.
+    pub cells: Vec<ChaosCell>,
+}
+
+impl ChaosReport {
+    /// True when every cell held safety and liveness.
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(ChaosCell::ok)
+    }
+
+    /// The cells that violated a property.
+    pub fn failed_cells(&self) -> Vec<&ChaosCell> {
+        self.cells.iter().filter(|c| !c.ok()).collect()
+    }
+
+    /// Nearest-rank p50/p99 of `protocol`'s recovery times across its
+    /// cells, in virtual nanoseconds.  `None` when no cell of the
+    /// protocol recovered.
+    pub fn recovery_percentiles(&self, protocol: &str) -> Option<(u64, u64)> {
+        let mut samples: Vec<u64> = self
+            .cells
+            .iter()
+            .filter(|c| c.protocol == protocol)
+            .filter_map(|c| c.recovery_ns)
+            .collect();
+        if samples.is_empty() {
+            return None;
+        }
+        samples.sort_unstable();
+        let rank = |p: f64| samples[((p * samples.len() as f64).ceil() as usize).max(1) - 1];
+        Some((rank(0.50), rank(0.99)))
+    }
+
+    /// Render the campaign for humans: the cell grid, per-protocol
+    /// recovery percentiles, and each failing cell's repro snippet.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos campaign seed=0x{:x}: {} cells, {} violations\n",
+            self.seed,
+            self.cells.len(),
+            self.failed_cells().len()
+        );
+        for cell in &self.cells {
+            let recovery = match cell.recovery_ns {
+                Some(ns) => format!("{ns}ns"),
+                None => "never".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:<5} {:<9} {:<10} seed=0x{:016x} faults={} safety={} liveness={} recovery={}\n",
+                cell.protocol,
+                cell.engine,
+                cell.topology,
+                cell.schedule_seed,
+                cell.faults,
+                if cell.safety_ok { "ok" } else { "FAIL" },
+                if cell.liveness_ok { "ok" } else { "FAIL" },
+                recovery,
+            ));
+        }
+        for protocol in FUZZ_PROTOCOLS {
+            if let Some((p50, p99)) = self.recovery_percentiles(protocol) {
+                out.push_str(&format!(
+                    "  {protocol:<5} recovery p50={p50}ns p99={p99}ns\n"
+                ));
+            }
+        }
+        for cell in self.failed_cells() {
+            out.push_str(&format!(
+                "violation [{}] on {}: {}\n",
+                cell.bench_id(),
+                cell.topology,
+                cell.violations.join("; ")
+            ));
+            if let Some(repro) = &cell.repro {
+                out.push_str(repro);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serialise the campaign as a `sage-bench-baseline/v1` document: one
+    /// benchmark per cell (`ns_per_iter` = virtual recovery nanoseconds,
+    /// so the committed file is byte-identical on every machine) plus
+    /// per-protocol `recovery_p50`/`recovery_p99` rollups.
+    pub fn to_baseline_json(&self, note: &str) -> String {
+        let mut rows: Vec<(String, usize, u64)> = self
+            .cells
+            .iter()
+            .map(|c| (c.bench_id(), 1, c.recovery_ns.unwrap_or(0)))
+            .collect();
+        for protocol in FUZZ_PROTOCOLS {
+            if let Some((p50, p99)) = self.recovery_percentiles(protocol) {
+                let samples = self
+                    .cells
+                    .iter()
+                    .filter(|c| c.protocol == protocol && c.recovery_ns.is_some())
+                    .count();
+                rows.push((format!("chaos/{protocol}/recovery_p50"), samples, p50));
+                rows.push((format!("chaos/{protocol}/recovery_p99"), samples, p99));
+            }
+        }
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"sage-bench-baseline/v1\",\n");
+        out.push_str(&format!("  \"note\": \"{}\",\n", json_escape(note)));
+        out.push_str("  \"benchmarks\": {\n    \"chaos\": [\n");
+        for (i, (id, samples, ns)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\n        \"id\": \"{}\",\n        \"iterations\": {},\n        \"total_ns\": {},\n        \"ns_per_iter\": {}.0\n      }}{}\n",
+                json_escape(id),
+                samples,
+                ns,
+                ns,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Judge one chaos run of `scenario` under `schedule`: safety properties
+/// always, liveness only when the schedule is recoverable (the shrinker
+/// guard — a candidate that orphans a crash must not read as failing).
+fn chaos_violations(
+    protocol: &str,
+    scenario: &Arc<dyn Scenario>,
+    topology: &Topology,
+    schedule: &FaultSchedule,
+) -> Vec<String> {
+    let fuzzed = FuzzedScenario::named(
+        format!("{}+chaos", scenario.name()),
+        scenario.clone(),
+        schedule.clone(),
+    );
+    let run = match run_scenario_on(&fuzzed, topology.clone()) {
+        Ok(run) => run,
+        Err(e) => return vec![format!("bind error: {e}")],
+    };
+    let mut violations: Vec<String> = check_properties(protocol, &run.trace)
+        .iter()
+        .map(|v| format!("{} ({})", v.property, v.detail))
+        .collect();
+    if schedule.is_recoverable() {
+        violations.extend(
+            check_liveness(
+                protocol,
+                &run.trace,
+                SimTime(schedule.last_fault_ns()),
+                CHAOS_RECOVERY_BOUND_NS,
+            )
+            .iter()
+            .map(|v| format!("{} ({})", v.property, v.detail)),
+        );
+    }
+    violations
+}
+
+/// Run one chaos cell: generate the lifecycle schedule, run the engine's
+/// chaos scenario under it, judge safety + liveness, shrink on failure.
+fn run_chaos_cell(
+    generated: &ScenarioRegistry,
+    config: &ChaosConfig,
+    topologies: &[Topology],
+    protocol_index: usize,
+    engine_index: usize,
+    topology_index: usize,
+) -> ChaosCell {
+    let protocol = FUZZ_PROTOCOLS[protocol_index];
+    let engine = CHAOS_ENGINES[engine_index];
+    let topology = topologies[topology_index].clone();
+    let scenario: Arc<dyn Scenario> = if engine == "reference" {
+        chaos_reference_scenario(protocol)
+    } else {
+        generated
+            .scenarios()
+            .iter()
+            .find(|s| s.protocol() == protocol)
+            .cloned()
+            .expect("every protocol has a generated chaos scenario")
+    };
+    // The engine index is deliberately absent from the seed: reference and
+    // generated cells of the same pair replay the same schedule.
+    let schedule_seed = cell_seed(config.seed, protocol_index, topology_index as u32);
+    let schedule = FaultSchedule::generate_chaos(
+        schedule_seed,
+        &config.plan,
+        &ChaosPlan::for_topology(&topology),
+    );
+    let fuzzed = FuzzedScenario::named(
+        format!("{}+chaos", scenario.name()),
+        scenario.clone(),
+        schedule.clone(),
+    );
+    let run = run_scenario_on(&fuzzed, topology.clone())
+        .expect("library topologies fit every chaos scenario");
+    let recover_after = SimTime(schedule.last_fault_ns());
+    let safety: Vec<String> = check_properties(protocol, &run.trace)
+        .iter()
+        .map(|v| format!("{} ({})", v.property, v.detail))
+        .collect();
+    let liveness: Vec<String> =
+        check_liveness(protocol, &run.trace, recover_after, CHAOS_RECOVERY_BOUND_NS)
+            .iter()
+            .map(|v| format!("{} ({})", v.property, v.detail))
+            .collect();
+    let recovery_ns = recovery_time_ns(protocol, &run.trace, recover_after);
+    let (safety_ok, liveness_ok) = (safety.is_empty(), liveness.is_empty());
+    let mut violations = safety;
+    violations.extend(liveness);
+    let repro = if violations.is_empty() {
+        None
+    } else {
+        let shrunk = shrink_schedule(&schedule, |candidate| {
+            !chaos_violations(protocol, &scenario, &topology, candidate).is_empty()
+        });
+        Some(repro_snippet(
+            &format!("{} chaos", scenario.name()),
+            &topology.name,
+            &shrunk,
+        ))
+    };
+    ChaosCell {
+        protocol: protocol.to_string(),
+        engine,
+        topology: topology.name,
+        schedule_seed,
+        faults: schedule.fault_count(),
+        last_fault_ns: schedule.last_fault_ns(),
+        safety_ok,
+        liveness_ok,
+        recovery_ns,
+        violations,
+        repro,
+    }
+}
+
+/// Run the chaos recovery campaign: 4 protocols × 2 engines × the 5
+/// library topologies, each cell a seeded crash/restart/flap schedule
+/// judged by the safety properties plus the per-protocol liveness
+/// checkers.  The grid shares `config.workers` threads with the same
+/// chunked atomic-cursor idiom as [`run_campaign`], so the report — and
+/// the `BENCH_chaos.json` serialisation — is byte-identical at every
+/// worker count.
+pub fn run_chaos_campaign(config: &ChaosConfig) -> ChaosReport {
+    let generated = generated_chaos_scenarios(&generated_responders());
+    let topologies = Topology::library();
+    let topology_count = topologies.len();
+    let grid: Vec<(usize, usize, usize)> = (0..FUZZ_PROTOCOLS.len())
+        .flat_map(|p| {
+            (0..CHAOS_ENGINES.len()).flat_map(move |e| (0..topology_count).map(move |t| (p, e, t)))
+        })
+        .collect();
+    let workers = config
+        .workers
+        .min(available_workers())
+        .min(grid.len().max(1))
+        .max(1);
+    let cells: Vec<ChaosCell> = if workers == 1 {
+        grid.iter()
+            .map(|&(p, e, t)| run_chaos_cell(&generated, config, &topologies, p, e, t))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ChaosCell>>> = grid.iter().map(|_| Mutex::new(None)).collect();
+        let chunk = (grid.len() / (workers * 4).max(1)).clamp(1, 8);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let (cursor, slots, grid, generated, topologies) =
+                    (&cursor, &slots, &grid, &generated, &topologies);
+                scope.spawn(move || loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= grid.len() {
+                        break;
+                    }
+                    for index in start..grid.len().min(start + chunk) {
+                        let (p, e, t) = grid[index];
+                        let cell = run_chaos_cell(generated, config, topologies, p, e, t);
+                        *slots[index].lock().expect("chaos slot lock") = Some(cell);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("chaos slot lock")
+                    .expect("every chaos cell ran")
+            })
+            .collect()
+    };
+    ChaosReport {
+        seed: config.seed,
+        cells,
+    }
 }
 
 /// The machine's available parallelism (1 when unknown).

@@ -261,6 +261,7 @@ mod tests {
                     extra_delay_ns: 1_000,
                 },
             }],
+            ..FaultSchedule::clean()
         }
     }
 

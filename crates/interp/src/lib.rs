@@ -47,8 +47,9 @@ pub use harness::{
 };
 pub use lower::lower_program;
 pub use responder::{
-    generated_scenarios, generated_scenarios_in_mode, BfdGeneratedReceiver, ExecMode,
-    GeneratedBfdEndpoint, GeneratedIgmpResponder, GeneratedNtpServer, GeneratedNtpTimeoutPolicy,
-    GeneratedResponder, ResponderRegistry,
+    generated_chaos_scenarios, generated_chaos_scenarios_in_mode, generated_scenarios,
+    generated_scenarios_in_mode, BfdGeneratedReceiver, ExecMode, GeneratedBfdEndpoint,
+    GeneratedIgmpResponder, GeneratedNtpServer, GeneratedNtpTimeoutPolicy, GeneratedResponder,
+    ResponderRegistry,
 };
 pub use vm::{CompiledFunction, CompiledProgram, VmScratch, VmState};

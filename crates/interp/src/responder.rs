@@ -1080,6 +1080,94 @@ pub fn generated_scenarios_in_mode(
     scenarios
 }
 
+/// The chaos-recovery scenarios with SAGE-generated code in the pluggable
+/// roles, named `<protocol>/chaos-generated`.  Mirrors
+/// [`generated_scenarios_in_mode`] but wires the
+/// [`sage_netsim::tools::chaos`] recovery drivers, so the chaos campaign
+/// exercises the generated responders under crashes, restarts and flaps.
+pub fn generated_chaos_scenarios_in_mode(
+    registry: &ResponderRegistry,
+    mode: ExecMode,
+) -> ScenarioRegistry {
+    use sage_netsim::tools::chaos;
+    use std::sync::Arc;
+    let mut scenarios = ScenarioRegistry::new();
+    if registry.program("icmp").is_some() {
+        let reg = registry.clone();
+        scenarios.register(Arc::new(chaos::ChaosPingScenario::new(
+            "ping/chaos-generated",
+            Arc::new(move || Box::new(reg.icmp_responder().expect("icmp program").with_mode(mode))),
+        )));
+    }
+    if registry.program("igmp").is_some() {
+        let reg = registry.clone();
+        let group = sage_netsim::headers::ipv4::addr(224, 0, 0, 251);
+        scenarios.register(Arc::new(chaos::ChaosIgmpScenario::new(
+            "igmp/chaos-generated",
+            group,
+            Arc::new(move || {
+                Box::new(
+                    reg.igmp_responder(group)
+                        .expect("igmp program")
+                        .with_mode(mode),
+                )
+            }),
+        )));
+    }
+    if registry.program("ntp").is_some() {
+        let policy_reg = registry.clone();
+        let server_reg = registry.clone();
+        scenarios.register(Arc::new(chaos::ChaosNtpScenario::new(
+            "ntp/chaos-generated",
+            Arc::new(move || {
+                Box::new(
+                    policy_reg
+                        .ntp_timeout_policy()
+                        .expect("ntp program")
+                        .with_mode(mode),
+                )
+            }),
+            Arc::new(move || {
+                Box::new(
+                    server_reg
+                        .ntp_server(2, 0x1000)
+                        .expect("ntp program")
+                        .with_mode(mode),
+                )
+            }),
+            ntp::PeerVariables {
+                timer: 64,
+                threshold: 64,
+                mode: ntp::mode::CLIENT,
+            },
+        )));
+    }
+    if registry.program("bfd").is_some() {
+        let reg = registry.clone();
+        let factory: scenario::BfdFactory = Arc::new(move |local, remote| {
+            Box::new(
+                reg.bfd_endpoint(local, remote)
+                    .expect("bfd program")
+                    .with_mode(mode),
+            )
+        });
+        scenarios.register(Arc::new(chaos::ChaosBfdScenario::new(
+            "bfd/chaos-generated",
+            factory.clone(),
+            factory,
+            (7, 9),
+            (9, 7),
+        )));
+    }
+    scenarios
+}
+
+/// [`generated_chaos_scenarios_in_mode`] on the bytecode VM (the default
+/// engine the chaos campaign runs generated code on).
+pub fn generated_chaos_scenarios(registry: &ResponderRegistry) -> ScenarioRegistry {
+    generated_chaos_scenarios_in_mode(registry, ExecMode::Vm)
+}
+
 #[cfg(test)]
 #[allow(deprecated)] // the legacy driver stays as the oracle these adapters are tested against
 mod tests {

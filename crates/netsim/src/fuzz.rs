@@ -28,8 +28,8 @@ use crate::faulty::FaultRng;
 use crate::headers::{bfd, igmp, ipv4, udp};
 use crate::scenario::{Scenario, ScenarioOutcome};
 use crate::sim::{
-    EventTrace, LinkDelivery, LinkId, LinkModel, SimBuilder, Topology, TopologyError,
-    TraceEventKind,
+    EventTrace, LinkDelivery, LinkId, LinkModel, NodeId, SimBuilder, SimTime, Topology,
+    TopologyError, TraceEventKind,
 };
 use crate::tools::bfd_session::BFD_CONTROL_PORT;
 
@@ -156,6 +156,128 @@ impl fmt::Display for ScheduleEntry {
     }
 }
 
+/// One node/link lifecycle fault, keyed by absolute virtual time — the
+/// chaos half of the [`FaultSchedule`] grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifecycleEntry {
+    /// Crash node `node` at `at_ns`: its handler stops and the kernel's
+    /// timer-generation tag invalidates every pending timer.
+    Crash {
+        /// Node index into [`Topology::nodes`].
+        node: usize,
+        /// Virtual crash time in nanoseconds.
+        at_ns: u64,
+    },
+    /// Restart node `node` at `at_ns`: [`crate::sim::Node::on_restart`]
+    /// resets the handler's protocol state and re-originates traffic.
+    Restart {
+        /// Node index into [`Topology::nodes`].
+        node: usize,
+        /// Virtual restart time in nanoseconds.
+        at_ns: u64,
+    },
+    /// Flap link `link`: down at `at_ns`, back up `down_ns` later —
+    /// self-recovering by construction.
+    Flap {
+        /// Link index into [`Topology::links`].
+        link: usize,
+        /// Virtual time the link goes down, in nanoseconds.
+        at_ns: u64,
+        /// How long the link stays down, in nanoseconds.
+        down_ns: u64,
+    },
+}
+
+impl LifecycleEntry {
+    /// The virtual time at which this entry's disruption has fully
+    /// cleared: a restart instant, a flap's up instant — or `u64::MAX`
+    /// for a crash, which on its own never clears (only a matching
+    /// [`LifecycleEntry::Restart`] does).
+    pub fn clears_at_ns(&self) -> u64 {
+        match *self {
+            LifecycleEntry::Crash { .. } => u64::MAX,
+            LifecycleEntry::Restart { at_ns, .. } => at_ns,
+            LifecycleEntry::Flap { at_ns, down_ns, .. } => at_ns.saturating_add(down_ns),
+        }
+    }
+}
+
+impl fmt::Display for LifecycleEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LifecycleEntry::Crash { node, at_ns } => {
+                write!(
+                    f,
+                    "LifecycleEntry::Crash {{ node: {node}, at_ns: {at_ns} }}"
+                )
+            }
+            LifecycleEntry::Restart { node, at_ns } => {
+                write!(
+                    f,
+                    "LifecycleEntry::Restart {{ node: {node}, at_ns: {at_ns} }}"
+                )
+            }
+            LifecycleEntry::Flap {
+                link,
+                at_ns,
+                down_ns,
+            } => {
+                write!(
+                    f,
+                    "LifecycleEntry::Flap {{ link: {link}, at_ns: {at_ns}, down_ns: {down_ns} }}"
+                )
+            }
+        }
+    }
+}
+
+/// Bounds for random lifecycle-fault generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Number of nodes crashes may target.
+    pub nodes: usize,
+    /// Number of links flaps may target.
+    pub links: usize,
+    /// Maximum number of lifecycle faults per schedule.
+    pub max_faults: usize,
+    /// Faults start within `0..window_ns` virtual nanoseconds.
+    pub window_ns: u64,
+    /// Minimum outage length; outages draw from
+    /// `min_down_ns..min_down_ns + down_spread_ns`.
+    pub min_down_ns: u64,
+    /// Outage length spread on top of the minimum.
+    pub down_spread_ns: u64,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        // Sized for the appendix-A topology and the chaos scenarios'
+        // protocol timers: faults land inside the first two virtual
+        // seconds, outages run 100–500ms — long enough to trip BFD
+        // detection, short enough that recovery fits the scenario horizon.
+        ChaosPlan {
+            nodes: 5,
+            links: 4,
+            max_faults: 3,
+            window_ns: 2_000_000_000,
+            min_down_ns: 100_000_000,
+            down_spread_ns: 400_000_000,
+        }
+    }
+}
+
+impl ChaosPlan {
+    /// A plan whose crash/flap targets cover every node and link of
+    /// `topology`.
+    pub fn for_topology(topology: &Topology) -> ChaosPlan {
+        ChaosPlan {
+            nodes: topology.nodes.len(),
+            links: topology.links.len(),
+            ..ChaosPlan::default()
+        }
+    }
+}
+
 /// Bounds for random schedule generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SchedulePlan {
@@ -187,6 +309,8 @@ pub struct FaultSchedule {
     pub seed: u64,
     /// The scheduled faults, in generation order.
     pub entries: Vec<ScheduleEntry>,
+    /// Node crash/restart and link flap faults, in generation order.
+    pub lifecycle: Vec<LifecycleEntry>,
 }
 
 impl FaultSchedule {
@@ -224,7 +348,46 @@ impl FaultSchedule {
                 action,
             });
         }
-        FaultSchedule { seed, entries }
+        FaultSchedule {
+            seed,
+            entries,
+            lifecycle: Vec::new(),
+        }
+    }
+
+    /// [`FaultSchedule::generate`] plus seeded lifecycle faults within
+    /// `chaos`'s bounds.  Every generated crash carries a matching restart
+    /// and every flap self-recovers, so generated chaos schedules always
+    /// have a fault-free tail ([`FaultSchedule::is_recoverable`] holds) —
+    /// the precondition the liveness checkers assert convergence under.
+    pub fn generate_chaos(seed: u64, plan: &SchedulePlan, chaos: &ChaosPlan) -> FaultSchedule {
+        let mut schedule = FaultSchedule::generate(seed, plan);
+        // A separate stream so the packet-fault half stays byte-identical
+        // to the plain generator at the same seed.
+        let mut rng = FaultRng::new(seed ^ 0xC4A0_5CAB_005E_0000);
+        let count = 1 + (rng.next_u64() as usize) % chaos.max_faults.max(1);
+        for _ in 0..count {
+            let at_ns = rng.next_u64() % chaos.window_ns.max(1);
+            let down_ns = chaos.min_down_ns + rng.next_u64() % chaos.down_spread_ns.max(1);
+            if rng.next_u64() % 2 == 0 {
+                let node = (rng.next_u64() as usize) % chaos.nodes.max(1);
+                schedule
+                    .lifecycle
+                    .push(LifecycleEntry::Crash { node, at_ns });
+                schedule.lifecycle.push(LifecycleEntry::Restart {
+                    node,
+                    at_ns: at_ns.saturating_add(down_ns),
+                });
+            } else {
+                let link = (rng.next_u64() as usize) % chaos.links.max(1);
+                schedule.lifecycle.push(LifecycleEntry::Flap {
+                    link,
+                    at_ns,
+                    down_ns,
+                });
+            }
+        }
+        schedule
     }
 
     /// True if any entry corrupts packet bytes.  Under a non-corrupting
@@ -237,14 +400,86 @@ impl FaultSchedule {
             .any(|e| matches!(e.action, FaultAction::Corrupt { .. }))
     }
 
-    /// The schedule with entry `index` removed — the shrinking step.
+    /// Total number of removable faults: packet entries plus lifecycle
+    /// entries — the index space [`FaultSchedule::without_index`] and the
+    /// shrinker iterate.
+    pub fn fault_count(&self) -> usize {
+        self.entries.len() + self.lifecycle.len()
+    }
+
+    /// The schedule with packet entry `index` removed — the shrinking step
+    /// for the packet-fault half.
     pub fn without_entry(&self, index: usize) -> FaultSchedule {
         let mut entries = self.entries.clone();
         entries.remove(index);
         FaultSchedule {
             seed: self.seed,
             entries,
+            lifecycle: self.lifecycle.clone(),
         }
+    }
+
+    /// The schedule with fault `index` removed, indexing packet entries
+    /// first (`0..entries.len()`) then lifecycle entries — the unified
+    /// shrinking step over both halves of the grammar.
+    pub fn without_index(&self, index: usize) -> FaultSchedule {
+        if index < self.entries.len() {
+            return self.without_entry(index);
+        }
+        let mut lifecycle = self.lifecycle.clone();
+        lifecycle.remove(index - self.entries.len());
+        FaultSchedule {
+            seed: self.seed,
+            entries: self.entries.clone(),
+            lifecycle,
+        }
+    }
+
+    /// True when every crash has a later restart of the same node: after
+    /// [`FaultSchedule::last_fault_ns`] all nodes are up and all links
+    /// restored, so liveness (recovery within a bounded virtual time) is a
+    /// fair demand.  Schedules that leave a node permanently down trivially
+    /// fail liveness, and the shrinker must not reduce a real finding into
+    /// one of those.
+    pub fn is_recoverable(&self) -> bool {
+        self.lifecycle.iter().all(|entry| match *entry {
+            LifecycleEntry::Crash { node, at_ns } => {
+                self.lifecycle.iter().any(|other| match *other {
+                    LifecycleEntry::Restart {
+                        node: n,
+                        at_ns: restart,
+                    } => n == node && restart > at_ns,
+                    _ => false,
+                })
+            }
+            _ => true,
+        })
+    }
+
+    /// The virtual time the last lifecycle disruption clears (0 for
+    /// schedules with no lifecycle faults) — the instant liveness checking
+    /// starts from.  A crash clears at its earliest matching restart;
+    /// `u64::MAX` when an unmatched crash never clears.
+    pub fn last_fault_ns(&self) -> u64 {
+        self.lifecycle
+            .iter()
+            .map(|entry| match *entry {
+                LifecycleEntry::Crash { node, at_ns } => self
+                    .lifecycle
+                    .iter()
+                    .filter_map(|other| match *other {
+                        LifecycleEntry::Restart {
+                            node: n,
+                            at_ns: restart,
+                        } if n == node && restart > at_ns => Some(restart),
+                        _ => None,
+                    })
+                    .min()
+                    .unwrap_or(u64::MAX),
+                other => other.clears_at_ns(),
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Compile the schedule into per-link [`ScheduledLink`] models and
@@ -253,6 +488,7 @@ impl FaultSchedule {
     /// sweep topology.
     pub fn apply(&self, sim: &mut SimBuilder) {
         let link_count = sim.topology().links.len();
+        let node_count = sim.topology().nodes.len();
         for link in 0..link_count {
             let entries: Vec<(u32, FaultAction)> = self
                 .entries
@@ -262,6 +498,25 @@ impl FaultSchedule {
                 .collect();
             if !entries.is_empty() {
                 sim.bind_link_model(LinkId(link), Box::new(ScheduledLink::new(entries)));
+            }
+        }
+        for entry in &self.lifecycle {
+            match *entry {
+                LifecycleEntry::Crash { node, at_ns } if node < node_count => {
+                    sim.crash_at(NodeId(node), SimTime(at_ns));
+                }
+                LifecycleEntry::Restart { node, at_ns } if node < node_count => {
+                    sim.restart_at(NodeId(node), SimTime(at_ns));
+                }
+                LifecycleEntry::Flap {
+                    link,
+                    at_ns,
+                    down_ns,
+                } if link < link_count => {
+                    sim.link_down_at(LinkId(link), SimTime(at_ns));
+                    sim.link_up_at(LinkId(link), SimTime(at_ns.saturating_add(down_ns)));
+                }
+                _ => {}
             }
         }
     }
@@ -275,6 +530,11 @@ impl FaultSchedule {
         out.push_str(&format!("    seed: 0x{:x},\n", self.seed));
         out.push_str("    entries: vec![\n");
         for e in &self.entries {
+            out.push_str(&format!("        {e},\n"));
+        }
+        out.push_str("    ],\n");
+        out.push_str("    lifecycle: vec![\n");
+        for e in &self.lifecycle {
             out.push_str(&format!("        {e},\n"));
         }
         out.push_str("    ],\n}\n");
@@ -596,6 +856,7 @@ fn check_bfd(trace: &EventTrace) -> Vec<PropertyViolation> {
     use std::collections::BTreeMap;
     let mut last_received: BTreeMap<&str, bfd::SessionState> = BTreeMap::new();
     let mut state: BTreeMap<&str, bfd::SessionState> = BTreeMap::new();
+    let mut timeout_pending: BTreeMap<&str, bool> = BTreeMap::new();
     let mut violations = Vec::new();
     for e in &trace.events {
         match &e.kind {
@@ -603,6 +864,19 @@ fn check_bfd(trace: &EventTrace) -> Vec<PropertyViolation> {
                 if let Some(s) = bfd_state_of(bytes) {
                     last_received.insert(e.node_name.as_str(), s);
                 }
+            }
+            TraceEventKind::Note(text) if text == "node-down" => {
+                // A crash wipes the session: the restarted node boots in
+                // Down with no received-state history.
+                let node = e.node_name.as_str();
+                state.insert(node, bfd::SessionState::Down);
+                last_received.remove(node);
+                timeout_pending.remove(node);
+            }
+            TraceEventKind::Note(text) if text == "bfd=detection-timeout" => {
+                // RFC 5880 §6.8.1: detection time expiry forces the
+                // session Down regardless of the last packet received.
+                timeout_pending.insert(e.node_name.as_str(), true);
             }
             TraceEventKind::Note(text) => {
                 let Some(new) = parse_state_note(text) else {
@@ -613,7 +887,20 @@ fn check_bfd(trace: &EventTrace) -> Vec<PropertyViolation> {
                 let legal_next = last_received
                     .get(node)
                     .map(|r| bfd::session_state_transition(prev, *r));
-                let legal = new == prev || legal_next == Some(new);
+                let timed_out =
+                    timeout_pending.remove(node).unwrap_or(false) && new == bfd::SessionState::Down;
+                // RFC 5880 §6.8.6: a peer reporting Down takes any session
+                // Down (the corpus transition subset elides this rule, so
+                // the checker admits it explicitly).
+                let peer_down = new == bfd::SessionState::Down
+                    && last_received.get(node) == Some(&bfd::SessionState::Down);
+                let legal = new == prev || legal_next == Some(new) || timed_out || peer_down;
+                if timed_out {
+                    // A timeout-driven drop to Down invalidates whatever
+                    // the peer last reported — the next transition starts
+                    // from scratch.
+                    last_received.remove(node);
+                }
                 if !legal {
                     violations.push(PropertyViolation {
                         property: "bfd_transitions_legal",
@@ -630,6 +917,137 @@ fn check_bfd(trace: &EventTrace) -> Vec<PropertyViolation> {
         }
     }
     violations
+}
+
+// ---------------------------------------------------------------------------
+// Liveness: recovery once the faults clear
+// ---------------------------------------------------------------------------
+
+/// The liveness property checked for `protocol`: once the last fault
+/// clears, the protocol must re-converge within a bounded virtual time.
+/// The safety inventory ([`protocol_properties`]) holds under *any*
+/// schedule; these hold only for recoverable ones
+/// ([`FaultSchedule::is_recoverable`]).
+pub fn protocol_liveness(protocol: &str) -> &'static str {
+    match protocol {
+        "icmp" => "icmp_ping_recovers",
+        "igmp" => "igmp_reconverges",
+        "ntp" => "ntp_resynchronizes",
+        "bfd" => "bfd_returns_up",
+        other => panic!("no liveness property for protocol {other:?}"),
+    }
+}
+
+/// The virtual time recovery was observed at, or `None` if the trace
+/// never recovers after `recover_after`.  Evidence per protocol: a
+/// `ping=ok` note (ICMP), an `igmp=report-received` note at the querier
+/// (IGMP), an `ntp=synchronized` note (NTP), and for BFD every session
+/// node's state timeline ending in an unbroken Up run.  A node that was
+/// already converged when the faults cleared recovers at `recover_after`
+/// itself (zero recovery time).
+fn recovery_evidence_time(
+    protocol: &str,
+    trace: &EventTrace,
+    recover_after: SimTime,
+) -> Option<SimTime> {
+    let note_at = |wanted: &str| {
+        trace.events.iter().find_map(|e| match &e.kind {
+            TraceEventKind::Note(text) if text == wanted && e.time >= recover_after => Some(e.time),
+            _ => None,
+        })
+    };
+    match protocol {
+        "icmp" => note_at("ping=ok"),
+        "igmp" => note_at("igmp=report-received"),
+        "ntp" => note_at("ntp=synchronized"),
+        "bfd" => bfd_recovery_time(trace, recover_after),
+        _ => None,
+    }
+}
+
+/// BFD recovery: every node that ever noted a session state must end the
+/// trace in an unbroken Up run (a crash breaks the run via the kernel's
+/// `node-down` note).  The recovery instant is the latest start of those
+/// trailing runs, clamped to `recover_after`.
+fn bfd_recovery_time(trace: &EventTrace, recover_after: SimTime) -> Option<SimTime> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut timelines: BTreeMap<&str, Vec<(SimTime, bfd::SessionState)>> = BTreeMap::new();
+    let mut sessions: BTreeSet<&str> = BTreeSet::new();
+    for e in &trace.events {
+        if let TraceEventKind::Note(text) = &e.kind {
+            if let Some(s) = parse_state_note(text) {
+                sessions.insert(e.node_name.as_str());
+                timelines
+                    .entry(e.node_name.as_str())
+                    .or_default()
+                    .push((e.time, s));
+            } else if text == "node-down" {
+                timelines
+                    .entry(e.node_name.as_str())
+                    .or_default()
+                    .push((e.time, bfd::SessionState::Down));
+            }
+        }
+    }
+    if sessions.is_empty() {
+        return None;
+    }
+    let mut latest = recover_after;
+    for node in &sessions {
+        let timeline = &timelines[node];
+        let trailing_up = timeline
+            .iter()
+            .rev()
+            .take_while(|(_, s)| *s == bfd::SessionState::Up)
+            .count();
+        if trailing_up == 0 {
+            return None;
+        }
+        let run_start = timeline[timeline.len() - trailing_up].0;
+        latest = latest.max(run_start);
+    }
+    Some(latest)
+}
+
+/// Evaluate `protocol`'s liveness property: the trace must show recovery
+/// evidence no later than `bound_ns` of virtual time past
+/// `recover_after` (the instant the schedule's last fault cleared,
+/// [`FaultSchedule::last_fault_ns`]).
+pub fn check_liveness(
+    protocol: &str,
+    trace: &EventTrace,
+    recover_after: SimTime,
+    bound_ns: u64,
+) -> Vec<PropertyViolation> {
+    let property = protocol_liveness(protocol);
+    let deadline = recover_after.0.saturating_add(bound_ns);
+    match recovery_evidence_time(protocol, trace, recover_after) {
+        Some(at) if at.0 <= deadline => Vec::new(),
+        Some(at) => vec![PropertyViolation {
+            property,
+            detail: format!(
+                "recovered at {}ns, {}ns past the {bound_ns}ns bound after faults cleared at {}ns",
+                at.0,
+                at.0 - deadline,
+                recover_after.0
+            ),
+        }],
+        None => vec![PropertyViolation {
+            property,
+            detail: format!(
+                "no recovery evidence after faults cleared at {}ns",
+                recover_after.0
+            ),
+        }],
+    }
+}
+
+/// How long past `recover_after` the trace took to recover, in virtual
+/// nanoseconds — the quantity the chaos campaign aggregates into
+/// p50/p99.  `None` when the trace never recovered.
+pub fn recovery_time_ns(protocol: &str, trace: &EventTrace, recover_after: SimTime) -> Option<u64> {
+    recovery_evidence_time(protocol, trace, recover_after)
+        .map(|at| at.0.saturating_sub(recover_after.0))
 }
 
 // ---------------------------------------------------------------------------
@@ -711,10 +1129,16 @@ impl Scenario for FuzzedScenario {
 // ---------------------------------------------------------------------------
 
 /// Delta-debug a failing schedule down to a minimal one: greedily drop
-/// each entry whose removal keeps `still_fails` true, looping to a fixed
-/// point.  Deterministic — entries are tried in order and the predicate
-/// is a pure function of the candidate schedule — so the same failing
-/// schedule always shrinks to the same minimum.
+/// each fault (packet entries and lifecycle entries alike) whose removal
+/// keeps `still_fails` true, looping to a fixed point.  Deterministic —
+/// faults are tried in order and the predicate is a pure function of the
+/// candidate schedule — so the same failing schedule always shrinks to
+/// the same minimum.
+///
+/// Liveness predicates should treat non-recoverable candidates (e.g. a
+/// crash whose matching restart was just removed) as *not* failing —
+/// otherwise shrinking degenerates to "the node never came back", which
+/// reproduces nothing.  [`FaultSchedule::is_recoverable`] is the guard.
 pub fn shrink_schedule(
     schedule: &FaultSchedule,
     mut still_fails: impl FnMut(&FaultSchedule) -> bool,
@@ -723,8 +1147,8 @@ pub fn shrink_schedule(
     loop {
         let mut reduced = false;
         let mut index = 0;
-        while index < current.entries.len() {
-            let candidate = current.without_entry(index);
+        while index < current.fault_count() {
+            let candidate = current.without_index(index);
             if still_fails(&candidate) {
                 current = candidate;
                 reduced = true;
@@ -844,6 +1268,7 @@ mod tests {
                 transmit_index: 0,
                 action: FaultAction::Drop,
             }],
+            ..FaultSchedule::clean()
         };
         let fuzzed = FuzzedScenario::new(Arc::new(PingScenario::reference()), schedule);
         let run = run_scenario_on(&fuzzed, Topology::appendix_a()).expect("binds");
@@ -864,6 +1289,7 @@ mod tests {
                 transmit_index: 0,
                 action: FaultAction::Drop,
             }],
+            ..FaultSchedule::clean()
         };
         let fuzzed = FuzzedScenario::new(Arc::new(PingScenario::reference()), schedule);
         let run = run_scenario_on(&fuzzed, Topology::appendix_a()).expect("binds without panic");
@@ -879,6 +1305,7 @@ mod tests {
                 transmit_index: 1,
                 action: FaultAction::Drop,
             }],
+            ..FaultSchedule::clean()
         };
         let clean =
             FuzzedScenario::new(Arc::new(PingScenario::reference()), FaultSchedule::clean());
@@ -922,6 +1349,7 @@ mod tests {
                     action: FaultAction::Drop,
                 },
             ],
+            ..FaultSchedule::clean()
         };
         let shrunk = shrink_schedule(&noisy, fails);
         assert_eq!(shrunk.entries.len(), 1, "one Drop suffices: {shrunk:?}");
@@ -931,6 +1359,181 @@ mod tests {
             shrunk.render(),
             again.render(),
             "shrinking is deterministic"
+        );
+    }
+
+    #[test]
+    fn chaos_schedules_are_recoverable_and_seed_stable() {
+        let plan = SchedulePlan::default();
+        let chaos = ChaosPlan::default();
+        let a = FaultSchedule::generate_chaos(0x5A6E, &plan, &chaos);
+        let b = FaultSchedule::generate_chaos(0x5A6E, &plan, &chaos);
+        assert_eq!(a, b);
+        assert!(!a.lifecycle.is_empty(), "chaos draws lifecycle faults");
+        assert!(a.is_recoverable(), "every crash pairs with a restart");
+        assert!(a.last_fault_ns() > 0);
+        assert_eq!(
+            a.entries,
+            FaultSchedule::generate(0x5A6E, &plan).entries,
+            "the packet-fault half is untouched by the chaos stream"
+        );
+        let rendered = a.render();
+        assert!(rendered.contains("lifecycle: vec!["));
+    }
+
+    #[test]
+    fn shrinking_spans_lifecycle_entries() {
+        let noisy = FaultSchedule {
+            seed: 0x77,
+            entries: vec![ScheduleEntry {
+                link: 1,
+                transmit_index: 0,
+                action: FaultAction::Reorder,
+            }],
+            lifecycle: vec![
+                LifecycleEntry::Crash {
+                    node: 2,
+                    at_ns: 1_000,
+                },
+                LifecycleEntry::Restart {
+                    node: 2,
+                    at_ns: 2_000,
+                },
+                LifecycleEntry::Flap {
+                    link: 0,
+                    at_ns: 500,
+                    down_ns: 100,
+                },
+            ],
+        };
+        // Predicate: a recoverable schedule that still flaps link 0.  The
+        // recoverability guard keeps the orphaned-crash candidate out.
+        let fails = |s: &FaultSchedule| {
+            s.is_recoverable()
+                && s.lifecycle
+                    .iter()
+                    .any(|e| matches!(e, LifecycleEntry::Flap { link: 0, .. }))
+        };
+        let shrunk = shrink_schedule(&noisy, fails);
+        assert!(shrunk.entries.is_empty());
+        assert_eq!(
+            shrunk.lifecycle,
+            vec![LifecycleEntry::Flap {
+                link: 0,
+                at_ns: 500,
+                down_ns: 100,
+            }],
+            "crash/restart pair and packet entry all shrink away"
+        );
+    }
+
+    #[test]
+    fn unmatched_crash_is_not_recoverable() {
+        let schedule = FaultSchedule {
+            seed: 0,
+            entries: vec![],
+            lifecycle: vec![LifecycleEntry::Crash { node: 1, at_ns: 10 }],
+        };
+        assert!(!schedule.is_recoverable());
+        assert_eq!(schedule.last_fault_ns(), u64::MAX);
+    }
+
+    fn note(time: u64, node: &str, text: &str) -> crate::sim::TraceEvent {
+        crate::sim::TraceEvent {
+            time: SimTime(time),
+            node: NodeId(0),
+            node_name: node.to_string(),
+            kind: TraceEventKind::Note(text.to_string()),
+        }
+    }
+
+    #[test]
+    fn liveness_accepts_recovery_within_bound_and_reports_it_late_or_missing() {
+        let trace = EventTrace {
+            events: vec![note(5_000, "h1", "ping=ok"), note(9_000, "h1", "ping=ok")],
+        };
+        assert!(check_liveness("icmp", &trace, SimTime(4_000), 2_000).is_empty());
+        assert_eq!(
+            recovery_time_ns("icmp", &trace, SimTime(4_000)),
+            Some(1_000)
+        );
+        let late = check_liveness("icmp", &trace, SimTime(6_000), 1_000);
+        assert_eq!(late.len(), 1);
+        assert_eq!(late[0].property, "icmp_ping_recovers");
+        let missing = check_liveness("icmp", &EventTrace::default(), SimTime(0), 1_000);
+        assert!(missing[0].detail.contains("no recovery evidence"));
+    }
+
+    #[test]
+    fn bfd_liveness_requires_every_session_to_end_up() {
+        let recovered = EventTrace {
+            events: vec![
+                note(1_000, "h1", "bfd_state=Up"),
+                note(2_000, "h1", "node-down"),
+                note(3_000, "h1", "bfd_state=Down"),
+                note(4_000, "h1", "bfd_state=Init"),
+                note(5_000, "h1", "bfd_state=Up"),
+                note(1_500, "h2", "bfd_state=Up"),
+            ],
+        };
+        assert!(check_liveness("bfd", &recovered, SimTime(2_500), 5_000).is_empty());
+        // h1 re-enters Up at 5_000; h2 was Up before the faults cleared,
+        // so its recovery clamps to recover_after.
+        assert_eq!(
+            recovery_time_ns("bfd", &recovered, SimTime(2_500)),
+            Some(2_500)
+        );
+        let stuck = EventTrace {
+            events: vec![
+                note(1_000, "h1", "bfd_state=Up"),
+                note(2_000, "h1", "node-down"),
+            ],
+        };
+        assert_eq!(
+            check_liveness("bfd", &stuck, SimTime(2_500), 5_000)[0].property,
+            "bfd_returns_up"
+        );
+    }
+
+    fn deliver(time: u64, node: &str, bytes: Vec<u8>) -> crate::sim::TraceEvent {
+        crate::sim::TraceEvent {
+            time: SimTime(time),
+            node: NodeId(0),
+            node_name: node.to_string(),
+            kind: TraceEventKind::Deliver(bytes),
+        }
+    }
+
+    fn bfd_datagram(state: bfd::SessionState) -> Vec<u8> {
+        let control = bfd::build_control_packet(state, 1, 2, 3, false);
+        let segment = udp::build_datagram(1, 2, 49152, BFD_CONTROL_PORT, control.as_bytes());
+        ipv4::build_packet(1, 2, ipv4::PROTO_UDP, 255, segment.as_bytes())
+            .as_bytes()
+            .to_vec()
+    }
+
+    #[test]
+    fn detection_timeout_legalises_the_drop_to_down() {
+        // Bring the tracked session to Up via legal deliveries first.
+        let come_up = vec![
+            deliver(1_000, "h1", bfd_datagram(bfd::SessionState::Down)),
+            note(1_001, "h1", "bfd_state=Init"),
+            deliver(2_000, "h1", bfd_datagram(bfd::SessionState::Up)),
+            note(2_001, "h1", "bfd_state=Up"),
+        ];
+        let mut timed_out = come_up.clone();
+        timed_out.push(note(3_000, "h1", "bfd=detection-timeout"));
+        timed_out.push(note(3_000, "h1", "bfd_state=Down"));
+        assert!(
+            check_bfd(&EventTrace { events: timed_out }).is_empty(),
+            "timeout-driven Up->Down is legal without a delivered packet"
+        );
+        let mut silent = come_up;
+        silent.push(note(3_000, "h1", "bfd_state=Down"));
+        assert_eq!(
+            check_bfd(&EventTrace { events: silent }).len(),
+            1,
+            "Up->Down with no packet and no timeout stays a violation"
         );
     }
 }

@@ -222,7 +222,7 @@ pub fn reference_scenarios() -> ScenarioRegistry {
 
 /// Bind reference [`RouterNode`]s on every router except `skip` — the
 /// forwarding fabric every scenario shares.
-fn bind_infrastructure_routers(sim: &mut SimBuilder, skip: Option<NodeId>) {
+pub(crate) fn bind_infrastructure_routers(sim: &mut SimBuilder, skip: Option<NodeId>) {
     for r in sim.topology().routers() {
         if Some(r) == skip {
             continue;
@@ -388,11 +388,12 @@ impl Node for IgmpQuerierNode {
 }
 
 /// The host side: answers membership queries through the pluggable
-/// responder.
-struct IgmpHostNode {
-    host_addr: u32,
-    group: u32,
-    responder: Box<dyn IgmpResponder>,
+/// responder.  Shared with the chaos scenarios, which pair it with a
+/// re-querying querier instead of the one-shot one.
+pub(crate) struct IgmpHostNode {
+    pub(crate) host_addr: u32,
+    pub(crate) group: u32,
+    pub(crate) responder: Box<dyn IgmpResponder>,
 }
 
 impl Node for IgmpHostNode {
@@ -589,9 +590,11 @@ impl Node for NtpClientNode {
     }
 }
 
-struct NtpServerNode {
-    server_addr: u32,
-    server: Box<dyn NtpServer>,
+/// The NTP server side, shared with the chaos scenarios (the server is
+/// stateless, so crash/restart needs no extra handling).
+pub(crate) struct NtpServerNode {
+    pub(crate) server_addr: u32,
+    pub(crate) server: Box<dyn NtpServer>,
 }
 
 impl Node for NtpServerNode {

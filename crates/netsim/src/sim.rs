@@ -601,6 +601,17 @@ pub trait Node {
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// Called when the kernel restarts this node after a
+    /// [`SimBuilder::crash_at`]/[`SimBuilder::restart_at`] cycle (or
+    /// power-cycles a running node).  The node's protocol state must come
+    /// back as if freshly booted: reset session variables, then
+    /// re-originate traffic and re-arm timers.  Every timer set before the
+    /// crash has already been invalidated by the kernel's generation tag.
+    /// Defaults to [`Node::on_start`] — a restart is a fresh boot.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.on_start(ctx);
+    }
 }
 
 /// An action emitted by a handler, applied by the kernel in emission order.
@@ -830,6 +841,22 @@ enum QueuedKind {
     TimerFire {
         node: NodeId,
         token: u64,
+        /// The owning node's restart generation when the timer was set; a
+        /// fire whose generation no longer matches is stale (the node
+        /// crashed or power-cycled in between) and is dropped.
+        generation: u32,
+    },
+    NodeCrash {
+        node: NodeId,
+    },
+    NodeRestart {
+        node: NodeId,
+    },
+    LinkDown {
+        link: LinkId,
+    },
+    LinkUp {
+        link: LinkId,
     },
 }
 
@@ -857,11 +884,22 @@ impl Ord for QueuedEvent {
     }
 }
 
+/// A scheduled node/link lifecycle change, registered on the builder and
+/// fired by the kernel at its virtual time.
+#[derive(Debug, Clone, Copy)]
+enum LifecycleAction {
+    Crash(NodeId),
+    Restart(NodeId),
+    LinkDown(LinkId),
+    LinkUp(LinkId),
+}
+
 /// Builds a [`Sim`]: a topology plus per-node handlers and per-link models.
 pub struct SimBuilder {
     topology: Topology,
     handlers: Vec<Option<Box<dyn Node>>>,
     link_models: Vec<Option<Box<dyn LinkModel>>>,
+    lifecycle: Vec<(SimTime, LifecycleAction)>,
     max_events: usize,
 }
 
@@ -874,6 +912,7 @@ impl SimBuilder {
             topology,
             handlers: (0..nodes).map(|_| None).collect(),
             link_models: (0..links).map(|_| None).collect(),
+            lifecycle: Vec::new(),
             max_events: 100_000,
         }
     }
@@ -913,10 +952,47 @@ impl SimBuilder {
         self
     }
 
+    /// Crash `node` at virtual time `at`: its handler stops receiving
+    /// packets (arrivals trace as `drop node down`) and every timer it set
+    /// before the crash is invalidated.  The trace records a `node-down`
+    /// note at the crash instant.
+    pub fn crash_at(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.lifecycle.push((at, LifecycleAction::Crash(node)));
+        self
+    }
+
+    /// Restart `node` at virtual time `at`: the kernel calls
+    /// [`Node::on_restart`] so the handler resets its protocol state and
+    /// re-originates traffic.  Restarting a running node is a power-cycle
+    /// (state reset, pre-restart timers invalidated).  The trace records a
+    /// `node-up` note.
+    pub fn restart_at(&mut self, node: NodeId, at: SimTime) -> &mut Self {
+        self.lifecycle.push((at, LifecycleAction::Restart(node)));
+        self
+    }
+
+    /// Take `link` down at virtual time `at`: subsequent transmits trace
+    /// as `drop link down` (the link model is not consulted) until a
+    /// matching [`SimBuilder::link_up_at`].  The trace records a
+    /// `link-down <a>-<b>` note at the link's first endpoint.
+    pub fn link_down_at(&mut self, link: LinkId, at: SimTime) -> &mut Self {
+        self.lifecycle.push((at, LifecycleAction::LinkDown(link)));
+        self
+    }
+
+    /// Bring `link` back up at virtual time `at`.  The trace records a
+    /// `link-up <a>-<b>` note at the link's first endpoint.
+    pub fn link_up_at(&mut self, link: LinkId, at: SimTime) -> &mut Self {
+        self.lifecycle.push((at, LifecycleAction::LinkUp(link)));
+        self
+    }
+
     /// Compute routes and produce a runnable [`Sim`].
     pub fn build(self) -> Sim {
         let routes = Routes::compute(&self.topology);
-        Sim {
+        let nodes = self.topology.nodes.len();
+        let links = self.topology.links.len();
+        let mut sim = Sim {
             topology: self.topology,
             routes,
             handlers: self.handlers,
@@ -925,7 +1001,28 @@ impl SimBuilder {
             next_seq: 0,
             trace: EventTrace::default(),
             max_events: self.max_events,
+            node_alive: vec![true; nodes],
+            node_generation: vec![0; nodes],
+            link_state_up: vec![true; links],
+        };
+        // Lifecycle events enter the queue first, in registration order, so
+        // simultaneous lifecycle changes fire deterministically before any
+        // same-instant traffic scheduled later.
+        for (at, action) in self.lifecycle {
+            let kind = match action {
+                LifecycleAction::Crash(node) => QueuedKind::NodeCrash { node },
+                LifecycleAction::Restart(node) => QueuedKind::NodeRestart { node },
+                LifecycleAction::LinkDown(link) => QueuedKind::LinkDown { link },
+                LifecycleAction::LinkUp(link) => QueuedKind::LinkUp { link },
+            };
+            let seq = sim.bump_seq();
+            sim.queue.push(Reverse(QueuedEvent {
+                time: at,
+                seq,
+                kind,
+            }));
         }
+        sim
     }
 }
 
@@ -940,6 +1037,14 @@ pub struct Sim {
     next_seq: u64,
     trace: EventTrace,
     max_events: usize,
+    /// Per-node liveness: crashed nodes neither receive packets nor run
+    /// timers until restarted.
+    node_alive: Vec<bool>,
+    /// Per-node restart generation; timers are tagged with it when set and
+    /// dropped as stale when it moved on (see [`QueuedKind::TimerFire`]).
+    node_generation: Vec<u32>,
+    /// Per-link administrative state; transmits on a downed link drop.
+    link_state_up: Vec<bool>,
 }
 
 impl Sim {
@@ -970,6 +1075,10 @@ impl Sim {
             processed += 1;
             match event.kind {
                 QueuedKind::Arrival { node, from, packet } => {
+                    if !self.node_alive[node.0] {
+                        self.trace_event(event.time, node, TraceEventKind::Drop("node down"));
+                        continue;
+                    }
                     self.trace_event(
                         event.time,
                         node,
@@ -983,7 +1092,17 @@ impl Sim {
                         self.handlers[node.0] = Some(handler);
                     }
                 }
-                QueuedKind::TimerFire { node, token } => {
+                QueuedKind::TimerFire {
+                    node,
+                    token,
+                    generation,
+                } => {
+                    if !self.node_alive[node.0] || generation != self.node_generation[node.0] {
+                        // Set before a crash or power-cycle: never delivered
+                        // to the restarted handler.
+                        self.trace_event(event.time, node, TraceEventKind::Drop("stale timer"));
+                        continue;
+                    }
                     self.trace_event(event.time, node, TraceEventKind::Timer(token));
                     if let Some(mut handler) = self.handlers[node.0].take() {
                         let mut ctx = self.ctx(event.time, node, None);
@@ -991,6 +1110,49 @@ impl Sim {
                         let actions = ctx.actions;
                         self.apply_actions(event.time, node, actions);
                         self.handlers[node.0] = Some(handler);
+                    }
+                }
+                QueuedKind::NodeCrash { node } => {
+                    if self.node_alive[node.0] {
+                        self.node_alive[node.0] = false;
+                        self.node_generation[node.0] += 1;
+                        self.trace_event(
+                            event.time,
+                            node,
+                            TraceEventKind::Note("node-down".to_string()),
+                        );
+                    }
+                }
+                QueuedKind::NodeRestart { node } => {
+                    // A restart of a running node is a power-cycle: either
+                    // way the state resets and pre-restart timers go stale.
+                    self.node_generation[node.0] += 1;
+                    self.node_alive[node.0] = true;
+                    self.trace_event(
+                        event.time,
+                        node,
+                        TraceEventKind::Note("node-up".to_string()),
+                    );
+                    if let Some(mut handler) = self.handlers[node.0].take() {
+                        let mut ctx = self.ctx(event.time, node, None);
+                        handler.on_restart(&mut ctx);
+                        let actions = ctx.actions;
+                        self.apply_actions(event.time, node, actions);
+                        self.handlers[node.0] = Some(handler);
+                    }
+                }
+                QueuedKind::LinkDown { link } => {
+                    if self.link_state_up[link.0] {
+                        self.link_state_up[link.0] = false;
+                        let (at, note) = self.link_note(link, "link-down");
+                        self.trace_event(event.time, at, TraceEventKind::Note(note));
+                    }
+                }
+                QueuedKind::LinkUp { link } => {
+                    if !self.link_state_up[link.0] {
+                        self.link_state_up[link.0] = true;
+                        let (at, note) = self.link_note(link, "link-up");
+                        self.trace_event(event.time, at, TraceEventKind::Note(note));
                     }
                 }
             }
@@ -1007,6 +1169,21 @@ impl Sim {
             routes: &self.routes,
             actions: Vec::new(),
         }
+    }
+
+    /// The `(trace node, note text)` for a link lifecycle change: traced at
+    /// the link's first endpoint, naming both ends so fault context reads
+    /// inline in rendered traces and `diff_traces` output.
+    fn link_note(&self, link: LinkId, what: &str) -> (NodeId, String) {
+        let spec = &self.topology.links[link.0];
+        let name = |n: NodeId| {
+            self.topology
+                .nodes
+                .get(n.0)
+                .map(|s| s.name.as_str())
+                .unwrap_or("?")
+        };
+        (spec.a, format!("{what} {}-{}", name(spec.a), name(spec.b)))
     }
 
     fn trace_event(&mut self, time: SimTime, node: NodeId, kind: TraceEventKind) {
@@ -1045,10 +1222,15 @@ impl Sim {
                 }
                 Action::Timer { delay_ns, token } => {
                     let seq = self.bump_seq();
+                    let generation = self.node_generation[node.0];
                     self.queue.push(Reverse(QueuedEvent {
                         time: now.offset(delay_ns),
                         seq,
-                        kind: QueuedKind::TimerFire { node, token },
+                        kind: QueuedKind::TimerFire {
+                            node,
+                            token,
+                            generation,
+                        },
                     }));
                 }
                 Action::Note(text) => self.trace_event(now, node, TraceEventKind::Note(text)),
@@ -1108,6 +1290,13 @@ impl Sim {
         let Some(to) = spec.peer_of(from) else {
             return;
         };
+        if !self.link_state_up[link.0] {
+            // An administratively downed link never carries the packet;
+            // the link model is not consulted, so its transmit counter
+            // only ever counts packets that reached the wire.
+            self.trace_event(now, from, TraceEventKind::Drop("link down"));
+            return;
+        }
         let deliveries = match self.link_models[link.0].as_mut() {
             Some(model) => model.transmit(packet),
             None => vec![LinkDelivery::intact(packet.clone())],
@@ -1521,6 +1710,220 @@ mod tests {
         let trace = sim.build().run();
         // IP(20) + ICMP(8) + 12 payload = 40 bytes -> 40_000ns + 1_000ns.
         assert_eq!(trace.duration(), SimTime(41_000));
+    }
+
+    /// A node that arms one timer at (re)start and notes every fire and
+    /// every packet — the minimal observer for lifecycle semantics.
+    struct Rearmer {
+        delay_ns: u64,
+        boots: u32,
+    }
+    impl Node for Rearmer {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.boots += 1;
+            ctx.note(format!("boot {}", self.boots));
+            ctx.set_timer(self.delay_ns, u64::from(self.boots));
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, _p: &PacketBuf) {
+            ctx.note("packet");
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            ctx.note(format!("fired {token}"));
+        }
+    }
+
+    #[test]
+    fn stale_timers_never_reach_a_restarted_node() {
+        // Timer armed at t=0 for t=10_000; crash at t=5_000, restart at
+        // t=7_000.  The pre-crash timer must be dropped as stale, while the
+        // timer re-armed by on_restart (for t=17_000) fires normally.
+        let mut topo = Topology::named("solo");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(
+            a,
+            Box::new(Rearmer {
+                delay_ns: 10_000,
+                boots: 0,
+            }),
+        );
+        sim.crash_at(a, SimTime(5_000));
+        sim.restart_at(a, SimTime(7_000));
+        let trace = sim.build().run();
+        let notes: Vec<&str> = trace.notes().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            notes,
+            vec!["boot 1", "node-down", "node-up", "boot 2", "fired 2"],
+            "{}",
+            trace.render()
+        );
+        let rendered = trace.render();
+        assert!(rendered.contains("drop stale timer"), "{rendered}");
+        assert!(
+            !rendered.contains("timer 1"),
+            "the pre-crash timer must not be delivered:\n{rendered}"
+        );
+        assert_eq!(trace.duration(), SimTime(17_000));
+    }
+
+    #[test]
+    fn crashed_nodes_drop_arrivals_until_restarted() {
+        let mut topo = Topology::named("pair");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let b = topo.host("b", ipv4::addr(10, 0, 1, 2), 24);
+        topo.link(a, b, 1_000);
+        struct SendAt {
+            delays: Vec<u64>,
+        }
+        impl Node for SendAt {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                for (i, d) in self.delays.iter().enumerate() {
+                    ctx.set_timer(*d, i as u64);
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                let echo = icmp::build_echo(false, 9, token as u16, b"x");
+                ctx.send(ipv4::build_packet(
+                    ipv4::addr(10, 0, 1, 1),
+                    ipv4::addr(10, 0, 1, 2),
+                    ipv4::PROTO_ICMP,
+                    64,
+                    echo.as_bytes(),
+                ));
+            }
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(
+            a,
+            Box::new(SendAt {
+                delays: vec![2_000, 20_000],
+            }),
+        );
+        sim.bind(
+            b,
+            Box::new(Rearmer {
+                delay_ns: 1_000_000,
+                boots: 0,
+            }),
+        );
+        // b is down when the first packet lands (t=3_000) and back up well
+        // before the second (t=21_000).
+        sim.crash_at(b, SimTime(2_500));
+        sim.restart_at(b, SimTime(10_000));
+        let trace = sim.build().run();
+        let rendered = trace.render();
+        assert!(rendered.contains("drop node down"), "{rendered}");
+        assert_eq!(trace.delivered_to("b").len(), 1, "{rendered}");
+        let b_notes: Vec<(&str, &str)> = trace
+            .notes()
+            .into_iter()
+            .filter(|(n, _)| *n == "b")
+            .collect();
+        assert!(b_notes.contains(&("b", "packet")), "{rendered}");
+    }
+
+    #[test]
+    fn link_flaps_gate_transmissions_and_trace_inline() {
+        let mut topo = Topology::named("pair");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let b = topo.host("b", ipv4::addr(10, 0, 1, 2), 24);
+        let link = topo.link(a, b, 1_000);
+        struct PeriodicSender {
+            sent: u16,
+        }
+        impl Node for PeriodicSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(1_000, 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _p: &PacketBuf) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+                self.sent += 1;
+                let echo = icmp::build_echo(false, 3, self.sent, b"x");
+                ctx.send(ipv4::build_packet(
+                    ipv4::addr(10, 0, 1, 1),
+                    ipv4::addr(10, 0, 1, 2),
+                    ipv4::PROTO_ICMP,
+                    64,
+                    echo.as_bytes(),
+                ));
+                if self.sent < 4 {
+                    ctx.set_timer(2_000, 0);
+                }
+            }
+        }
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(a, Box::new(PeriodicSender { sent: 0 }));
+        // Down for the window covering sends #2 and #3 (t=3_000, 5_000).
+        sim.link_down_at(link, SimTime(2_000));
+        sim.link_up_at(link, SimTime(6_000));
+        let trace = sim.build().run();
+        let rendered = trace.render();
+        assert_eq!(trace.delivered_to("b").len(), 2, "{rendered}");
+        assert_eq!(
+            rendered.matches("drop link down").count(),
+            2,
+            "two transmits hit the downed link:\n{rendered}"
+        );
+        assert!(rendered.contains("note link-down a-b"), "{rendered}");
+        assert!(rendered.contains("note link-up a-b"), "{rendered}");
+    }
+
+    #[test]
+    fn restart_of_a_running_node_is_a_power_cycle() {
+        let mut topo = Topology::named("solo");
+        let a = topo.host("a", ipv4::addr(10, 0, 1, 1), 24);
+        let mut sim = SimBuilder::new(topo);
+        sim.bind(
+            a,
+            Box::new(Rearmer {
+                delay_ns: 10_000,
+                boots: 0,
+            }),
+        );
+        // No crash: restarting a live node still resets state and
+        // invalidates the pending timer.
+        sim.restart_at(a, SimTime(4_000));
+        let trace = sim.build().run();
+        let notes: Vec<&str> = trace.notes().into_iter().map(|(_, t)| t).collect();
+        assert_eq!(
+            notes,
+            vec!["boot 1", "node-up", "boot 2", "fired 2"],
+            "{}",
+            trace.render()
+        );
+        assert!(trace.render().contains("drop stale timer"));
+    }
+
+    #[test]
+    fn lifecycle_free_runs_are_byte_identical_to_before() {
+        // The lifecycle machinery must be invisible when unused: two runs
+        // of a plain scenario, one built through a builder that never
+        // schedules lifecycle events, render identically.
+        let build = || {
+            let topo = Topology::appendix_a();
+            let client = topo.addr_of(topo.node_named("client").unwrap());
+            let router_addr = topo.addr_of(topo.node_named("router").unwrap());
+            let mut sim = SimBuilder::new(topo);
+            sim.bind_named(
+                "router",
+                Box::new(RouterNode::new(
+                    RouterConfig::appendix_a(),
+                    Box::new(ReferenceResponder),
+                )),
+            )
+            .unwrap();
+            sim.bind_named(
+                "client",
+                Box::new(Pinger {
+                    src: client,
+                    dst: router_addr,
+                }),
+            )
+            .unwrap();
+            sim.build().run()
+        };
+        assert_eq!(build().render(), build().render());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! independent oracles for the trace-parity tests.
 
 pub mod bfd_session;
+pub mod chaos;
 pub mod igmp;
 pub mod ntp_exchange;
 pub mod ping;
@@ -25,6 +26,10 @@ pub mod traceroute;
 #[allow(deprecated)]
 pub use bfd_session::session_bring_up;
 pub use bfd_session::{BfdEndpoint, BringUpReport, ReferenceBfdEndpoint};
+pub use chaos::{
+    chaos_reference_scenario, chaos_reference_scenarios, ChaosBfdScenario, ChaosIgmpScenario,
+    ChaosNtpScenario, ChaosPingScenario, CHAOS_HORIZON_NS, CHAOS_RECOVERY_BOUND_NS,
+};
 #[allow(deprecated)]
 pub use igmp::membership_exchange;
 pub use igmp::{IgmpExchangeReport, IgmpResponder, ReferenceIgmpResponder};

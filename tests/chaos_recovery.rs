@@ -1,0 +1,217 @@
+//! Chaos recovery: node crashes, restarts and link flaps applied to the
+//! four protocol recovery scenarios, with liveness checked after the
+//! last fault clears.
+//!
+//! The invariants:
+//!
+//! * any *recoverable* schedule (every crash paired with a later restart,
+//!   every flap self-clearing — i.e. a schedule with a fault-free tail)
+//!   lets every protocol re-converge within a bounded virtual time of the
+//!   last fault clearing, on the reference engine under arbitrary
+//!   packet faults layered on top;
+//! * the full chaos campaign (4 protocols × 2 engines × 5 topologies at
+//!   the `PROPTEST_SEED` fixed seed) reports zero violations and renders
+//!   byte-identically at every worker count — the determinism that lets
+//!   `BENCH_chaos.json` be committed.
+//!
+//! Failures shrink to a minimal replayable schedule written to
+//! `target/fuzz/` (CI uploads the directory) and printed as a repro
+//! snippet pinned by `PROPTEST_SEED`.
+
+use proptest::prelude::*;
+
+use sage_repro::core::fuzz::{run_chaos_campaign, ChaosConfig, CHAOS_ENGINES, FUZZ_PROTOCOLS};
+use sage_repro::interp::harness::repro_snippet;
+use sage_repro::netsim::fuzz::{
+    check_liveness, seed_from_env, shrink_schedule, FaultSchedule, LifecycleEntry,
+};
+use sage_repro::netsim::scenario::run_scenario_on;
+use sage_repro::netsim::sim::{SimTime, Topology};
+use sage_repro::netsim::tools::{chaos_reference_scenario, CHAOS_RECOVERY_BOUND_NS};
+use sage_repro::netsim::FuzzedScenario;
+
+/// Persist a shrunk repro so CI can upload it as an artifact.
+fn save_repro(name: &str, snippet: &str) {
+    let dir = std::path::Path::new("target").join("fuzz");
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join(name), snippet);
+    }
+}
+
+/// Liveness violations of `protocol`'s reference chaos scenario run under
+/// `schedule` on appendix A.  Non-recoverable candidates read as passing
+/// — the shrinker guard from `shrink_schedule`'s contract.
+fn liveness_violations(protocol: &str, schedule: &FaultSchedule) -> Vec<String> {
+    if !schedule.is_recoverable() {
+        return Vec::new();
+    }
+    let scenario = chaos_reference_scenario(protocol);
+    let fuzzed = FuzzedScenario::named(
+        format!("{}+chaos", scenario.name()),
+        scenario,
+        schedule.clone(),
+    );
+    let run = run_scenario_on(&fuzzed, Topology::appendix_a()).expect("appendix A fits chaos");
+    check_liveness(
+        protocol,
+        &run.trace,
+        SimTime(schedule.last_fault_ns()),
+        CHAOS_RECOVERY_BOUND_NS,
+    )
+    .iter()
+    .map(|v| format!("{} ({})", v.property, v.detail))
+    .collect()
+}
+
+/// A recoverable lifecycle grammar sized for the chaos scenarios' 6s
+/// horizon: faults start inside the first 2 virtual seconds and outages
+/// run 100–500ms, so the 3s recovery bound expires before the horizon.
+fn arb_lifecycle() -> impl Strategy<Value = Vec<LifecycleEntry>> {
+    let crash_pair = (
+        (0usize..5),
+        (0u64..2_000_000_000),
+        (100_000_000u64..500_000_000),
+    )
+        .prop_map(|(node, at_ns, down_ns)| {
+            vec![
+                LifecycleEntry::Crash { node, at_ns },
+                LifecycleEntry::Restart {
+                    node,
+                    at_ns: at_ns + down_ns,
+                },
+            ]
+        });
+    let flap = (
+        (0usize..4),
+        (0u64..2_000_000_000),
+        (100_000_000u64..500_000_000),
+    )
+        .prop_map(|(link, at_ns, down_ns)| {
+            vec![LifecycleEntry::Flap {
+                link,
+                at_ns,
+                down_ns,
+            }]
+        });
+    prop::collection::vec(prop_oneof![crash_pair, flap], 0..3)
+        .prop_map(|groups| groups.into_iter().flatten().collect())
+}
+
+proptest! {
+    /// The tentpole liveness sweep: any schedule with a fault-free tail
+    /// converges for all four protocols — BFD sessions return to Up, the
+    /// NTP client resynchronises, IGMP re-converges on a report and ping
+    /// answers again — within the recovery bound.
+    #[test]
+    fn recoverable_schedules_converge_for_every_protocol(
+        lifecycle in arb_lifecycle(),
+        protocol_index in 0usize..4,
+    ) {
+        let protocol = FUZZ_PROTOCOLS[protocol_index];
+        let schedule = FaultSchedule {
+            seed: seed_from_env(),
+            lifecycle,
+            ..FaultSchedule::clean()
+        };
+        prop_assert!(schedule.is_recoverable(), "grammar only emits recoverable schedules");
+        let violations = liveness_violations(protocol, &schedule);
+        if !violations.is_empty() {
+            let shrunk = shrink_schedule(&schedule, |s| {
+                !liveness_violations(protocol, s).is_empty()
+            });
+            let snippet = repro_snippet(
+                &format!("{protocol} chaos liveness"),
+                &Topology::appendix_a().name,
+                &shrunk,
+            );
+            save_repro("chaos_liveness.txt", &snippet);
+            prop_assert!(false, "liveness violations {violations:?}\n{snippet}");
+        }
+    }
+}
+
+/// The campaign surface end to end: at the pinned seed every cell of the
+/// 4 × 2 × 5 grid holds safety and liveness, reference and generated
+/// cells of a pair replay the same schedule, and the report — including
+/// the `BENCH_chaos.json` serialisation — is byte-identical at every
+/// worker count.
+#[test]
+fn chaos_campaign_is_green_and_invariant_under_worker_count() {
+    let one = run_chaos_campaign(&ChaosConfig {
+        workers: 1,
+        ..ChaosConfig::default()
+    });
+    assert!(
+        one.all_ok(),
+        "chaos campaign found a violation:\n{}",
+        one.render()
+    );
+    assert_eq!(
+        one.cells.len(),
+        FUZZ_PROTOCOLS.len() * CHAOS_ENGINES.len() * Topology::library().len()
+    );
+    for cell in &one.cells {
+        let twin = one
+            .cells
+            .iter()
+            .find(|c| {
+                c.protocol == cell.protocol
+                    && c.topology == cell.topology
+                    && c.engine != cell.engine
+            })
+            .expect("every cell has its other-engine twin");
+        assert_eq!(
+            cell.schedule_seed, twin.schedule_seed,
+            "reference and generated cells of a pair must replay the same schedule"
+        );
+    }
+    let many = run_chaos_campaign(&ChaosConfig {
+        workers: 8,
+        ..ChaosConfig::default()
+    });
+    assert_eq!(
+        one.render(),
+        many.render(),
+        "chaos campaigns replay byte-for-byte across worker counts"
+    );
+    assert_eq!(
+        one.to_baseline_json("note"),
+        many.to_baseline_json("note"),
+        "the committed baseline must not depend on the worker count"
+    );
+}
+
+/// The crash-fault plumbing end to end at the trace level: a crash marks
+/// the node down, the restart marks it up, and the run recovers.
+#[test]
+fn campaign_schedules_exercise_real_crashes() {
+    let schedule = FaultSchedule {
+        lifecycle: vec![
+            LifecycleEntry::Crash {
+                node: 1,
+                at_ns: 600_000_000,
+            },
+            LifecycleEntry::Restart {
+                node: 1,
+                at_ns: 900_000_000,
+            },
+        ],
+        ..FaultSchedule::clean()
+    };
+    let scenario = chaos_reference_scenario("icmp");
+    let fuzzed = FuzzedScenario::named("ping/chaos+crash", scenario, schedule.clone());
+    let run = run_scenario_on(&fuzzed, Topology::appendix_a()).expect("appendix A fits chaos");
+    let rendered = run.trace.render();
+    assert!(
+        rendered.contains("node-down"),
+        "crash must be traced:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("node-up"),
+        "restart must be traced:\n{rendered}"
+    );
+    assert!(
+        liveness_violations("icmp", &schedule).is_empty(),
+        "ping must recover from a crash"
+    );
+}

@@ -79,7 +79,7 @@ proptest! {
         protocol_index in 0usize..4,
     ) {
         let protocol = PROTOCOLS[protocol_index];
-        let schedule = FaultSchedule { seed: seed_from_env(), entries };
+        let schedule = FaultSchedule { seed: seed_from_env(), entries, ..FaultSchedule::clean() };
         let topology = Topology::appendix_a();
         let traces = tri_run(registry(), protocol, topology.clone(), &schedule)
             .expect("appendix A fits every scenario");
