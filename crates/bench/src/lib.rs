@@ -1,5 +1,7 @@
 //! Shared rendering helpers for the table/figure regeneration binaries.
 
+#![deny(missing_docs)]
+
 use sage_core::evaluation as eval;
 use sage_spec::corpus::Protocol;
 

@@ -14,11 +14,19 @@
 //!                  crash/restart/flap schedules, judged by safety plus
 //!                  liveness; with --json, writes the recovery-time
 //!                  baseline (BENCH_chaos.json)
+//!   --soak         run the overload-resilience soak campaign instead of
+//!                  the sweep: thousands of concurrent sessions per
+//!                  protocol across steady/chaos/overload/canary shards
+//!                  in Summary trace mode; with --smoke, the CI-scale
+//!                  grid (1,024 sessions, >1M packets); with --json,
+//!                  writes the throughput/latency/resilience baseline
+//!                  (BENCH_soak.json)
 //! ```
 //!
 //! Prints the sweep grid and exits nonzero if any cell fails a check.
 
 use sage_core::fuzz::{fuzzed_scenarios, run_chaos_campaign, ChaosConfig};
+use sage_core::soak::{run_soak_campaign, SoakConfig};
 use sage_core::sweep::{full_registry, run_sweep};
 use sage_netsim::fuzz::seed_from_env;
 use sage_netsim::sim::Topology;
@@ -31,6 +39,7 @@ fn main() {
     let mut smoke = false;
     let mut fuzz = false;
     let mut chaos = false;
+    let mut soak = false;
     let mut workers: Option<usize> = None;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -39,6 +48,7 @@ fn main() {
             "--smoke" => smoke = true,
             "--fuzz" => fuzz = true,
             "--chaos" => chaos = true,
+            "--soak" => soak = true,
             "--workers" => {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
@@ -59,7 +69,7 @@ fn main() {
             other => {
                 eprintln!(
                     "eval-sweep: unknown flag '{other}' \
-                     (try --smoke, --fuzz, --chaos, --workers N, --json PATH)"
+                     (try --smoke, --fuzz, --chaos, --soak, --workers N, --json PATH)"
                 );
                 std::process::exit(2);
             }
@@ -73,6 +83,52 @@ fn main() {
                 .unwrap_or(1)
         })
     };
+
+    if soak {
+        // --smoke is the committed CI grid; without it, scale the same
+        // shape up 4x for a longer local soak.
+        let mut config = SoakConfig {
+            workers: workers_or_default(workers),
+            ..SoakConfig::smoke()
+        };
+        if !smoke {
+            config.sessions_per_shard *= 2;
+            config.rounds *= 2;
+        }
+        let report = run_soak_campaign(&config);
+        print!("{}", report.render());
+        if let Some(path) = json_path {
+            let note = format!(
+                "Overload-resilience soak baseline: 4 protocols x {} shards \
+                 (steady/chaos/overload/canary) x {} sessions, {} rounds (seed 0x{:x}); \
+                 all figures are virtual-time-derived, so the file is machine- and \
+                 worker-count-independent; produced by cargo run -p sage-core --release \
+                 --bin eval-sweep -- --soak --smoke --json BENCH_soak.json.",
+                config.shards_per_protocol, config.sessions_per_shard, config.rounds, config.seed,
+            );
+            match std::fs::write(&path, report.to_baseline_json(&note)) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("eval-sweep: cannot write {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        let sessions = report.total_sessions();
+        let delivered = report.total_delivered();
+        if sessions < 1000 || delivered < 1_000_000 {
+            eprintln!(
+                "eval-sweep: soak scale floor missed: {sessions} sessions \
+                 (need >= 1000), {delivered} packets delivered (need >= 1000000)"
+            );
+            std::process::exit(1);
+        }
+        if report.shards.iter().any(|s| s.delivered == 0) {
+            eprintln!("eval-sweep: a soak shard collapsed (zero deliveries)");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if chaos {
         let config = ChaosConfig {

@@ -213,7 +213,7 @@ impl FuzzReport {
 /// Derive a cell's schedule seed from the campaign seed and its grid
 /// coordinates — one SplitMix64 draw, so adjacent cells get well-mixed,
 /// order-independent streams.
-fn cell_seed(campaign: u64, protocol_index: usize, iteration: u32) -> u64 {
+pub(crate) fn cell_seed(campaign: u64, protocol_index: usize, iteration: u32) -> u64 {
     FaultRng::new(
         campaign
             .wrapping_add((protocol_index as u64) << 32)
@@ -594,7 +594,7 @@ impl ChaosReport {
 }
 
 /// Escape a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
         match ch {

@@ -16,12 +16,15 @@
 //! assert!(report.analyses.len() > 50);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod batch;
 pub mod evaluation;
 pub mod fuzz;
 pub mod icmp;
 pub mod pipeline;
 pub mod programs;
+pub mod soak;
 pub mod sweep;
 
 pub use batch::{BatchItem, BatchPipeline, BatchReport, StageReport};
@@ -36,5 +39,8 @@ pub use pipeline::{
 pub use programs::{
     generate_bfd_program, generate_igmp_program, generate_ntp_program, generate_program,
     lowering_summary, LoweringSummary,
+};
+pub use soak::{
+    run_soak_campaign, ProtocolSoakStats, SoakConfig, SoakReport, SoakShardStats, SOAK_ROLES,
 };
 pub use sweep::{full_registry, run_sweep, SweepCell, SweepReport};

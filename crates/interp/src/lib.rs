@@ -28,7 +28,11 @@
 //! * [`harness`] — the tri-engine differential harness: one fuzzed
 //!   exchange run on the VM, the tree-walker and the hand-written
 //!   reference, traces diffed line-for-line and failures shrunk to
-//!   minimal replayable fault schedules.
+//!   minimal replayable fault schedules;
+//! * [`quarantine`] — runtime containment for generated responders in
+//!   soak campaigns: `catch_unwind` dispatch, per-responder error
+//!   budgets, and permanent quarantine with fallback to the reference
+//!   engine once a budget is exhausted.
 
 #![deny(missing_docs)]
 
@@ -36,6 +40,7 @@ pub mod env;
 pub mod exec;
 pub mod harness;
 pub mod lower;
+pub mod quarantine;
 pub mod responder;
 pub mod vm;
 
@@ -46,6 +51,11 @@ pub use harness::{
     CanaryResponder, TriTraces, TriVerdict,
 };
 pub use lower::lower_program;
+pub use quarantine::{
+    contained_soak_service, generated_soak_service, reference_soak_service, CanarySoakResponder,
+    Contained, DrainingBfdSoak, DrainingIcmpSoak, DrainingIgmpSoak, DrainingNtpSoak,
+    DEFAULT_ERROR_BUDGET,
+};
 pub use responder::{
     generated_chaos_scenarios, generated_chaos_scenarios_in_mode, generated_scenarios,
     generated_scenarios_in_mode, BfdGeneratedReceiver, ExecMode, GeneratedBfdEndpoint,

@@ -44,14 +44,20 @@ pub enum FieldError {
     UnknownField(String),
     /// The buffer is too short to contain the field.
     OutOfBounds {
+        /// The field whose access ran past the buffer.
         field: String,
+        /// Bytes the access needed.
         needed: usize,
+        /// Bytes the buffer actually has.
         len: usize,
     },
     /// The value does not fit in the field's width.
     ValueTooLarge {
+        /// The field being written.
         field: String,
+        /// The field's width in bits.
         width_bits: usize,
+        /// The value that did not fit.
         value: u64,
     },
 }

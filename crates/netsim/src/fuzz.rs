@@ -1451,6 +1451,7 @@ mod tests {
     fn liveness_accepts_recovery_within_bound_and_reports_it_late_or_missing() {
         let trace = EventTrace {
             events: vec![note(5_000, "h1", "ping=ok"), note(9_000, "h1", "ping=ok")],
+            ..EventTrace::default()
         };
         assert!(check_liveness("icmp", &trace, SimTime(4_000), 2_000).is_empty());
         assert_eq!(
@@ -1475,6 +1476,7 @@ mod tests {
                 note(5_000, "h1", "bfd_state=Up"),
                 note(1_500, "h2", "bfd_state=Up"),
             ],
+            ..EventTrace::default()
         };
         assert!(check_liveness("bfd", &recovered, SimTime(2_500), 5_000).is_empty());
         // h1 re-enters Up at 5_000; h2 was Up before the faults cleared,
@@ -1488,6 +1490,7 @@ mod tests {
                 note(1_000, "h1", "bfd_state=Up"),
                 note(2_000, "h1", "node-down"),
             ],
+            ..EventTrace::default()
         };
         assert_eq!(
             check_liveness("bfd", &stuck, SimTime(2_500), 5_000)[0].property,
@@ -1525,13 +1528,21 @@ mod tests {
         timed_out.push(note(3_000, "h1", "bfd=detection-timeout"));
         timed_out.push(note(3_000, "h1", "bfd_state=Down"));
         assert!(
-            check_bfd(&EventTrace { events: timed_out }).is_empty(),
+            check_bfd(&EventTrace {
+                events: timed_out,
+                ..EventTrace::default()
+            })
+            .is_empty(),
             "timeout-driven Up->Down is legal without a delivered packet"
         );
         let mut silent = come_up;
         silent.push(note(3_000, "h1", "bfd_state=Down"));
         assert_eq!(
-            check_bfd(&EventTrace { events: silent }).len(),
+            check_bfd(&EventTrace {
+                events: silent,
+                ..EventTrace::default()
+            })
+            .len(),
             1,
             "Up->Down with no packet and no timeout stays a violation"
         );

@@ -26,6 +26,8 @@
 //!   property checkers, and minimal-schedule shrinking for differential
 //!   fuzzing of the generated responders.
 
+#![deny(missing_docs)]
+
 pub mod buffer;
 pub mod checksum;
 pub mod faulty;
@@ -54,7 +56,7 @@ pub use scenario::{
     ScenarioRegistry, ScenarioRun,
 };
 pub use sim::{
-    EventTrace, LinkDelivery, LinkModel, Node, NodeId, RouterNode, Sim, SimBuilder, SimTime,
-    Topology, TopologyError,
+    EventTrace, LatencyHistogram, LinkDelivery, LinkModel, Node, NodeId, RouterNode, Sim,
+    SimBuilder, SimError, SimTime, Topology, TopologyError, TraceMode, TraceSummary,
 };
 pub use tcpdump::{decode_packet, Decoded, Warning};

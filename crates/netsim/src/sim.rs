@@ -30,7 +30,7 @@ use crate::buffer::PacketBuf;
 use crate::headers::ipv4;
 use crate::net::{IcmpResponder, Interface, Network, RouterAction, RouterConfig};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// A point in virtual time, in nanoseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -120,6 +120,69 @@ impl std::fmt::Display for TopologyError {
 }
 
 impl std::error::Error for TopologyError {}
+
+/// A typed kernel-level failure: an out-of-range node/link id or a
+/// routing lookup that cannot succeed.  These are the *reachable*
+/// failure modes of the kernel API surface — callers constructing ids by
+/// hand, or asking for routes on disconnected topologies.  (Packet-time
+/// route misses are deliberately *not* errors: a packet with no route is
+/// a simulation outcome and traces as a `Drop`, never a panic.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A [`NodeId`] outside the topology's node table.
+    UnknownNode {
+        /// The out-of-range index.
+        node: usize,
+        /// Number of nodes the topology has.
+        nodes: usize,
+    },
+    /// A [`LinkId`] outside the topology's link table.
+    UnknownLink {
+        /// The out-of-range index.
+        link: usize,
+        /// Number of links the topology has.
+        links: usize,
+    },
+    /// The node has no interface address to use as its primary address.
+    NodeWithoutAddress {
+        /// The addressless node.
+        node: usize,
+    },
+    /// No path exists between two nodes of the topology.
+    NoRoute {
+        /// The source node.
+        src: usize,
+        /// The destination node.
+        dst: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::UnknownNode { node, nodes } => {
+                write!(
+                    f,
+                    "node id {node} out of range (topology has {nodes} nodes)"
+                )
+            }
+            SimError::UnknownLink { link, links } => {
+                write!(
+                    f,
+                    "link id {link} out of range (topology has {links} links)"
+                )
+            }
+            SimError::NodeWithoutAddress { node } => {
+                write!(f, "node {node} has no interface address")
+            }
+            SimError::NoRoute { src, dst } => {
+                write!(f, "no route from node {src} to node {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Whether a node is an end host or a packet-forwarding router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -310,9 +373,29 @@ impl Topology {
             .collect()
     }
 
-    /// The primary address of a node (its first interface).
+    /// The primary address of a node (its first interface).  Returns 0
+    /// for an addressless or out-of-range node; [`Topology::try_addr_of`]
+    /// is the checked form.
     pub fn addr_of(&self, n: NodeId) -> u32 {
-        self.nodes[n.0].addrs.first().map(|(a, _)| *a).unwrap_or(0)
+        self.nodes
+            .get(n.0)
+            .and_then(|spec| spec.addrs.first())
+            .map(|(a, _)| *a)
+            .unwrap_or(0)
+    }
+
+    /// The primary address of a node, with out-of-range ids and
+    /// addressless nodes reported as typed [`SimError`]s instead of a
+    /// silent 0 sentinel.
+    pub fn try_addr_of(&self, n: NodeId) -> Result<u32, SimError> {
+        let spec = self.nodes.get(n.0).ok_or(SimError::UnknownNode {
+            node: n.0,
+            nodes: self.nodes.len(),
+        })?;
+        spec.addrs
+            .first()
+            .map(|(a, _)| *a)
+            .ok_or(SimError::NodeWithoutAddress { node: n.0 })
     }
 
     /// Links incident to `n`, in ascending link order.
@@ -546,8 +629,31 @@ impl Routes {
 
     /// The link a packet leaves `src` on towards `dst` (None if unreachable
     /// or `src == dst`).
+    ///
+    /// Indexing invariant: `next_hop` is an N×N table built by
+    /// [`Routes::compute`] from the same topology the ids came from, so
+    /// in-kernel callers (which only ever pass ids the topology produced)
+    /// cannot go out of range.  Hand-built ids go through
+    /// [`Routes::try_link_towards`].
     pub fn link_towards(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
         self.next_hop[src.0][dst.0]
+    }
+
+    /// [`Routes::link_towards`] with out-of-range ids and unreachable
+    /// pairs reported as typed [`SimError`]s — the checked form scenario
+    /// and campaign code validates topologies with.
+    pub fn try_link_towards(&self, src: NodeId, dst: NodeId) -> Result<LinkId, SimError> {
+        let nodes = self.next_hop.len();
+        let row = self
+            .next_hop
+            .get(src.0)
+            .ok_or(SimError::UnknownNode { node: src.0, nodes })?;
+        row.get(dst.0)
+            .ok_or(SimError::UnknownNode { node: dst.0, nodes })?
+            .ok_or(SimError::NoRoute {
+                src: src.0,
+                dst: dst.0,
+            })
     }
 }
 
@@ -633,6 +739,8 @@ pub struct Ctx<'a> {
     arrival_from: Option<NodeId>,
     topology: &'a Topology,
     routes: &'a Routes,
+    in_flight: &'a [usize],
+    queue_capacity: Option<usize>,
     actions: Vec<Action>,
 }
 
@@ -655,6 +763,29 @@ impl Ctx<'_> {
     /// The interface addresses of a node.
     pub fn node_addrs(&self, n: NodeId) -> &[(u32, u8)] {
         &self.topology.nodes[n.0].addrs
+    }
+
+    /// The node that owns `addr`, if any — soak clients resolve their
+    /// peer for [`Ctx::backpressure`] queries with this.
+    pub fn owner_of(&self, addr: u32) -> Option<NodeId> {
+        self.topology.owner_of(addr)
+    }
+
+    /// The backpressure signal towards `node`: its ingress queue depth as
+    /// a fraction of the configured [`SimBuilder::queue_capacity`], in
+    /// `0.0..=1.0`.  `1.0` means the next transmit would be shed; `0.0`
+    /// always, when no capacity bound is configured.  Responders observe
+    /// this to degrade gracefully (skip a round, thin a burst) instead of
+    /// blindly feeding a full queue.
+    pub fn backpressure(&self, node: NodeId) -> f64 {
+        match self.queue_capacity {
+            Some(cap) if cap > 0 => {
+                let depth = self.in_flight.get(node.0).copied().unwrap_or(0);
+                (depth as f64 / cap as f64).min(1.0)
+            }
+            Some(_) => 1.0,
+            None => 0.0,
+        }
     }
 
     /// True if the kernel can route a packet from this node to `dst` (some
@@ -703,6 +834,176 @@ impl Ctx<'_> {
 // The event trace
 // ---------------------------------------------------------------------------
 
+/// How much of a run the [`EventTrace`] retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Every event is retained in [`EventTrace::events`] — the
+    /// byte-identical replay artifact the parity and determinism suites
+    /// pin.  The default.
+    #[default]
+    Full,
+    /// O(1) state per run: only the [`TraceSummary`] counters, the
+    /// virtual-latency histogram and a bounded last-K ring of rendered
+    /// event lines are kept, so million-packet soak runs never hold
+    /// O(packets) memory.  [`EventTrace::events`] stays empty.
+    Summary,
+}
+
+/// Ring capacity of [`TraceSummary::last_events`] in [`TraceMode::Summary`].
+pub const TRACE_RING_CAPACITY: usize = 64;
+
+/// A 64-bucket log2 histogram of virtual latencies: O(1) memory whatever
+/// the packet count, with nearest-rank percentiles read from bucket upper
+/// bounds.  Bucket `i` holds values in `(2^(i-1), 2^i]` (bucket 0 holds 0
+/// and 1), so percentile error is bounded by 2× — plenty for the p50/p99
+/// drift tracking the soak baselines do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; 64],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// The bucket index for a latency value.
+    fn bucket(value_ns: u64) -> usize {
+        if value_ns <= 1 {
+            0
+        } else {
+            (64 - (value_ns - 1).leading_zeros() as usize).min(63)
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, value_ns: u64) {
+        self.counts[Self::bucket(value_ns)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.total
+    }
+
+    /// The nearest-rank percentile (`p` in `0.0..=1.0`), reported as the
+    /// containing bucket's upper bound; `None` on an empty histogram.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Some(if i >= 63 { u64::MAX } else { 1u64 << i });
+            }
+        }
+        None
+    }
+
+    /// Merge another histogram into this one (cross-shard aggregation).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// O(1)-per-run statistics the kernel accumulates in *both* trace modes
+/// (so Summary-mode percentiles are exactly the Full-mode ones): event
+/// counters, per-node shed counts, the delivery-latency histogram and —
+/// in [`TraceMode::Summary`] only — a bounded ring of the most recent
+/// rendered event lines for post-mortem context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Trace events recorded (what `events.len()` would be in Full mode).
+    pub events_recorded: u64,
+    /// `Originate` events.
+    pub originated: u64,
+    /// `Forward` events.
+    pub forwarded: u64,
+    /// `Deliver` events.
+    pub delivered: u64,
+    /// `DeliverLocal` events.
+    pub delivered_local: u64,
+    /// `Timer` events.
+    pub timers: u64,
+    /// `Note` events.
+    pub notes: u64,
+    /// `Drop` events of any reason (including sheds).
+    pub drops: u64,
+    /// `Drop("shed")` events: packets the bounded ingress queue refused.
+    pub shed: u64,
+    /// Sheds per receiving node, indexed by [`NodeId`].
+    pub shed_by_node: Vec<u64>,
+    /// Watchdog trips (`stalled` notes emitted by the kernel watchdog).
+    pub watchdog_trips: u64,
+    /// Quarantine swaps (notes starting with `quarantine`), however the
+    /// containment layer phrases the rest of the note.
+    pub quarantines: u64,
+    /// Virtual delivery latency of every `Deliver` (transmit → arrival).
+    pub latency: LatencyHistogram,
+    /// The last [`TRACE_RING_CAPACITY`] rendered event lines
+    /// ([`TraceMode::Summary`] only; empty in Full mode, where
+    /// [`EventTrace::events`] has everything).
+    pub last_events: VecDeque<String>,
+    /// Virtual time of the most recent event.
+    pub last_time: SimTime,
+}
+
+impl TraceSummary {
+    /// Account one event into the counters (and the ring, in Summary
+    /// mode); shared by both trace modes so their statistics coincide.
+    fn account(&mut self, event: &TraceEvent, mode: TraceMode) {
+        self.events_recorded += 1;
+        self.last_time = self.last_time.max(event.time);
+        match &event.kind {
+            TraceEventKind::Originate(_) => self.originated += 1,
+            TraceEventKind::Forward(_) => self.forwarded += 1,
+            TraceEventKind::Deliver(_) => self.delivered += 1,
+            TraceEventKind::DeliverLocal => self.delivered_local += 1,
+            TraceEventKind::Timer(_) => self.timers += 1,
+            TraceEventKind::Note(text) => {
+                self.notes += 1;
+                if text.starts_with("quarantine") {
+                    self.quarantines += 1;
+                }
+            }
+            TraceEventKind::Drop(reason) => {
+                self.drops += 1;
+                if *reason == "shed" {
+                    self.shed += 1;
+                    if self.shed_by_node.len() <= event.node.0 {
+                        self.shed_by_node.resize(event.node.0 + 1, 0);
+                    }
+                    self.shed_by_node[event.node.0] += 1;
+                }
+            }
+        }
+        if mode == TraceMode::Summary {
+            if self.last_events.len() == TRACE_RING_CAPACITY {
+                self.last_events.pop_front();
+            }
+            self.last_events.push_back(EventTrace::render_line(event));
+        }
+    }
+}
+
 /// What happened at one trace point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEventKind {
@@ -738,8 +1039,13 @@ pub struct TraceEvent {
 /// The replayable record of one simulation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventTrace {
-    /// Events in processing order.
+    /// Events in processing order ([`TraceMode::Full`] only; empty in
+    /// Summary mode, where only [`EventTrace::summary`] is kept).
     pub events: Vec<TraceEvent>,
+    /// The mode the trace was recorded in.
+    pub mode: TraceMode,
+    /// O(1) run statistics, accumulated identically in both modes.
+    pub summary: TraceSummary,
 }
 
 impl EventTrace {
@@ -799,28 +1105,43 @@ impl EventTrace {
     }
 
     /// The virtual time of the last event (the run's virtual duration).
+    /// Mode-independent: Summary mode has no retained events, so the
+    /// summary's running maximum is consulted too.
     pub fn duration(&self) -> SimTime {
-        self.events.last().map(|e| e.time).unwrap_or(SimTime::ZERO)
+        self.events
+            .last()
+            .map(|e| e.time)
+            .unwrap_or(SimTime::ZERO)
+            .max(self.summary.last_time)
+    }
+
+    /// Render one event exactly as [`EventTrace::render`] would — also
+    /// the line format of the Summary-mode last-K ring.
+    pub fn render_line(e: &TraceEvent) -> String {
+        fn hex(bytes: &[u8]) -> String {
+            bytes.iter().map(|b| format!("{b:02x}")).collect()
+        }
+        let body = match &e.kind {
+            TraceEventKind::Originate(b) => format!("originate {}", hex(b)),
+            TraceEventKind::Forward(b) => format!("forward {}", hex(b)),
+            TraceEventKind::Deliver(b) => format!("deliver {}", hex(b)),
+            TraceEventKind::DeliverLocal => "deliver-local".to_string(),
+            TraceEventKind::Drop(r) => format!("drop {r}"),
+            TraceEventKind::Timer(t) => format!("timer {t}"),
+            TraceEventKind::Note(n) => format!("note {n}"),
+        };
+        format!("[{:>12}] {:<8} {}", e.time, e.node_name, body)
     }
 
     /// Render the trace deterministically, one line per event with full
     /// packet hex — the byte-identical artifact the determinism tests pin.
+    /// (Summary-mode traces render empty; the last-K ring in
+    /// [`TraceSummary::last_events`] holds the recent lines instead.)
     pub fn render(&self) -> String {
-        fn hex(bytes: &[u8]) -> String {
-            bytes.iter().map(|b| format!("{b:02x}")).collect()
-        }
         let mut out = String::new();
         for e in &self.events {
-            let body = match &e.kind {
-                TraceEventKind::Originate(b) => format!("originate {}", hex(b)),
-                TraceEventKind::Forward(b) => format!("forward {}", hex(b)),
-                TraceEventKind::Deliver(b) => format!("deliver {}", hex(b)),
-                TraceEventKind::DeliverLocal => "deliver-local".to_string(),
-                TraceEventKind::Drop(r) => format!("drop {r}"),
-                TraceEventKind::Timer(t) => format!("timer {t}"),
-                TraceEventKind::Note(n) => format!("note {n}"),
-            };
-            out.push_str(&format!("[{:>12}] {:<8} {}\n", e.time, e.node_name, body));
+            out.push_str(&EventTrace::render_line(e));
+            out.push('\n');
         }
         out
     }
@@ -837,6 +1158,10 @@ enum QueuedKind {
         node: NodeId,
         from: NodeId,
         packet: PacketBuf,
+        /// Transmit → arrival virtual latency (propagation +
+        /// serialization + model delay), recorded into the summary's
+        /// latency histogram at delivery.
+        latency_ns: u64,
     },
     TimerFire {
         node: NodeId,
@@ -857,6 +1182,17 @@ enum QueuedKind {
     },
     LinkUp {
         link: LinkId,
+    },
+    /// A periodic progress check for a watched node: if the node has
+    /// processed no new deliveries since `seen`, the kernel traces a
+    /// `stalled` note and counts a watchdog trip.  Re-arms itself while
+    /// any non-watchdog event is still pending, so the pump always
+    /// terminates.
+    WatchdogCheck {
+        node: NodeId,
+        budget_ns: u64,
+        /// The node's delivery count at the previous check.
+        seen: u64,
     },
 }
 
@@ -900,7 +1236,10 @@ pub struct SimBuilder {
     handlers: Vec<Option<Box<dyn Node>>>,
     link_models: Vec<Option<Box<dyn LinkModel>>>,
     lifecycle: Vec<(SimTime, LifecycleAction)>,
+    watchdogs: Vec<(NodeId, u64)>,
     max_events: usize,
+    queue_capacity: Option<usize>,
+    trace_mode: TraceMode,
 }
 
 impl SimBuilder {
@@ -913,7 +1252,10 @@ impl SimBuilder {
             handlers: (0..nodes).map(|_| None).collect(),
             link_models: (0..links).map(|_| None).collect(),
             lifecycle: Vec::new(),
+            watchdogs: Vec::new(),
             max_events: 100_000,
+            queue_capacity: None,
+            trace_mode: TraceMode::Full,
         }
     }
 
@@ -923,9 +1265,29 @@ impl SimBuilder {
     }
 
     /// Bind a handler to a node by id.
+    ///
+    /// Indexing invariant: `handlers` is sized from the topology at
+    /// construction, so ids the topology produced cannot go out of
+    /// range; hand-built ids go through [`SimBuilder::try_bind`].
     pub fn bind(&mut self, node: NodeId, handler: Box<dyn Node>) -> &mut Self {
         self.handlers[node.0] = Some(handler);
         self
+    }
+
+    /// [`SimBuilder::bind`] with an out-of-range id reported as a typed
+    /// [`SimError`] instead of a panic.
+    pub fn try_bind(
+        &mut self,
+        node: NodeId,
+        handler: Box<dyn Node>,
+    ) -> Result<&mut Self, SimError> {
+        if node.0 >= self.handlers.len() {
+            return Err(SimError::UnknownNode {
+                node: node.0,
+                nodes: self.handlers.len(),
+            });
+        }
+        Ok(self.bind(node, handler))
     }
 
     /// Bind a handler to a node by name.  A scenario/topology mismatch
@@ -941,14 +1303,62 @@ impl SimBuilder {
     }
 
     /// Attach a fault/delay model to a link.
+    ///
+    /// Indexing invariant: `link_models` is sized from the topology at
+    /// construction; hand-built ids go through
+    /// [`SimBuilder::try_bind_link_model`].
     pub fn bind_link_model(&mut self, link: LinkId, model: Box<dyn LinkModel>) -> &mut Self {
         self.link_models[link.0] = Some(model);
         self
     }
 
+    /// [`SimBuilder::bind_link_model`] with an out-of-range id reported
+    /// as a typed [`SimError`] instead of a panic.
+    pub fn try_bind_link_model(
+        &mut self,
+        link: LinkId,
+        model: Box<dyn LinkModel>,
+    ) -> Result<&mut Self, SimError> {
+        if link.0 >= self.link_models.len() {
+            return Err(SimError::UnknownLink {
+                link: link.0,
+                links: self.link_models.len(),
+            });
+        }
+        Ok(self.bind_link_model(link, model))
+    }
+
     /// Cap the total number of processed events (runaway-loop backstop).
     pub fn max_events(&mut self, cap: usize) -> &mut Self {
         self.max_events = cap;
+        self
+    }
+
+    /// Bound every node's ingress queue to `capacity` packets in flight
+    /// (scheduled arrivals not yet delivered).  A transmit towards a
+    /// full node is shed drop-tail: the kernel traces `drop shed` at the
+    /// receiving node and bumps its [`TraceSummary::shed_by_node`]
+    /// counter instead of enqueueing.  `None` (the default) keeps the
+    /// historical unbounded behaviour.
+    pub fn queue_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
+
+    /// Select how much of the run the trace retains; see [`TraceMode`].
+    pub fn trace_mode(&mut self, mode: TraceMode) -> &mut Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Watch `node` for progress: every `budget_ns` of virtual time, the
+    /// kernel checks that the node processed at least one new delivery;
+    /// if not it traces a `stalled` note at the node and counts a
+    /// watchdog trip ([`TraceSummary::watchdog_trips`]).  The check
+    /// re-arms only while other events are still pending, so a finished
+    /// run drains instead of ticking forever.
+    pub fn watchdog(&mut self, node: NodeId, budget_ns: u64) -> &mut Self {
+        self.watchdogs.push((node, budget_ns));
         self
     }
 
@@ -992,6 +1402,11 @@ impl SimBuilder {
         let routes = Routes::compute(&self.topology);
         let nodes = self.topology.nodes.len();
         let links = self.topology.links.len();
+        let mut trace = EventTrace {
+            mode: self.trace_mode,
+            ..EventTrace::default()
+        };
+        trace.summary.shed_by_node = vec![0; nodes];
         let mut sim = Sim {
             topology: self.topology,
             routes,
@@ -999,11 +1414,15 @@ impl SimBuilder {
             link_models: self.link_models,
             queue: BinaryHeap::new(),
             next_seq: 0,
-            trace: EventTrace::default(),
+            trace,
             max_events: self.max_events,
             node_alive: vec![true; nodes],
             node_generation: vec![0; nodes],
             link_state_up: vec![true; links],
+            queue_capacity: self.queue_capacity,
+            in_flight: vec![0; nodes],
+            progress: vec![0; nodes],
+            real_pending: 0,
         };
         // Lifecycle events enter the queue first, in registration order, so
         // simultaneous lifecycle changes fire deterministically before any
@@ -1015,12 +1434,17 @@ impl SimBuilder {
                 LifecycleAction::LinkDown(link) => QueuedKind::LinkDown { link },
                 LifecycleAction::LinkUp(link) => QueuedKind::LinkUp { link },
             };
-            let seq = sim.bump_seq();
-            sim.queue.push(Reverse(QueuedEvent {
-                time: at,
-                seq,
-                kind,
-            }));
+            sim.push_event(at, kind);
+        }
+        for (node, budget_ns) in self.watchdogs {
+            sim.push_event(
+                SimTime(budget_ns),
+                QueuedKind::WatchdogCheck {
+                    node,
+                    budget_ns,
+                    seen: 0,
+                },
+            );
         }
         sim
     }
@@ -1045,6 +1469,19 @@ pub struct Sim {
     node_generation: Vec<u32>,
     /// Per-link administrative state; transmits on a downed link drop.
     link_state_up: Vec<bool>,
+    /// Ingress bound per node (`None` = unbounded, the historical
+    /// behaviour); see [`SimBuilder::queue_capacity`].
+    queue_capacity: Option<usize>,
+    /// Scheduled-but-undelivered arrivals per receiving node — the
+    /// ingress queue depth the bound and the backpressure signal read.
+    in_flight: Vec<usize>,
+    /// Deliveries processed per node — the progress measure watchdogs
+    /// compare against.
+    progress: Vec<u64>,
+    /// Queued events that are not watchdog checks.  Watchdogs re-arm only
+    /// while this is nonzero, so the pump terminates once real work
+    /// drains.
+    real_pending: usize,
 }
 
 impl Sim {
@@ -1068,17 +1505,30 @@ impl Sim {
         }
         let mut processed = 0usize;
         while let Some(Reverse(event)) = self.queue.pop() {
+            if !matches!(event.kind, QueuedKind::WatchdogCheck { .. }) {
+                self.real_pending = self.real_pending.saturating_sub(1);
+            }
             if processed >= self.max_events {
                 self.trace_event(event.time, NodeId(0), TraceEventKind::Drop("event cap hit"));
                 break;
             }
             processed += 1;
             match event.kind {
-                QueuedKind::Arrival { node, from, packet } => {
+                QueuedKind::Arrival {
+                    node,
+                    from,
+                    packet,
+                    latency_ns,
+                } => {
+                    // The packet left its ingress queue whatever happens
+                    // next — a dead receiver still frees the slot.
+                    self.in_flight[node.0] = self.in_flight[node.0].saturating_sub(1);
                     if !self.node_alive[node.0] {
                         self.trace_event(event.time, node, TraceEventKind::Drop("node down"));
                         continue;
                     }
+                    self.trace.summary.latency.record(latency_ns);
+                    self.progress[node.0] += 1;
                     self.trace_event(
                         event.time,
                         node,
@@ -1155,6 +1605,31 @@ impl Sim {
                         self.trace_event(event.time, at, TraceEventKind::Note(note));
                     }
                 }
+                QueuedKind::WatchdogCheck {
+                    node,
+                    budget_ns,
+                    seen,
+                } => {
+                    let now = self.progress[node.0];
+                    if now == seen {
+                        self.trace_event(
+                            event.time,
+                            node,
+                            TraceEventKind::Note("stalled".to_string()),
+                        );
+                        self.trace.summary.watchdog_trips += 1;
+                    }
+                    if self.real_pending > 0 {
+                        self.push_event(
+                            event.time.offset(budget_ns.max(1)),
+                            QueuedKind::WatchdogCheck {
+                                node,
+                                budget_ns,
+                                seen: now,
+                            },
+                        );
+                    }
+                }
             }
         }
         self.trace
@@ -1167,6 +1642,8 @@ impl Sim {
             arrival_from,
             topology: &self.topology,
             routes: &self.routes,
+            in_flight: &self.in_flight,
+            queue_capacity: self.queue_capacity,
             actions: Vec::new(),
         }
     }
@@ -1193,12 +1670,16 @@ impl Sim {
             .get(node.0)
             .map(|n| n.name.clone())
             .unwrap_or_default();
-        self.trace.events.push(TraceEvent {
+        let event = TraceEvent {
             time,
             node,
             node_name,
             kind,
-        });
+        };
+        self.trace.summary.account(&event, self.trace.mode);
+        if self.trace.mode == TraceMode::Full {
+            self.trace.events.push(event);
+        }
     }
 
     fn apply_actions(&mut self, now: SimTime, node: NodeId, actions: Vec<Action>) {
@@ -1221,17 +1702,15 @@ impl Sim {
                     self.route_packet(now, node, packet);
                 }
                 Action::Timer { delay_ns, token } => {
-                    let seq = self.bump_seq();
                     let generation = self.node_generation[node.0];
-                    self.queue.push(Reverse(QueuedEvent {
-                        time: now.offset(delay_ns),
-                        seq,
-                        kind: QueuedKind::TimerFire {
+                    self.push_event(
+                        now.offset(delay_ns),
+                        QueuedKind::TimerFire {
                             node,
                             token,
                             generation,
                         },
-                    }));
+                    );
                 }
                 Action::Note(text) => self.trace_event(now, node, TraceEventKind::Note(text)),
                 Action::DeliverLocal => self.trace_event(now, node, TraceEventKind::DeliverLocal),
@@ -1244,6 +1723,16 @@ impl Sim {
         let s = self.next_seq;
         self.next_seq += 1;
         s
+    }
+
+    /// Enqueue a future event, keeping the non-watchdog pending count
+    /// (the watchdog termination condition) in sync.
+    fn push_event(&mut self, time: SimTime, kind: QueuedKind) {
+        if !matches!(kind, QueuedKind::WatchdogCheck { .. }) {
+            self.real_pending += 1;
+        }
+        let seq = self.bump_seq();
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
     }
 
     /// Route one outgoing packet from `node` by destination address:
@@ -1306,20 +1795,30 @@ impl Sim {
             return;
         }
         for d in deliveries {
+            if let Some(cap) = self.queue_capacity {
+                if self.in_flight[to.0] >= cap {
+                    // Drop-tail shedding: the receiver's ingress queue is
+                    // full, so the packet never makes the wire.  Traced at
+                    // the receiving node so per-node shed counters point
+                    // at the overloaded queue, not the sender.
+                    self.trace_event(now, to, TraceEventKind::Drop("shed"));
+                    continue;
+                }
+            }
             let latency = spec
                 .delay_ns
                 .saturating_add(spec.serialization_ns(d.packet.as_bytes().len()))
                 .saturating_add(d.extra_delay_ns);
-            let seq = self.bump_seq();
-            self.queue.push(Reverse(QueuedEvent {
-                time: now.offset(latency),
-                seq,
-                kind: QueuedKind::Arrival {
+            self.in_flight[to.0] += 1;
+            self.push_event(
+                now.offset(latency),
+                QueuedKind::Arrival {
                     node: to,
                     from,
                     packet: d.packet,
+                    latency_ns: latency,
                 },
-            }));
+            );
         }
     }
 }

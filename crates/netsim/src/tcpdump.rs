@@ -15,7 +15,12 @@ pub enum Warning {
     /// The buffer is shorter than the IP header.
     TruncatedIp,
     /// `total_length` disagrees with the actual buffer length.
-    LengthMismatch { declared: usize, actual: usize },
+    LengthMismatch {
+        /// The header's declared total length.
+        declared: usize,
+        /// The buffer's actual length.
+        actual: usize,
+    },
     /// The IP header checksum is wrong.
     BadIpChecksum,
     /// The IP version is not 4.

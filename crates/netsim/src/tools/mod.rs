@@ -21,6 +21,7 @@ pub mod chaos;
 pub mod igmp;
 pub mod ntp_exchange;
 pub mod ping;
+pub mod soak;
 pub mod traceroute;
 
 #[allow(deprecated)]
@@ -41,4 +42,8 @@ pub use ntp_exchange::{
 #[allow(deprecated)]
 pub use ping::ping_once;
 pub use ping::PingOutcome;
+pub use soak::{
+    soak_group, soak_pair_topology, BfdSoakResponder, IcmpSoakResponder, IgmpSoakResponder,
+    NtpSoakResponder, SoakClientNode, SoakProtocol, SoakResponder, SoakServerNode,
+};
 pub use traceroute::{traceroute, Hop, TracerouteReport};

@@ -1,0 +1,577 @@
+//! Session-scale soak machinery: thousands of concurrent client/server
+//! pairs per protocol on one topology, pushing millions of packets
+//! through pluggable responders under bounded queues, backpressure and
+//! watchdogs.
+//!
+//! The layout is deliberately demultiplex-free: every session is its own
+//! client/server host pair joined by a private link
+//! ([`soak_pair_topology`]), so no node ever has to dispatch traffic
+//! between sessions and the kernel's per-node ingress bounds and
+//! backpressure signal map one-to-one onto sessions.  The server side of
+//! every pair is a [`SoakResponder`] — a full-datagram-in /
+//! full-datagram-out service with a typed error channel — with generic
+//! adapters over the existing per-protocol responder traits, so the
+//! hand-written references and the SAGE-generated engines plug in
+//! unchanged.  Error containment (panic catching, error budgets,
+//! quarantine) wraps this trait one level up, in `sage-interp`.
+
+use crate::buffer::PacketBuf;
+use crate::headers::{bfd, icmp, igmp, ipv4, ntp, udp};
+use crate::net::{IcmpEvent, IcmpResponder};
+use crate::sim::{Ctx, Node, NodeId, Topology};
+use crate::tools::bfd_session::{BfdEndpoint, BFD_CONTROL_PORT};
+use crate::tools::igmp::IgmpResponder;
+use crate::tools::ntp_exchange::NtpServer;
+
+/// The ephemeral client port soak BFD sessions transmit from.
+const SOAK_BFD_SRC_PORT: u16 = 49152;
+/// The ephemeral client port soak NTP sessions transmit from.
+const SOAK_NTP_CLIENT_PORT: u16 = 45123;
+/// The echo payload soak ICMP sessions carry (the classic pattern).
+const SOAK_PING_PAYLOAD: &[u8] = b"0123456789abcdef";
+/// The timer token soak clients schedule their rounds with.
+const SOAK_ROUND_TOKEN: u64 = 0x50AC;
+
+/// The protocol a soak session speaks; one of the four generated corpora.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakProtocol {
+    /// ICMP echo request/reply rounds.
+    Icmp,
+    /// IGMP membership query/report rounds.
+    Igmp,
+    /// NTP client poll / server reply rounds.
+    Ntp,
+    /// BFD control-packet rounds (Down → Init → Up, then steady Up).
+    Bfd,
+}
+
+impl SoakProtocol {
+    /// All four protocols, in campaign grid order.
+    pub fn all() -> [SoakProtocol; 4] {
+        [
+            SoakProtocol::Icmp,
+            SoakProtocol::Igmp,
+            SoakProtocol::Ntp,
+            SoakProtocol::Bfd,
+        ]
+    }
+
+    /// The protocol's lowercase name (matches the fuzz/chaos grids).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SoakProtocol::Icmp => "icmp",
+            SoakProtocol::Igmp => "igmp",
+            SoakProtocol::Ntp => "ntp",
+            SoakProtocol::Bfd => "bfd",
+        }
+    }
+}
+
+/// The multicast group soak IGMP sessions report membership of.
+pub fn soak_group() -> u32 {
+    ipv4::addr(224, 0, 0, 251)
+}
+
+/// A topology of `sessions` disconnected client/server host pairs, each
+/// joined by a private link of `delay_ns` (and optionally a bandwidth
+/// cap).  Client `i` is node `2i` ("c&lt;i&gt;"), server `i` is node `2i + 1`
+/// ("s&lt;i&gt;"), link `i` joins them — so campaigns can address sessions
+/// without lookups.
+pub fn soak_pair_topology(
+    name: &str,
+    sessions: usize,
+    delay_ns: u64,
+    bandwidth_bps: Option<u64>,
+) -> Topology {
+    let mut t = Topology::named(name);
+    for i in 0..sessions {
+        let hi = (i / 250) as u8;
+        let lo = (i % 250 + 1) as u8;
+        let client = t.host(&format!("c{i}"), ipv4::addr(10, 1, hi, lo), 24);
+        let server = t.host(&format!("s{i}"), ipv4::addr(10, 2, hi, lo), 24);
+        t.link_with(client, server, delay_ns, bandwidth_bps);
+    }
+    t
+}
+
+/// The server side of a soak session: a full IP datagram in, an optional
+/// full IP datagram reply out, with errors surfaced as values (never
+/// panics — containment above this trait turns both into budget hits).
+pub trait SoakResponder {
+    /// Serve one delivered datagram.
+    fn respond(&mut self, packet: &PacketBuf) -> Result<Option<PacketBuf>, String>;
+
+    /// Drain any notes the responder wants in the trace (the containment
+    /// layer reports error-budget hits and quarantine swaps this way).
+    fn drain_notes(&mut self) -> Vec<String> {
+        Vec::new()
+    }
+}
+
+/// [`SoakResponder`] over any [`IcmpResponder`] (reference or generated):
+/// unwraps the IP datagram, dispatches echo requests, re-wraps the bare
+/// ICMP reply with the request's addresses swapped.
+pub struct IcmpSoakResponder<R: IcmpResponder> {
+    /// The wrapped echo responder.
+    pub inner: R,
+}
+
+impl<R: IcmpResponder> SoakResponder for IcmpSoakResponder<R> {
+    fn respond(&mut self, packet: &PacketBuf) -> Result<Option<PacketBuf>, String> {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_ICMP {
+            return Ok(None);
+        }
+        let msg = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        if msg.get_field(icmp::FIELDS, "type").unwrap_or(0) != u64::from(icmp::msg_type::ECHO) {
+            return Ok(None);
+        }
+        let src = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let dst = packet
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
+        Ok(self
+            .inner
+            .respond(IcmpEvent::EchoRequest, packet)
+            .map(|reply| ipv4::build_packet(dst, src, ipv4::PROTO_ICMP, 64, reply.as_bytes())))
+    }
+}
+
+/// [`SoakResponder`] over any [`IgmpResponder`]: answers membership
+/// queries with a report addressed to the session's group.
+pub struct IgmpSoakResponder<R: IgmpResponder> {
+    /// The wrapped membership responder.
+    pub inner: R,
+    /// This host's own address (reports originate from it).
+    pub host_addr: u32,
+    /// The group reports are addressed to.
+    pub group: u32,
+}
+
+impl<R: IgmpResponder> SoakResponder for IgmpSoakResponder<R> {
+    fn respond(&mut self, packet: &PacketBuf) -> Result<Option<PacketBuf>, String> {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_IGMP {
+            return Ok(None);
+        }
+        let query = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        Ok(self.inner.respond(&query).map(|msg| {
+            ipv4::build_packet(
+                self.host_addr,
+                self.group,
+                ipv4::PROTO_IGMP,
+                1,
+                msg.as_bytes(),
+            )
+        }))
+    }
+}
+
+/// [`SoakResponder`] over any [`NtpServer`]: unwraps UDP port 123
+/// requests, re-wraps replies with the request's source port echoed.
+pub struct NtpSoakResponder<S: NtpServer> {
+    /// The wrapped NTP server.
+    pub inner: S,
+}
+
+impl<S: NtpServer> SoakResponder for NtpSoakResponder<S> {
+    fn respond(&mut self, packet: &PacketBuf) -> Result<Option<PacketBuf>, String> {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_UDP {
+            return Ok(None);
+        }
+        let datagram = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        let dst_port = datagram
+            .get_field(udp::FIELDS, "destination_port")
+            .unwrap_or(0) as u16;
+        if dst_port != udp::NTP_PORT {
+            return Ok(None);
+        }
+        let src_addr = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let dst_addr = packet
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
+        let src_port = datagram.get_field(udp::FIELDS, "source_port").unwrap_or(0) as u16;
+        let request = PacketBuf::from_bytes(udp::payload(&datagram).to_vec());
+        Ok(self.inner.respond(&request).map(|reply| {
+            let reply_udp = udp::build_datagram(
+                dst_addr,
+                src_addr,
+                udp::NTP_PORT,
+                src_port,
+                reply.as_bytes(),
+            );
+            ipv4::build_packet(
+                dst_addr,
+                src_addr,
+                ipv4::PROTO_UDP,
+                64,
+                reply_udp.as_bytes(),
+            )
+        }))
+    }
+}
+
+/// [`SoakResponder`] over any [`BfdEndpoint`]: feeds received control
+/// packets to the endpoint and answers with its current control packet.
+pub struct BfdSoakResponder<E: BfdEndpoint> {
+    /// The wrapped endpoint.
+    pub inner: E,
+}
+
+impl<E: BfdEndpoint> SoakResponder for BfdSoakResponder<E> {
+    fn respond(&mut self, packet: &PacketBuf) -> Result<Option<PacketBuf>, String> {
+        let proto = packet.get_field(ipv4::FIELDS, "protocol").unwrap_or(0) as u8;
+        if proto != ipv4::PROTO_UDP {
+            return Ok(None);
+        }
+        let datagram = PacketBuf::from_bytes(ipv4::payload(packet).to_vec());
+        let dst_port = datagram
+            .get_field(udp::FIELDS, "destination_port")
+            .unwrap_or(0) as u16;
+        if dst_port != BFD_CONTROL_PORT {
+            return Ok(None);
+        }
+        let control = PacketBuf::from_bytes(udp::payload(&datagram).to_vec());
+        self.inner.receive(&control);
+        let src_addr = packet
+            .get_field(ipv4::FIELDS, "source_address")
+            .unwrap_or(0) as u32;
+        let dst_addr = packet
+            .get_field(ipv4::FIELDS, "destination_address")
+            .unwrap_or(0) as u32;
+        let reply = self.inner.control_packet();
+        let reply_udp = udp::build_datagram(
+            dst_addr,
+            src_addr,
+            SOAK_BFD_SRC_PORT,
+            BFD_CONTROL_PORT,
+            reply.as_bytes(),
+        );
+        Ok(Some(ipv4::build_packet(
+            dst_addr,
+            src_addr,
+            ipv4::PROTO_UDP,
+            255,
+            reply_udp.as_bytes(),
+        )))
+    }
+}
+
+/// The server node of one soak session: delegates every delivered packet
+/// to its [`SoakResponder`] and relays the responder's notes (error
+/// budgets, quarantine swaps) into the trace.
+pub struct SoakServerNode {
+    /// The session's service.
+    pub service: Box<dyn SoakResponder>,
+}
+
+impl Node for SoakServerNode {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, packet: &PacketBuf) {
+        let outcome = self.service.respond(packet);
+        for note in self.service.drain_notes() {
+            ctx.note(note);
+        }
+        match outcome {
+            Ok(Some(reply)) => ctx.send(reply),
+            Ok(None) => ctx.deliver_local(),
+            // An uncontained responder error: keep serving (the session
+            // degrades to request-without-reply) but leave evidence.
+            Err(e) => ctx.note(format!("responder-error uncontained {e}")),
+        }
+    }
+}
+
+/// The client node of one soak session: timer-driven rounds, each a burst
+/// of requests towards the session's server, skipped (with a
+/// `backpressure-skip` note) whenever the server's ingress queue is full
+/// — the graceful-degradation half of the overload story.
+pub struct SoakClientNode {
+    session: u32,
+    client_addr: u32,
+    server_addr: u32,
+    server: NodeId,
+    protocol: SoakProtocol,
+    rounds: u32,
+    burst: u32,
+    interval_ns: u64,
+    start_offset_ns: u64,
+    sent_rounds: u32,
+    replies_received: u64,
+}
+
+impl SoakClientNode {
+    /// A client for session `session` of `protocol`, sending `burst`
+    /// requests every `interval_ns` for `rounds` rounds, starting after
+    /// `start_offset_ns` (campaigns stagger sessions to spread load).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        session: u32,
+        client_addr: u32,
+        server_addr: u32,
+        server: NodeId,
+        protocol: SoakProtocol,
+        rounds: u32,
+        burst: u32,
+        interval_ns: u64,
+        start_offset_ns: u64,
+    ) -> SoakClientNode {
+        SoakClientNode {
+            session,
+            client_addr,
+            server_addr,
+            server,
+            protocol,
+            rounds,
+            burst: burst.max(1),
+            interval_ns,
+            start_offset_ns,
+            sent_rounds: 0,
+            replies_received: 0,
+        }
+    }
+
+    /// Replies this client has received so far.
+    pub fn replies_received(&self) -> u64 {
+        self.replies_received
+    }
+
+    /// Build the `index`-th request of round `round`.
+    fn build_request(&self, round: u32, index: u32) -> PacketBuf {
+        match self.protocol {
+            SoakProtocol::Icmp => {
+                let seq = (round.wrapping_mul(self.burst).wrapping_add(index)) as u16;
+                let echo = icmp::build_echo(false, self.session as u16, seq, SOAK_PING_PAYLOAD);
+                ipv4::build_packet(
+                    self.client_addr,
+                    self.server_addr,
+                    ipv4::PROTO_ICMP,
+                    64,
+                    echo.as_bytes(),
+                )
+            }
+            SoakProtocol::Igmp => {
+                let query = igmp::build_message(igmp::msg_type::MEMBERSHIP_QUERY, 0);
+                let all_hosts = ipv4::addr(224, 0, 0, 1);
+                ipv4::build_packet(
+                    self.client_addr,
+                    all_hosts,
+                    ipv4::PROTO_IGMP,
+                    1,
+                    query.as_bytes(),
+                )
+            }
+            SoakProtocol::Ntp => {
+                let transmit = (u64::from(self.session) << 32) | u64::from(round);
+                let request = ntp::build_packet(0, 1, ntp::mode::CLIENT, 0, transmit);
+                let datagram = ntp::encapsulate_in_udp(
+                    self.client_addr,
+                    self.server_addr,
+                    SOAK_NTP_CLIENT_PORT,
+                    &request,
+                );
+                ipv4::build_packet(
+                    self.client_addr,
+                    self.server_addr,
+                    ipv4::PROTO_UDP,
+                    64,
+                    datagram.as_bytes(),
+                )
+            }
+            SoakProtocol::Bfd => {
+                // Legal bring-up against a fresh peer: Down first, Init
+                // next, steady Up from the third round on.
+                let state = match round {
+                    0 => bfd::SessionState::Down,
+                    1 => bfd::SessionState::Init,
+                    _ => bfd::SessionState::Up,
+                };
+                let local = self.session * 2 + 1;
+                let remote = self.session * 2 + 2;
+                let control = bfd::build_control_packet(state, local, remote, 3, false);
+                let datagram = udp::build_datagram(
+                    self.client_addr,
+                    self.server_addr,
+                    SOAK_BFD_SRC_PORT,
+                    BFD_CONTROL_PORT,
+                    control.as_bytes(),
+                );
+                ipv4::build_packet(
+                    self.client_addr,
+                    self.server_addr,
+                    ipv4::PROTO_UDP,
+                    255,
+                    datagram.as_bytes(),
+                )
+            }
+        }
+    }
+}
+
+impl Node for SoakClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_offset_ns.max(1), SOAK_ROUND_TOKEN);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent_rounds >= self.rounds {
+            return;
+        }
+        if ctx.backpressure(self.server) >= 1.0 {
+            // The server's ingress queue is full: degrade by skipping the
+            // round instead of feeding packets the kernel would shed.
+            ctx.note("backpressure-skip");
+        } else {
+            for index in 0..self.burst {
+                ctx.send(self.build_request(self.sent_rounds, index));
+            }
+        }
+        self.sent_rounds += 1;
+        if self.sent_rounds < self.rounds {
+            ctx.set_timer(self.interval_ns, SOAK_ROUND_TOKEN);
+        }
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _packet: &PacketBuf) {
+        // Replies are counted, not re-traced: the kernel's Deliver event
+        // and latency histogram already carry the per-packet record.
+        self.replies_received += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::ReferenceResponder;
+    use crate::sim::{SimBuilder, TraceMode};
+    use crate::tools::bfd_session::ReferenceBfdEndpoint;
+    use crate::tools::igmp::ReferenceIgmpResponder;
+    use crate::tools::ntp_exchange::ReferenceNtpServer;
+
+    fn reference_service(
+        protocol: SoakProtocol,
+        session: u32,
+        server_addr: u32,
+    ) -> Box<dyn SoakResponder> {
+        match protocol {
+            SoakProtocol::Icmp => Box::new(IcmpSoakResponder {
+                inner: ReferenceResponder,
+            }),
+            SoakProtocol::Igmp => Box::new(IgmpSoakResponder {
+                inner: ReferenceIgmpResponder {
+                    group: soak_group(),
+                },
+                host_addr: server_addr,
+                group: soak_group(),
+            }),
+            SoakProtocol::Ntp => Box::new(NtpSoakResponder {
+                inner: ReferenceNtpServer {
+                    stratum: 2,
+                    clock: 0x1000,
+                },
+            }),
+            SoakProtocol::Bfd => Box::new(BfdSoakResponder {
+                inner: ReferenceBfdEndpoint::new(session * 2 + 2, session * 2 + 1),
+            }),
+        }
+    }
+
+    fn run_pairs(protocol: SoakProtocol, sessions: usize, rounds: u32) -> crate::sim::EventTrace {
+        let topology = soak_pair_topology("soak_test", sessions, 1_000_000, None);
+        let mut sim = SimBuilder::new(topology);
+        sim.trace_mode(TraceMode::Summary).max_events(1_000_000);
+        for i in 0..sessions {
+            let client = NodeId(i * 2);
+            let server = NodeId(i * 2 + 1);
+            let client_addr = sim.topology().addr_of(client);
+            let server_addr = sim.topology().addr_of(server);
+            sim.bind(
+                client,
+                Box::new(SoakClientNode::new(
+                    i as u32,
+                    client_addr,
+                    server_addr,
+                    server,
+                    protocol,
+                    rounds,
+                    1,
+                    1_000_000,
+                    (i as u64 + 1) * 10_000,
+                )),
+            );
+            sim.bind(
+                server,
+                Box::new(SoakServerNode {
+                    service: reference_service(protocol, i as u32, server_addr),
+                }),
+            );
+        }
+        sim.build().run()
+    }
+
+    #[test]
+    fn every_protocol_completes_full_round_trips() {
+        for protocol in SoakProtocol::all() {
+            let trace = run_pairs(protocol, 4, 10);
+            // 4 sessions x 10 rounds x (request + reply).
+            assert_eq!(
+                trace.summary.delivered,
+                4 * 10 * 2,
+                "{}: wrong delivery count",
+                protocol.name()
+            );
+            assert_eq!(trace.summary.drops, 0, "{}: drops", protocol.name());
+            assert!(trace.events.is_empty(), "summary mode retains no events");
+        }
+    }
+
+    #[test]
+    fn summary_mode_statistics_match_full_mode() {
+        let summary = run_pairs(SoakProtocol::Icmp, 3, 8).summary;
+        let topology = soak_pair_topology("soak_test", 3, 1_000_000, None);
+        let mut sim = SimBuilder::new(topology);
+        sim.max_events(1_000_000);
+        for i in 0..3usize {
+            let client = NodeId(i * 2);
+            let server = NodeId(i * 2 + 1);
+            let client_addr = sim.topology().addr_of(client);
+            let server_addr = sim.topology().addr_of(server);
+            sim.bind(
+                client,
+                Box::new(SoakClientNode::new(
+                    i as u32,
+                    client_addr,
+                    server_addr,
+                    server,
+                    SoakProtocol::Icmp,
+                    8,
+                    1,
+                    1_000_000,
+                    (i as u64 + 1) * 10_000,
+                )),
+            );
+            sim.bind(
+                server,
+                Box::new(SoakServerNode {
+                    service: reference_service(SoakProtocol::Icmp, i as u32, server_addr),
+                }),
+            );
+        }
+        let full = sim.build().run();
+        assert!(!full.events.is_empty());
+        assert_eq!(summary.delivered, full.summary.delivered);
+        assert_eq!(
+            summary.latency.percentile(0.50),
+            full.summary.latency.percentile(0.50)
+        );
+        assert_eq!(
+            summary.latency.percentile(0.99),
+            full.summary.latency.percentile(0.99)
+        );
+        assert_eq!(summary.events_recorded, full.summary.events_recorded);
+    }
+}

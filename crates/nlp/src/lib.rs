@@ -13,6 +13,8 @@
 //! * [`chunker`] — the noun-phrase chunker whose labels drive CCG lexicon
 //!   lookup (Table 7 / Table 8 study the impact of this component).
 
+#![deny(missing_docs)]
+
 pub mod chunker;
 pub mod dict;
 pub mod pos;

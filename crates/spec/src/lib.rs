@@ -14,6 +14,8 @@
 //! * [`corpus`] — embedded excerpts of RFC 792 (ICMP), RFC 1112 (IGMP),
 //!   RFC 1059 (NTP) and RFC 5880 (BFD) used by the evaluation.
 
+#![deny(missing_docs)]
+
 pub mod context;
 pub mod corpus;
 pub mod document;

@@ -30,6 +30,9 @@
 //! let run = run_scenario(scenarios.find("igmp/generated").unwrap().as_ref()).unwrap();
 //! assert!(run.ok() && run.originated() == 2);
 //! ```
+
+#![deny(missing_docs)]
+
 pub use sage_ccg as ccg;
 pub use sage_codegen as codegen;
 pub use sage_core as core;
